@@ -1,0 +1,157 @@
+"""E10 — ablation: the conflict-freedom checkers against each other.
+
+DESIGN.md calls out the checker hierarchy as the design choice worth
+ablating: the paper-mode theorem checks (cheap, sufficient — exact for
+co-rank 1, with the documented Theorem 4.8 gap), the exact kernel-box
+oracle, the auto mode (theorem fast-path + exact fallback), and the
+brute-force referee.  This harness times all four on a fixed random
+population of mappings and reports agreement rates — regenerating, in
+effect, the implicit "use the closed-form conditions, they are cheap
+and almost always decisive" argument of Section 4.
+"""
+
+import random
+
+import pytest
+
+from conftest import print_table
+from repro.core import (
+    MappingMatrix,
+    check_conflict_free,
+    is_conflict_free_bruteforce,
+    is_conflict_free_kernel_box,
+)
+from repro.intlin import random_full_rank
+from repro.model import ConstantBoundedIndexSet
+
+
+def make_population(k, n, mu_val, count, seed=11):
+    rng = random.Random(seed)
+    mu = (mu_val,) * n
+    pop = []
+    while len(pop) < count:
+        rows = random_full_rank(k, n, rng=rng, magnitude=4)
+        pop.append(MappingMatrix.from_rows(rows))
+    return pop, mu
+
+
+POP2, MU2 = make_population(2, 4, 2, 60)       # co-rank 2
+POP3, MU3 = make_population(2, 5, 2, 40)       # co-rank 3
+J2 = ConstantBoundedIndexSet(MU2)
+
+
+def test_paper_mode_speed(benchmark):
+    def run():
+        return [check_conflict_free(t, MU2, method="paper").holds for t in POP2]
+
+    verdicts = benchmark(run)
+    assert len(verdicts) == len(POP2)
+
+
+def test_auto_mode_speed(benchmark):
+    def run():
+        return [check_conflict_free(t, MU2, method="auto").holds for t in POP2]
+
+    verdicts = benchmark(run)
+    assert len(verdicts) == len(POP2)
+
+
+def test_exact_mode_speed(benchmark):
+    def run():
+        return [is_conflict_free_kernel_box(t, MU2) for t in POP2]
+
+    verdicts = benchmark(run)
+    assert len(verdicts) == len(POP2)
+
+
+def test_bruteforce_speed(benchmark):
+    def run():
+        return [is_conflict_free_bruteforce(t, J2) for t in POP2]
+
+    verdicts = benchmark(run)
+    assert len(verdicts) == len(POP2)
+
+
+def test_bruteforce_vectorized_speed(benchmark):
+    """The NumPy single-matmul referee (guide-recommended vectorization)
+    vs the scalar dictionary walk above."""
+    from repro.core import is_conflict_free_bruteforce_vectorized
+
+    def run():
+        return [is_conflict_free_bruteforce_vectorized(t, J2) for t in POP2]
+
+    verdicts = benchmark(run)
+    scalar = [is_conflict_free_bruteforce(t, J2) for t in POP2]
+    assert verdicts == scalar
+
+
+def test_margin_distribution(benchmark):
+    """Conflict-margin statistics over the random population: free
+    mappings sit strictly above margin 1, conflicted ones at or below
+    — the metric separates the classes perfectly."""
+    from fractions import Fraction
+
+    from repro.core import conflict_margin
+
+    def compute():
+        margins = []
+        for t in POP2:
+            m = conflict_margin(t, MU2)
+            free = is_conflict_free_kernel_box(t, MU2)
+            margins.append((m, free))
+        return margins
+
+    margins = benchmark.pedantic(compute, rounds=1, iterations=1)
+    for m, free in margins:
+        assert (m > Fraction(1)) == free
+    free_margins = [m for m, f in margins if f]
+    if free_margins:
+        print(f"\nmargin range among conflict-free mappings: "
+              f"{min(free_margins)} .. {max(free_margins)}")
+
+
+def test_agreement_table(benchmark):
+    """Agreement of every checker against the exact oracle, both
+    co-ranks.  Shape: auto == exact always; paper-mode sufficiency
+    never produces a false positive at co-rank 2 (Theorem 4.7) but can
+    at co-rank 3 (the Theorem 4.8 gap, finding F2)."""
+
+    def compute():
+        rows = []
+        for label, pop, mu in (("co-rank 2", POP2, MU2), ("co-rank 3", POP3, MU3)):
+            exact = [is_conflict_free_kernel_box(t, mu) for t in pop]
+            paper = [check_conflict_free(t, mu, method="paper").holds for t in pop]
+            auto = [check_conflict_free(t, mu, method="auto").holds for t in pop]
+            agree_paper = sum(p == e for p, e in zip(paper, exact))
+            agree_auto = sum(a == e for a, e in zip(auto, exact))
+            false_pos = sum(p and not e for p, e in zip(paper, exact))
+            rows.append(
+                [
+                    label,
+                    len(pop),
+                    sum(exact),
+                    f"{agree_paper}/{len(pop)}",
+                    f"{agree_auto}/{len(pop)}",
+                    false_pos,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "Checker ablation — agreement with the exact oracle",
+        [
+            "population",
+            "mappings",
+            "conflict-free",
+            "paper agrees",
+            "auto agrees",
+            "paper false-positives",
+        ],
+        rows,
+    )
+    # auto is exact everywhere.
+    for row in rows:
+        assert row[4] == f"{row[1]}/{row[1]}"
+    # co-rank 2 paper mode has no false positives (Thm 4.7 sufficiency).
+    assert rows[0][5] == 0

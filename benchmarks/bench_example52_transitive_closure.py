@@ -1,0 +1,86 @@
+"""E4 — Example 5.2: time-optimal transitive closure.
+
+Regenerates the paper's headline improvement: ``Pi° = [mu+1, 1, 1]``
+with ``t = mu(mu+3)+1`` versus ref [22]'s ``Pi' = [2mu+1, 1, 1]`` with
+``t' = mu(2mu+3)+1``.  Shape: the speedup grows monotonically toward 2x.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.core import (
+    solve_corank1_optimal,
+    transitive_closure_baseline_ref22,
+)
+from repro.model import transitive_closure
+
+SPACE = [[0, 0, 1]]
+SWEEP = [2, 3, 4, 6, 8, 12]
+
+
+@pytest.mark.parametrize("mu", SWEEP)
+def test_optimal_schedule_search(benchmark, mu):
+    algo = transitive_closure(mu)
+    result = benchmark(solve_corank1_optimal, algo, SPACE)
+    assert result.found
+    assert result.schedule.pi == (mu + 1, 1, 1)
+    assert result.total_time == mu * (mu + 3) + 1
+
+
+def test_regenerate_example_5_2_table(benchmark):
+    def compute():
+        out = []
+        for mu in SWEEP:
+            algo = transitive_closure(mu)
+            res = solve_corank1_optimal(algo, SPACE)
+            baseline = transitive_closure_baseline_ref22(mu)
+            out.append((mu, res, baseline))
+        return out
+
+    data = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = []
+    speedups = []
+    for mu, res, baseline in data:
+        speedup = baseline.total_time / res.total_time
+        speedups.append(speedup)
+        rows.append(
+            [
+                mu,
+                list(res.schedule.pi),
+                res.total_time,
+                mu * (mu + 3) + 1,
+                baseline.total_time,
+                f"{speedup:.3f}x",
+            ]
+        )
+    print_table(
+        "Example 5.2 — transitive closure (S = [0,0,1])",
+        ["mu", "Pi* (ours)", "t (ours)", "mu(mu+3)+1", "t' ([22])", "speedup"],
+        rows,
+    )
+    # Shape: closed form matches exactly; speedup increases toward 2.
+    for row in rows:
+        assert row[2] == row[3]
+    assert all(a < b for a, b in zip(speedups, speedups[1:]))
+    assert speedups[-1] > 1.7
+
+
+def test_conflict_vector_row(benchmark):
+    """gamma = [1, -(mu+1), 0] for every sweep point."""
+    from repro.core import MappingMatrix, conflict_vector_corank1
+
+    def compute():
+        out = []
+        for mu in SWEEP:
+            t = MappingMatrix(space=((0, 0, 1),), schedule=(mu + 1, 1, 1))
+            out.append([mu, conflict_vector_corank1(t)])
+        return out
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    for mu, gamma in rows:
+        assert gamma == [1, -(mu + 1), 0]
+    print_table(
+        "Example 5.2 — conflict vectors of the optimal mappings",
+        ["mu", "gamma"],
+        rows,
+    )

@@ -1,0 +1,90 @@
+"""E2 — Examples 2.1 / 4.1 / 4.2: the 4-D mapping and its Hermite form.
+
+Regenerates the paper's worked Hermite computation for
+``T = [[1,7,1,1],[1,7,1,0]]`` (Equation 2.8): the normal form, the
+kernel generators, the feasibility verdicts for ``gamma_1, gamma_2,
+gamma_3``, and the non-conflict-freedom of ``T`` — including the
+rational-combination trap of Example 4.1.
+"""
+
+from conftest import print_table
+from repro.core import (
+    MappingMatrix,
+    find_conflict_witness,
+    is_conflict_free_kernel_box,
+    is_feasible_conflict_vector,
+)
+from repro.intlin import hnf, verify_hermite
+from repro.model import ConstantBoundedIndexSet
+
+T_ROWS = [[1, 7, 1, 1], [1, 7, 1, 0]]
+MU = (6, 6, 6, 6)
+
+
+def test_hermite_of_equation_2_8(benchmark):
+    res = benchmark(hnf, T_ROWS)
+    assert verify_hermite(T_ROWS, res)
+    assert res.rank == 2
+
+
+def test_regenerate_example_4_2(benchmark):
+    res = benchmark.pedantic(hnf, args=(T_ROWS,), rounds=1, iterations=1)
+    gens = res.kernel_columns()
+    rows = [
+        ["H", res.h],
+        ["U", res.u],
+        ["kernel generators", gens],
+    ]
+    print_table("Example 4.2 — Hermite data for T (Eq 2.8)", ["item", "value"], rows)
+
+    # All generators annihilate T; the paper's u3, u4 lattice matches.
+    from repro.intlin import matvec, solve_diophantine
+
+    for g in gens:
+        assert matvec(T_ROWS, g) == [0, 0]
+    ours_mat = [[col[i] for col in gens] for i in range(4)]
+    for paper_col in ([-1, 0, 1, 0], [-7, 1, 0, 0]):
+        assert solve_diophantine(ours_mat, paper_col) is not None
+
+
+def test_regenerate_example_2_1_verdicts(benchmark):
+    t = MappingMatrix.from_rows(T_ROWS)
+    benchmark.pedantic(
+        lambda: is_conflict_free_kernel_box(t, MU), rounds=1, iterations=1
+    )
+    gammas = {
+        "gamma_1": [0, 1, -7, 0],
+        "gamma_2": [7, -1, 0, 0],
+        "gamma_3": [1, 0, -1, 0],
+    }
+    rows = [
+        [name, g, "feasible" if is_feasible_conflict_vector(g, MU) else "NON-feasible"]
+        for name, g in gammas.items()
+    ]
+    print_table("Example 2.1 — conflict vector verdicts (mu_i = 6)", ["name", "gamma", "verdict"], rows)
+    assert is_feasible_conflict_vector(gammas["gamma_1"], MU)
+    assert is_feasible_conflict_vector(gammas["gamma_2"], MU)
+    assert not is_feasible_conflict_vector(gammas["gamma_3"], MU)
+    assert not is_conflict_free_kernel_box(t, MU)
+
+    witness = find_conflict_witness(t, ConstantBoundedIndexSet(MU))
+    print(f"colliding pair: tau{witness[0]} == tau{witness[1]} == "
+          f"{t.tau(witness[0])}")
+
+
+def test_exact_decider_speed(benchmark):
+    """Kernel-box decision for the 4-D example (2401 index points would
+    be touched by brute force; the lattice decider touches none)."""
+    t = MappingMatrix.from_rows(T_ROWS)
+    result = benchmark(is_conflict_free_kernel_box, t, MU)
+    assert result is False
+
+
+def test_bruteforce_decider_speed(benchmark):
+    """The brute-force referee on the same instance, for contrast."""
+    from repro.core import is_conflict_free_bruteforce
+
+    t = MappingMatrix.from_rows(T_ROWS)
+    j = ConstantBoundedIndexSet(MU)
+    result = benchmark(is_conflict_free_bruteforce, t, j)
+    assert result is False

@@ -1,0 +1,64 @@
+"""E1 — Figure 1: feasible vs non-feasible conflict vectors.
+
+Classifies every candidate conflict vector over the 2-D index set of
+Figure 1 (mu = (4, 4)) and reproduces the figure's two exemplars:
+``[1, 1]`` connects lattice points (non-feasible), ``[3, 5]`` escapes
+the box (feasible).  The benchmark times the Theorem-2.2 classifier
+over the full candidate box.
+"""
+
+import itertools
+
+from conftest import print_table
+from repro.core import is_feasible_conflict_vector
+from repro.model import ConstantBoundedIndexSet
+from repro.systolic import render_index_set_2d
+
+J = ConstantBoundedIndexSet((4, 4))
+CANDIDATES = [
+    (g1, g2)
+    for g1, g2 in itertools.product(range(-6, 7), repeat=2)
+    if (g1, g2) != (0, 0)
+]
+
+
+def classify_all():
+    return {
+        gamma: is_feasible_conflict_vector(gamma, J.mu) for gamma in CANDIDATES
+    }
+
+
+def test_classification_speed(benchmark):
+    result = benchmark(classify_all)
+    assert len(result) == 13 * 13 - 1
+
+
+def test_regenerate_figure_1(benchmark):
+    verdicts = benchmark.pedantic(classify_all, rounds=1, iterations=1)
+    # The figure's two exemplars.
+    assert verdicts[(1, 1)] is False
+    assert verdicts[(3, 5)] is True
+
+    feasible = sum(verdicts.values())
+    non_feasible = len(verdicts) - feasible
+    # Non-feasible = vectors in the closed box [-4,4]^2 minus origin.
+    assert non_feasible == 9 * 9 - 1
+    print_table(
+        "Figure 1 — conflict vector classification over mu = (4,4)",
+        ["class", "count"],
+        [["feasible", feasible], ["non-feasible", non_feasible]],
+    )
+    print(render_index_set_2d(J, [(1, 1), (3, 5)]))
+
+
+def test_classifier_agrees_with_geometry(benchmark):
+    """Theorem 2.2 vs the geometric translation test, timed."""
+
+    def both_ways():
+        for gamma in CANDIDATES:
+            algebraic = is_feasible_conflict_vector(gamma, J.mu)
+            geometric = not J.admits_translation(gamma)
+            assert algebraic == geometric
+        return True
+
+    assert benchmark(both_ways)

@@ -1,0 +1,82 @@
+"""E12 — the conflict penalty: what the processor shortage costs.
+
+An ablation DESIGN.md's checker hierarchy implies but the paper never
+quantifies: compare the *dependence-only* optimal schedule (ref [16]'s
+sub-problem — no array, infinite processors) with the conflict-free
+optimum on the linear array.  Shape: matmul's penalty grows as
+``mu^2 - mu`` (quadratic — the linear array genuinely throttles the
+cube), while the transitive closure penalty stays milder because its
+dependence cone already forces a long schedule.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.core import (
+    optimal_free_schedule,
+    procedure_5_1,
+    solve_corank1_optimal,
+)
+from repro.model import matrix_multiplication, transitive_closure
+
+SWEEP = [2, 3, 4, 6]
+
+
+@pytest.mark.parametrize("mu", SWEEP)
+def test_free_schedule_speed(benchmark, mu):
+    algo = matrix_multiplication(mu)
+    res = benchmark(optimal_free_schedule, algo)
+    assert res.schedule.pi == (1, 1, 1)
+
+
+def test_regenerate_penalty_table(benchmark):
+    def compute():
+        rows = []
+        for mu in SWEEP:
+            mm = matrix_multiplication(mu)
+            tc = transitive_closure(mu)
+            mm_free = optimal_free_schedule(mm).total_time
+            tc_free = optimal_free_schedule(tc).total_time
+            mm_cf = solve_corank1_optimal(mm, [[1, 1, -1]]).total_time
+            tc_cf = solve_corank1_optimal(tc, [[0, 0, 1]]).total_time
+            rows.append(
+                [mu, mm_free, mm_cf, mm_cf - mm_free, tc_free, tc_cf,
+                 tc_cf - tc_free]
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "Conflict penalty — dependence-only vs conflict-free optima",
+        ["mu", "mm free", "mm array", "mm penalty",
+         "tc free", "tc array", "tc penalty"],
+        rows,
+    )
+    # Shapes: matmul free time is 3mu+1; at even mu the penalty is
+    # exactly mu^2 - mu; penalties never negative and matmul's grows
+    # superlinearly.
+    for row in rows:
+        mu = row[0]
+        assert row[1] == 3 * mu + 1
+        assert row[3] >= 0 and row[6] >= 0
+        if mu % 2 == 0:
+            assert row[3] == mu * mu - mu
+    penalties = [r[3] for r in rows]
+    assert penalties[-1] / penalties[0] > SWEEP[-1] / SWEEP[0]
+
+
+def test_certificate_generation_speed(benchmark):
+    """Optimality certificates (audit trail) for the mu=4 optimum."""
+    from repro.core import certify_optimality, verify_certificate
+
+    algo = matrix_multiplication(4)
+
+    def run():
+        cert = certify_optimality(algo, [[1, 1, -1]], (1, 4, 1))
+        assert verify_certificate(algo, cert)
+        return len(cert.refutations)
+
+    count = benchmark(run)
+    print(f"\ncertificate covers {count} faster candidates "
+          "(each with an explicit refutation)")
+    assert count > 100

@@ -1,0 +1,72 @@
+"""E9 — substrate performance: Hermite/Smith normal form scaling.
+
+The Hermite normal form is evaluated inside every conflict check of
+Procedure 5.1, so its cost controls the whole search.  This harness
+measures HNF, Smith and kernel-basis time against matrix size on
+seeded random full-rank inputs, and checks the exactness invariants on
+every timed sample (no point benchmarking a wrong answer).
+"""
+
+import random
+
+import pytest
+
+from repro.intlin import (
+    hnf,
+    kernel_basis,
+    random_full_rank,
+    smith_normal_form,
+    verify_hermite,
+    verify_smith,
+)
+
+SIZES = [(2, 4), (3, 6), (4, 8), (5, 10), (6, 12)]
+
+
+def make_matrix(k, n, seed=7):
+    return random_full_rank(k, n, rng=random.Random(seed), magnitude=9)
+
+
+@pytest.mark.parametrize("k,n", SIZES)
+def test_hnf_scaling(benchmark, k, n):
+    m = make_matrix(k, n)
+    res = benchmark(hnf, m)
+    assert verify_hermite(m, res)
+
+
+@pytest.mark.parametrize("k,n", SIZES)
+def test_hnf_canonical_scaling(benchmark, k, n):
+    m = make_matrix(k, n)
+    res = benchmark(lambda: hnf(m, canonical=True))
+    assert verify_hermite(m, res)
+
+
+@pytest.mark.parametrize("k,n", SIZES)
+def test_smith_scaling(benchmark, k, n):
+    m = make_matrix(k, n)
+    res = benchmark(smith_normal_form, m)
+    assert verify_smith(m, res)
+
+
+@pytest.mark.parametrize("k,n", SIZES)
+def test_kernel_basis_scaling(benchmark, k, n):
+    m = make_matrix(k, n)
+    basis = benchmark(kernel_basis, m)
+    assert len(basis) == n - k
+
+
+def test_entry_growth_is_harmless(benchmark):
+    """Arbitrary-precision path: a matrix engineered to blow up
+    intermediate entries still decomposes exactly."""
+    big = [[10**6 + i * j for j in range(6)] for i in range(3)]
+    big[0][0] += 1  # ensure full rank
+    big[1][1] += 7
+    big[2][2] += 13
+
+    def run():
+        res = hnf(big)
+        assert verify_hermite(big, res)
+        return res
+
+    res = benchmark(run)
+    assert res.rank == 3

@@ -1,0 +1,111 @@
+"""E11 — Problems 6.1 / 6.2 (Section 6 future work, implemented here).
+
+No paper numbers exist for these — Section 6 poses them as open — so
+the bench regenerates the *design-space structure* our implementation
+discovers: the paper's matmul space mapping ``S = [1, 1, -1]`` is not
+space-optimal for its own time-optimal schedule (a 5-PE design ties it
+on time), and the joint optimizer's winner moves predictably with the
+time/area weighting.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.core import procedure_5_1, solve_joint_optimal, solve_space_optimal
+from repro.model import matrix_multiplication, transitive_closure
+
+
+@pytest.mark.parametrize("mu", [2, 3, 4])
+def test_problem_6_1_matmul(benchmark, mu):
+    algo = matrix_multiplication(mu)
+    pi = procedure_5_1(algo, [[1, 1, -1]]).schedule.pi
+    result = benchmark(solve_space_optimal, algo, pi)
+    assert result.found
+    # The winner never costs more than the paper's design.
+    paper = next(
+        (d for d in result.ranking if d.mapping.space == ((1, 1, -1),)), None
+    )
+    if paper is not None:
+        assert result.best.objective <= paper.objective
+
+
+@pytest.mark.parametrize("mu", [2, 3])
+def test_problem_6_2_matmul(benchmark, mu):
+    algo = matrix_multiplication(mu)
+    result = benchmark(solve_joint_optimal, algo)
+    assert result.found
+
+
+def test_regenerate_design_space_table(benchmark):
+    def compute():
+        rows = []
+        for mu in (2, 3, 4):
+            algo = matrix_multiplication(mu)
+            pi = procedure_5_1(algo, [[1, 1, -1]]).schedule.pi
+            res = solve_space_optimal(algo, pi)
+            best = res.best
+            paper = next(
+                (d for d in res.ranking if d.mapping.space == ((1, 1, -1),)),
+                None,
+            )
+            rows.append(
+                [
+                    mu,
+                    list(pi),
+                    [list(r) for r in best.mapping.space],
+                    best.cost.processors,
+                    paper.cost.processors if paper else "-",
+                    best.cost.total_time,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "Problem 6.1 — space-optimal matmul designs vs the paper's S",
+        ["mu", "Pi (fixed)", "best S", "best PEs", "paper-S PEs", "t"],
+        rows,
+    )
+    # Shape: the optimal design never uses more PEs than the paper's,
+    # and at mu = 2 it strictly improves (5 < 7).
+    for row in rows:
+        if row[4] != "-":
+            assert row[3] <= row[4]
+    assert rows[0][3] == 5 and rows[0][4] == 7
+
+
+def test_weight_sensitivity(benchmark):
+    """Problem 6.2 winners across the time/area weighting axis."""
+
+    def compute():
+        algo = matrix_multiplication(2)
+        rows = []
+        for tw, sw, label in ((1.0, 1.0, "balanced"),
+                              (10.0, 1.0, "time-heavy"),
+                              (1.0, 10.0, "area-heavy")):
+            res = solve_joint_optimal(algo, time_weight=tw, space_weight=sw)
+            c = res.best.cost
+            rows.append(
+                [label, [list(r) for r in res.best.mapping.space],
+                 list(res.best.mapping.schedule),
+                 c.total_time, c.processors, c.wire_length]
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "Problem 6.2 — winner vs objective weighting (matmul, mu = 2)",
+        ["weighting", "S", "Pi", "t", "PEs", "wire"],
+        rows,
+    )
+    by_label = {r[0]: r for r in rows}
+    # time-heavy winner achieves the global time optimum.
+    assert by_label["time-heavy"][3] == 9
+    # area-heavy winner uses the fewest PEs.
+    assert by_label["area-heavy"][4] == min(r[4] for r in rows)
+
+
+def test_problem_6_1_transitive_closure(benchmark):
+    algo = transitive_closure(3)
+    result = benchmark(solve_space_optimal, algo, (4, 1, 1))
+    assert result.found

@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one of the paper's figures or worked
+examples (see DESIGN.md §3 for the experiment index).  Benchmarks both
+*time* the relevant operation (pytest-benchmark) and *assert the
+paper's shape*: who wins, by what factor, where the crossovers fall.
+Run with ``pytest benchmarks/ --benchmark-only`` and add ``-s`` to see
+the regenerated tables.
+"""
+
+from __future__ import annotations
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Render a small aligned table to stdout (visible with -s)."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(f"\n== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for r in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))

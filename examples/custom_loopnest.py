@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""From source loop nest to running array: the front-end workflow.
+
+The paper's Definition 2.1 connects uniform dependence algorithms to
+single-statement nested loops; the RAB tool it motivates (Section 1)
+analyzed C loops automatically.  This example walks that pipeline for a
+1-D convolution written as a loop nest:
+
+    for i in 0..samples:
+        for k in 0..taps:
+            y[i] = y[i] + w[k] * x[i - k]
+
+1. declare the nest and its accesses;
+2. extract ``(J, D)`` — the self-dependence on ``y`` plus pipelining
+   directions for the input streams ``w`` and ``x`` (uniformization);
+3. map onto a linear array with ``S = [1, 0]`` (one PE per output) and
+   the time-optimal conflict-free schedule;
+4. simulate and verify the filter output numerically.
+
+Run:  python examples/custom_loopnest.py
+"""
+
+import numpy as np
+
+from repro import Access, LoopNest, convolution_1d
+from repro.core import find_time_optimal_mapping
+from repro.systolic import simulate_mapping, verify_convolution
+
+TAPS = 3
+SAMPLES = 8
+
+
+def main() -> None:
+    # --- step 1-2: front-end extraction ------------------------------------
+    # In the source, y[i] on the right-hand side names the value written
+    # by the previous k iteration; after single-assignment expansion the
+    # statement reads y[i, k-1] and writes y[i, k] — the standard
+    # uniformization preprocessing the paper cites ([14], [24]).
+    nest = LoopNest(indices=("i", "k"), bounds=(SAMPLES, TAPS), name="fir")
+    algo_structure = nest.uniformize(
+        output=Access("y", ("i", "k"), variable_is_output=True),
+        reads=(
+            Access("y", ("i", "k-1")),
+            Access("x", ("i-k",)),
+            Access("w", ("k",)),
+        ),
+        name="fir-extracted",
+    )
+    print(f"extracted dependence vectors: {algo_structure.dependence_vectors()}")
+
+    # The library constructor produces the same structure plus semantics.
+    rng = np.random.default_rng(3)
+    w = rng.integers(-5, 6, TAPS + 1)
+    x = rng.integers(-5, 6, SAMPLES + TAPS + 1)
+    algo = convolution_1d(TAPS, SAMPLES, weights=w, signal=x)
+    assert algo.dependence_vectors() == algo_structure.dependence_vectors()
+    print("library constructor agrees with the front-end extraction")
+
+    # --- step 3: optimal mapping -------------------------------------------
+    result = find_time_optimal_mapping(algo, space=[[1, 0]])
+    print(f"\noptimal schedule Pi° = {list(result.schedule.pi)}, "
+          f"t = {result.total_time} cycles")
+    print(f"conflict generators: {result.analysis.generators}")
+
+    # --- step 4: simulate and verify -----------------------------------------
+    report = simulate_mapping(algo, result.mapping)
+    assert report.ok
+    ok, sim, ref = verify_convolution(report.values, w, x, TAPS, SAMPLES)
+    print(f"\nsimulated on {report.num_processors} PEs, makespan={report.makespan}")
+    print(f"filter output y = {sim.tolist()}")
+    print(f"matches direct evaluation: {ok}")
+
+
+if __name__ == "__main__":
+    main()

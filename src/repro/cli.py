@@ -1,0 +1,236 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands mirror the library's workflow:
+
+* ``map``      — find the time-optimal conflict-free schedule for a
+  named algorithm and a given space mapping (Problem 2.2);
+* ``check``    — run the conflict-freedom checkers on an explicit
+  mapping matrix (Problem 2.1);
+* ``simulate`` — execute a mapping cycle-accurately and report
+  conflicts / collisions / makespan, optionally rendering the
+  space-time table;
+* ``design``   — space-optimal / joint design-space exploration
+  (Problems 6.1 / 6.2);
+* ``report``   — regenerate every experiment into a markdown report
+  (see :mod:`repro.experiments`).
+
+Examples
+--------
+::
+
+    python -m repro map --algorithm matmul --mu 4 --space "1,1,-1"
+    python -m repro check --rows "1,7,1,1;1,7,1,0" --mu 6,6,6,6
+    python -m repro simulate --algorithm matmul --mu 4 \
+        --space "1,1,-1" --schedule 1,4,1 --render
+    python -m repro design --algorithm matmul --mu 4 --schedule 1,4,1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .core import (
+    MappingMatrix,
+    analyze_conflicts,
+    check_conflict_free,
+    find_time_optimal_mapping,
+    solve_space_optimal,
+)
+from .model import (
+    UniformDependenceAlgorithm,
+    bit_level_convolution,
+    bit_level_lu_decomposition,
+    bit_level_matrix_multiplication,
+    convolution_1d,
+    convolution_2d,
+    lu_decomposition,
+    matrix_multiplication,
+    transitive_closure,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_vector(text: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(x) for x in text.replace(" ", "").split(",") if x != "")
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad integer vector {text!r}") from exc
+
+
+def _parse_matrix(text: str) -> tuple[tuple[int, ...], ...]:
+    rows = tuple(_parse_vector(row) for row in text.split(";") if row.strip())
+    if rows and any(len(r) != len(rows[0]) for r in rows):
+        raise argparse.ArgumentTypeError(f"ragged matrix {text!r}")
+    return rows
+
+
+def _make_algorithm(name: str, mu: int, word_bits: int) -> UniformDependenceAlgorithm:
+    registry = {
+        "matmul": lambda: matrix_multiplication(mu),
+        "transitive-closure": lambda: transitive_closure(mu),
+        "convolution": lambda: convolution_1d(mu, mu),
+        "convolution2d": lambda: convolution_2d(mu, mu, max(1, mu // 2), max(1, mu // 2)),
+        "lu": lambda: lu_decomposition(mu),
+        "bit-matmul": lambda: bit_level_matrix_multiplication(mu, word_bits),
+        "bit-convolution": lambda: bit_level_convolution(mu, mu, word_bits),
+        "bit-lu": lambda: bit_level_lu_decomposition(mu, word_bits),
+    }
+    if name not in registry:
+        raise SystemExit(
+            f"unknown algorithm {name!r}; choose from {sorted(registry)}"
+        )
+    return registry[name]()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Time-optimal, conflict-free mappings of uniform dependence "
+            "algorithms onto lower dimensional processor arrays "
+            "(Shang & Fortes, ICPP 1990)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_algo_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--algorithm", "-a", default="matmul",
+                       help="algorithm name (matmul, transitive-closure, ...)")
+        p.add_argument("--mu", type=int, default=4, help="problem size")
+        p.add_argument("--word-bits", type=int, default=2,
+                       help="word size for bit-level algorithms")
+
+    p_map = sub.add_parser("map", help="find the time-optimal conflict-free schedule")
+    add_algo_args(p_map)
+    p_map.add_argument("--space", "-s", type=_parse_matrix, required=True,
+                       help='space mapping rows, e.g. "1,1,-1" or "1,0;0,1"')
+    p_map.add_argument("--solver", default="auto",
+                       choices=["auto", "ilp", "procedure-5.1"])
+
+    p_check = sub.add_parser("check", help="conflict-freedom of an explicit T")
+    p_check.add_argument("--rows", type=_parse_matrix, required=True,
+                         help='T rows, e.g. "1,7,1,1;1,7,1,0" (last row = Pi)')
+    p_check.add_argument("--mu", type=_parse_vector, required=True,
+                         help="problem-size bounds, e.g. 6,6,6,6")
+    p_check.add_argument("--method", default="auto",
+                         choices=["auto", "paper", "exact"])
+
+    p_sim = sub.add_parser("simulate", help="cycle-accurate execution audit")
+    add_algo_args(p_sim)
+    p_sim.add_argument("--space", "-s", type=_parse_matrix, required=True)
+    p_sim.add_argument("--schedule", "-p", type=_parse_vector, required=True)
+    p_sim.add_argument("--render", action="store_true",
+                       help="print the space-time table (linear arrays)")
+
+    p_design = sub.add_parser(
+        "design", help="space-optimal design exploration (Problem 6.1)"
+    )
+    add_algo_args(p_design)
+    p_design.add_argument("--schedule", "-p", type=_parse_vector, required=True)
+    p_design.add_argument("--array-dim", type=int, default=1)
+    p_design.add_argument("--magnitude", type=int, default=1)
+
+    p_report = sub.add_parser(
+        "report", help="regenerate all experiments into a markdown report"
+    )
+    p_report.add_argument("--output", "-o", default="experiment_report.md")
+    p_report.add_argument("--full", action="store_true",
+                          help="full sweeps (slower)")
+    return parser
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    algo = _make_algorithm(args.algorithm, args.mu, args.word_bits)
+    result = find_time_optimal_mapping(algo, args.space, solver=args.solver)
+    print(f"algorithm      : {algo.name}")
+    print(f"space mapping  : {[list(r) for r in args.space]}")
+    print(f"optimal Pi     : {list(result.schedule.pi)}")
+    print(f"total time     : {result.total_time}")
+    print(f"solver         : {result.solver}  {result.stats}")
+    print(f"conflict gens  : {[list(g) for g in result.analysis.generators]}")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    t = MappingMatrix.from_rows([list(r) for r in args.rows])
+    if len(args.mu) != t.n:
+        raise SystemExit(f"mu has {len(args.mu)} entries, T has {t.n} columns")
+    verdict = check_conflict_free(t, args.mu, method=args.method)
+    print(f"T ({t.k} x {t.n}, co-rank {t.corank}) rank = {t.rank()}")
+    print(f"checker        : {verdict.theorem} ({verdict.kind})")
+    print(f"conflict-free  : {verdict.holds}")
+    if not verdict.holds:
+        from .model import ConstantBoundedIndexSet
+
+        analysis = analyze_conflicts(t, ConstantBoundedIndexSet(tuple(args.mu)))
+        if analysis.witness:
+            j1, j2 = analysis.witness
+            print(f"witness        : tau{j1} == tau{j2} == {t.tau(j1)}")
+    return 0 if verdict.holds else 1
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .systolic import render_space_time, simulate_mapping
+
+    algo = _make_algorithm(args.algorithm, args.mu, args.word_bits)
+    t = MappingMatrix(space=args.space, schedule=args.schedule)
+    report = simulate_mapping(algo, t)
+    print(f"algorithm      : {algo.name}")
+    print(f"makespan       : {report.makespan} cycles on "
+          f"{report.num_processors} PEs")
+    print(f"conflicts      : {len(report.conflicts)}")
+    print(f"link collisions: {len(report.link_collisions)}")
+    print(f"late operands  : {len(report.latency_violations)}")
+    print(f"buffers (plan) : {report.plan.buffers}")
+    print(f"verdict        : {'CLEAN' if report.ok else 'DEFECTIVE'}")
+    if args.render:
+        print(render_space_time(algo, t))
+    return 0 if report.ok else 1
+
+
+def _cmd_design(args: argparse.Namespace) -> int:
+    algo = _make_algorithm(args.algorithm, args.mu, args.word_bits)
+    result = solve_space_optimal(
+        algo, args.schedule, array_dim=args.array_dim, magnitude=args.magnitude
+    )
+    print(f"algorithm      : {algo.name}   Pi = {list(args.schedule)}")
+    print(f"candidates     : {result.candidates_examined} "
+          f"(conflicted: {result.rejected_conflicts}, "
+          f"unroutable: {result.rejected_routing})")
+    if not result.found:
+        print("no conflict-free design in the search bound")
+        return 1
+    for rank_idx, design in enumerate(result.ranking, start=1):
+        c = design.cost
+        print(f"  #{rank_idx}: S = {[list(r) for r in design.mapping.space]}  "
+              f"PEs={c.processors} wire={c.wire_length} "
+              f"buffers={c.buffers} t={c.total_time}  "
+              f"objective={design.objective:g}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments import write_markdown_report
+
+    data = write_markdown_report(args.output, quick=not args.full)
+    print(f"wrote {args.output} ({len(data)} experiments)")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "map": _cmd_map,
+        "check": _cmd_check,
+        "simulate": _cmd_simulate,
+        "design": _cmd_design,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,154 @@
+"""High-level one-call API for Problem 2.2.
+
+``find_time_optimal_mapping(algorithm, space)`` runs the whole pipeline
+the paper develops: validate the space mapping, search for the
+time-optimal conflict-free schedule (Procedure 5.1 by default, the ILP
+route for co-rank-1 problems on request), attach the exact conflict
+analysis, and optionally verify the result behaviorally on the
+cycle-accurate systolic simulator.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..model import UniformDependenceAlgorithm
+from .conflict import ConflictAnalysis, analyze_conflicts
+from .ilp_formulation import solve_corank1_optimal
+from .mapping import MappingMatrix
+from .optimize import procedure_5_1
+from .schedule import LinearSchedule
+
+__all__ = ["MappingResult", "find_time_optimal_mapping"]
+
+
+@dataclass(frozen=True)
+class MappingResult:
+    """A solved mapping problem: algorithm, mapping, analysis, provenance.
+
+    Attributes
+    ----------
+    algorithm:
+        The input ``(J, D)``.
+    mapping:
+        The time-optimal conflict-free ``T = [S; Pi]``.
+    schedule:
+        The winning schedule with its time accounting.
+    analysis:
+        Exact conflict analysis of the winning mapping.
+    solver:
+        ``"procedure-5.1"`` or ``"ilp"`` — which route produced it.
+    stats:
+        Solver-specific effort counters.
+    """
+
+    algorithm: UniformDependenceAlgorithm
+    mapping: MappingMatrix
+    schedule: LinearSchedule
+    analysis: ConflictAnalysis
+    solver: str
+    stats: dict
+
+    @property
+    def total_time(self) -> int:
+        """Total execution time ``t = 1 + sum |pi_i| mu_i`` (Eq 2.7)."""
+        return self.schedule.total_time
+
+    def simulate(self, **kwargs):
+        """Run the mapping on the cycle-accurate simulator.
+
+        Convenience hook; equivalent to constructing a
+        :class:`repro.systolic.simulator.SystolicSimulator` directly.
+        Imported lazily to keep :mod:`repro.core` free of simulator
+        dependencies.
+        """
+        from ..systolic.simulator import simulate_mapping
+
+        return simulate_mapping(self.algorithm, self.mapping, **kwargs)
+
+
+def find_time_optimal_mapping(
+    algorithm: UniformDependenceAlgorithm,
+    space: Sequence[Sequence[int]],
+    *,
+    solver: str = "auto",
+    method: str = "auto",
+    **solver_kwargs,
+) -> MappingResult:
+    """Solve Problem 2.2 end to end for a given space mapping.
+
+    Parameters
+    ----------
+    algorithm:
+        The uniform dependence algorithm ``(J, D)``.
+    space:
+        The space mapping matrix ``S`` (``(k-1) x n``).
+    solver:
+        ``"procedure-5.1"`` — the enumerative search (works for any
+        co-rank); ``"ilp"`` — the integer-programming route (co-rank 1
+        only); ``"auto"`` — ILP when the mapping is co-rank 1, search
+        otherwise.
+    method:
+        Conflict-check mode for the search route (see
+        :func:`repro.core.conditions.check_conflict_free`).
+
+    Raises
+    ------
+    ValueError
+        When no conflict-free schedule exists within the search bound,
+        or when ``solver="ilp"`` is requested for co-rank != 1.
+    """
+    n = algorithm.n
+    space_rows = tuple(tuple(int(x) for x in row) for row in space)
+    k = len(space_rows) + 1
+    corank = n - k
+
+    if solver == "auto":
+        solver = "ilp" if corank == 1 else "procedure-5.1"
+
+    if solver == "ilp":
+        if corank != 1:
+            raise ValueError(
+                f"the ILP route covers co-rank 1; this problem has co-rank {corank}"
+            )
+        res = solve_corank1_optimal(algorithm, space_rows, **solver_kwargs)
+        if not res.found:
+            raise ValueError("ILP route found no conflict-free schedule")
+        stats = {
+            "candidates_checked": res.candidates_checked,
+            "subproblems": res.subproblems,
+            "rejected_by_gcd": res.rejected_by_gcd,
+        }
+        mapping = res.mapping
+        schedule = res.schedule
+    elif solver == "procedure-5.1":
+        res = procedure_5_1(algorithm, space_rows, method=method, **solver_kwargs)
+        if not res.found:
+            raise ValueError(
+                "Procedure 5.1 exhausted its bound without a conflict-free schedule"
+            )
+        stats = {
+            "candidates_examined": res.candidates_examined,
+            "rings_expanded": res.rings_expanded,
+        }
+        mapping = res.mapping
+        schedule = res.schedule
+    else:
+        raise ValueError(f"unknown solver {solver!r}")
+
+    analysis = analyze_conflicts(mapping, algorithm.index_set)
+    if not analysis.conflict_free:
+        # The theorem checkers are sufficient, so this cannot trigger for
+        # method="auto"/"exact"; it guards future checker extensions.
+        raise RuntimeError(
+            "internal error: solver returned a mapping the exact oracle rejects"
+        )
+    return MappingResult(
+        algorithm=algorithm,
+        mapping=mapping,
+        schedule=schedule,
+        analysis=analysis,
+        solver=solver,
+        stats=stats,
+    )

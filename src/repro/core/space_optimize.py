@@ -1,0 +1,290 @@
+"""Problems 6.1 and 6.2: space-optimal and jointly-optimal mappings.
+
+Section 6 poses two open problems this reproduction implements as the
+paper's stated future work:
+
+* **Problem 6.1 (space-optimal, conflict-free)** — given the linear
+  schedule ``Pi``, find a space mapping ``S`` such that ``T = [S; Pi]``
+  is conflict-free and "the number of processors plus the wire length
+  of the array is minimized".
+* **Problem 6.2 (optimal conflict-free)** — neither ``S`` nor ``Pi``
+  given: optimize a combined criterion over both.
+
+Both are solved by exact enumeration over a bounded design space of
+candidate space mappings (rows with entries in ``[-magnitude,
+magnitude]``, normalized to primitive rows with positive leading
+entry, full row rank, deduplicated up to row order) — complete within
+the bound, which covers every space mapping appearing in the paper
+(all of whose entries are in ``{-1, 0, 1}``).  Conflict-freedom uses
+the exact ``auto`` checker, so reported optima are certified.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Iterator, Sequence
+from dataclasses import dataclass
+
+from ..intlin import normalize_primitive, rank
+from ..model import UniformDependenceAlgorithm
+from ..systolic.cost import ArrayCost, evaluate_cost
+from ..systolic.interconnect import RoutingError
+from .conditions import check_conflict_free
+from .mapping import MappingMatrix
+from .optimize import procedure_5_1
+from .schedule import LinearSchedule
+
+__all__ = [
+    "SpaceDesign",
+    "SpaceOptimizationResult",
+    "enumerate_space_rows",
+    "pareto_frontier",
+    "enumerate_space_mappings",
+    "solve_space_optimal",
+    "solve_joint_optimal",
+]
+
+
+@dataclass(frozen=True)
+class SpaceDesign:
+    """One evaluated candidate design for Problem 6.1 / 6.2."""
+
+    mapping: MappingMatrix
+    cost: ArrayCost
+    objective: float
+
+
+@dataclass(frozen=True)
+class SpaceOptimizationResult:
+    """Outcome of a space-mapping optimization.
+
+    Attributes
+    ----------
+    best:
+        The minimal-objective certified design (``None`` if no
+        candidate in the bound was conflict-free and routable).
+    ranking:
+        All surviving designs, best first — Problem 6.1 asks for a
+        single optimum but array designers want the Pareto context.
+    candidates_examined, rejected_conflicts, rejected_routing:
+        Search accounting.
+    """
+
+    best: SpaceDesign | None
+    ranking: tuple[SpaceDesign, ...]
+    candidates_examined: int
+    rejected_conflicts: int
+    rejected_routing: int
+
+    @property
+    def found(self) -> bool:
+        return self.best is not None
+
+
+def enumerate_space_rows(n: int, magnitude: int = 1) -> list[tuple[int, ...]]:
+    """Primitive candidate rows with positive leading non-zero entry.
+
+    Row-scaling and row-negation do not change the induced processor
+    partition (they relabel PE coordinates), so only normalized
+    representatives are enumerated.
+    """
+    seen: set[tuple[int, ...]] = set()
+    out: list[tuple[int, ...]] = []
+    for raw in itertools.product(range(-magnitude, magnitude + 1), repeat=n):
+        if all(x == 0 for x in raw):
+            continue
+        norm = tuple(normalize_primitive(list(raw)))
+        if norm not in seen:
+            seen.add(norm)
+            out.append(norm)
+    return out
+
+
+def enumerate_space_mappings(
+    n: int, array_dim: int, magnitude: int = 1
+) -> Iterator[tuple[tuple[int, ...], ...]]:
+    """All full-rank ``array_dim x n`` candidate space mappings.
+
+    Candidates are combinations (not permutations) of normalized rows —
+    row order only permutes processor coordinates.
+    """
+    rows = enumerate_space_rows(n, magnitude)
+    for combo in itertools.combinations(rows, array_dim):
+        if rank([list(r) for r in combo]) == array_dim:
+            yield combo
+
+
+def _default_objective(cost: ArrayCost) -> float:
+    """Problem 6.1's stated criterion: processors + wire length."""
+    return cost.combined(processor_weight=1.0, wire_weight=1.0)
+
+
+def solve_space_optimal(
+    algorithm: UniformDependenceAlgorithm,
+    pi: Sequence[int],
+    *,
+    array_dim: int = 1,
+    magnitude: int = 1,
+    objective: Callable[[ArrayCost], float] | None = None,
+    keep_ranking: int = 10,
+) -> SpaceOptimizationResult:
+    """Problem 6.1: given ``Pi``, find the cheapest conflict-free ``S``.
+
+    Parameters
+    ----------
+    pi:
+        The (given) linear schedule — typically from Procedure 5.1 or
+        the scheduling-only optimization the paper cites ([16]).
+    array_dim:
+        Target array dimension ``k - 1``.
+    magnitude:
+        Entry bound of the candidate rows (1 covers the paper's
+        designs).
+    objective:
+        Cost aggregation; defaults to processors + wire length.
+    keep_ranking:
+        How many runner-up designs to retain.
+    """
+    pi_t = tuple(int(x) for x in pi)
+    sched = LinearSchedule(pi=pi_t, index_set=algorithm.index_set)
+    if not sched.respects(algorithm):
+        raise ValueError("the given Pi violates the dependence condition Pi D > 0")
+    obj = objective or _default_objective
+
+    examined = 0
+    bad_conflicts = 0
+    bad_routing = 0
+    designs: list[SpaceDesign] = []
+    k = array_dim + 1
+    for space in enumerate_space_mappings(algorithm.n, array_dim, magnitude):
+        examined += 1
+        t = MappingMatrix(space=space, schedule=pi_t)
+        if t.rank() != k:
+            continue
+        if not check_conflict_free(t, algorithm.mu, method="auto").holds:
+            bad_conflicts += 1
+            continue
+        try:
+            cost = evaluate_cost(algorithm, t)
+        except RoutingError:
+            bad_routing += 1
+            continue
+        designs.append(SpaceDesign(mapping=t, cost=cost, objective=obj(cost)))
+
+    designs.sort(key=lambda d: (d.objective, d.mapping.space))
+    return SpaceOptimizationResult(
+        best=designs[0] if designs else None,
+        ranking=tuple(designs[:keep_ranking]),
+        candidates_examined=examined,
+        rejected_conflicts=bad_conflicts,
+        rejected_routing=bad_routing,
+    )
+
+
+def pareto_frontier(
+    algorithm: UniformDependenceAlgorithm,
+    *,
+    array_dim: int = 1,
+    magnitude: int = 1,
+    schedule_kwargs: dict | None = None,
+) -> tuple[SpaceDesign, ...]:
+    """Non-dominated designs over (time, processors, wire, buffers).
+
+    Explores the same bounded design space as :func:`solve_joint_optimal`
+    (every candidate ``S`` paired with its time-optimal conflict-free
+    schedule) and returns the Pareto frontier: designs not dominated in
+    all four metrics simultaneously.  This is the designer's view of
+    Problem 6.2 — instead of committing to a weighting, see the whole
+    trade-off curve.
+    """
+    kwargs = schedule_kwargs or {}
+    candidates: list[SpaceDesign] = []
+    for space in enumerate_space_mappings(algorithm.n, array_dim, magnitude):
+        search = procedure_5_1(algorithm, space, **kwargs)
+        if not search.found:
+            continue
+        try:
+            cost = evaluate_cost(algorithm, search.mapping)
+        except RoutingError:
+            continue
+        candidates.append(
+            SpaceDesign(mapping=search.mapping, cost=cost, objective=0.0)
+        )
+
+    def metrics(d: SpaceDesign) -> tuple[int, int, int, int]:
+        return (
+            d.cost.total_time,
+            d.cost.processors,
+            d.cost.wire_length,
+            d.cost.buffers,
+        )
+
+    def dominated(a: SpaceDesign, b: SpaceDesign) -> bool:
+        ma, mb = metrics(a), metrics(b)
+        return all(x >= y for x, y in zip(ma, mb)) and ma != mb
+
+    frontier = [
+        d for d in candidates
+        if not any(dominated(d, other) for other in candidates)
+    ]
+    # Deduplicate identical metric points (keep the lexicographically
+    # smallest space for determinism).
+    best_by_metrics: dict[tuple[int, int, int, int], SpaceDesign] = {}
+    for d in frontier:
+        key = metrics(d)
+        incumbent = best_by_metrics.get(key)
+        if incumbent is None or d.mapping.space < incumbent.mapping.space:
+            best_by_metrics[key] = d
+    return tuple(
+        sorted(best_by_metrics.values(), key=lambda d: metrics(d))
+    )
+
+
+def solve_joint_optimal(
+    algorithm: UniformDependenceAlgorithm,
+    *,
+    array_dim: int = 1,
+    magnitude: int = 1,
+    time_weight: float = 1.0,
+    space_weight: float = 1.0,
+    keep_ranking: int = 10,
+    schedule_kwargs: dict | None = None,
+) -> SpaceOptimizationResult:
+    """Problem 6.2: optimize over ``S`` *and* ``Pi`` jointly.
+
+    For every candidate ``S`` the time-optimal conflict-free ``Pi`` is
+    found by Procedure 5.1; designs are then ranked by
+    ``time_weight * t + space_weight * (processors + wire)`` — the
+    "combination of the total execution time and the VLSI area"
+    criterion Section 2 mentions.
+    """
+    examined = 0
+    bad_conflicts = 0
+    bad_routing = 0
+    designs: list[SpaceDesign] = []
+    kwargs = schedule_kwargs or {}
+    for space in enumerate_space_mappings(algorithm.n, array_dim, magnitude):
+        examined += 1
+        search = procedure_5_1(algorithm, space, **kwargs)
+        if not search.found:
+            bad_conflicts += 1
+            continue
+        t = search.mapping
+        try:
+            cost = evaluate_cost(algorithm, t)
+        except RoutingError:
+            bad_routing += 1
+            continue
+        objective = time_weight * cost.total_time + space_weight * (
+            cost.processors + cost.wire_length
+        )
+        designs.append(SpaceDesign(mapping=t, cost=cost, objective=objective))
+
+    designs.sort(key=lambda d: (d.objective, d.mapping.space))
+    return SpaceOptimizationResult(
+        best=designs[0] if designs else None,
+        ranking=tuple(designs[:keep_ranking]),
+        candidates_examined=examined,
+        rejected_conflicts=bad_conflicts,
+        rejected_routing=bad_routing,
+    )

@@ -1,0 +1,24 @@
+"""Integer linear programming substrate.
+
+The paper formulates time-optimal conflict-free mapping as integer
+programs (Section 5) and solves the worked examples by the appendix's
+extreme-point technique.  This package supplies both solution paths:
+
+* :func:`solve_ilp` — exact branch-and-bound over HiGHS LP relaxations;
+* :func:`enumerate_vertices` / :func:`best_integral_vertex` — exact
+  rational extreme-point enumeration (the appendix, mechanized).
+"""
+
+from .branch_bound import solve_ilp, solve_lp_relaxation
+from .problem import LinearProgram, LPSolution
+from .vertex_enum import all_vertices_integral, best_integral_vertex, enumerate_vertices
+
+__all__ = [
+    "LPSolution",
+    "LinearProgram",
+    "all_vertices_integral",
+    "best_integral_vertex",
+    "enumerate_vertices",
+    "solve_ilp",
+    "solve_lp_relaxation",
+]

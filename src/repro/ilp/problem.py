@@ -1,0 +1,194 @@
+"""Linear / integer-linear program model.
+
+A tiny, explicit problem container shared by the branch-and-bound
+solver and the vertex enumerator.  Conventions follow
+``scipy.optimize.linprog``: minimize ``c @ x`` subject to
+``A_ub @ x <= b_ub``, ``A_eq @ x == b_eq`` and per-variable bounds.
+All data is stored as NumPy float arrays but built from exact integers
+by the formulation layer, so integral vertices are representable
+exactly in double precision for the problem sizes at hand (the paper's
+problems have single-digit dimensions and coefficients in
+``{-1, 0, 1}`` plus ``mu``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["LinearProgram", "LPSolution"]
+
+
+@dataclass
+class LinearProgram:
+    """``min c @ x`` s.t. ``A_ub x <= b_ub``, ``A_eq x == b_eq``, bounds.
+
+    Attributes
+    ----------
+    c:
+        Objective coefficients, length ``n``.
+    a_ub, b_ub:
+        Inequality system (possibly empty).
+    a_eq, b_eq:
+        Equality system (possibly empty).
+    bounds:
+        Per-variable ``(lo, hi)`` with ``None`` for unbounded.
+    integer:
+        Mask of variables required to be integral (all-true for the
+        paper's problems).
+    names:
+        Optional variable names for reporting (e.g. ``pi_1``).
+    """
+
+    c: np.ndarray
+    a_ub: np.ndarray
+    b_ub: np.ndarray
+    a_eq: np.ndarray
+    b_eq: np.ndarray
+    bounds: list[tuple[float | None, float | None]]
+    integer: np.ndarray
+    names: list[str] = field(default_factory=list)
+
+    @classmethod
+    def build(
+        cls,
+        c: Sequence[float],
+        *,
+        a_ub: Sequence[Sequence[float]] | None = None,
+        b_ub: Sequence[float] | None = None,
+        a_eq: Sequence[Sequence[float]] | None = None,
+        b_eq: Sequence[float] | None = None,
+        bounds: Sequence[tuple[float | None, float | None]] | None = None,
+        integer: Sequence[bool] | bool = True,
+        names: Sequence[str] | None = None,
+    ) -> "LinearProgram":
+        """Normalize raw sequences into a validated problem."""
+        c_arr = np.asarray(c, dtype=float)
+        n = c_arr.shape[0]
+        a_ub_arr = (
+            np.asarray(a_ub, dtype=float).reshape(-1, n)
+            if a_ub is not None and len(a_ub)
+            else np.zeros((0, n))
+        )
+        b_ub_arr = (
+            np.asarray(b_ub, dtype=float)
+            if b_ub is not None and len(np.atleast_1d(b_ub))
+            else np.zeros(0)
+        )
+        a_eq_arr = (
+            np.asarray(a_eq, dtype=float).reshape(-1, n)
+            if a_eq is not None and len(a_eq)
+            else np.zeros((0, n))
+        )
+        b_eq_arr = (
+            np.asarray(b_eq, dtype=float)
+            if b_eq is not None and len(np.atleast_1d(b_eq))
+            else np.zeros(0)
+        )
+        if a_ub_arr.shape[0] != b_ub_arr.shape[0]:
+            raise ValueError("a_ub and b_ub row counts differ")
+        if a_eq_arr.shape[0] != b_eq_arr.shape[0]:
+            raise ValueError("a_eq and b_eq row counts differ")
+        bounds_list = list(bounds) if bounds is not None else [(None, None)] * n
+        if len(bounds_list) != n:
+            raise ValueError(f"expected {n} bounds, got {len(bounds_list)}")
+        if isinstance(integer, bool):
+            int_mask = np.full(n, integer, dtype=bool)
+        else:
+            int_mask = np.asarray(integer, dtype=bool)
+            if int_mask.shape[0] != n:
+                raise ValueError("integer mask length mismatch")
+        names_list = list(names) if names is not None else [f"x{i}" for i in range(n)]
+        return cls(
+            c=c_arr,
+            a_ub=a_ub_arr,
+            b_ub=b_ub_arr,
+            a_eq=a_eq_arr,
+            b_eq=b_eq_arr,
+            bounds=bounds_list,
+            integer=int_mask,
+            names=names_list,
+        )
+
+    @property
+    def num_vars(self) -> int:
+        return self.c.shape[0]
+
+    def with_extra_ub(self, row: Sequence[float], rhs: float) -> "LinearProgram":
+        """A copy with one additional inequality (used for branching cuts)."""
+        return LinearProgram(
+            c=self.c,
+            a_ub=np.vstack([self.a_ub, np.asarray(row, dtype=float)]),
+            b_ub=np.append(self.b_ub, float(rhs)),
+            a_eq=self.a_eq,
+            b_eq=self.b_eq,
+            bounds=list(self.bounds),
+            integer=self.integer,
+            names=list(self.names),
+        )
+
+    def with_bounds(
+        self, idx: int, lo: float | None, hi: float | None
+    ) -> "LinearProgram":
+        """A copy with variable ``idx``'s bounds tightened to ``(lo, hi)``."""
+        new_bounds = list(self.bounds)
+        old_lo, old_hi = new_bounds[idx]
+        lo = old_lo if lo is None else (lo if old_lo is None else max(lo, old_lo))
+        hi = old_hi if hi is None else (hi if old_hi is None else min(hi, old_hi))
+        new_bounds[idx] = (lo, hi)
+        return LinearProgram(
+            c=self.c,
+            a_ub=self.a_ub,
+            b_ub=self.b_ub,
+            a_eq=self.a_eq,
+            b_eq=self.b_eq,
+            bounds=new_bounds,
+            integer=self.integer,
+            names=list(self.names),
+        )
+
+    def is_feasible_point(self, x: Sequence[float], tol: float = 1e-7) -> bool:
+        """Check a candidate point against all constraints."""
+        xv = np.asarray(x, dtype=float)
+        if self.a_ub.shape[0] and np.any(self.a_ub @ xv > self.b_ub + tol):
+            return False
+        if self.a_eq.shape[0] and np.any(np.abs(self.a_eq @ xv - self.b_eq) > tol):
+            return False
+        for val, (lo, hi) in zip(xv, self.bounds):
+            if lo is not None and val < lo - tol:
+                return False
+            if hi is not None and val > hi + tol:
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class LPSolution:
+    """Solver outcome: status, optimal point and value when solved.
+
+    ``status`` is one of ``"optimal"``, ``"infeasible"``, ``"unbounded"``
+    or ``"error"``.
+    """
+
+    status: str
+    x: tuple[float, ...] | None
+    objective: float | None
+    nodes: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "optimal"
+
+    def x_int(self) -> tuple[int, ...]:
+        """The solution rounded to exact integers (raises if far from integral)."""
+        if self.x is None:
+            raise ValueError(f"no solution (status={self.status})")
+        out = []
+        for v in self.x:
+            r = round(v)
+            if abs(v - r) > 1e-6:
+                raise ValueError(f"solution component {v} is not integral")
+            out.append(int(r))
+        return tuple(out)

@@ -1,0 +1,160 @@
+"""Extreme-point enumeration for small polyhedra (the appendix technique).
+
+The paper's appendix solves its integer programs by hand: partition the
+disjunctive feasible set into convex polyhedra, observe that with all
+coefficients in ``{-1, 0, 1}`` every extreme point is integral, and
+evaluate the objective at each extreme point.  This module mechanizes
+that: enumerate all vertex candidates (solutions of ``n`` linearly
+independent active constraints), filter by feasibility, and pick the
+best integral one.  Everything runs over exact rationals
+(:class:`fractions.Fraction`), so "is this vertex integral" is a real
+question with a true answer, not a tolerance.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+
+import numpy as np
+
+from .problem import LinearProgram
+
+__all__ = ["enumerate_vertices", "best_integral_vertex"]
+
+
+def _constraint_rows(problem: LinearProgram) -> tuple[list[list[Fraction]], list[Fraction], list[str]]:
+    """All constraints as ``row . x (<=|==) rhs`` in exact rationals.
+
+    Bounds are materialized as inequality rows; equalities are returned
+    with kind ``"eq"`` so the vertex solver can force them active.
+    """
+    n = problem.num_vars
+    rows: list[list[Fraction]] = []
+    rhs: list[Fraction] = []
+    kinds: list[str] = []
+    for i in range(problem.a_eq.shape[0]):
+        rows.append([Fraction(x).limit_denominator(10**9) for x in problem.a_eq[i]])
+        rhs.append(Fraction(problem.b_eq[i]).limit_denominator(10**9))
+        kinds.append("eq")
+    for i in range(problem.a_ub.shape[0]):
+        rows.append([Fraction(x).limit_denominator(10**9) for x in problem.a_ub[i]])
+        rhs.append(Fraction(problem.b_ub[i]).limit_denominator(10**9))
+        kinds.append("ub")
+    for j, (lo, hi) in enumerate(problem.bounds):
+        if lo is not None:
+            row = [Fraction(0)] * n
+            row[j] = Fraction(-1)
+            rows.append(row)
+            rhs.append(Fraction(-lo).limit_denominator(10**9))
+            kinds.append("ub")
+        if hi is not None:
+            row = [Fraction(0)] * n
+            row[j] = Fraction(1)
+            rows.append(row)
+            rhs.append(Fraction(hi).limit_denominator(10**9))
+            kinds.append("ub")
+    return rows, rhs, kinds
+
+
+def _solve_square(rows: list[list[Fraction]], rhs: list[Fraction]) -> list[Fraction] | None:
+    """Exact Gaussian elimination; ``None`` when singular."""
+    n = len(rows)
+    a = [row[:] + [r] for row, r in zip(rows, rhs)]
+    for col in range(n):
+        pivot = next((r for r in range(col, n) if a[r][col] != 0), None)
+        if pivot is None:
+            return None
+        a[col], a[pivot] = a[pivot], a[col]
+        inv_p = 1 / a[col][col]
+        a[col] = [x * inv_p for x in a[col]]
+        for r in range(n):
+            if r != col and a[r][col] != 0:
+                f = a[r][col]
+                a[r] = [x - f * y for x, y in zip(a[r], a[col])]
+    return [a[i][n] for i in range(n)]
+
+
+def enumerate_vertices(problem: LinearProgram, *, max_constraints: int = 40) -> list[tuple[Fraction, ...]]:
+    """All extreme points of the polyhedron, as exact rational tuples.
+
+    Every vertex is the unique solution of some ``n`` linearly
+    independent active constraints (equalities always active).
+    Complexity is ``C(m, n)``; guarded by ``max_constraints`` since the
+    technique targets the paper's hand-sized systems.
+    """
+    n = problem.num_vars
+    rows, rhs, kinds = _constraint_rows(problem)
+    m = len(rows)
+    if m > max_constraints:
+        raise ValueError(
+            f"{m} constraints exceeds the vertex-enumeration guard "
+            f"({max_constraints}); use branch-and-bound instead"
+        )
+    eq_idx = [i for i, kind in enumerate(kinds) if kind == "eq"]
+    free_idx = [i for i, kind in enumerate(kinds) if kind != "eq"]
+    need = n - len(eq_idx)
+    if need < 0:
+        return []
+
+    vertices: dict[tuple[Fraction, ...], None] = {}
+    for combo in itertools.combinations(free_idx, need):
+        active = eq_idx + list(combo)
+        sol = _solve_square([rows[i] for i in active], [rhs[i] for i in active])
+        if sol is None:
+            continue
+        feasible = True
+        for i in range(m):
+            val = sum(rows[i][j] * sol[j] for j in range(n))
+            if kinds[i] == "eq":
+                if val != rhs[i]:
+                    feasible = False
+                    break
+            elif val > rhs[i]:
+                feasible = False
+                break
+        if feasible:
+            vertices[tuple(sol)] = None
+    return list(vertices.keys())
+
+
+def best_integral_vertex(
+    problem: LinearProgram,
+) -> tuple[tuple[int, ...], Fraction] | None:
+    """The integral extreme point minimizing the objective, or ``None``.
+
+    This is exactly the appendix's argument: when all extreme points of
+    the (convex) feasible set are integral, one of them solves the
+    integer program.  Callers should assert the premise (it holds for
+    the paper's matmul and transitive-closure systems, whose constraint
+    coefficients are all in ``{-1, 0, 1}``) — when non-integral
+    vertices exist they are simply skipped here, so the result is then
+    only a bound.
+    """
+    verts = enumerate_vertices(problem)
+    c = [Fraction(x).limit_denominator(10**9) for x in problem.c]
+    best: tuple[tuple[int, ...], Fraction] | None = None
+    for v in verts:
+        if any(x.denominator != 1 for x in v):
+            continue
+        obj = sum(ci * vi for ci, vi in zip(c, v))
+        point = tuple(int(x) for x in v)
+        if best is None or obj < best[1] or (obj == best[1] and point < best[0]):
+            best = (point, obj)
+    return best
+
+
+def all_vertices_integral(problem: LinearProgram) -> bool:
+    """Whether every extreme point of the polyhedron is integral.
+
+    True for the paper's example systems; used by the benchmarks to
+    certify the LP-to-ILP reduction before trusting it.
+    """
+    return all(
+        all(x.denominator == 1 for x in v) for v in enumerate_vertices(problem)
+    )
+
+
+def _as_float(v: tuple[Fraction, ...]) -> np.ndarray:  # pragma: no cover
+    """Convenience conversion for reporting."""
+    return np.array([float(x) for x in v])

@@ -1,0 +1,80 @@
+"""Exact integer linear algebra substrate.
+
+Arbitrary-precision, fraction-free linear algebra over the integers:
+gcd machinery, Bareiss determinants, adjugates, Hermite and Smith
+normal forms with unimodular multipliers, saturated kernel bases and a
+linear diophantine solver.  These are the tools the paper's theory
+(Sections 3-4) is phrased in; everything downstream in
+:mod:`repro.core` is built on this package.
+"""
+
+from .diophantine import DiophantineSolution, solve_diophantine
+from .gcdutil import (
+    bezout_row,
+    extended_gcd,
+    gcd_list,
+    is_primitive,
+    lcm_list,
+    normalize_primitive,
+    primitive_part,
+)
+from .hermite import HermiteResult, hnf, kernel_basis, verify_hermite
+from .lattice import Lattice
+from .reduction import lll_reduce, shortest_vector
+from .matrix import (
+    adjugate,
+    as_int_matrix,
+    as_int_vector,
+    cofactor,
+    det_bareiss,
+    identity,
+    inverse_unimodular,
+    is_integer_matrix,
+    matmul,
+    matvec,
+    minor,
+    rank,
+    to_array,
+    transpose,
+)
+from .smith import SmithResult, smith_normal_form, verify_smith
+from .unimodular import is_unimodular, random_full_rank, random_unimodular
+
+__all__ = [
+    "DiophantineSolution",
+    "HermiteResult",
+    "Lattice",
+    "SmithResult",
+    "adjugate",
+    "as_int_matrix",
+    "as_int_vector",
+    "bezout_row",
+    "cofactor",
+    "det_bareiss",
+    "extended_gcd",
+    "gcd_list",
+    "hnf",
+    "identity",
+    "inverse_unimodular",
+    "is_integer_matrix",
+    "is_primitive",
+    "is_unimodular",
+    "kernel_basis",
+    "lcm_list",
+    "lll_reduce",
+    "matmul",
+    "matvec",
+    "minor",
+    "normalize_primitive",
+    "primitive_part",
+    "random_full_rank",
+    "random_unimodular",
+    "rank",
+    "shortest_vector",
+    "smith_normal_form",
+    "solve_diophantine",
+    "to_array",
+    "transpose",
+    "verify_hermite",
+    "verify_smith",
+]

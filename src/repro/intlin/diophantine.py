@@ -1,0 +1,94 @@
+"""Linear diophantine systems: integral solutions of ``A x = b``.
+
+The general solution is ``x = x0 + N z`` where ``x0`` is any particular
+integral solution and the columns of ``N`` are a saturated basis of the
+integral kernel of ``A``.  We derive both from the Smith normal form:
+with ``P A Q = D``, the system becomes ``D y = P b`` for ``y = Q^{-1} x``,
+which is solvable over ``Z`` iff each ``(P b)_i`` is divisible by the
+invariant factor ``d_i`` (and zero past the rank).
+
+Used by :mod:`repro.systolic.interconnect` to solve ``S D = P K``
+column by column for the interconnection usage matrix ``K`` of
+Definition 2.2 (condition 2), and generally useful for constructing
+index points realizing a given conflict (Theorem 2.2's constructive
+direction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from .matrix import IntVector, as_int_matrix, as_int_vector, matvec
+from .smith import smith_normal_form
+
+__all__ = ["DiophantineSolution", "solve_diophantine"]
+
+
+@dataclass(frozen=True)
+class DiophantineSolution:
+    """All integral solutions of ``A x = b``: ``x = particular + kernel @ z``.
+
+    Attributes
+    ----------
+    particular:
+        One integral solution ``x0``.
+    kernel:
+        Saturated kernel basis as a list of column vectors; empty when
+        the solution is unique.
+    """
+
+    particular: IntVector
+    kernel: tuple[tuple[int, ...], ...]
+
+    def sample(self, coefficients: Any) -> IntVector:
+        """The solution ``x0 + sum(coefficients[i] * kernel[i])``."""
+        coeffs = as_int_vector(coefficients)
+        if len(coeffs) != len(self.kernel):
+            raise ValueError(
+                f"expected {len(self.kernel)} coefficients, got {len(coeffs)}"
+            )
+        x = list(self.particular)
+        for c, col in zip(coeffs, self.kernel):
+            for i, entry in enumerate(col):
+                x[i] += c * entry
+        return x
+
+
+def solve_diophantine(a: Any, b: Any) -> DiophantineSolution | None:
+    """Solve ``A x = b`` over the integers; ``None`` when unsolvable.
+
+    >>> sol = solve_diophantine([[2, 3]], [1])
+    >>> 2 * sol.particular[0] + 3 * sol.particular[1]
+    1
+    """
+    am = as_int_matrix(a)
+    bv = as_int_vector(b)
+    m = len(am)
+    n = len(am[0]) if am else 0
+    if len(bv) != m:
+        raise ValueError(f"shape mismatch: A is ({m},{n}), b has {len(bv)} entries")
+
+    snf = smith_normal_form(am)
+    pb = matvec(snf.p, bv)
+    r = snf.rank
+
+    y = [0] * n
+    for i in range(min(m, n)):
+        d_i = snf.d[i][i]
+        if d_i != 0:
+            if pb[i] % d_i != 0:
+                return None
+            y[i] = pb[i] // d_i
+    for i in range(min(m, n), m):
+        if pb[i] != 0:
+            return None
+    for i in range(r, min(m, n)):
+        if pb[i] != 0:
+            return None
+
+    particular = matvec(snf.q, y)
+    kernel_cols = tuple(
+        tuple(snf.q[i][j] for i in range(n)) for j in range(r, n)
+    )
+    return DiophantineSolution(particular=particular, kernel=kernel_cols)

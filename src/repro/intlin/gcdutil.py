@@ -1,0 +1,135 @@
+"""Greatest-common-divisor utilities over the integers.
+
+These are the scalar/vector number-theoretic primitives underneath the
+Hermite/Smith normal form machinery (:mod:`repro.intlin.hermite`,
+:mod:`repro.intlin.smith`) and the conflict-vector normalization of
+Definition 2.3 in the paper (a conflict vector must have relatively
+prime entries with a positive leading non-zero entry).
+
+All functions operate on Python ``int`` (arbitrary precision); callers
+holding NumPy arrays should convert via ``int(x)`` or use the helpers
+in :mod:`repro.intlin.matrix` which do so internally.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+__all__ = [
+    "extended_gcd",
+    "gcd_list",
+    "lcm_list",
+    "is_primitive",
+    "primitive_part",
+    "normalize_primitive",
+    "bezout_row",
+]
+
+
+def extended_gcd(a: int, b: int) -> tuple[int, int, int]:
+    """Return ``(g, x, y)`` with ``g = gcd(a, b) >= 0`` and ``a*x + b*y == g``.
+
+    The classic iterative extended Euclidean algorithm.  Handles
+    negative inputs and zeros; ``extended_gcd(0, 0) == (0, 0, 0)``.
+
+    >>> extended_gcd(240, 46)
+    (2, -9, 47)
+    """
+    old_r, r = int(a), int(b)
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r != 0:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_s, s = s, old_s - q * s
+        old_t, t = t, old_t - q * t
+    if old_r < 0:
+        old_r, old_s, old_t = -old_r, -old_s, -old_t
+    return old_r, old_s, old_t
+
+
+def gcd_list(values: Iterable[int]) -> int:
+    """Non-negative gcd of an iterable of integers (0 for an empty iterable).
+
+    >>> gcd_list([12, -18, 30])
+    6
+    """
+    g = 0
+    for v in values:
+        g = math.gcd(g, int(v))
+        if g == 1:
+            return 1
+    return g
+
+
+def lcm_list(values: Iterable[int]) -> int:
+    """Least common multiple of an iterable of integers (1 for empty).
+
+    A single zero makes the result 0, consistent with ``math.lcm``.
+    """
+    result = 1
+    for v in values:
+        result = math.lcm(result, int(v))
+    return result
+
+
+def is_primitive(values: Sequence[int]) -> bool:
+    """True when the entries are relatively prime (gcd == 1).
+
+    An all-zero or empty vector is *not* primitive.
+    """
+    return gcd_list(values) == 1
+
+
+def primitive_part(values: Sequence[int]) -> list[int]:
+    """Divide a non-zero integer vector by the gcd of its entries.
+
+    Raises :class:`ValueError` on the zero vector, which has no
+    primitive part.
+    """
+    g = gcd_list(values)
+    if g == 0:
+        raise ValueError("the zero vector has no primitive part")
+    return [int(v) // g for v in values]
+
+
+def normalize_primitive(values: Sequence[int]) -> list[int]:
+    """Primitive part with the *first non-zero entry positive*.
+
+    This is the canonical representative the paper uses for conflict
+    vectors (Definition 2.3 fixes gcd 1; Section 3 additionally fixes
+    the sign so that ``gamma`` and ``-gamma`` are not counted twice).
+    """
+    prim = primitive_part(values)
+    for v in prim:
+        if v != 0:
+            if v < 0:
+                prim = [-x for x in prim]
+            break
+    return prim
+
+
+def bezout_row(values: Sequence[int]) -> tuple[int, list[int]]:
+    """Return ``(g, c)`` with ``sum(c[i] * values[i]) == g == gcd(values)``.
+
+    Generalizes the two-argument Bezout identity to any number of
+    entries by folding :func:`extended_gcd` left to right.  For the
+    zero vector returns ``(0, [0, ...])``.
+    """
+    vals = [int(v) for v in values]
+    if not vals:
+        return 0, []
+    coeffs = [0] * len(vals)
+    g = vals[0]
+    coeffs[0] = 1
+    for i in range(1, len(vals)):
+        g2, x, y = extended_gcd(g, vals[i])
+        for j in range(i):
+            coeffs[j] *= x
+        coeffs[i] = y
+        g = g2
+    if g < 0:  # pragma: no cover - extended_gcd already normalizes
+        g = -g
+        coeffs = [-c for c in coeffs]
+    return g, coeffs

@@ -1,0 +1,254 @@
+"""Integer lattices: the geometric object behind conflict analysis.
+
+The set of all integral solutions of ``T x = 0`` is a *lattice* (a
+discrete subgroup of ``Z^n``); conflict-freedom of a mapping is the
+statement that this lattice meets the box ``{|x_i| <= mu_i}`` only at
+the origin (Theorem 2.2 + Theorem 4.2).  This module gives the lattice
+a first-class API — membership, determinant, canonical basis, box
+enumeration — on top of the Hermite/Smith machinery, both for direct
+use and as an independent implementation path the conflict deciders
+are cross-checked against.
+
+A lattice is represented by a *basis matrix* whose columns generate it.
+Two bases generate the same lattice iff they differ by a unimodular
+right factor; the canonical (column-HNF) basis makes equality
+decidable syntactically.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any
+
+from .diophantine import solve_diophantine
+from .hermite import hnf
+from .matrix import as_int_matrix, det_bareiss, matmul, rank, transpose
+
+__all__ = ["Lattice"]
+
+
+@dataclass(frozen=True)
+class Lattice:
+    """A full-column-rank integer lattice ``L = { B z : z in Z^r }``.
+
+    Parameters
+    ----------
+    basis:
+        Generator matrix with one *column* per generator (``n x r``,
+        rank ``r``).  Use :meth:`from_generators` for a list-of-vectors
+        constructor that also discards dependent generators.
+    """
+
+    basis: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        b = as_int_matrix(self.basis)
+        if not b or not b[0]:
+            raise ValueError("lattice needs at least one generator")
+        r = len(b[0])
+        if rank(b) != r:
+            raise ValueError(
+                "basis columns must be linearly independent; use "
+                "Lattice.from_generators to reduce a spanning set"
+            )
+        object.__setattr__(self, "basis", tuple(tuple(row) for row in b))
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_generators(cls, generators: Sequence[Sequence[int]]) -> "Lattice":
+        """Build from column vectors, dropping dependent ones greedily."""
+        cols: list[list[int]] = []
+        for g in generators:
+            candidate = cols + [list(map(int, g))]
+            mat = [[c[i] for c in candidate] for i in range(len(candidate[0]))]
+            if rank(mat) == len(candidate):
+                cols.append(list(map(int, g)))
+        if not cols:
+            raise ValueError("no independent generators supplied")
+        n = len(cols[0])
+        return cls(basis=tuple(tuple(c[i] for c in cols) for i in range(n)))
+
+    @classmethod
+    def kernel_of(cls, t: Any) -> "Lattice":
+        """The integral kernel lattice of a full-row-rank matrix ``T``.
+
+        This is exactly the conflict lattice of a mapping matrix
+        (Theorem 4.2): saturated by construction.
+        """
+        res = hnf(t)
+        cols = res.kernel_columns()
+        if not cols:
+            raise ValueError("the kernel of a square full-rank matrix is trivial")
+        n = len(cols[0])
+        return cls(basis=tuple(tuple(c[i] for c in cols) for i in range(n)))
+
+    # -- shape ------------------------------------------------------------
+
+    @property
+    def ambient_dimension(self) -> int:
+        return len(self.basis)
+
+    @property
+    def lattice_rank(self) -> int:
+        return len(self.basis[0])
+
+    # -- equality -----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Lattice):
+            return NotImplemented
+        if self.ambient_dimension != other.ambient_dimension:
+            return False
+        if self.lattice_rank != other.lattice_rank:
+            return False
+        return self.contains_lattice(other) and other.contains_lattice(self)
+
+    def __hash__(self) -> int:
+        return hash((self.ambient_dimension, self.lattice_rank))
+
+    # -- membership ---------------------------------------------------------
+
+    def contains(self, point: Sequence[int]) -> bool:
+        """Integral membership: ``point = B z`` for some ``z in Z^r``."""
+        p = [int(x) for x in point]
+        if len(p) != self.ambient_dimension:
+            raise ValueError("point dimension mismatch")
+        return solve_diophantine([list(row) for row in self.basis], p) is not None
+
+    def contains_lattice(self, other: "Lattice") -> bool:
+        """Whether every generator of ``other`` lies in this lattice."""
+        return all(
+            self.contains([other.basis[i][c] for i in range(other.ambient_dimension)])
+            for c in range(other.lattice_rank)
+        )
+
+    # -- invariants -----------------------------------------------------------
+
+    def determinant(self) -> int:
+        """The lattice determinant ``sqrt(det(B^T B))`` (covolume).
+
+        For full-rank sublattices of ``Z^n`` this is ``|det B|``; in
+        general the Gram determinant is a perfect square of the
+        covolume only when the lattice is full-dimensional, so the Gram
+        value itself is returned for non-full-rank lattices (a standard
+        invariant: equal lattices share it).
+        """
+        b = [list(row) for row in self.basis]
+        if self.lattice_rank == self.ambient_dimension:
+            return abs(det_bareiss(b))
+        gram = matmul(transpose(b), b)
+        return det_bareiss(gram)
+
+    def index_in(self, superlattice: "Lattice") -> int:
+        """The group index ``[superlattice : self]`` for same-rank pairs.
+
+        Ratio of Gram determinants' square roots; exact because both
+        are integers with the sub-determinant divisible structure.
+        """
+        if self.lattice_rank != superlattice.lattice_rank:
+            raise ValueError("index needs equal ranks")
+        if not superlattice.contains_lattice(self):
+            raise ValueError("not a sublattice")
+        d_sub = self.determinant()
+        d_super = superlattice.determinant()
+        if self.lattice_rank == self.ambient_dimension:
+            if d_sub % d_super != 0:  # pragma: no cover - contradiction guard
+                raise ArithmeticError("determinants inconsistent with containment")
+            return d_sub // d_super
+        # Gram determinants scale with the square of the index.
+        ratio = Fraction(d_sub, d_super)
+        if ratio.denominator != 1:  # pragma: no cover - contradiction guard
+            raise ArithmeticError("Gram ratio inconsistent with containment")
+        root = math.isqrt(ratio.numerator)
+        if root * root != ratio.numerator:  # pragma: no cover
+            raise ArithmeticError("Gram ratio is not a perfect square")
+        return root
+
+    # -- box geometry -----------------------------------------------------------
+
+    def _coefficient_bounds(self, box: Sequence[int]) -> list[int]:
+        """Exact rational bounds on coefficients of lattice points in a box."""
+        n = self.ambient_dimension
+        r = self.lattice_rank
+        g = [[Fraction(self.basis[i][c]) for c in range(r)] for i in range(n)]
+        gram = [
+            [sum(g[i][a] * g[i][b] for i in range(n)) for b in range(r)]
+            for a in range(r)
+        ]
+        aug = [
+            row[:] + [Fraction(int(i == j)) for j in range(r)]
+            for i, row in enumerate(gram)
+        ]
+        for col in range(r):
+            pivot = next(i for i in range(col, r) if aug[i][col] != 0)
+            aug[col], aug[pivot] = aug[pivot], aug[col]
+            inv = 1 / aug[col][col]
+            aug[col] = [x * inv for x in aug[col]]
+            for i in range(r):
+                if i != col and aug[i][col] != 0:
+                    f = aug[i][col]
+                    aug[i] = [x - f * y for x, y in zip(aug[i], aug[col])]
+        gram_inv = [row[r:] for row in aug]
+        bounds = []
+        for a in range(r):
+            pinv_row = [
+                sum(gram_inv[a][b] * g[i][b] for b in range(r)) for i in range(n)
+            ]
+            weight = sum(abs(w) * int(m) for w, m in zip(pinv_row, box))
+            bounds.append(int(weight))
+        return bounds
+
+    def points_in_box(self, box: Sequence[int]) -> Iterator[tuple[int, ...]]:
+        """All lattice points with ``|x_i| <= box_i`` (the origin included).
+
+        The engine behind the exact conflict decider: enumerate
+        coefficient vectors inside exact pseudo-inverse bounds, filter
+        by the box.
+        """
+        if len(box) != self.ambient_dimension:
+            raise ValueError("box dimension mismatch")
+        box = [int(b) for b in box]
+        bounds = self._coefficient_bounds(box)
+        n = self.ambient_dimension
+        r = self.lattice_rank
+        for z in itertools.product(*(range(-b, b + 1) for b in bounds)):
+            point = tuple(
+                sum(z[c] * self.basis[i][c] for c in range(r)) for i in range(n)
+            )
+            if all(abs(x) <= m for x, m in zip(point, box)):
+                yield point
+
+    def meets_box_nontrivially(self, box: Sequence[int]) -> bool:
+        """True when some non-zero lattice point lies in the box.
+
+        ``Lattice.kernel_of(T).meets_box_nontrivially(mu)`` is exactly
+        "``T`` is NOT conflict-free" (Theorem 2.2 + 4.2).
+        """
+        for p in self.points_in_box(box):
+            if any(p):
+                return True
+        return False
+
+    def shortest_nonzero_in_box(
+        self, box: Sequence[int]
+    ) -> tuple[int, ...] | None:
+        """A minimal-L1 non-zero lattice point inside the box, if any."""
+        best: tuple[int, tuple[int, ...]] | None = None
+        for p in self.points_in_box(box):
+            if not any(p):
+                continue
+            weight = sum(abs(x) for x in p)
+            if best is None or (weight, p) < best:
+                best = (weight, p)
+        return best[1] if best else None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Lattice(rank={self.lattice_rank}, "
+            f"ambient={self.ambient_dimension})"
+        )

@@ -1,0 +1,86 @@
+"""Unimodular matrices: predicates and seeded random generation.
+
+A matrix is unimodular iff it is integral with determinant ±1 (paper,
+footnote to Theorem 4.2).  Random unimodular matrices are the workhorse
+of the property-test suite: they let us fabricate mapping matrices with
+*known* Hermite structure and known conflict lattices, then check that
+the theorem implementations recover them.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from .matrix import IntMatrix, as_int_matrix, det_bareiss, identity
+
+__all__ = ["is_unimodular", "random_unimodular", "random_full_rank"]
+
+
+def is_unimodular(a: Any) -> bool:
+    """True iff ``a`` is square, integral and ``|det a| == 1``."""
+    try:
+        m = as_int_matrix(a)
+    except (TypeError, ValueError):
+        return False
+    if not m or len(m) != len(m[0]):
+        return False
+    return det_bareiss(m) in (1, -1)
+
+
+def random_unimodular(
+    n: int,
+    *,
+    rng: random.Random | None = None,
+    steps: int | None = None,
+    magnitude: int = 3,
+) -> IntMatrix:
+    """A random ``n x n`` unimodular matrix built from elementary operations.
+
+    Starts from the identity and applies ``steps`` random shear/swap/
+    negate operations with shear factors in ``[-magnitude, magnitude]``.
+    Deterministic when given a seeded ``rng``.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    rng = rng or random.Random(0)
+    steps = steps if steps is not None else 4 * n
+    m = identity(n)
+    for _ in range(steps):
+        op = rng.randrange(3)
+        i = rng.randrange(n)
+        j = rng.randrange(n)
+        if op == 0 and i != j:  # shear: row_i += f * row_j
+            f = rng.randint(-magnitude, magnitude)
+            m[i] = [a + f * b for a, b in zip(m[i], m[j])]
+        elif op == 1 and i != j:  # swap rows
+            m[i], m[j] = m[j], m[i]
+        elif op == 2:  # negate row
+            m[i] = [-a for a in m[i]]
+    return m
+
+
+def random_full_rank(
+    k: int,
+    n: int,
+    *,
+    rng: random.Random | None = None,
+    magnitude: int = 5,
+    max_tries: int = 100,
+) -> IntMatrix:
+    """A random integral ``k x n`` matrix with full row rank ``k``.
+
+    Rejection sampling over small uniform entries; raises
+    :class:`RuntimeError` if no full-rank sample is found (practically
+    impossible for ``magnitude >= 2``).
+    """
+    if k > n:
+        raise ValueError("need k <= n")
+    rng = rng or random.Random(0)
+    from .matrix import rank as int_rank
+
+    for _ in range(max_tries):
+        m = [[rng.randint(-magnitude, magnitude) for _ in range(n)] for _ in range(k)]
+        if int_rank(m) == k:
+            return m
+    raise RuntimeError("failed to sample a full-rank matrix")

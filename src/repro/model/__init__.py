@@ -1,0 +1,51 @@
+"""Algorithm model: index sets, uniform dependence algorithms, zoo, front-end.
+
+Implements Definition 2.1 (uniform dependence algorithms), Assumption
+2.1 (constant-bounded index sets, Equation 2.5), the paper's worked
+algorithms (matmul, transitive closure, convolution, LU, bit-level
+variants) and a loop-nest front-end that extracts ``(J, D)`` from a
+single-statement nested loop.
+"""
+
+from .algorithm import DependenceError, UniformDependenceAlgorithm
+from .alignment import AlignmentResult, StatementDependence, align_statements
+from .generators import random_algorithm, random_schedulable_algorithm
+from .index_set import ConstantBoundedIndexSet
+from .library import (
+    bit_level_convolution,
+    bit_level_lu_decomposition,
+    convolution_2d,
+    bit_level_matrix_multiplication,
+    convolution_1d,
+    example_2_1_algorithm,
+    lu_decomposition,
+    matrix_multiplication,
+    stencil_2d,
+    transitive_closure,
+)
+from .loopnest import Access, LoopNest, SubscriptError, parse_affine
+
+__all__ = [
+    "Access",
+    "AlignmentResult",
+    "ConstantBoundedIndexSet",
+    "DependenceError",
+    "LoopNest",
+    "StatementDependence",
+    "SubscriptError",
+    "parse_affine",
+    "random_algorithm",
+    "random_schedulable_algorithm",
+    "stencil_2d",
+    "UniformDependenceAlgorithm",
+    "align_statements",
+    "bit_level_convolution",
+    "bit_level_lu_decomposition",
+    "convolution_2d",
+    "bit_level_matrix_multiplication",
+    "convolution_1d",
+    "example_2_1_algorithm",
+    "lu_decomposition",
+    "matrix_multiplication",
+    "transitive_closure",
+]

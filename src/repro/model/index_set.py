@@ -1,0 +1,145 @@
+"""Constant-bounded index sets (Equation 2.5 / Assumption 2.1).
+
+The paper restricts attention to index sets
+
+    ``J = { j in Z^n : 0 <= j_i <= mu_i }``
+
+with problem-size variables ``mu_i``.  This module provides the index
+set object used everywhere: membership, enumeration (lazy, in either
+lexicographic or schedule order), cardinality and the geometric helper
+queries Theorem 2.2's proofs rely on (e.g. constructing the witness
+point ``j`` with ``j_i = 0`` when ``gamma_i >= 0`` and ``j_i = -gamma_i``
+otherwise).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ConstantBoundedIndexSet"]
+
+
+@dataclass(frozen=True)
+class ConstantBoundedIndexSet:
+    """``{ j in Z^n : 0 <= j_i <= mu_i }`` for positive upper bounds ``mu``.
+
+    Parameters
+    ----------
+    mu:
+        Tuple of per-dimension upper bounds (``mu_i >= 1``, paper's
+        ``mu_i in N^+``).  Lower bounds are fixed at zero exactly as in
+        Equation 2.5; algorithms with other rectangular bounds can be
+        shifted into this form (Section 2 cites [12] for the general
+        linear transformation).
+
+    Examples
+    --------
+    >>> J = ConstantBoundedIndexSet((2, 2))
+    >>> len(J)
+    9
+    >>> (1, 2) in J
+    True
+    >>> (3, 0) in J
+    False
+    """
+
+    mu: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        mu = tuple(int(m) for m in self.mu)
+        if not mu:
+            raise ValueError("index set needs at least one dimension")
+        if any(m < 1 for m in mu):
+            raise ValueError(f"upper bounds must be positive integers, got {mu}")
+        object.__setattr__(self, "mu", mu)
+
+    # -- basic geometry ------------------------------------------------
+
+    @property
+    def dimension(self) -> int:
+        """The algorithm dimension ``n``."""
+        return len(self.mu)
+
+    def __len__(self) -> int:
+        """Number of index points, ``prod(mu_i + 1)``."""
+        return math.prod(m + 1 for m in self.mu)
+
+    def __contains__(self, point: Sequence[int]) -> bool:
+        pt = tuple(point)
+        if len(pt) != self.dimension:
+            return False
+        return all(
+            isinstance(x, (int, np.integer)) and 0 <= int(x) <= m
+            for x, m in zip(pt, self.mu)
+        )
+
+    def contains_all(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized membership for an ``(N, n)`` array of points."""
+        pts = np.asarray(points)
+        if pts.ndim != 2 or pts.shape[1] != self.dimension:
+            raise ValueError(f"expected shape (N, {self.dimension})")
+        mu = np.asarray(self.mu)
+        return np.all((pts >= 0) & (pts <= mu), axis=1)
+
+    # -- enumeration ----------------------------------------------------
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        """Lazy lexicographic enumeration of all index points."""
+        return itertools.product(*(range(m + 1) for m in self.mu))
+
+    def points_array(self) -> np.ndarray:
+        """All index points as an ``(|J|, n)`` int64 array (row-major).
+
+        Materializes the whole set — fine for the problem sizes in the
+        paper (``mu <= 10`` or so); prefer :meth:`__iter__` for streaming.
+        """
+        grids = np.meshgrid(*(np.arange(m + 1) for m in self.mu), indexing="ij")
+        return np.stack([g.ravel() for g in grids], axis=1).astype(np.int64)
+
+    # -- paper-specific helpers ------------------------------------------
+
+    def translate_witness(self, gamma: Sequence[int]) -> tuple[int, ...] | None:
+        """A point ``j`` with both ``j`` and ``j + gamma`` in ``J``, or ``None``.
+
+        This is the constructive step of Theorem 2.2's "only if"
+        direction: when ``|gamma_i| <= mu_i`` for all ``i`` the point
+        with ``j_i = 0`` for ``gamma_i >= 0`` and ``j_i = -gamma_i``
+        otherwise is such a witness; when some ``|gamma_i| > mu_i`` no
+        witness exists.
+        """
+        g = tuple(int(x) for x in gamma)
+        if len(g) != self.dimension:
+            raise ValueError(f"gamma must have {self.dimension} entries")
+        if any(abs(gi) > mi for gi, mi in zip(g, self.mu)):
+            return None
+        return tuple(0 if gi >= 0 else -gi for gi in g)
+
+    def admits_translation(self, gamma: Sequence[int]) -> bool:
+        """True when some ``j in J`` has ``j + gamma in J`` (Theorem 2.2).
+
+        Equivalent to ``|gamma_i| <= mu_i`` for every coordinate; a
+        *feasible* conflict vector is one for which this is false.
+        """
+        return self.translate_witness(gamma) is not None
+
+    def diameter_along(self, pi: Sequence[int]) -> int:
+        """``max { Pi (j1 - j2) : j1, j2 in J } = sum |pi_i| mu_i`` (Eq 2.6)."""
+        p = [int(x) for x in pi]
+        if len(p) != self.dimension:
+            raise ValueError(f"pi must have {self.dimension} entries")
+        return sum(abs(pi_i) * mi for pi_i, mi in zip(p, self.mu))
+
+    def corners(self) -> list[tuple[int, ...]]:
+        """The ``2^n`` corner points of the bounding box."""
+        return [
+            tuple(c)
+            for c in itertools.product(*((0, m) for m in self.mu))
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ConstantBoundedIndexSet(mu={self.mu})"

@@ -1,0 +1,409 @@
+"""The paper's algorithm zoo.
+
+Constructors for every uniform dependence algorithm the paper uses or
+motivates:
+
+* 3-D matrix multiplication (Example 3.1 / 5.1, Equation 3.4),
+* the reindexed transitive closure (Example 3.2 / 5.2, Equation 3.6),
+* systolic 1-D convolution and banded LU decomposition (Section 1's
+  motivating nested-loop kernels),
+* 4-D and 5-D *bit-level* algorithms standing in for the RAB tool's
+  workloads (Section 1; RAB itself is unavailable — see DESIGN.md §4).
+
+Where the paper's reference gives executable semantics (matmul,
+convolution) the returned algorithm carries a ``compute`` function so
+the systolic simulator can execute it functionally and check numerical
+results against NumPy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .algorithm import UniformDependenceAlgorithm
+from .index_set import ConstantBoundedIndexSet
+
+__all__ = [
+    "matrix_multiplication",
+    "convolution_2d",
+    "bit_level_lu_decomposition",
+    "stencil_2d",
+    "transitive_closure",
+    "convolution_1d",
+    "lu_decomposition",
+    "bit_level_matrix_multiplication",
+    "bit_level_convolution",
+    "example_2_1_algorithm",
+]
+
+
+def matrix_multiplication(
+    mu: int,
+    *,
+    a: np.ndarray | None = None,
+    b: np.ndarray | None = None,
+) -> UniformDependenceAlgorithm:
+    """The 3-D matrix multiplication algorithm of Equation 3.4.
+
+    ``C = A B`` over ``(mu+1) x (mu+1)`` matrices; index point
+    ``(j1, j2, j3)`` performs ``c[j1,j2] += a[j1,j3] * b[j3,j2]``.
+    Dependence vectors (paper, Example 3.1): ``d1 = (1,0,0)`` carries
+    ``B`` (invariant along ``j1``), ``d2 = (0,1,0)`` carries ``A``,
+    ``d3 = (0,0,1)`` carries the accumulating ``C``.
+
+    When ``a``/``b`` are given (shape ``(mu+1, mu+1)``), the returned
+    algorithm has executable semantics: the simulator's value at each
+    index point is the triple ``(a_val, b_val, c_acc)``.
+    """
+    size = mu + 1
+    index_set = ConstantBoundedIndexSet((mu, mu, mu))
+    d = ((1, 0, 0), (0, 1, 0), (0, 0, 1))  # rows of D^T; D columns are d1,d2,d3
+    dep_matrix = tuple(zip(*d))
+
+    compute = None
+    inputs = None
+    if a is not None or b is not None:
+        if a is None or b is None:
+            raise ValueError("provide both a and b, or neither")
+        a_arr = np.asarray(a)
+        b_arr = np.asarray(b)
+        if a_arr.shape != (size, size) or b_arr.shape != (size, size):
+            raise ValueError(f"a and b must have shape ({size}, {size})")
+
+        def inputs(j: tuple[int, ...], i: int):  # noqa: ANN202
+            j1, j2, j3 = j
+            if i == 0:  # d1 boundary (j1 == 0): B enters
+                return (None, b_arr[j3, j2], None)
+            if i == 1:  # d2 boundary (j2 == 0): A enters
+                return (a_arr[j1, j3], None, None)
+            return (None, None, 0)  # d3 boundary (j3 == 0): C starts at 0
+
+        def compute(j: tuple[int, ...], operands: Sequence[tuple]):  # noqa: ANN202
+            b_val = operands[0][1]
+            a_val = operands[1][0]
+            c_val = operands[2][2]
+            return (a_val, b_val, c_val + a_val * b_val)
+
+    return UniformDependenceAlgorithm(
+        index_set=index_set,
+        dependence_matrix=dep_matrix,
+        name=f"matmul(mu={mu})",
+        compute=compute,
+        inputs=inputs,
+    )
+
+
+def transitive_closure(mu: int) -> UniformDependenceAlgorithm:
+    """The reindexed transitive closure algorithm of Equation 3.6.
+
+    3-D index set with bounds ``mu`` and the five dependence vectors
+
+        ``D = [[0, 0, 1, 1, 1],
+               [0, 1, -1, -1, 0],
+               [1, 0, -1, 0, -1]]``
+
+    exactly as used in Example 3.2 / 5.2 (derived in refs [17], [23]
+    from the Fortran transitive-closure code after reindexing).
+    """
+    index_set = ConstantBoundedIndexSet((mu, mu, mu))
+    dep_matrix = (
+        (0, 0, 1, 1, 1),
+        (0, 1, -1, -1, 0),
+        (1, 0, -1, 0, -1),
+    )
+    return UniformDependenceAlgorithm(
+        index_set=index_set,
+        dependence_matrix=dep_matrix,
+        name=f"transitive_closure(mu={mu})",
+    )
+
+
+def convolution_1d(
+    taps: int,
+    samples: int,
+    *,
+    weights: np.ndarray | None = None,
+    signal: np.ndarray | None = None,
+) -> UniformDependenceAlgorithm:
+    """Systolic 1-D convolution ``y[i] = sum_k w[k] * x[i-k]``.
+
+    2-D uniform dependence form: index point ``(i, k)`` performs
+    ``y[i] += w[k] * x[i-k]`` with
+
+    * ``d1 = (0, 1)`` — the ``y`` accumulation along ``k``,
+    * ``d2 = (1, 1)`` — ``x[i-k]`` is invariant along ``(1, 1)``,
+    * ``d3 = (1, 0)`` — ``w[k]`` is invariant along ``i``.
+
+    ``samples`` is the number of output points minus one (the ``i``
+    bound); ``taps`` is the filter order (the ``k`` bound).  Values in
+    functional mode are triples ``(y_acc, x_val, w_val)``.
+    """
+    index_set = ConstantBoundedIndexSet((samples, taps))
+    dep_matrix = ((0, 1, 1), (1, 1, 0))
+
+    compute = None
+    inputs = None
+    if weights is not None or signal is not None:
+        if weights is None or signal is None:
+            raise ValueError("provide both weights and signal, or neither")
+        w = np.asarray(weights)
+        x = np.asarray(signal)
+        if w.shape[0] < taps + 1:
+            raise ValueError(f"need at least {taps + 1} weights")
+        # x is indexed by i - k in [-taps, samples]; shift by taps.
+        if x.shape[0] < samples + taps + 1:
+            raise ValueError(f"need at least {samples + taps + 1} signal samples")
+
+        def inputs(j: tuple[int, ...], i: int):  # noqa: ANN202
+            ii, k = j
+            if i == 0:  # y boundary (k == 0)
+                return (0, None, None)
+            if i == 1:  # x boundary (i == 0 or k == taps edge)
+                return (None, x[ii - k + taps], None)
+            return (None, None, w[k])  # w boundary (i == 0)
+
+        def compute(j: tuple[int, ...], operands: Sequence[tuple]):  # noqa: ANN202
+            y_val = operands[0][0]
+            x_val = operands[1][1]
+            w_val = operands[2][2]
+            return (y_val + w_val * x_val, x_val, w_val)
+
+    return UniformDependenceAlgorithm(
+        index_set=index_set,
+        dependence_matrix=dep_matrix,
+        name=f"convolution(taps={taps}, samples={samples})",
+        compute=compute,
+        inputs=inputs,
+    )
+
+
+def lu_decomposition(
+    mu: int, *, a: np.ndarray | None = None
+) -> UniformDependenceAlgorithm:
+    """Uniformized LU decomposition (3-D, unit dependence vectors).
+
+    The classical systolic LU formulation (Section 1's example list)
+    after uniformization has the same structural skeleton as matmul —
+    three unit dependence vectors over a ``(mu+1)^3`` index set with
+    point ``(k, i, j)`` holding "the state of entry ``(i, j)`` after
+    elimination step ``k``":
+
+    * ``d1 = (1, 0, 0)`` carries the evolving matrix entry between
+      elimination steps,
+    * ``d2 = (0, 1, 0)`` pipelines the pivot-row value ``u[k, j]`` (and
+      the pivot ``u[k, k]``) down the ``i`` direction,
+    * ``d3 = (0, 0, 1)`` pipelines the multiplier ``l[i, k]`` along the
+      ``j`` direction.
+
+    With ``a`` given (an exactly-LU-factorable ``(mu+1) x (mu+1)``
+    matrix — no pivoting is performed), the algorithm carries
+    executable semantics over :class:`fractions.Fraction` values; after
+    the last step the lattice holds ``U`` on and above the diagonal and
+    the unit-lower ``L`` multipliers below it.
+    """
+    index_set = ConstantBoundedIndexSet((mu, mu, mu))
+    dep_matrix = ((1, 0, 0), (0, 1, 0), (0, 0, 1))
+
+    compute = None
+    inputs = None
+    if a is not None:
+        from fractions import Fraction
+
+        a_arr = np.asarray(a)
+        if a_arr.shape != (mu + 1, mu + 1):
+            raise ValueError(f"a must have shape ({mu + 1}, {mu + 1})")
+
+        def inputs(j: tuple[int, ...], i: int):  # noqa: ANN202
+            k, row, col = j
+            if i == 0:  # d1 boundary (k == 0): the original matrix enters
+                return (Fraction(int(a_arr[row, col])), None, None)
+            # u-stream (i == 1) and l-stream (i == 2) boundaries carry
+            # nothing: streams originate inside the lattice.
+            return (None, None, None)
+
+        def compute(jpt: tuple[int, ...], operands):  # noqa: ANN202
+            k, row, col = jpt
+            a_val = operands[0][0]
+            u_in = operands[1][1] if operands[1] is not None else None
+            l_in = operands[2][2] if operands[2] is not None else None
+            if row < k or col < k:
+                # Already-finalized entries pass through untouched.
+                return (a_val, None, None)
+            if row == k and col == k:
+                if a_val == 0:
+                    raise ZeroDivisionError(
+                        f"zero pivot at step {k}: supply a factorable matrix"
+                    )
+                return (a_val, a_val, None)  # pivot: u[k,k] starts downward
+            if row == k:  # pivot row: u[k, col] starts downward
+                return (a_val, a_val, None)
+            if col == k:  # pivot column: compute multiplier l[row, k]
+                l_val = a_val / u_in
+                return (l_val, u_in, l_val)  # pass pivot down, l rightward
+            # Interior update: a - l * u.
+            return (a_val - l_in * u_in, u_in, l_in)
+
+    return UniformDependenceAlgorithm(
+        index_set=index_set,
+        dependence_matrix=dep_matrix,
+        name=f"lu_decomposition(mu={mu})",
+        compute=compute,
+        inputs=inputs,
+    )
+
+
+def bit_level_matrix_multiplication(mu: int, word_bits: int) -> UniformDependenceAlgorithm:
+    """5-D bit-level matrix multiplication (the RAB workload of Section 1).
+
+    Word-level matmul indices ``(j1, j2, j3)`` are expanded with two
+    bit-level indices ``(j4, j5)`` ranging over operand bit positions
+    (partial-product row/column in the carry-save array).  Each of the
+    five data streams — the ``A`` bit, the ``B`` bit, the word-level
+    accumulation, the carry and the partial sum — flows along its own
+    unit direction, giving ``D = I_5``.  This matches the paper's
+    framing ("many bit level algorithms are four or five dimensional")
+    and exercises exactly the ``T in Z^{3x5}`` mapping shape of
+    Theorem 4.7 and Proposition 8.1.
+    """
+    if word_bits < 1:
+        raise ValueError("word_bits must be >= 1")
+    index_set = ConstantBoundedIndexSet((mu, mu, mu, word_bits, word_bits))
+    dep_matrix = tuple(
+        tuple(1 if r == c else 0 for c in range(5)) for r in range(5)
+    )
+    return UniformDependenceAlgorithm(
+        index_set=index_set,
+        dependence_matrix=dep_matrix,
+        name=f"bit_matmul(mu={mu}, w={word_bits})",
+    )
+
+
+def bit_level_convolution(taps: int, samples: int, word_bits: int) -> UniformDependenceAlgorithm:
+    """4-D bit-level convolution (Section 3's motivating application).
+
+    The 2-D word-level convolution is expanded with two bit indices
+    (multiplicand bit and carry-save position); streams flow along unit
+    directions plus the word-level ``x`` diagonal, giving four
+    dependence vectors in four dimensions.
+    """
+    if word_bits < 1:
+        raise ValueError("word_bits must be >= 1")
+    index_set = ConstantBoundedIndexSet((samples, taps, word_bits, word_bits))
+    dep_matrix = (
+        (0, 1, 0, 0),
+        (1, 1, 0, 0),
+        (0, 0, 1, 0),
+        (0, 0, 0, 1),
+    )
+    return UniformDependenceAlgorithm(
+        index_set=index_set,
+        dependence_matrix=dep_matrix,
+        name=f"bit_convolution(taps={taps}, samples={samples}, w={word_bits})",
+    )
+
+
+def convolution_2d(
+    rows: int, cols: int, kernel_rows: int, kernel_cols: int
+) -> UniformDependenceAlgorithm:
+    """2-D convolution as a 4-D uniform dependence algorithm.
+
+    Index ``(i1, i2, k1, k2)`` performs
+    ``y[i1, i2] += w[k1, k2] * x[i1 - k1, i2 - k2]``: the accumulation
+    runs along the kernel indices, the weight is invariant along the
+    image indices, and the image pixel is invariant along the two
+    diagonal directions.  A standard word-level source for the 4-D
+    mappings the paper targets.
+    """
+    index_set = ConstantBoundedIndexSet((rows, cols, kernel_rows, kernel_cols))
+    # Columns: d1/d2 the y accumulation along the two kernel indices,
+    # d3/d4 the x reuse diagonals (x[i1-k1, i2-k2] invariant along
+    # (1,0,1,0) and (0,1,0,1)), d5 the w pipeline along i2.
+    dep_matrix = (
+        (0, 0, 1, 0, 0),
+        (0, 0, 0, 1, 1),
+        (1, 0, 1, 0, 0),
+        (0, 1, 0, 1, 0),
+    )
+    return UniformDependenceAlgorithm(
+        index_set=index_set,
+        dependence_matrix=dep_matrix,
+        name=f"convolution2d({rows}x{cols}, kernel {kernel_rows}x{kernel_cols})",
+    )
+
+
+def bit_level_lu_decomposition(mu: int, word_bits: int) -> UniformDependenceAlgorithm:
+    """5-D bit-level LU decomposition (the second RAB workload named in
+    Section 4: "the mappings of a bit level matrix multiplication
+    algorithm and a bit level LU decomposition algorithm").
+
+    Word-level LU indices ``(k, i, j)`` expanded with two bit indices;
+    pivot-row, pivot-column and update streams flow along unit
+    directions, the carry chain along the low bit index.
+    """
+    if word_bits < 1:
+        raise ValueError("word_bits must be >= 1")
+    index_set = ConstantBoundedIndexSet((mu, mu, mu, word_bits, word_bits))
+    dep_matrix = (
+        (1, 0, 0, 0, 0),
+        (0, 1, 0, 0, 0),
+        (0, 0, 1, 0, 0),
+        (0, 0, 0, 1, 0),
+        (0, 0, 0, 0, 1),
+    )
+    return UniformDependenceAlgorithm(
+        index_set=index_set,
+        dependence_matrix=dep_matrix,
+        name=f"bit_lu(mu={mu}, w={word_bits})",
+    )
+
+
+def stencil_2d(mu: int, *, time_steps: int | None = None) -> UniformDependenceAlgorithm:
+    """Iterated 5-point stencil (Jacobi/Gauss-Seidel class) as a 3-D
+    uniform dependence algorithm.
+
+    Grid indices ``(i1, i2)`` plus the sweep index ``t``; the value at
+    ``(t, i1, i2)`` reads the previous sweep's north/south/east/west
+    neighbors and itself — after uniformization, five dependence
+    vectors all advancing one sweep:
+
+        ``(1, 0, 0), (1, 1, 0), (1, -1, 0), (1, 0, 1), (1, 0, -1)``.
+
+    A classic systolizable scientific-computing kernel (the
+    "scientific computing" application class Definition 2.1's
+    discussion names), and a useful stress case: its dependence cone is
+    pointed only in the sweep direction, so valid schedules must weight
+    ``t`` heavily — mirroring the transitive closure's constraint
+    structure.
+    """
+    sweeps = time_steps if time_steps is not None else mu
+    index_set = ConstantBoundedIndexSet((sweeps, mu, mu))
+    dep_matrix = (
+        (1, 1, 1, 1, 1),
+        (0, 1, -1, 0, 0),
+        (0, 0, 0, 1, -1),
+    )
+    return UniformDependenceAlgorithm(
+        index_set=index_set,
+        dependence_matrix=dep_matrix,
+        name=f"stencil_2d(mu={mu}, sweeps={sweeps})",
+    )
+
+
+def example_2_1_algorithm(mu: int = 6) -> UniformDependenceAlgorithm:
+    """The 4-D algorithm of Example 2.1: ``J = {0 <= j_i <= mu}^4``.
+
+    The paper leaves ``D`` unspecified (only the index set matters for
+    the conflict discussion); unit dependence vectors are supplied so
+    schedules remain constrained the usual way.
+    """
+    index_set = ConstantBoundedIndexSet((mu, mu, mu, mu))
+    dep_matrix = tuple(
+        tuple(1 if r == c else 0 for c in range(4)) for r in range(4)
+    )
+    return UniformDependenceAlgorithm(
+        index_set=index_set,
+        dependence_matrix=dep_matrix,
+        name=f"example_2_1(mu={mu})",
+    )

@@ -1,0 +1,138 @@
+"""Processor array model: PE coordinates, links, occupancy geometry.
+
+The array realized by a mapping is the image ``S(J)`` of the index set
+under the space mapping — for the paper's linear-array examples a
+contiguous segment of integers, for 2-D bit-level targets a set of
+lattice points.  This module materializes that geometry (PE set, per-
+dependence channel links, array extents) for the simulator and the
+visualizer; it contains no timing logic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from ..intlin import matvec
+from ..model import UniformDependenceAlgorithm
+from ..core.mapping import MappingMatrix
+from .interconnect import InterconnectionPlan
+
+__all__ = ["ProcessorArray", "Link", "build_array"]
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed channel segment used by one dependence's data stream.
+
+    Attributes
+    ----------
+    channel:
+        Dependence index (the paper draws one physical link per data
+        stream: the ``A``, ``B`` and ``C`` links of Figure 2).
+    source, target:
+        PE coordinates.
+    """
+
+    channel: int
+    source: tuple[int, ...]
+    target: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ProcessorArray:
+    """The physical array induced by a mapping.
+
+    Attributes
+    ----------
+    processors:
+        All PE coordinates ``{S j : j in J}``, sorted.
+    dimension:
+        Array dimension ``k - 1``.
+    links:
+        Every channel link any token traverses (deduplicated).
+    plan:
+        The interconnection plan the links were expanded from.
+    """
+
+    processors: tuple[tuple[int, ...], ...]
+    dimension: int
+    links: tuple[Link, ...]
+    plan: InterconnectionPlan
+
+    @property
+    def num_processors(self) -> int:
+        return len(self.processors)
+
+    def extent(self) -> tuple[tuple[int, int], ...]:
+        """Per-axis (min, max) PE coordinates; empty for a 0-D array."""
+        if self.dimension == 0 or not self.processors:
+            return ()
+        return tuple(
+            (min(p[a] for p in self.processors), max(p[a] for p in self.processors))
+            for a in range(self.dimension)
+        )
+
+    def links_by_channel(self, channel: int) -> Iterator[Link]:
+        return (link for link in self.links if link.channel == channel)
+
+
+def _walk_route(
+    start: tuple[int, ...],
+    route: tuple[int, ...],
+    primitives: tuple[tuple[int, ...], ...],
+) -> list[tuple[int, ...]]:
+    """PE coordinates visited along a hop route, including endpoints."""
+    path = [start]
+    pos = list(start)
+    for prim_col in route:
+        step = [primitives[row][prim_col] for row in range(len(primitives))]
+        pos = [a + b for a, b in zip(pos, step)]
+        path.append(tuple(pos))
+    return path
+
+
+def build_array(
+    algorithm: UniformDependenceAlgorithm,
+    mapping: MappingMatrix,
+    plan: InterconnectionPlan,
+) -> ProcessorArray:
+    """Materialize the PE set and all channel links for a mapped algorithm.
+
+    Enumerates the index set once; for each dependence edge whose source
+    lies inside ``J``, walks the planned hop route from the source PE
+    and records every directed link segment on its channel.
+    """
+    dim = mapping.array_dimension
+    space_rows = [list(row) for row in mapping.space]
+    processors: set[tuple[int, ...]] = set()
+    links: set[Link] = set()
+    deps = algorithm.dependence_vectors()
+
+    pe_of: dict[tuple[int, ...], tuple[int, ...]] = {}
+    for j in algorithm.index_set:
+        pe = tuple(matvec(space_rows, list(j))) if space_rows else ()
+        processors.add(pe)
+        pe_of[tuple(j)] = pe
+
+    # Only links some token actually traverses: walk the planned route
+    # from the producer PE of every in-set dependence edge.  (Walking
+    # from every PE would fabricate phantom links past the array edge.)
+    for j, pe in pe_of.items():
+        for i, d in enumerate(deps):
+            route = plan.routes[i]
+            if not route:
+                continue
+            src = tuple(a - b for a, b in zip(j, d))
+            if src not in pe_of:
+                continue
+            path = _walk_route(pe_of[src], route, plan.primitives)
+            for a, b in zip(path, path[1:]):
+                links.add(Link(channel=i, source=a, target=b))
+
+    return ProcessorArray(
+        processors=tuple(sorted(processors)),
+        dimension=dim,
+        links=tuple(sorted(links, key=lambda l: (l.channel, l.source, l.target))),
+        plan=plan,
+    )

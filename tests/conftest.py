@@ -1,0 +1,56 @@
+"""Shared fixtures and hypothesis configuration for the test-suite."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# A moderate default profile: these are exact-arithmetic algorithms, so
+# a modest number of examples already exercises the interesting shapes;
+# the property files opt into more examples where it pays.
+settings.register_profile(
+    "default",
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("default")
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """Seeded stdlib RNG for deterministic randomized tests."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def np_rng() -> np.random.Generator:
+    """Seeded NumPy RNG for deterministic numerical tests."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def matmul4():
+    """The paper's Example 5.1 algorithm instance (mu = 4)."""
+    from repro.model import matrix_multiplication
+
+    return matrix_multiplication(4)
+
+
+@pytest.fixture
+def tc4():
+    """The paper's Example 5.2 algorithm instance (mu = 4)."""
+    from repro.model import transitive_closure
+
+    return transitive_closure(4)
+
+
+@pytest.fixture
+def paper_T_example21():
+    """The mapping matrix of Example 2.1 / Equation 2.8."""
+    from repro.core import MappingMatrix
+
+    return MappingMatrix.from_rows([[1, 7, 1, 1], [1, 7, 1, 0]])

@@ -1,0 +1,96 @@
+"""Unit tests for repro.core.baselines (the [22]/[23] comparison rows)."""
+
+import pytest
+
+from repro.core import (
+    is_conflict_free_kernel_box,
+    matmul_baseline_ref23,
+    matmul_optimal_paper,
+    transitive_closure_baseline_ref22,
+    transitive_closure_optimal_paper,
+)
+
+
+class TestMatmulBaselines:
+    @pytest.mark.parametrize("mu", [2, 3, 4, 6, 8])
+    def test_ref23_time_formula(self, mu):
+        b = matmul_baseline_ref23(mu)
+        assert b.total_time == mu * (mu + 3) + 1
+
+    @pytest.mark.parametrize("mu", [2, 4, 6, 8])
+    def test_paper_time_formula(self, mu):
+        b = matmul_optimal_paper(mu)
+        assert b.total_time == mu * (mu + 2) + 1
+
+    @pytest.mark.parametrize("mu", [4, 6, 8])
+    def test_paper_beats_ref23_by_mu(self, mu):
+        assert (
+            matmul_baseline_ref23(mu).total_time
+            - matmul_optimal_paper(mu).total_time
+            == mu
+        )
+
+    @pytest.mark.parametrize("mu", [2, 4, 6, 8])
+    def test_both_conflict_free_even_mu(self, mu):
+        """The paper notes Pi_2 = [1, mu, 1] is feasible for even mu."""
+        for b in (matmul_baseline_ref23(mu), matmul_optimal_paper(mu)):
+            assert is_conflict_free_kernel_box(b.mapping, b.algorithm.mu), b.label
+
+    def test_paper_mapping_conflicted_at_odd_mu(self):
+        """[1, mu, 1] at odd mu has conflict vector with gcd 2 inside
+        the box — the parenthetical in the appendix."""
+        b = matmul_optimal_paper(3)
+        assert not is_conflict_free_kernel_box(b.mapping, b.algorithm.mu)
+
+    @pytest.mark.parametrize("mu", [2, 3, 4, 6])
+    def test_dependences_respected(self, mu):
+        for b in (matmul_baseline_ref23(mu), matmul_optimal_paper(mu)):
+            assert b.mapping.respects_dependences(b.algorithm)
+
+    def test_schedule_object(self):
+        b = matmul_optimal_paper(4)
+        s = b.schedule()
+        assert s.pi == (1, 4, 1)
+        assert s.total_time == 25
+
+
+class TestTCBaselines:
+    @pytest.mark.parametrize("mu", [2, 3, 4, 6, 8])
+    def test_ref22_time_formula(self, mu):
+        b = transitive_closure_baseline_ref22(mu)
+        assert b.total_time == mu * (2 * mu + 3) + 1
+
+    @pytest.mark.parametrize("mu", [2, 3, 4, 6, 8])
+    def test_paper_time_formula(self, mu):
+        b = transitive_closure_optimal_paper(mu)
+        assert b.total_time == mu * (mu + 3) + 1
+
+    @pytest.mark.parametrize("mu", [2, 3, 4, 8])
+    def test_both_conflict_free(self, mu):
+        for b in (
+            transitive_closure_baseline_ref22(mu),
+            transitive_closure_optimal_paper(mu),
+        ):
+            assert is_conflict_free_kernel_box(b.mapping, b.algorithm.mu), b.label
+
+    @pytest.mark.parametrize("mu", [2, 3, 4])
+    def test_dependences_respected(self, mu):
+        for b in (
+            transitive_closure_baseline_ref22(mu),
+            transitive_closure_optimal_paper(mu),
+        ):
+            assert b.mapping.respects_dependences(b.algorithm)
+
+    def test_asymptotic_speedup_approaches_two(self):
+        ratios = [
+            transitive_closure_baseline_ref22(mu).total_time
+            / transitive_closure_optimal_paper(mu).total_time
+            for mu in (4, 8, 16, 32)
+        ]
+        assert all(a < b for a, b in zip(ratios, ratios[1:]))  # increasing
+        assert ratios[-1] > 1.8
+
+    def test_labels_and_sources(self):
+        b = transitive_closure_baseline_ref22(4)
+        assert "[22]" in b.label
+        assert "Example 5.2" in b.source or "[22]" in b.source

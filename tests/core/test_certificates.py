@@ -1,0 +1,113 @@
+"""Unit tests for repro.core.certificates (auditable optimality)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import (
+    OptimalityCertificate,
+    Refutation,
+    certify_optimality,
+    verify_certificate,
+)
+from repro.model import matrix_multiplication, transitive_closure
+
+
+class TestCertify:
+    def test_matmul_certificate(self, matmul4):
+        cert = certify_optimality(matmul4, [[1, 1, -1]], (1, 4, 1))
+        assert cert.optimal_time == 25
+        assert len(cert.refutations) > 0
+        kinds = {r.kind for r in cert.refutations}
+        assert kinds <= {"dependence", "rank", "conflict"}
+        assert "conflict" in kinds  # some fast schedules are conflicted
+        assert "dependence" in kinds  # some violate Pi D > 0
+
+    def test_tc_certificate(self, tc4):
+        cert = certify_optimality(tc4, [[0, 0, 1]], (5, 1, 1))
+        assert cert.optimal_time == 29
+        assert verify_certificate(tc4, cert)
+
+    def test_non_optimal_claim_rejected(self, matmul4):
+        """Claiming [2,1,4] (t=29) optimal must fail: [1,4,1] is faster."""
+        with pytest.raises(ValueError, match="not optimal"):
+            certify_optimality(matmul4, [[1, 1, -1]], (2, 1, 4))
+
+    def test_mu3_finding_f3_certified(self):
+        """The mu=3 optimum t=16 carries a full certificate, settling
+        finding F3 beyond the search's own bookkeeping."""
+        algo = matrix_multiplication(3)
+        cert = certify_optimality(algo, [[1, 1, -1]], (1, 2, 2))
+        assert cert.optimal_time == 16
+        assert verify_certificate(algo, cert)
+
+
+class TestVerify:
+    def make_cert(self, matmul4):
+        return certify_optimality(matmul4, [[1, 1, -1]], (1, 4, 1))
+
+    def test_genuine_certificate_passes(self, matmul4):
+        assert verify_certificate(matmul4, self.make_cert(matmul4))
+
+    def test_wrong_instance_rejected(self, matmul4):
+        cert = self.make_cert(matmul4)
+        other = matrix_multiplication(3)
+        assert not verify_certificate(other, cert)
+
+    def test_missing_refutation_rejected(self, matmul4):
+        cert = self.make_cert(matmul4)
+        truncated = dataclasses.replace(cert, refutations=cert.refutations[:-1])
+        assert not verify_certificate(matmul4, truncated)
+
+    def test_tampered_witness_rejected(self, matmul4):
+        cert = self.make_cert(matmul4)
+        tampered = []
+        for r in cert.refutations:
+            if r.kind == "conflict":
+                j1, j2 = r.witness
+                r = Refutation(pi=r.pi, kind="conflict", witness=(j1, j1))
+            tampered.append(r)
+        bad = dataclasses.replace(cert, refutations=tuple(tampered))
+        assert not verify_certificate(matmul4, bad)
+
+    def test_wrong_kind_rejected(self, matmul4):
+        cert = self.make_cert(matmul4)
+        bad_refs = tuple(
+            Refutation(pi=r.pi, kind="magic", witness=r.witness)
+            for r in cert.refutations
+        )
+        bad = dataclasses.replace(cert, refutations=bad_refs)
+        assert not verify_certificate(matmul4, bad)
+
+    def test_duplicate_refutations_rejected(self, matmul4):
+        cert = self.make_cert(matmul4)
+        dup = dataclasses.replace(
+            cert, refutations=cert.refutations + cert.refutations[:1]
+        )
+        assert not verify_certificate(matmul4, dup)
+
+    def test_conflicted_claimed_optimum_rejected(self, matmul4):
+        cert = self.make_cert(matmul4)
+        bad = dataclasses.replace(cert, optimal_pi=(1, 1, 4),
+                                  optimal_time=25)
+        assert not verify_certificate(matmul4, bad)
+
+    def test_inconsistent_time_rejected(self, matmul4):
+        cert = self.make_cert(matmul4)
+        bad = dataclasses.replace(cert, optimal_time=999)
+        assert not verify_certificate(matmul4, bad)
+
+
+class TestAgreementWithSolvers:
+    def test_certificates_for_all_solver_outputs(self):
+        """Every optimum any solver reports must be certifiable."""
+        from repro.core import procedure_5_1, solve_corank1_optimal
+
+        for mu in (2, 3, 4):
+            algo = matrix_multiplication(mu)
+            search = procedure_5_1(algo, [[1, 1, -1]])
+            cert = certify_optimality(algo, [[1, 1, -1]], search.schedule.pi)
+            assert verify_certificate(algo, cert), f"search mu={mu}"
+            ilp = solve_corank1_optimal(algo, [[1, 1, -1]])
+            cert2 = certify_optimality(algo, [[1, 1, -1]], ilp.schedule.pi)
+            assert verify_certificate(algo, cert2), f"ilp mu={mu}"

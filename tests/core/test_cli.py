@@ -1,0 +1,129 @@
+"""Unit tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParsing:
+    def test_vector_parsing(self):
+        from repro.cli import _parse_vector
+
+        assert _parse_vector("1,4,1") == (1, 4, 1)
+        assert _parse_vector("1, -2, 3") == (1, -2, 3)
+
+    def test_bad_vector(self):
+        import argparse
+
+        from repro.cli import _parse_vector
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_vector("1,x,3")
+
+    def test_matrix_parsing(self):
+        from repro.cli import _parse_matrix
+
+        assert _parse_matrix("1,0;0,1") == ((1, 0), (0, 1))
+        assert _parse_matrix("1,1,-1") == ((1, 1, -1),)
+
+    def test_ragged_matrix_rejected(self):
+        import argparse
+
+        from repro.cli import _parse_matrix
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_matrix("1,0;0,1,2")
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMapCommand:
+    def test_matmul(self, capsys):
+        rc = main(["map", "-a", "matmul", "--mu", "4", "-s", "1,1,-1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "optimal Pi     : [1, 4, 1]" in out
+        assert "total time     : 25" in out
+
+    def test_transitive_closure(self, capsys):
+        rc = main(["map", "-a", "transitive-closure", "--mu", "4", "-s", "0,0,1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "[5, 1, 1]" in out
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(SystemExit, match="unknown algorithm"):
+            main(["map", "-a", "quicksort", "-s", "1,1,-1"])
+
+
+class TestCheckCommand:
+    def test_conflicted_mapping_exit_code(self, capsys):
+        rc = main(["check", "--rows", "1,7,1,1;1,7,1,0", "--mu", "6,6,6,6"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "conflict-free  : False" in out
+        assert "witness" in out
+
+    def test_clean_mapping(self, capsys):
+        rc = main(["check", "--rows", "1,1,-1;1,4,1", "--mu", "4,4,4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "conflict-free  : True" in out
+
+    def test_paper_method_selectable(self, capsys):
+        rc = main(
+            ["check", "--rows", "1,1,-1;1,4,1", "--mu", "4,4,4",
+             "--method", "paper"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "3.1" in out
+
+    def test_mu_arity_validated(self):
+        with pytest.raises(SystemExit, match="entries"):
+            main(["check", "--rows", "1,1,-1;1,4,1", "--mu", "4,4"])
+
+
+class TestSimulateCommand:
+    def test_clean_run(self, capsys):
+        rc = main(
+            ["simulate", "-a", "matmul", "--mu", "2",
+             "-s", "1,1,-1", "-p", "1,2,1"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "verdict        : CLEAN" in out
+
+    def test_defective_run(self, capsys):
+        rc = main(
+            ["simulate", "-a", "matmul", "--mu", "4",
+             "-s", "1,1,-1", "-p", "1,1,4"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "DEFECTIVE" in out
+
+    def test_render_flag(self, capsys):
+        rc = main(
+            ["simulate", "-a", "matmul", "--mu", "2",
+             "-s", "1,1,-1", "-p", "1,2,1", "--render"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "PE\\t" in out
+
+
+class TestDesignCommand:
+    def test_matmul_design(self, capsys):
+        rc = main(["design", "-a", "matmul", "--mu", "2", "-p", "1,2,1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "#1:" in out
+        assert "PEs=5" in out  # the cheaper-than-paper design
+
+    def test_no_design_found(self, capsys):
+        # A schedule violating Pi D > 0 raises before searching.
+        with pytest.raises(ValueError):
+            main(["design", "-a", "matmul", "--mu", "2", "-p", "1,0,1"])

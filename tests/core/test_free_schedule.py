@@ -1,0 +1,83 @@
+"""Unit tests for repro.core.free_schedule (dependence-only optima)."""
+
+import pytest
+
+from repro.core import conflict_penalty, optimal_free_schedule
+from repro.model import (
+    ConstantBoundedIndexSet,
+    UniformDependenceAlgorithm,
+    matrix_multiplication,
+    transitive_closure,
+)
+
+
+class TestFreeSchedule:
+    def test_matmul_all_ones(self):
+        """Unit dependence vectors force pi_i >= 1: optimum is 1-vector."""
+        for mu in (2, 4, 7):
+            res = optimal_free_schedule(matrix_multiplication(mu))
+            assert res.schedule.pi == (1, 1, 1)
+            assert res.total_time == 3 * mu + 1
+
+    def test_tc_optimum(self):
+        """TC's D forces pi_1 >= pi_2 + pi_3 + 1: optimum [3,1,1]."""
+        res = optimal_free_schedule(transitive_closure(4))
+        assert res.schedule.pi == (3, 1, 1)
+        assert res.total_time == 4 * 5 + 1
+
+    def test_validity(self):
+        for algo in (matrix_multiplication(3), transitive_closure(3)):
+            res = optimal_free_schedule(algo)
+            assert res.schedule.respects(algo)
+
+    def test_optimality_by_sweep(self):
+        """No valid schedule beats the reported free optimum."""
+        from repro.core import enumerate_schedule_vectors
+
+        algo = transitive_closure(3)
+        res = optimal_free_schedule(algo)
+        for pi in enumerate_schedule_vectors(algo.mu, res.schedule.f - 1):
+            assert not algo.is_acyclic_under(pi)
+
+    def test_negative_entries_usable(self):
+        """Dependences with mixed signs admit schedules with negative
+        components; the orthant split must find them."""
+        algo = UniformDependenceAlgorithm(
+            index_set=ConstantBoundedIndexSet((3, 3)),
+            dependence_matrix=((1, 0), (-1, 1)),  # d1=(1,-1), d2=(0,1)
+        )
+        res = optimal_free_schedule(algo)
+        assert res.schedule.respects(algo)
+        # (2, 1) works: d1 -> 1, d2 -> 1.  f = 9.  Check optimality class.
+        assert res.schedule.f <= 9
+
+    def test_cyclic_dependences_rejected(self):
+        algo = UniformDependenceAlgorithm(
+            index_set=ConstantBoundedIndexSet((3, 3)),
+            dependence_matrix=((1, -1), (0, 0)),  # d and -d: cyclic
+        )
+        with pytest.raises(ValueError, match="cyclic"):
+            optimal_free_schedule(algo)
+
+    def test_orthant_accounting(self):
+        res = optimal_free_schedule(matrix_multiplication(2))
+        # Only the all-positive orthant is feasible for D = I.
+        assert res.orthants_solved == 1
+
+
+class TestConflictPenalty:
+    def test_matmul_penalty_formula(self):
+        """penalty = mu(mu+2)+1 - (3mu+1) = mu^2 - mu at even mu."""
+        for mu in (2, 4, 6):
+            algo = matrix_multiplication(mu)
+            assert conflict_penalty(algo, mu * (mu + 2) + 1) == mu * mu - mu
+
+    def test_tc_penalty(self):
+        algo = transitive_closure(4)
+        # conflict-free optimum 29, free optimum 21.
+        assert conflict_penalty(algo, 29) == 8
+
+    def test_zero_penalty_possible(self):
+        algo = matrix_multiplication(2)
+        free = optimal_free_schedule(algo).total_time
+        assert conflict_penalty(algo, free) == 0

@@ -1,0 +1,115 @@
+"""Unit tests for repro.core.mapping (Definition 2.2)."""
+
+import pytest
+
+from repro.core import MappingError, MappingMatrix
+from repro.model import matrix_multiplication, transitive_closure
+
+
+class TestConstruction:
+    def test_example_5_1(self):
+        t = MappingMatrix(space=((1, 1, -1),), schedule=(1, 4, 1))
+        assert t.n == 3
+        assert t.k == 2
+        assert t.array_dimension == 1
+        assert t.corank == 1
+
+    def test_from_rows(self):
+        t = MappingMatrix.from_rows([[1, 1, -1], [1, 4, 1]])
+        assert t.space == ((1, 1, -1),)
+        assert t.schedule == (1, 4, 1)
+
+    def test_from_rows_empty_rejected(self):
+        with pytest.raises(MappingError):
+            MappingMatrix.from_rows([])
+
+    def test_schedule_only(self):
+        """k = 1: all computations on one processor."""
+        t = MappingMatrix(space=(), schedule=(1, 2))
+        assert t.k == 1
+        assert t.array_dimension == 0
+        assert t.processor((5, 5)) == ()
+
+    def test_none_space_treated_empty(self):
+        t = MappingMatrix(space=None, schedule=(1, 2))
+        assert t.space == ()
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(MappingError):
+            MappingMatrix(space=((1, 1),), schedule=(1, 2, 3))
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(MappingError):
+            MappingMatrix(space=(), schedule=())
+
+    def test_coercion_to_int(self):
+        import numpy as np
+
+        t = MappingMatrix(space=(np.array([1, 1, -1]),), schedule=np.array([1, 4, 1]))
+        assert t.schedule == (1, 4, 1)
+
+    def test_with_schedule(self):
+        t = MappingMatrix(space=((1, 1, -1),), schedule=(1, 4, 1))
+        t2 = t.with_schedule((2, 1, 4))
+        assert t2.space == t.space
+        assert t2.schedule == (2, 1, 4)
+
+    def test_hashable(self):
+        t = MappingMatrix(space=((1, 1, -1),), schedule=(1, 4, 1))
+        assert hash(t) == hash(MappingMatrix(space=((1, 1, -1),), schedule=(1, 4, 1)))
+
+
+class TestEvaluation:
+    T = MappingMatrix(space=((1, 1, -1),), schedule=(1, 4, 1))
+
+    def test_tau(self):
+        assert self.T.tau((2, 3, 1)) == (4, 15)
+
+    def test_processor_and_time_split(self):
+        j = (2, 3, 1)
+        assert self.T.tau(j) == self.T.processor(j) + (self.T.time(j),)
+
+    def test_tau_origin(self):
+        assert self.T.tau((0, 0, 0)) == (0, 0)
+
+    def test_rows_layout(self):
+        assert self.T.rows() == [[1, 1, -1], [1, 4, 1]]
+
+
+class TestConditions:
+    def test_rank_full(self):
+        t = MappingMatrix(space=((1, 1, -1),), schedule=(1, 4, 1))
+        assert t.rank() == 2
+        assert t.has_full_rank()
+
+    def test_rank_deficient(self):
+        t = MappingMatrix(space=((1, 1, -1),), schedule=(2, 2, -2))
+        assert t.rank() == 1
+        assert not t.has_full_rank()
+
+    def test_respects_dependences_matmul(self, matmul4):
+        assert MappingMatrix(space=((1, 1, -1),), schedule=(1, 4, 1)).respects_dependences(
+            matmul4
+        )
+        assert not MappingMatrix(
+            space=((1, 1, -1),), schedule=(1, 0, 1)
+        ).respects_dependences(matmul4)
+
+    def test_respects_dependences_tc(self, tc4):
+        # Example 5.2's derived constraints: pi1 - pi2 - pi3 >= 1 etc.
+        assert MappingMatrix(space=((0, 0, 1),), schedule=(5, 1, 1)).respects_dependences(
+            tc4
+        )
+        assert not MappingMatrix(
+            space=((0, 0, 1),), schedule=(2, 1, 1)
+        ).respects_dependences(tc4)
+
+    def test_corank_examples(self):
+        # 5-D -> 2-D: T in Z^(3x5), co-rank 2.
+        t = MappingMatrix(
+            space=((1, 0, 1, 0, 0), (0, 1, 0, 1, 0)), schedule=(1, 1, 1, 7, 8)
+        )
+        assert t.corank == 2
+        # square mapping: co-rank 0.
+        sq = MappingMatrix(space=((1, 0), ), schedule=(0, 1))
+        assert sq.corank == 0

@@ -1,0 +1,81 @@
+"""Unit tests for repro.core.pipeline (the one-call API)."""
+
+import pytest
+
+from repro.core import find_time_optimal_mapping
+from repro.model import (
+    bit_level_matrix_multiplication,
+    matrix_multiplication,
+    transitive_closure,
+)
+
+
+class TestAutoRouting:
+    def test_corank1_uses_ilp(self, matmul4):
+        r = find_time_optimal_mapping(matmul4, [[1, 1, -1]])
+        assert r.solver == "ilp"
+        assert r.total_time == 25
+
+    def test_corank2_uses_search(self):
+        algo = bit_level_matrix_multiplication(1, 1)
+        r = find_time_optimal_mapping(
+            algo, [[1, 0, 1, 0, 0], [0, 1, 0, 1, 0]]
+        )
+        assert r.solver == "procedure-5.1"
+        assert r.analysis.conflict_free
+
+    def test_explicit_search_on_corank1(self, matmul4):
+        r = find_time_optimal_mapping(matmul4, [[1, 1, -1]], solver="procedure-5.1")
+        assert r.solver == "procedure-5.1"
+        assert r.total_time == 25
+
+    def test_ilp_rejected_for_corank2(self):
+        algo = bit_level_matrix_multiplication(1, 1)
+        with pytest.raises(ValueError, match="co-rank"):
+            find_time_optimal_mapping(
+                algo, [[1, 0, 1, 0, 0], [0, 1, 0, 1, 0]], solver="ilp"
+            )
+
+    def test_unknown_solver_rejected(self, matmul4):
+        with pytest.raises(ValueError, match="unknown solver"):
+            find_time_optimal_mapping(matmul4, [[1, 1, -1]], solver="magic")
+
+
+class TestResultContents:
+    def test_analysis_attached(self, matmul4):
+        r = find_time_optimal_mapping(matmul4, [[1, 1, -1]])
+        assert r.analysis.conflict_free
+        assert r.analysis.witness is None
+        assert len(r.analysis.generators) == 1
+
+    def test_stats_by_solver(self, matmul4, tc4):
+        ilp = find_time_optimal_mapping(matmul4, [[1, 1, -1]])
+        assert "subproblems" in ilp.stats
+        search = find_time_optimal_mapping(
+            tc4, [[0, 0, 1]], solver="procedure-5.1"
+        )
+        assert "candidates_examined" in search.stats
+
+    def test_total_time_property(self, tc4):
+        r = find_time_optimal_mapping(tc4, [[0, 0, 1]])
+        assert r.total_time == r.schedule.total_time == 29
+
+    def test_simulate_hook(self, matmul4):
+        r = find_time_optimal_mapping(matmul4, [[1, 1, -1]])
+        report = r.simulate()
+        assert report.ok
+        assert report.makespan == r.total_time
+
+    def test_odd_mu_fallback_path(self):
+        """mu=3: the ILP vertices all fail; the pipeline must still
+        return the true optimum via the search fallback (finding F3)."""
+        algo = matrix_multiplication(3)
+        r = find_time_optimal_mapping(algo, [[1, 1, -1]])
+        assert r.total_time == 16
+        assert r.analysis.conflict_free
+
+    def test_consistency_across_mu(self):
+        for mu in (2, 3, 4, 5):
+            algo = transitive_closure(mu)
+            r = find_time_optimal_mapping(algo, [[0, 0, 1]])
+            assert r.total_time == mu * (mu + 3) + 1, f"mu={mu}"

@@ -1,0 +1,126 @@
+"""Unit tests for repro.core.prop81 (Proposition 8.1)."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    MappingMatrix,
+    conflict_generators,
+    prop81_applicable,
+    prop81_columns,
+)
+from repro.intlin import matvec, solve_diophantine
+
+
+SPACE = [[1, 0, 1, 0, 0], [0, 1, 0, 1, 0]]
+
+
+class TestApplicability:
+    def test_normalized_space(self):
+        assert prop81_applicable(SPACE)
+
+    def test_s11_not_one(self):
+        assert not prop81_applicable([[2, 0, 1, 0, 0], [0, 1, 0, 1, 0]])
+
+    def test_second_normalization(self):
+        # s22 - s21*s12 must be 1.
+        assert prop81_applicable([[1, 1, 0, 0, 0], [1, 2, 0, 1, 0]])
+        assert not prop81_applicable([[1, 1, 0, 0, 0], [1, 3, 0, 1, 0]])
+
+    def test_wrong_shape(self):
+        assert not prop81_applicable([[1, 0, 0]])
+        assert not prop81_applicable([[1, 0, 1, 0, 0]])
+
+    def test_rejected_on_columns_call(self):
+        with pytest.raises(ValueError, match="s11"):
+            prop81_columns([[2, 0, 1, 0, 0], [0, 1, 0, 1, 0]], [1, 1, 1, 1, 1])
+
+
+class TestColumns:
+    def test_columns_in_kernel(self):
+        res = prop81_columns(SPACE, [1, 1, 1, 7, 8])
+        t = MappingMatrix(space=tuple(map(tuple, SPACE)), schedule=(1, 1, 1, 7, 8))
+        assert matvec(t.rows(), list(res.u4)) == [0, 0, 0]
+        assert matvec(t.rows(), list(res.u5)) == [0, 0, 0]
+
+    def test_columns_linearly_independent(self):
+        from repro.intlin import rank
+
+        res = prop81_columns(SPACE, [1, 1, 1, 7, 8])
+        assert rank([list(res.u4), list(res.u5)]) == 2
+
+    def test_pi_length_validated(self):
+        with pytest.raises(ValueError, match="5 entries"):
+            prop81_columns(SPACE, [1, 1, 1])
+
+    def test_degenerate_h_rejected(self):
+        # Choose Pi making h33 = h34 = 0: for this S, h33 = -pi1 + pi3
+        # and h34 = -pi2 + pi4 (c-constants vanish appropriately).
+        res_h = prop81_columns(SPACE, [1, 1, 2, 3, 4]).h
+        # compute a Pi that zeroes h33, h34 by construction:
+        with pytest.raises(ValueError, match="degenerates"):
+            prop81_columns(SPACE, [1, 1, 1, 1, 5])
+        _ = res_h
+
+    def test_same_lattice_as_hnf(self, rng):
+        """Prop 8.1 columns and the generic HNF kernel must generate the
+        same rank-2 lattice: each expresses the other integrally."""
+        tried = 0
+        for _ in range(40):
+            pi = [rng.randint(-4, 4) for _ in range(5)]
+            t = MappingMatrix(space=tuple(map(tuple, SPACE)), schedule=tuple(pi))
+            if t.rank() != 3:
+                continue
+            try:
+                res = prop81_columns(SPACE, pi)
+            except ValueError:
+                continue  # degenerate h pair
+            tried += 1
+            hnf_gens = conflict_generators(t)
+            prop_mat = [[res.u4[i], res.u5[i]] for i in range(5)]
+            hnf_mat = [[col[i] for col in hnf_gens] for i in range(5)]
+            for col in hnf_gens:
+                assert solve_diophantine(prop_mat, col) is not None
+            for col in (list(res.u4), list(res.u5)):
+                assert solve_diophantine(hnf_mat, col) is not None
+        assert tried >= 10
+
+    def test_bezout_identity_recorded(self):
+        res = prop81_columns(SPACE, [1, 1, 1, 7, 8])
+        (p1, q1), _ = res.bezout
+        h33, h34, _h35 = res.h
+        g1, _g2 = res.g
+        assert p1 * h33 + q1 * h34 == g1
+
+    def test_h_values_linear_in_pi(self):
+        """Equations 8.4 are linear: h(a + b) = h(a) + h(b) - h(0)."""
+        pi_a = [1, 2, 3, 4, 5]
+        pi_b = [2, 0, 1, 1, 3]
+        pi_ab = [a + b for a, b in zip(pi_a, pi_b)]
+
+        def h_of(pi):
+            try:
+                return prop81_columns(SPACE, pi).h
+            except ValueError:
+                return None
+
+        ha, hb, hab = h_of(pi_a), h_of(pi_b), h_of(pi_ab)
+        if ha and hb and hab:
+            assert all(x + y == z for x, y, z in zip(ha, hb, hab))
+
+    def test_second_normalized_space_family(self, rng):
+        """A different S satisfying the normalizations also works."""
+        space = [[1, 1, 0, 2, 0], [1, 2, 1, 0, 1]]
+        assert prop81_applicable(space)
+        for _ in range(20):
+            pi = [rng.randint(-3, 3) for _ in range(5)]
+            t = MappingMatrix(space=tuple(map(tuple, space)), schedule=tuple(pi))
+            if t.rank() != 3:
+                continue
+            try:
+                res = prop81_columns(space, pi)
+            except ValueError:
+                continue
+            assert matvec(t.rows(), list(res.u4)) == [0, 0, 0]
+            assert matvec(t.rows(), list(res.u5)) == [0, 0, 0]

@@ -1,0 +1,97 @@
+"""Unit tests for repro.core.schedule (Section 2 time accounting)."""
+
+import pytest
+
+from repro.core import (
+    LinearSchedule,
+    objective_f,
+    total_execution_time,
+    validate_schedule,
+)
+from repro.model import ConstantBoundedIndexSet, matrix_multiplication
+
+
+class TestObjective:
+    def test_equation_2_7(self):
+        # Example 5.1: Pi = [1, 4, 1], mu = 4: f = 24, t = 25.
+        assert objective_f((1, 4, 1), (4, 4, 4)) == 24
+        assert total_execution_time((1, 4, 1), (4, 4, 4)) == 25
+
+    def test_absolute_values(self):
+        assert objective_f((-1, 4, -1), (4, 4, 4)) == 24
+
+    def test_zero_schedule(self):
+        assert objective_f((0, 0), (9, 9)) == 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            objective_f((1, 1), (4, 4, 4))
+
+    def test_matches_index_set_diameter(self):
+        j = ConstantBoundedIndexSet((3, 5, 2))
+        pi = (2, -1, 4)
+        assert objective_f(pi, j.mu) == j.diameter_along(pi)
+
+    def test_monotonicity_theorem_2_1(self):
+        """Increasing any |pi_i| strictly increases t (Theorem 2.1)."""
+        mu = (4, 4, 4)
+        base = (1, 2, 3)
+        t0 = total_execution_time(base, mu)
+        for i in range(3):
+            bumped = list(base)
+            bumped[i] += 1
+            assert total_execution_time(bumped, mu) > t0
+
+
+class TestValidate:
+    def test_all_satisfied(self, matmul4):
+        assert validate_schedule((1, 1, 1), matmul4) == []
+
+    def test_violations_reported(self, matmul4):
+        # Pi = (1, 0, -1): d2 gives 0, d3 gives -1.
+        assert validate_schedule((1, 0, -1), matmul4) == [1, 2]
+
+    def test_tc_constraints(self, tc4):
+        assert validate_schedule((5, 1, 1), tc4) == []
+        bad = validate_schedule((2, 1, 1), tc4)
+        assert 2 in bad  # d3 = (1,-1,-1): 2-1-1 = 0
+
+
+class TestLinearSchedule:
+    J = ConstantBoundedIndexSet((4, 4, 4))
+
+    def test_accounting(self):
+        s = LinearSchedule(pi=(1, 4, 1), index_set=self.J)
+        assert s.f == 24
+        assert s.total_time == 25
+
+    def test_time_of_point(self):
+        s = LinearSchedule(pi=(1, 4, 1), index_set=self.J)
+        assert s.time_of((2, 3, 1)) == 15
+
+    def test_dimension_check(self):
+        with pytest.raises(ValueError):
+            LinearSchedule(pi=(1, 2), index_set=self.J)
+
+    def test_respects(self):
+        algo = matrix_multiplication(4)
+        assert LinearSchedule(pi=(1, 1, 1), index_set=self.J).respects(algo)
+        assert not LinearSchedule(pi=(1, 0, 1), index_set=self.J).respects(algo)
+
+    def test_ordering_by_time_then_lex(self):
+        a = LinearSchedule(pi=(1, 1, 1), index_set=self.J)
+        b = LinearSchedule(pi=(1, 4, 1), index_set=self.J)
+        c = LinearSchedule(pi=(4, 1, 1), index_set=self.J)
+        assert a < b
+        assert b < c  # equal time (24): lexicographic tie-break
+        assert sorted([c, b, a]) == [a, b, c]
+
+    def test_coerces_numpy(self):
+        import numpy as np
+
+        s = LinearSchedule(pi=np.array([1, 4, 1]), index_set=self.J)
+        assert s.pi == (1, 4, 1)
+
+    def test_sort_key_stable(self):
+        s = LinearSchedule(pi=(1, 4, 1), index_set=self.J)
+        assert s.sort_key() == (25, (1, 4, 1))

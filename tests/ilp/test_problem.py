@@ -1,0 +1,118 @@
+"""Unit tests for repro.ilp.problem (the LP/ILP container)."""
+
+import numpy as np
+import pytest
+
+from repro.ilp import LinearProgram, LPSolution
+
+
+class TestBuild:
+    def test_minimal(self):
+        p = LinearProgram.build([1.0, 2.0])
+        assert p.num_vars == 2
+        assert p.a_ub.shape == (0, 2)
+        assert p.a_eq.shape == (0, 2)
+        assert p.bounds == [(None, None), (None, None)]
+        assert p.integer.all()
+
+    def test_full(self):
+        p = LinearProgram.build(
+            [1, 1],
+            a_ub=[[1, 0]],
+            b_ub=[5],
+            a_eq=[[1, 1]],
+            b_eq=[3],
+            bounds=[(0, None), (0, 10)],
+            integer=[True, False],
+            names=["x", "y"],
+        )
+        assert p.a_ub.shape == (1, 2)
+        assert p.names == ["x", "y"]
+        assert p.integer.tolist() == [True, False]
+
+    def test_row_count_mismatch(self):
+        with pytest.raises(ValueError):
+            LinearProgram.build([1, 1], a_ub=[[1, 0]], b_ub=[1, 2])
+
+    def test_eq_count_mismatch(self):
+        with pytest.raises(ValueError):
+            LinearProgram.build([1, 1], a_eq=[[1, 0], [0, 1]], b_eq=[1])
+
+    def test_bounds_length_mismatch(self):
+        with pytest.raises(ValueError):
+            LinearProgram.build([1, 1], bounds=[(0, 1)])
+
+    def test_integer_mask_length_mismatch(self):
+        with pytest.raises(ValueError):
+            LinearProgram.build([1, 1], integer=[True])
+
+
+class TestMutation:
+    def test_with_extra_ub(self):
+        p = LinearProgram.build([1, 1], a_ub=[[1, 0]], b_ub=[5])
+        p2 = p.with_extra_ub([0, 1], 7)
+        assert p2.a_ub.shape == (2, 2)
+        assert p.a_ub.shape == (1, 2)  # original untouched
+
+    def test_with_bounds_tightens(self):
+        p = LinearProgram.build([1], bounds=[(0, 10)])
+        p2 = p.with_bounds(0, 2, 8)
+        assert p2.bounds == [(2, 8)]
+
+    def test_with_bounds_keeps_tighter_original(self):
+        p = LinearProgram.build([1], bounds=[(5, 6)])
+        p2 = p.with_bounds(0, 0, 10)
+        assert p2.bounds == [(5, 6)]
+
+    def test_with_bounds_none_passthrough(self):
+        p = LinearProgram.build([1], bounds=[(1, None)])
+        p2 = p.with_bounds(0, None, 4)
+        assert p2.bounds == [(1, 4)]
+
+
+class TestFeasibility:
+    P = LinearProgram.build(
+        [1, 1],
+        a_ub=[[1, 1]],
+        b_ub=[4],
+        a_eq=[[1, -1]],
+        b_eq=[0],
+        bounds=[(0, None), (0, None)],
+    )
+
+    def test_feasible_point(self):
+        assert self.P.is_feasible_point([2, 2])
+
+    def test_ub_violation(self):
+        assert not self.P.is_feasible_point([3, 3])
+
+    def test_eq_violation(self):
+        assert not self.P.is_feasible_point([1, 2])
+
+    def test_bound_violation(self):
+        assert not self.P.is_feasible_point([-1, -1])
+
+    def test_tolerance(self):
+        assert self.P.is_feasible_point([2 + 1e-9, 2 + 1e-9])
+
+
+class TestLPSolution:
+    def test_ok(self):
+        s = LPSolution(status="optimal", x=(1.0, 2.0), objective=3.0)
+        assert s.ok
+        assert s.x_int() == (1, 2)
+
+    def test_not_ok(self):
+        s = LPSolution(status="infeasible", x=None, objective=None)
+        assert not s.ok
+        with pytest.raises(ValueError):
+            s.x_int()
+
+    def test_x_int_rejects_fractional(self):
+        s = LPSolution(status="optimal", x=(1.5,), objective=1.5)
+        with pytest.raises(ValueError, match="not integral"):
+            s.x_int()
+
+    def test_x_int_snaps_near_integral(self):
+        s = LPSolution(status="optimal", x=(2.0 + 1e-9,), objective=2.0)
+        assert s.x_int() == (2,)

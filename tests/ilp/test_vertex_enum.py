@@ -1,0 +1,136 @@
+"""Unit tests for repro.ilp.vertex_enum (the appendix technique)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.ilp import (
+    LinearProgram,
+    all_vertices_integral,
+    best_integral_vertex,
+    enumerate_vertices,
+    solve_ilp,
+)
+
+
+def frac_tuple(*vals):
+    return tuple(Fraction(v) for v in vals)
+
+
+class TestEnumerate:
+    def test_unit_square(self):
+        p = LinearProgram.build([1, 1], bounds=[(0, 1), (0, 1)])
+        verts = set(enumerate_vertices(p))
+        assert verts == {
+            frac_tuple(0, 0),
+            frac_tuple(0, 1),
+            frac_tuple(1, 0),
+            frac_tuple(1, 1),
+        }
+
+    def test_triangle(self):
+        # x, y >= 0, x + y <= 2.
+        p = LinearProgram.build(
+            [1, 1], a_ub=[[1, 1]], b_ub=[2], bounds=[(0, None), (0, None)]
+        )
+        verts = set(enumerate_vertices(p))
+        assert verts == {frac_tuple(0, 0), frac_tuple(2, 0), frac_tuple(0, 2)}
+
+    def test_fractional_vertex(self):
+        # 2x <= 1, x >= 0: vertices {0, 1/2}.
+        p = LinearProgram.build([1], a_ub=[[2]], b_ub=[1], bounds=[(0, None)])
+        verts = set(enumerate_vertices(p))
+        assert verts == {(Fraction(0),), (Fraction(1, 2),)}
+
+    def test_equality_reduces_dimension(self):
+        # x + y == 2, 0 <= x <= 2: vertices (0,2) and (2,0).
+        p = LinearProgram.build(
+            [1, 1], a_eq=[[1, 1]], b_eq=[2], bounds=[(0, 2), (None, None)]
+        )
+        verts = set(enumerate_vertices(p))
+        assert verts == {frac_tuple(0, 2), frac_tuple(2, 0)}
+
+    def test_empty_polyhedron(self):
+        p = LinearProgram.build(
+            [1], a_ub=[[1], [-1]], b_ub=[0, -1], bounds=[(None, None)]
+        )
+        assert enumerate_vertices(p) == []
+
+    def test_guard_on_constraint_count(self):
+        p = LinearProgram.build([1] * 5, bounds=[(0, 1)] * 5)
+        with pytest.raises(ValueError, match="guard"):
+            enumerate_vertices(p, max_constraints=3)
+
+    def test_paper_formulation_I_vertices(self):
+        """Appendix Eq 8.1 subset I at mu = 4: exactly the two extreme
+        points the paper reports, [1,1,4] and [1,4,1] (pi_1 = 1)."""
+        mu = 4
+        p = LinearProgram.build(
+            [mu] * 3,
+            a_ub=[[0, -1, -1]],
+            b_ub=[-(mu + 1)],
+            bounds=[(1, None)] * 3,
+        )
+        verts = set(enumerate_vertices(p))
+        assert frac_tuple(1, 1, mu) in verts
+        assert frac_tuple(1, mu, 1) in verts
+        assert len(verts) == 2
+
+
+class TestBestIntegral:
+    def test_picks_minimum(self):
+        p = LinearProgram.build(
+            [1, 3], a_ub=[[-1, -1]], b_ub=[-2], bounds=[(0, None), (0, None)]
+        )
+        best = best_integral_vertex(p)
+        assert best is not None
+        point, obj = best
+        assert point == (2, 0)
+        assert obj == 2
+
+    def test_skips_fractional(self):
+        # Only vertices are 0 and 1/2: best integral is 0.
+        p = LinearProgram.build([-1], a_ub=[[2]], b_ub=[1], bounds=[(0, None)])
+        point, obj = best_integral_vertex(p)
+        assert point == (0,)
+
+    def test_none_when_no_integral_vertex(self):
+        # x == 1/2 exactly: single fractional vertex.
+        p = LinearProgram.build([1], a_eq=[[2]], b_eq=[1], bounds=[(None, None)])
+        assert best_integral_vertex(p) is None
+
+    def test_deterministic_tie_break(self):
+        # Two vertices with equal objective: lexicographically smaller wins.
+        p = LinearProgram.build(
+            [1, 1], a_ub=[[-1, -1]], b_ub=[-2], bounds=[(0, 2), (0, 2)]
+        )
+        point, _obj = best_integral_vertex(p)
+        assert point == (0, 2)
+
+    def test_agrees_with_branch_bound_when_integral(self):
+        """On a polyhedron with all-integral vertices the appendix
+        technique and B&B must find the same optimum (the appendix's
+        whole premise)."""
+        mu = 4
+        p = LinearProgram.build(
+            [mu] * 3,
+            a_ub=[[0, -1, -1]],
+            b_ub=[-(mu + 1)],
+            bounds=[(1, None)] * 3,
+        )
+        assert all_vertices_integral(p)
+        point, obj = best_integral_vertex(p)
+        bb = solve_ilp(p)
+        assert float(obj) == pytest.approx(bb.objective)
+
+
+class TestAllIntegral:
+    def test_true_for_unimodular_system(self):
+        p = LinearProgram.build(
+            [1, 1], a_ub=[[1, 1]], b_ub=[3], bounds=[(0, None), (0, None)]
+        )
+        assert all_vertices_integral(p)
+
+    def test_false_with_fractional_vertex(self):
+        p = LinearProgram.build([1], a_ub=[[2]], b_ub=[1], bounds=[(0, None)])
+        assert not all_vertices_integral(p)

@@ -1,0 +1,162 @@
+"""End-to-end workflows crossing every package boundary."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Access,
+    LoopNest,
+    MappingMatrix,
+    bit_level_matrix_multiplication,
+    convolution_1d,
+    find_time_optimal_mapping,
+    matrix_multiplication,
+    simulate_mapping,
+)
+from repro.core import is_conflict_free_kernel_box, prop81_columns
+from repro.systolic import verify_convolution, verify_matmul
+
+
+class TestLoopnestToArray:
+    """Source loop nest -> (J,D) -> optimal mapping -> simulation -> values."""
+
+    def test_fir_filter_pipeline(self):
+        taps, samples = 3, 6
+        nest = LoopNest(indices=("i", "k"), bounds=(samples, taps))
+        structure = nest.uniformize(
+            output=Access("y", ("i", "k"), variable_is_output=True),
+            reads=(
+                Access("y", ("i", "k-1")),
+                Access("x", ("i-k",)),
+                Access("w", ("k",)),
+            ),
+        )
+        rng = np.random.default_rng(1)
+        w = rng.integers(-3, 4, taps + 1)
+        x = rng.integers(-3, 4, samples + taps + 1)
+        algo = convolution_1d(taps, samples, weights=w, signal=x)
+        assert structure.dependence_vectors() == algo.dependence_vectors()
+
+        result = find_time_optimal_mapping(algo, space=[[1, 0]])
+        report = simulate_mapping(algo, result.mapping)
+        assert report.ok
+        ok, *_ = verify_convolution(report.values, w, x, taps, samples)
+        assert ok
+
+    def test_matmul_from_nest(self):
+        nest = LoopNest(indices=("j1", "j2", "j3"), bounds=(2, 2, 2))
+        algo = nest.uniformize(
+            output=Access("c", ("j1", "j2", "j3"), variable_is_output=True),
+            reads=(
+                Access("c", ("j1", "j2", "j3-1")),
+                Access("a", ("j1", "j3")),
+                Access("b", ("j3", "j2")),
+            ),
+        )
+        # Dependence columns: (0,0,1) [c], (0,1,0) [a], (1,0,0) [b] —
+        # a permutation of the library matmul's D.
+        assert set(algo.dependence_vectors()) == set(
+            matrix_multiplication(2).dependence_vectors()
+        )
+
+
+class TestBitLevelEndToEnd:
+    """5-D bit-level matmul -> Theorem 4.7 -> Prop 8.1 -> 2-D simulation."""
+
+    SPACE = [[1, 0, 1, 0, 0], [0, 1, 0, 1, 0]]
+
+    def test_full_path(self):
+        algo = bit_level_matrix_multiplication(1, 1)
+        result = find_time_optimal_mapping(algo, self.SPACE)
+        assert result.analysis.conflict_free
+
+        # Prop 8.1 agrees with the winner's HNF lattice.
+        try:
+            prop = prop81_columns(self.SPACE, result.schedule.pi)
+        except ValueError:
+            prop = None  # degenerate h: closed form not applicable here
+        if prop is not None:
+            from repro.intlin import matvec
+
+            rows = result.mapping.rows()
+            assert matvec(rows, list(prop.u4)) == [0, 0, 0]
+            assert matvec(rows, list(prop.u5)) == [0, 0, 0]
+
+        report = simulate_mapping(algo, result.mapping)
+        assert report.ok
+        assert report.makespan == result.total_time
+
+    def test_optimality_bruteforce_certificate(self):
+        """No cheaper conflict-free schedule exists (tiny instance)."""
+        from repro.core import enumerate_schedule_vectors
+
+        algo = bit_level_matrix_multiplication(1, 1)
+        result = find_time_optimal_mapping(algo, self.SPACE)
+        best = result.schedule.f
+        space_rows = tuple(tuple(r) for r in self.SPACE)
+        for pi in enumerate_schedule_vectors(algo.mu, best - 1):
+            if not algo.is_acyclic_under(pi):
+                continue
+            t = MappingMatrix(space=space_rows, schedule=pi)
+            if t.rank() != 3:
+                continue
+            assert not is_conflict_free_kernel_box(t, algo.mu)
+
+
+class TestFullMatmulStack:
+    def test_search_ilp_simulation_agree(self):
+        """All three roads (search, ILP, simulation) report one truth."""
+        mu = 4
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 9, (mu + 1, mu + 1))
+        b = rng.integers(0, 9, (mu + 1, mu + 1))
+        algo = matrix_multiplication(mu, a=a, b=b)
+
+        by_ilp = find_time_optimal_mapping(algo, [[1, 1, -1]], solver="ilp")
+        by_search = find_time_optimal_mapping(
+            algo, [[1, 1, -1]], solver="procedure-5.1"
+        )
+        assert by_ilp.total_time == by_search.total_time == 25
+
+        report = simulate_mapping(algo, by_ilp.mapping)
+        assert report.ok
+        assert report.makespan == 25
+        ok, *_ = verify_matmul(report.values, a, b)
+        assert ok
+
+    @pytest.mark.parametrize("mu", [2, 3, 4, 5])
+    def test_optimal_time_formula_by_parity(self, mu):
+        """Even mu: t = mu(mu+2)+1 via [1,mu,1].  Odd mu: the true
+        optimum is lower than the paper's odd-mu fallback (finding F3
+        at mu=3) — assert monotonicity and conflict-freedom instead."""
+        algo = matrix_multiplication(mu)
+        res = find_time_optimal_mapping(algo, [[1, 1, -1]])
+        assert res.analysis.conflict_free
+        if mu % 2 == 0:
+            assert res.total_time == mu * (mu + 2) + 1
+        else:
+            assert res.total_time <= mu * (mu + 3) + 1
+
+
+class TestPackageSurface:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_top_level_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_exports(self):
+        import repro.core
+        import repro.ilp
+        import repro.intlin
+        import repro.model
+        import repro.systolic
+
+        for pkg in (repro.core, repro.ilp, repro.intlin, repro.model, repro.systolic):
+            for name in pkg.__all__:
+                assert hasattr(pkg, name), f"{pkg.__name__}.{name}"

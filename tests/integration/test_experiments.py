@@ -1,0 +1,104 @@
+"""Integration tests for repro.experiments (programmatic regeneration)."""
+
+import pytest
+
+from repro.experiments import (
+    experiment_e1_conflict_vectors,
+    experiment_e2_hnf_4d,
+    experiment_e3_matmul,
+    experiment_e4_transitive_closure,
+    experiment_e5_array_structure,
+    experiment_e6_execution,
+    experiment_e8_bitlevel,
+    experiment_e11_space_design,
+    experiment_e12_conflict_penalty,
+    run_all,
+    write_markdown_report,
+)
+
+
+class TestIndividualExperiments:
+    def test_e1(self):
+        data = experiment_e1_conflict_vectors()
+        assert data["gamma_1_1_feasible"] is False
+        assert data["gamma_3_5_feasible"] is True
+
+    def test_e2(self):
+        data = experiment_e2_hnf_4d()
+        assert data["conflict_free"] is False
+        assert data["gamma3_feasible"] is False
+        assert len(data["generators"]) == 2
+
+    def test_e3_shapes(self):
+        rows = experiment_e3_matmul(sweep=(2, 3, 4))
+        by_mu = {r["mu"]: r for r in rows}
+        assert by_mu[4]["t_ours"] == 25
+        assert by_mu[4]["t_ref23"] == 29
+        assert by_mu[3]["t_ours"] == 16  # finding F3
+        assert by_mu[3]["used_search_fallback"] is True
+        for r in rows:
+            assert r["t_ours"] <= r["t_ref23"]
+
+    def test_e4_shapes(self):
+        rows = experiment_e4_transitive_closure(sweep=(2, 4))
+        for r in rows:
+            assert r["t_ours"] == r["t_formula"]
+            assert r["pi_ours"] == [r["mu"] + 1, 1, 1]
+            assert r["gamma"] == [1, -(r["mu"] + 1), 0]
+
+    def test_e5(self):
+        data = experiment_e5_array_structure()
+        assert data["buffers"] == [0, 3, 0]
+        assert data["statically_collision_free"] is True
+
+    def test_e6(self):
+        data = experiment_e6_execution()
+        assert data["makespan"] == data["expected_makespan"] == 25
+        assert data["conflicts"] == 0
+        assert data["result_exact"] is True
+
+    def test_e8(self):
+        rows = experiment_e8_bitlevel(sweep=((1, 1),))
+        assert rows[0]["clean"] is True
+
+    def test_e11(self):
+        data = experiment_e11_space_design()
+        assert data["best_processors"] == 5
+        assert data["paper_processors"] == 7
+
+    def test_e12(self):
+        rows = experiment_e12_conflict_penalty(sweep=(2, 4))
+        for r in rows:
+            assert r["certificate_valid"] is True
+            assert r["penalty"] == r["t_array"] - r["t_free"]
+        by_mu = {r["mu"]: r for r in rows}
+        assert by_mu[4]["penalty"] == 12  # mu^2 - mu
+
+
+class TestRunAll:
+    def test_quick_run(self):
+        data = run_all(quick=True)
+        assert set(data) == {
+            "E1", "E2", "E3", "E4", "E5", "E6", "E8", "E11", "E12",
+        }
+
+    def test_markdown_report(self, tmp_path):
+        out = tmp_path / "report.md"
+        data = write_markdown_report(str(out), quick=True)
+        text = out.read_text()
+        assert text.startswith("# Regenerated experiment report")
+        for key in data:
+            assert f"## {key}" in text
+        # The tabular experiments render as markdown tables.
+        assert "| mu |" in text
+
+
+class TestCLIReport:
+    def test_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "r.md"
+        rc = main(["report", "-o", str(out)])
+        assert rc == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out

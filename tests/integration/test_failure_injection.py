@@ -1,0 +1,121 @@
+"""Failure-injection tests: the system must fail loudly, not wrongly.
+
+Each test corrupts one link in the pipeline — a tampered
+interconnection plan, an inconsistent mapping, a mismatched index set —
+and asserts the corruption is *detected* (clean exception or defect
+report), never silently absorbed into a wrong answer.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import MappingMatrix
+from repro.model import ConstantBoundedIndexSet, matrix_multiplication
+from repro.systolic import (
+    InterconnectionPlan,
+    plan_interconnection,
+    simulate_mapping,
+)
+
+
+class TestTamperedPlans:
+    def setup_method(self):
+        self.algo = matrix_multiplication(2)
+        self.t = MappingMatrix(space=((1, 1, -1),), schedule=(1, 2, 1))
+        self.plan = plan_interconnection(self.algo, self.t)
+
+    def test_wrong_route_direction_detected(self):
+        """Flipping a route's primitive sends data to the wrong PE: the
+        simulator must refuse (route endpoint != consumer)."""
+        routes = list(self.plan.routes)
+        # Channel 0 uses primitive column 0 (+1); column 1 is (-1).
+        routes[0] = (1,)
+        bad = dataclasses.replace(self.plan, routes=tuple(routes))
+        with pytest.raises(RuntimeError, match="inconsistent"):
+            simulate_mapping(self.algo, self.t, plan=bad)
+
+    def test_extra_hops_detected(self):
+        """A route wandering off and back passes endpoint checks only if
+        it really returns; a one-sided detour must be caught."""
+        routes = list(self.plan.routes)
+        routes[0] = (0, 0)  # two eastward hops instead of one
+        bad = dataclasses.replace(self.plan, routes=tuple(routes))
+        with pytest.raises(RuntimeError, match="inconsistent"):
+            simulate_mapping(self.algo, self.t, plan=bad)
+
+    def test_detour_route_surfaces_as_late_or_collision(self):
+        """A route that detours but ends correctly (east, west, east) is
+        geometrically consistent; the audit must still notice the cost
+        (later arrival uses more cycles than Equation 2.3 allows when
+        the budget is tight)."""
+        algo = self.algo
+        # Schedule gives channel 0 budget Pi d1 = 1; a 3-hop detour is
+        # late by construction.
+        routes = list(self.plan.routes)
+        routes[0] = (0, 1, 0)
+        bad = dataclasses.replace(self.plan, routes=tuple(routes))
+        report = simulate_mapping(algo, self.t, plan=bad)
+        assert len(report.latency_violations) > 0
+        assert not report.ok
+
+
+class TestInconsistentInputs:
+    def test_schedule_wrong_arity(self):
+        algo = matrix_multiplication(2)
+        t = MappingMatrix(space=((1, 1),), schedule=(1, 2))
+        with pytest.raises((ValueError, IndexError)):
+            simulate_mapping(algo, t)
+
+    def test_mu_mismatch_in_checkers(self):
+        from repro.core import check_conflict_free
+
+        t = MappingMatrix(space=((1, 1, -1),), schedule=(1, 2, 1))
+        with pytest.raises(ValueError):
+            check_conflict_free(t, (4, 4))
+
+    def test_space_optimizer_rejects_bad_pi(self):
+        from repro.core import solve_space_optimal
+
+        algo = matrix_multiplication(2)
+        with pytest.raises(ValueError):
+            solve_space_optimal(algo, (0, 0, 0))
+
+    def test_certificate_for_wrong_instance_fails_closed(self):
+        from repro.core import certify_optimality, verify_certificate
+
+        algo2 = matrix_multiplication(2)
+        algo3 = matrix_multiplication(3)
+        cert = certify_optimality(algo2, [[1, 1, -1]], (1, 2, 1))
+        assert not verify_certificate(algo3, cert)
+
+
+class TestDefectReportsAreConsistent:
+    def test_conflicted_mapping_defects_cross_agree(self):
+        """For a conflicted mapping, every layer must agree something is
+        wrong: theory says non-free, simulator reports conflicts, the
+        space-time renderer refuses."""
+        from repro.core import is_conflict_free_kernel_box
+        from repro.systolic import render_space_time
+
+        algo = matrix_multiplication(3)
+        t = MappingMatrix(space=((1, 1, -1),), schedule=(1, 1, 3))
+        assert not is_conflict_free_kernel_box(t, algo.mu)
+        report = simulate_mapping(algo, t)
+        assert len(report.conflicts) > 0
+        with pytest.raises(ValueError):
+            render_space_time(algo, t)
+
+    def test_clean_mapping_no_layer_complains(self):
+        from repro.core import is_conflict_free_kernel_box
+        from repro.systolic import derive_io_schedule, render_space_time
+
+        algo = matrix_multiplication(3)
+        t = MappingMatrix(space=((1, 1, -1),), schedule=(1, 3, 2))
+        if not is_conflict_free_kernel_box(t, algo.mu):
+            pytest.skip("chosen schedule happens to conflict at this mu")
+        report = simulate_mapping(algo, t)
+        assert report.ok
+        render_space_time(algo, t)  # must not raise
+        io = derive_io_schedule(algo, t)
+        assert io.port_conflicts() == []

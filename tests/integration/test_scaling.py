@@ -1,0 +1,104 @@
+"""Scaling soak tests: the closed forms must hold across a size grid.
+
+A regression net over problem size: for every (algorithm, mu) cell the
+whole pipeline runs — solve, analyze, plan, simulate — and the paper's
+closed-form predictions are asserted exactly.  Anything that silently
+degrades with size (enumeration bounds, routing budgets, FIFO
+accounting) trips here first.
+"""
+
+import pytest
+
+from repro.core import (
+    MappingMatrix,
+    conflict_margin,
+    find_time_optimal_mapping,
+    optimal_free_schedule,
+)
+from repro.model import matrix_multiplication, transitive_closure
+from repro.systolic import plan_interconnection, simulate_mapping
+
+
+class TestMatmulGrid:
+    @pytest.mark.parametrize("mu", [2, 4, 6, 8])
+    def test_even_mu_full_pipeline(self, mu):
+        algo = matrix_multiplication(mu)
+        result = find_time_optimal_mapping(algo, [[1, 1, -1]])
+        # Closed form.
+        assert result.total_time == mu * (mu + 2) + 1
+        # Simulation agrees exactly.
+        report = simulate_mapping(algo, result.mapping)
+        assert report.ok
+        assert report.makespan == result.total_time
+        assert report.num_processors == 3 * mu + 1
+
+    @pytest.mark.parametrize("mu", [3, 5, 7])
+    def test_odd_mu_beats_even_formula_neighbours(self, mu):
+        """Finding F3 generalizes: at odd mu the optimum is strictly
+        below the paper's mu(mu+3)+1 fallback."""
+        algo = matrix_multiplication(mu)
+        result = find_time_optimal_mapping(algo, [[1, 1, -1]])
+        assert result.total_time < mu * (mu + 3) + 1
+        report = simulate_mapping(algo, result.mapping)
+        assert report.ok
+
+    @pytest.mark.parametrize("mu", [2, 4, 6])
+    def test_buffer_formula(self, mu):
+        """The A-link needs mu - 1 buffers under Pi = [1, mu, 1]."""
+        algo = matrix_multiplication(mu)
+        t = MappingMatrix(space=((1, 1, -1),), schedule=(1, mu, 1))
+        plan = plan_interconnection(algo, t)
+        assert plan.buffers == (0, mu - 1, 0)
+
+    @pytest.mark.parametrize("mu", [2, 4, 6])
+    def test_margin_formula(self, mu):
+        """Pi = [1, mu, 1]'s conflict vector is (mu+1, -2, 1-mu):
+        margin = (mu+1)/mu, shrinking toward 1 as mu grows."""
+        from fractions import Fraction
+
+        t = MappingMatrix(space=((1, 1, -1),), schedule=(1, mu, 1))
+        assert conflict_margin(t, (mu,) * 3) == Fraction(mu + 1, mu)
+
+    @pytest.mark.parametrize("mu", [2, 4, 8])
+    def test_conflict_penalty_growth(self, mu):
+        algo = matrix_multiplication(mu)
+        free = optimal_free_schedule(algo).total_time
+        assert free == 3 * mu + 1
+        array_t = find_time_optimal_mapping(algo, [[1, 1, -1]]).total_time
+        assert array_t - free == mu * mu - mu
+
+
+class TestTransitiveClosureGrid:
+    @pytest.mark.parametrize("mu", [2, 3, 4, 6, 8])
+    def test_full_pipeline(self, mu):
+        algo = transitive_closure(mu)
+        result = find_time_optimal_mapping(algo, [[0, 0, 1]])
+        assert result.schedule.pi == (mu + 1, 1, 1)
+        assert result.total_time == mu * (mu + 3) + 1
+        report = simulate_mapping(algo, result.mapping)
+        assert report.ok
+        assert report.num_processors == mu + 1
+
+    @pytest.mark.parametrize("mu", [2, 4, 6])
+    def test_margin_is_exactly_one_step(self, mu):
+        """gamma = (1, -(mu+1), 0): margin = (mu+1)/mu — the optimum
+        sits one lattice step outside the box at every size."""
+        from fractions import Fraction
+
+        t = MappingMatrix(space=((0, 0, 1),), schedule=(mu + 1, 1, 1))
+        assert conflict_margin(t, (mu,) * 3) == Fraction(mu + 1, mu)
+
+
+class TestBitLevelGrid:
+    @pytest.mark.parametrize("mu,word", [(1, 1), (2, 1), (1, 2)])
+    def test_full_pipeline(self, mu, word):
+        from repro.model import bit_level_matrix_multiplication
+
+        algo = bit_level_matrix_multiplication(mu, word)
+        result = find_time_optimal_mapping(
+            algo, [[1, 0, 1, 0, 0], [0, 1, 0, 1, 0]]
+        )
+        assert result.analysis.conflict_free
+        report = simulate_mapping(algo, result.mapping)
+        assert report.ok
+        assert report.makespan == result.total_time

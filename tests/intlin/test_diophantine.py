@@ -1,0 +1,89 @@
+"""Unit tests for repro.intlin.diophantine."""
+
+import pytest
+
+from repro.intlin import matvec, solve_diophantine
+
+
+class TestSolvable:
+    def test_single_equation(self):
+        sol = solve_diophantine([[2, 3]], [1])
+        assert sol is not None
+        assert 2 * sol.particular[0] + 3 * sol.particular[1] == 1
+        assert len(sol.kernel) == 1
+
+    def test_square_unique(self):
+        sol = solve_diophantine([[2, 3], [0, 5]], [1, 5])
+        assert sol is not None
+        assert sol.particular == [-1, 1]
+        assert sol.kernel == ()
+
+    def test_particular_satisfies_system(self, rng):
+        for _ in range(25):
+            rows = rng.randint(1, 3)
+            cols = rng.randint(1, 4)
+            a = [[rng.randint(-4, 4) for _ in range(cols)] for _ in range(rows)]
+            x = [rng.randint(-3, 3) for _ in range(cols)]
+            b = matvec(a, x)  # guaranteed solvable
+            sol = solve_diophantine(a, b)
+            assert sol is not None
+            assert matvec(a, sol.particular) == b
+
+    def test_kernel_vectors_annihilate(self, rng):
+        for _ in range(15):
+            a = [[rng.randint(-4, 4) for _ in range(4)] for _ in range(2)]
+            x = [rng.randint(-3, 3) for _ in range(4)]
+            b = matvec(a, x)
+            sol = solve_diophantine(a, b)
+            for col in sol.kernel:
+                assert all(v == 0 for v in matvec(a, list(col)))
+
+    def test_sample_combines(self):
+        sol = solve_diophantine([[1, 1, 1]], [3])
+        pt = sol.sample([2, -1])
+        assert sum(pt) == 3
+
+    def test_sample_wrong_len_raises(self):
+        sol = solve_diophantine([[1, 1, 1]], [3])
+        with pytest.raises(ValueError):
+            sol.sample([1])
+
+    def test_homogeneous(self):
+        sol = solve_diophantine([[1, -1]], [0])
+        assert sol is not None
+        assert matvec([[1, -1]], sol.particular) == [0]
+
+    def test_zero_matrix_zero_rhs(self):
+        sol = solve_diophantine([[0, 0]], [0])
+        assert sol is not None
+        assert len(sol.kernel) == 2
+
+
+class TestUnsolvable:
+    def test_parity_obstruction(self):
+        assert solve_diophantine([[2, 4]], [1]) is None
+
+    def test_gcd_obstruction(self):
+        assert solve_diophantine([[6, 9]], [2]) is None
+
+    def test_inconsistent_rows(self):
+        # x + y = 1 and 2x + 2y = 3 cannot both hold.
+        assert solve_diophantine([[1, 1], [2, 2]], [1, 3]) is None
+
+    def test_zero_matrix_nonzero_rhs(self):
+        assert solve_diophantine([[0, 0]], [5]) is None
+
+    def test_overdetermined_inconsistent(self):
+        assert solve_diophantine([[1, 0], [0, 1], [1, 1]], [1, 1, 3]) is None
+
+
+class TestShapes:
+    def test_rhs_length_mismatch(self):
+        with pytest.raises(ValueError):
+            solve_diophantine([[1, 2]], [1, 2])
+
+    def test_overdetermined_consistent(self):
+        sol = solve_diophantine([[1, 0], [0, 1], [1, 1]], [2, 3, 5])
+        assert sol is not None
+        assert sol.particular == [2, 3]
+        assert sol.kernel == ()

@@ -1,0 +1,156 @@
+"""Unit tests for repro.intlin.gcdutil."""
+
+import math
+
+import pytest
+
+from repro.intlin import (
+    bezout_row,
+    extended_gcd,
+    gcd_list,
+    is_primitive,
+    lcm_list,
+    normalize_primitive,
+    primitive_part,
+)
+
+
+class TestExtendedGcd:
+    def test_classic_pair(self):
+        g, x, y = extended_gcd(240, 46)
+        assert g == 2
+        assert 240 * x + 46 * y == 2
+
+    def test_coprime(self):
+        g, x, y = extended_gcd(17, 13)
+        assert g == 1
+        assert 17 * x + 13 * y == 1
+
+    def test_zero_left(self):
+        assert extended_gcd(0, 5) == (5, 0, 1)
+
+    def test_zero_right(self):
+        assert extended_gcd(7, 0) == (7, 1, 0)
+
+    def test_both_zero(self):
+        g, x, y = extended_gcd(0, 0)
+        assert g == 0
+        assert 0 * x + 0 * y == 0
+
+    def test_negative_inputs(self):
+        for a, b in [(-12, 18), (12, -18), (-12, -18)]:
+            g, x, y = extended_gcd(a, b)
+            assert g == 6
+            assert a * x + b * y == 6
+
+    def test_gcd_always_nonnegative(self):
+        for a in range(-8, 9):
+            for b in range(-8, 9):
+                g, x, y = extended_gcd(a, b)
+                assert g >= 0
+                assert g == math.gcd(a, b)
+                assert a * x + b * y == g
+
+    def test_equal_values(self):
+        g, x, y = extended_gcd(10, 10)
+        assert g == 10
+        assert 10 * x + 10 * y == 10
+
+
+class TestGcdList:
+    def test_basic(self):
+        assert gcd_list([12, -18, 30]) == 6
+
+    def test_empty_is_zero(self):
+        assert gcd_list([]) == 0
+
+    def test_all_zero(self):
+        assert gcd_list([0, 0, 0]) == 0
+
+    def test_single(self):
+        assert gcd_list([-9]) == 9
+
+    def test_early_exit_on_one(self):
+        assert gcd_list([3, 5, 999999]) == 1
+
+    def test_with_zero_entries(self):
+        assert gcd_list([0, 4, 0, 6]) == 2
+
+
+class TestLcmList:
+    def test_basic(self):
+        assert lcm_list([4, 6]) == 12
+
+    def test_empty_is_one(self):
+        assert lcm_list([]) == 1
+
+    def test_with_zero(self):
+        assert lcm_list([3, 0]) == 0
+
+    def test_negatives(self):
+        assert lcm_list([-4, 6]) == 12
+
+
+class TestPrimitive:
+    def test_is_primitive_true(self):
+        assert is_primitive([3, 5, 7])
+
+    def test_is_primitive_false(self):
+        assert not is_primitive([2, 4, 6])
+
+    def test_zero_vector_not_primitive(self):
+        assert not is_primitive([0, 0])
+
+    def test_empty_not_primitive(self):
+        assert not is_primitive([])
+
+    def test_primitive_part(self):
+        assert primitive_part([4, -6, 8]) == [2, -3, 4]
+
+    def test_primitive_part_already_primitive(self):
+        assert primitive_part([3, 5]) == [3, 5]
+
+    def test_primitive_part_zero_raises(self):
+        with pytest.raises(ValueError):
+            primitive_part([0, 0, 0])
+
+    def test_normalize_sign_flip(self):
+        assert normalize_primitive([-2, 4, -6]) == [1, -2, 3]
+
+    def test_normalize_leading_zeros(self):
+        assert normalize_primitive([0, -3, 6]) == [0, 1, -2]
+
+    def test_normalize_positive_untouched(self):
+        assert normalize_primitive([5, -10]) == [1, -2]
+
+
+class TestBezoutRow:
+    def test_two_entries(self):
+        g, c = bezout_row([240, 46])
+        assert g == 2
+        assert 240 * c[0] + 46 * c[1] == 2
+
+    def test_three_entries(self):
+        vals = [6, 10, 15]
+        g, c = bezout_row(vals)
+        assert g == 1
+        assert sum(v * ci for v, ci in zip(vals, c)) == 1
+
+    def test_zero_vector(self):
+        g, c = bezout_row([0, 0])
+        assert g == 0
+        assert len(c) == 2
+
+    def test_empty(self):
+        assert bezout_row([]) == (0, [])
+
+    def test_negative_entries(self):
+        vals = [-4, 6, -9]
+        g, c = bezout_row(vals)
+        assert g == 1
+        assert sum(v * ci for v, ci in zip(vals, c)) == 1
+
+    def test_single_entry(self):
+        g, c = bezout_row([-7])
+        assert g == 7
+        assert -7 * c[0] == 7

@@ -1,0 +1,170 @@
+"""Unit tests for repro.intlin.hermite (column HNF, Theorem 4.1)."""
+
+import random
+
+import pytest
+
+from repro.intlin import (
+    hnf,
+    identity,
+    kernel_basis,
+    matmul,
+    matvec,
+    random_full_rank,
+    verify_hermite,
+)
+
+
+class TestHnfBasics:
+    def test_paper_equation_2_8(self):
+        """The worked HNF of Example 4.2."""
+        t = [[1, 7, 1, 1], [1, 7, 1, 0]]
+        res = hnf(t)
+        assert verify_hermite(t, res)
+        assert res.rank == 2
+        # H = [L | 0] with L lower triangular nonsingular.
+        assert res.h[0][1:] == [0, 0, 0]
+        assert res.h[1][2:] == [0, 0]
+        assert res.h[0][0] != 0 and res.h[1][1] != 0
+
+    def test_identity_input(self):
+        res = hnf(identity(3))
+        assert res.h == identity(3)
+        assert res.u == identity(3)
+        assert res.v == identity(3)
+
+    def test_single_row(self):
+        res = hnf([[6, 10, 15]])
+        assert verify_hermite([[6, 10, 15]], res)
+        assert res.h[0][0] == 1  # gcd(6,10,15) = 1
+        assert res.h[0][1:] == [0, 0]
+
+    def test_single_row_with_common_factor(self):
+        res = hnf([[4, 6]])
+        assert res.h[0] == [2, 0]
+
+    def test_negative_entries(self):
+        t = [[-3, 5, -7], [2, -4, 6]]
+        res = hnf(t)
+        assert verify_hermite(t, res)
+
+    def test_pivot_positive(self):
+        res = hnf([[-5, 0, 0]])
+        assert res.h[0][0] > 0
+
+    def test_rank_deficient_raises(self):
+        with pytest.raises(ValueError, match="full row rank"):
+            hnf([[1, 2, 3], [2, 4, 6]])
+
+    def test_zero_row_raises(self):
+        with pytest.raises(ValueError):
+            hnf([[0, 0], [1, 2]])
+
+    def test_k_greater_than_n_raises(self):
+        with pytest.raises(ValueError, match="k <= n"):
+            hnf([[1], [2]])
+
+    def test_square_unimodular_tracks_inverse(self):
+        t = [[2, 3], [1, 2]]  # det 1
+        res = hnf(t)
+        assert matmul(res.u, res.v) == identity(2)
+        assert matmul(t, res.u) == res.h
+
+
+class TestHnfInvariants:
+    def test_random_matrices(self, rng):
+        for _ in range(40):
+            k = rng.randint(1, 4)
+            n = rng.randint(k, 6)
+            t = random_full_rank(k, n, rng=rng)
+            res = hnf(t)
+            assert verify_hermite(t, res)
+
+    def test_multiplier_unimodular(self, rng):
+        from repro.intlin import det_bareiss
+
+        for _ in range(20):
+            k = rng.randint(1, 3)
+            n = rng.randint(k, 5)
+            t = random_full_rank(k, n, rng=rng)
+            res = hnf(t)
+            assert det_bareiss(res.u) in (1, -1)
+
+    def test_lower_block_property(self):
+        t = [[3, 1, 4, 1], [5, 9, 2, 6]]
+        res = hnf(t)
+        low = res.lower_block
+        assert len(low) == 2 and len(low[0]) == 2
+        assert low[0][1] == 0  # strictly lower triangular above diagonal
+
+
+class TestCanonical:
+    def test_canonical_diagonal_positive(self, rng):
+        for _ in range(20):
+            k = rng.randint(1, 3)
+            n = rng.randint(k, 5)
+            t = random_full_rank(k, n, rng=rng)
+            res = hnf(t, canonical=True)
+            assert verify_hermite(t, res)
+            for i in range(k):
+                assert res.h[i][i] > 0
+
+    def test_canonical_offdiagonal_reduced(self, rng):
+        for _ in range(20):
+            k = rng.randint(2, 4)
+            n = rng.randint(k, 6)
+            t = random_full_rank(k, n, rng=rng)
+            res = hnf(t, canonical=True)
+            for i in range(k):
+                for j in range(i):
+                    assert 0 <= res.h[i][j] < res.h[i][i]
+
+    def test_canonical_is_unique(self, rng):
+        """Canonical HNF is invariant under right-multiplying T by a
+        unimodular matrix that fixes the row space... here we check the
+        weaker, directly-testable property: recomputing from a column-
+        permuted U-image gives the same canonical H."""
+        from repro.intlin import random_unimodular
+
+        for seed in range(8):
+            local = random.Random(seed)
+            t = random_full_rank(2, 4, rng=local)
+            h1 = hnf(t, canonical=True).h
+            u = random_unimodular(4, rng=local)
+            t2 = matmul(t, u)
+            h2 = hnf(t2, canonical=True).h
+            assert h1 == h2
+
+
+class TestKernelBasis:
+    def test_kernel_annihilates(self, rng):
+        for _ in range(30):
+            k = rng.randint(1, 3)
+            n = rng.randint(k + 1, 6)
+            t = random_full_rank(k, n, rng=rng)
+            basis = kernel_basis(t)
+            assert len(basis) == n - k
+            for vec in basis:
+                assert all(x == 0 for x in matvec(t, vec))
+
+    def test_kernel_columns_primitive(self, rng):
+        from repro.intlin import gcd_list
+
+        for _ in range(20):
+            t = random_full_rank(2, 4, rng=rng)
+            for vec in kernel_basis(t):
+                assert gcd_list(vec) == 1
+
+    def test_square_full_rank_trivial_kernel(self):
+        assert kernel_basis([[1, 2], [3, 4]]) == []
+
+    def test_saturation_example_4_1(self):
+        """The paper's trap: [1,0,-1,0] must be an *integral* combination
+        of the HNF generators (the naive basis required coefficients 1/7)."""
+        from repro.intlin import solve_diophantine
+
+        t = [[1, 7, 1, 1], [1, 7, 1, 0]]
+        basis = kernel_basis(t)
+        gen_matrix = [[col[i] for col in basis] for i in range(4)]
+        sol = solve_diophantine(gen_matrix, [1, 0, -1, 0])
+        assert sol is not None  # integral coefficients exist

@@ -1,0 +1,180 @@
+"""Unit tests for repro.intlin.lattice."""
+
+import pytest
+
+from repro.intlin import kernel_basis
+from repro.intlin.lattice import Lattice
+
+
+def lat(*columns):
+    """Lattice from column tuples."""
+    n = len(columns[0])
+    return Lattice(basis=tuple(tuple(c[i] for c in columns) for i in range(n)))
+
+
+class TestConstruction:
+    def test_basic(self):
+        l = lat((1, 0), (0, 2))
+        assert l.ambient_dimension == 2
+        assert l.lattice_rank == 2
+
+    def test_dependent_columns_rejected(self):
+        with pytest.raises(ValueError, match="independent"):
+            lat((1, 2), (2, 4))
+
+    def test_from_generators_drops_dependent(self):
+        l = Lattice.from_generators([(1, 2), (2, 4), (0, 1)])
+        assert l.lattice_rank == 2
+
+    def test_from_generators_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Lattice.from_generators([])
+
+    def test_kernel_of_mapping(self):
+        l = Lattice.kernel_of([[1, 7, 1, 1], [1, 7, 1, 0]])
+        assert l.ambient_dimension == 4
+        assert l.lattice_rank == 2
+
+    def test_kernel_of_square_rejected(self):
+        with pytest.raises(ValueError, match="trivial"):
+            Lattice.kernel_of([[1, 0], [0, 1]])
+
+
+class TestMembership:
+    L = lat((2, 0), (1, 3))
+
+    def test_contains_generator(self):
+        assert self.L.contains((2, 0))
+        assert self.L.contains((1, 3))
+
+    def test_contains_combination(self):
+        assert self.L.contains((3, 3))  # sum of generators
+        assert self.L.contains((0, 0))
+
+    def test_not_contains(self):
+        assert not self.L.contains((1, 0))
+        assert not self.L.contains((0, 1))
+
+    def test_dimension_check(self):
+        with pytest.raises(ValueError):
+            self.L.contains((1, 2, 3))
+
+    def test_saturated_kernel_contains_trap_vector(self):
+        """Example 4.1's trap: [1,0,-1,0] IS in the kernel lattice."""
+        l = Lattice.kernel_of([[1, 7, 1, 1], [1, 7, 1, 0]])
+        assert l.contains((1, 0, -1, 0))
+
+
+class TestEquality:
+    def test_same_lattice_different_bases(self):
+        a = lat((1, 0), (0, 1))
+        b = lat((1, 1), (0, 1))  # unimodular transform of a
+        assert a == b
+
+    def test_different_lattices(self):
+        a = lat((1, 0), (0, 1))
+        b = lat((2, 0), (0, 1))
+        assert a != b
+
+    def test_kernel_vs_paper_generators(self):
+        """Our HNF kernel equals the paper's Example 4.2 lattice."""
+        ours = Lattice.kernel_of([[1, 7, 1, 1], [1, 7, 1, 0]])
+        paper = Lattice.from_generators([(-1, 0, 1, 0), (-7, 1, 0, 0)])
+        assert ours == paper
+
+    def test_sublattice_not_equal(self):
+        full = lat((1, 0), (0, 1))
+        sub = lat((2, 0), (0, 2))
+        assert full != sub
+        assert full.contains_lattice(sub)
+        assert not sub.contains_lattice(full)
+
+
+class TestDeterminant:
+    def test_full_rank(self):
+        assert lat((2, 0), (0, 3)).determinant() == 6
+
+    def test_unimodular_invariance(self):
+        a = lat((2, 0), (1, 3))
+        b = lat((2, 0), (3, 3))  # col2 += col1
+        assert a == b
+        assert a.determinant() == b.determinant()
+
+    def test_index_full_rank(self):
+        full = lat((1, 0), (0, 1))
+        sub = lat((2, 0), (0, 3))
+        assert sub.index_in(full) == 6
+
+    def test_index_non_full_rank(self):
+        line = lat((2, 4))
+        double = lat((4, 8))
+        assert double.index_in(line) == 2
+
+    def test_index_requires_containment(self):
+        a = lat((2, 0), (0, 1))
+        b = lat((3, 0), (0, 1))
+        with pytest.raises(ValueError, match="sublattice"):
+            a.index_in(b)
+
+    def test_index_requires_equal_rank(self):
+        with pytest.raises(ValueError, match="rank"):
+            lat((1, 0)).index_in(lat((1, 0), (0, 1)))
+
+
+class TestBoxGeometry:
+    def test_points_in_box_line(self):
+        l = lat((2, 1))
+        pts = set(l.points_in_box((4, 4)))
+        assert pts == {(-4, -2), (-2, -1), (0, 0), (2, 1), (4, 2)}
+
+    def test_meets_box_nontrivially(self):
+        l = lat((3, 5))
+        assert not l.meets_box_nontrivially((2, 4))
+        assert l.meets_box_nontrivially((3, 5))
+
+    def test_conflict_free_equivalence(self):
+        """Lattice-meets-box == NOT conflict-free, both paper examples."""
+        from repro.core import MappingMatrix, is_conflict_free_kernel_box
+
+        cases = [
+            ([[1, 1, -1], [1, 4, 1]], (4, 4, 4)),       # free
+            ([[1, 1, -1], [1, 1, 4]], (4, 4, 4)),       # conflicted
+            ([[1, 7, 1, 1], [1, 7, 1, 0]], (6, 6, 6, 6)),  # conflicted
+        ]
+        for rows, mu in cases:
+            l = Lattice.kernel_of(rows)
+            t = MappingMatrix.from_rows(rows)
+            assert l.meets_box_nontrivially(mu) == (
+                not is_conflict_free_kernel_box(t, mu)
+            )
+
+    def test_shortest_nonzero(self):
+        l = lat((2, 1), (0, 5))
+        shortest = l.shortest_nonzero_in_box((6, 6))
+        assert shortest is not None
+        assert l.contains(shortest)
+        assert sum(abs(x) for x in shortest) == 3  # (2, 1)
+
+    def test_shortest_none_when_escaping(self):
+        l = lat((3, 5))
+        assert l.shortest_nonzero_in_box((2, 4)) is None
+
+    def test_box_dimension_check(self):
+        with pytest.raises(ValueError):
+            list(lat((1, 0)).points_in_box((1, 1, 1)))
+
+    def test_origin_always_included(self):
+        l = lat((7, 11))
+        assert (0, 0) in set(l.points_in_box((1, 1)))
+
+
+class TestCrossValidation:
+    def test_kernel_lattices_agree_with_kernel_basis(self, rng):
+        from repro.intlin import random_full_rank
+
+        for _ in range(15):
+            t = random_full_rank(2, 4, rng=rng, magnitude=4)
+            l = Lattice.kernel_of(t)
+            basis = kernel_basis(t)
+            for col in basis:
+                assert l.contains(col)

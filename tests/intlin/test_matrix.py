@@ -1,0 +1,216 @@
+"""Unit tests for repro.intlin.matrix (exact integer matrix ops)."""
+
+import numpy as np
+import pytest
+
+from repro.intlin import (
+    adjugate,
+    as_int_matrix,
+    as_int_vector,
+    cofactor,
+    det_bareiss,
+    identity,
+    inverse_unimodular,
+    is_integer_matrix,
+    matmul,
+    matvec,
+    minor,
+    rank,
+    to_array,
+    transpose,
+)
+
+
+class TestConversion:
+    def test_from_lists(self):
+        assert as_int_matrix([[1, 2], [3, 4]]) == [[1, 2], [3, 4]]
+
+    def test_from_numpy_int(self):
+        m = as_int_matrix(np.array([[1, 2], [3, 4]], dtype=np.int32))
+        assert m == [[1, 2], [3, 4]]
+        assert all(isinstance(x, int) for row in m for x in row)
+
+    def test_from_integral_floats(self):
+        assert as_int_matrix([[2.0, -3.0]]) == [[2, -3]]
+
+    def test_rejects_nonintegral_floats(self):
+        with pytest.raises(ValueError):
+            as_int_matrix([[1.5]])
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValueError):
+            as_int_matrix([[True, False]])
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            as_int_matrix([1, 2, 3])
+
+    def test_vector_conversion(self):
+        assert as_int_vector(np.array([1, -2, 3])) == [1, -2, 3]
+
+    def test_vector_rejects_2d(self):
+        with pytest.raises(ValueError):
+            as_int_vector([[1, 2]])
+
+    def test_is_integer_matrix_predicate(self):
+        assert is_integer_matrix([[1, 2]])
+        assert not is_integer_matrix([[0.5]])
+        assert not is_integer_matrix("nope")
+
+    def test_to_array_roundtrip(self):
+        arr = to_array([[1, -2], [3, 4]])
+        assert arr.dtype == np.int64
+        assert arr.tolist() == [[1, -2], [3, 4]]
+
+
+class TestArithmetic:
+    def test_identity(self):
+        assert identity(3) == [[1, 0, 0], [0, 1, 0], [0, 0, 1]]
+
+    def test_matmul(self):
+        assert matmul([[1, 2], [3, 4]], [[5, 6], [7, 8]]) == [[19, 22], [43, 50]]
+
+    def test_matmul_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            matmul([[1, 2]], [[1, 2]])
+
+    def test_matmul_rectangular(self):
+        assert matmul([[1, 0, 2]], [[1], [1], [1]]) == [[3]]
+
+    def test_matvec(self):
+        assert matvec([[1, 2], [3, 4]], [1, -1]) == [-1, -1]
+
+    def test_matvec_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            matvec([[1, 2]], [1, 2, 3])
+
+    def test_transpose(self):
+        assert transpose([[1, 2, 3], [4, 5, 6]]) == [[1, 4], [2, 5], [3, 6]]
+
+    def test_transpose_empty(self):
+        assert transpose([]) == []
+
+    def test_huge_entries_exact(self):
+        big = 10**30
+        assert matmul([[big]], [[big]]) == [[big * big]]
+
+
+class TestDeterminant:
+    def test_2x2(self):
+        assert det_bareiss([[1, 2], [3, 4]]) == -2
+
+    def test_3x3(self):
+        assert det_bareiss([[2, 0, 1], [1, 1, 0], [0, 3, 1]]) == 5
+
+    def test_singular(self):
+        assert det_bareiss([[1, 2], [2, 4]]) == 0
+
+    def test_identity(self):
+        assert det_bareiss(identity(5)) == 1
+
+    def test_empty_is_one(self):
+        assert det_bareiss([]) == 1
+
+    def test_needs_square(self):
+        with pytest.raises(ValueError):
+            det_bareiss([[1, 2, 3], [4, 5, 6]])
+
+    def test_pivot_swap_path(self):
+        # Leading zero forces the row-swap branch.
+        assert det_bareiss([[0, 1], [1, 0]]) == -1
+
+    def test_zero_column_early_exit(self):
+        assert det_bareiss([[0, 1, 2], [0, 3, 4], [0, 5, 6]]) == 0
+
+    def test_matches_numpy_on_random(self, rng):
+        for _ in range(25):
+            n = rng.randint(1, 5)
+            m = [[rng.randint(-6, 6) for _ in range(n)] for _ in range(n)]
+            expected = round(np.linalg.det(np.array(m, dtype=float)))
+            assert det_bareiss(m) == expected
+
+    def test_large_exact_vs_float_overflow(self):
+        # A matrix whose determinant would lose precision in float64.
+        n = 9
+        m = [[(i * 37 + j * 61 + 13) % 101 - 50 for j in range(n)] for i in range(n)]
+        d = det_bareiss(m)
+        # Validate via expansion consistency: det(2M) = 2^n det(M).
+        m2 = [[2 * x for x in row] for row in m]
+        assert det_bareiss(m2) == (2**n) * d
+
+
+class TestRank:
+    def test_full_rank(self):
+        assert rank([[1, 0], [0, 1]]) == 2
+
+    def test_deficient(self):
+        assert rank([[1, 2], [2, 4]]) == 1
+
+    def test_zero_matrix(self):
+        assert rank([[0, 0], [0, 0]]) == 0
+
+    def test_wide(self):
+        assert rank([[1, 1, -1], [1, 4, 1]]) == 2
+
+    def test_tall(self):
+        assert rank([[1], [2], [3]]) == 1
+
+    def test_matches_numpy_on_random(self, rng):
+        for _ in range(25):
+            rows = rng.randint(1, 5)
+            cols = rng.randint(1, 5)
+            m = [[rng.randint(-4, 4) for _ in range(cols)] for _ in range(rows)]
+            assert rank(m) == np.linalg.matrix_rank(np.array(m, dtype=float))
+
+
+class TestAdjugate:
+    def test_2x2(self):
+        assert adjugate([[1, 2], [3, 4]]) == [[4, -2], [-3, 1]]
+
+    def test_defining_identity(self, rng):
+        for _ in range(15):
+            n = rng.randint(1, 4)
+            m = [[rng.randint(-5, 5) for _ in range(n)] for _ in range(n)]
+            d = det_bareiss(m)
+            prod = matmul(m, adjugate(m))
+            expected = [[d if i == j else 0 for j in range(n)] for i in range(n)]
+            assert prod == expected
+
+    def test_1x1(self):
+        assert adjugate([[7]]) == [[1]]
+
+    def test_empty(self):
+        assert adjugate([]) == []
+
+    def test_needs_square(self):
+        with pytest.raises(ValueError):
+            adjugate([[1, 2, 3]])
+
+    def test_minor_and_cofactor(self):
+        m = [[1, 2, 3], [4, 5, 6], [7, 8, 10]]
+        assert minor(m, 0, 0) == 5 * 10 - 6 * 8
+        assert cofactor(m, 0, 1) == -(4 * 10 - 6 * 7)
+
+
+class TestInverseUnimodular:
+    def test_simple(self):
+        u = [[1, 1], [0, 1]]
+        assert inverse_unimodular(u) == [[1, -1], [0, 1]]
+
+    def test_det_minus_one(self):
+        u = [[0, 1], [1, 0]]
+        inv = inverse_unimodular(u)
+        assert matmul(u, inv) == identity(2)
+
+    def test_rejects_non_unimodular(self):
+        with pytest.raises(ValueError):
+            inverse_unimodular([[2, 0], [0, 1]])
+
+    def test_random_unimodular_roundtrip(self, rng):
+        from repro.intlin import random_unimodular
+
+        for seed in range(10):
+            import random as _random
+
+            u = random_unimodular(4, rng=_random.Random(seed))
+            assert matmul(u, inverse_unimodular(u)) == identity(4)

@@ -1,0 +1,159 @@
+"""Unit tests for repro.intlin.reduction (exact LLL)."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.intlin import lll_reduce, shortest_vector
+from repro.intlin.lattice import Lattice
+
+
+def as_lattice_cols(rows):
+    """Row vectors -> Lattice (columns are generators)."""
+    n = len(rows[0])
+    return Lattice(basis=tuple(tuple(r[i] for r in rows) for i in range(n)))
+
+
+class TestLLL:
+    def test_classic_2d(self):
+        reduced = lll_reduce([[201, 37], [1648, 297]])
+        # The classic example reduces to short vectors.
+        norms = sorted(sum(x * x for x in v) for v in reduced)
+        assert norms[0] <= 1 + 32 * 32
+
+    def test_same_lattice(self, rng):
+        for _ in range(15):
+            rows = [
+                [rng.randint(-8, 8) for _ in range(3)] for _ in range(2)
+            ]
+            from repro.intlin import rank
+
+            if rank(rows) != 2:
+                continue
+            reduced = lll_reduce(rows)
+            assert as_lattice_cols(rows) == as_lattice_cols(reduced)
+
+    def test_identity_stays(self):
+        assert lll_reduce([[1, 0], [0, 1]]) == [[1, 0], [0, 1]]
+
+    def test_empty(self):
+        assert lll_reduce([]) == []
+
+    def test_single_vector(self):
+        assert lll_reduce([[3, 6, 9]]) == [[3, 6, 9]]
+
+    def test_reduction_never_lengthens_shortest(self, rng):
+        for _ in range(10):
+            rows = [
+                [rng.randint(-9, 9) for _ in range(3)] for _ in range(3)
+            ]
+            from repro.intlin import rank
+
+            if rank(rows) != 3:
+                continue
+            reduced = lll_reduce(rows)
+            orig_min = min(sum(x * x for x in v) for v in rows)
+            red_min = min(sum(x * x for x in v) for v in reduced)
+            assert red_min <= orig_min
+
+    def test_custom_delta(self):
+        reduced = lll_reduce([[201, 37], [1648, 297]], delta=Fraction(99, 100))
+        assert len(reduced) == 2
+
+
+class TestShortestVector:
+    def test_obvious_case(self):
+        v = shortest_vector([[1, 0], [0, 5]])
+        assert sorted(abs(x) for x in v) == [0, 1]
+
+    def test_hidden_short_vector(self):
+        # Basis vectors are long, difference is short.
+        v = shortest_vector([[7, 8], [8, 9]])  # difference (1, 1)
+        assert sum(x * x for x in v) <= 2
+
+    def test_norm_options(self):
+        basis = [[3, 0], [1, 2]]
+        for norm in ("l2", "l1", "linf"):
+            v = shortest_vector(basis, norm=norm)
+            assert any(v)
+
+    def test_unknown_norm(self):
+        with pytest.raises(ValueError):
+            shortest_vector([[1, 0]], norm="l3")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            shortest_vector([])
+
+    def test_result_in_lattice(self, rng):
+        for _ in range(10):
+            rows = [
+                [rng.randint(-6, 6) for _ in range(3)] for _ in range(2)
+            ]
+            from repro.intlin import rank
+
+            if rank(rows) != 2:
+                continue
+            v = shortest_vector(rows)
+            assert as_lattice_cols(rows).contains(v)
+
+    def test_exhaustive_cross_check_small(self, rng):
+        """Against direct enumeration inside a generous box."""
+        import itertools
+
+        for _ in range(8):
+            rows = [[rng.randint(-4, 4) for _ in range(2)] for _ in range(2)]
+            from repro.intlin import rank
+
+            if rank(rows) != 2:
+                continue
+            v = shortest_vector(rows)
+            v_norm = sum(x * x for x in v)
+            for z in itertools.product(range(-6, 7), repeat=2):
+                if not any(z):
+                    continue
+                w = [
+                    z[0] * rows[0][i] + z[1] * rows[1][i] for i in range(2)
+                ]
+                assert sum(x * x for x in w) >= v_norm
+
+
+class TestConflictMargin:
+    def test_example_5_1_margin(self):
+        from repro.core import MappingMatrix, conflict_margin
+
+        t = MappingMatrix(space=((1, 1, -1),), schedule=(1, 4, 1))
+        assert conflict_margin(t, (4, 4, 4)) == Fraction(5, 4)
+
+    def test_margin_iff_conflict_free(self, rng):
+        from repro.core import (
+            MappingMatrix,
+            conflict_margin,
+            is_conflict_free_kernel_box,
+        )
+        from repro.intlin import random_full_rank
+
+        mu = (3, 3, 3)
+        for _ in range(25):
+            rows = random_full_rank(2, 3, rng=rng, magnitude=4)
+            t = MappingMatrix.from_rows(rows)
+            margin = conflict_margin(t, mu)
+            free = is_conflict_free_kernel_box(t, mu)
+            assert (margin > 1) == free
+
+    def test_margin_scales_with_mu(self):
+        """Doubling mu halves the margin of the same mapping."""
+        from repro.core import MappingMatrix, conflict_margin
+
+        t = MappingMatrix(space=((1, 1, -1),), schedule=(1, 4, 1))
+        m1 = conflict_margin(t, (4, 4, 4))
+        m2 = conflict_margin(t, (8, 8, 8))
+        assert m2 == m1 / 2
+
+    def test_square_mapping_rejected(self):
+        from repro.core import MappingMatrix, conflict_margin
+
+        t = MappingMatrix(space=((1, 0),), schedule=(0, 1))
+        with pytest.raises(ValueError):
+            conflict_margin(t, (3, 3))

@@ -1,0 +1,137 @@
+"""Unit tests for repro.intlin.smith (Smith normal form)."""
+
+import pytest
+
+from repro.intlin import (
+    det_bareiss,
+    matmul,
+    smith_normal_form,
+    verify_smith,
+)
+from repro.intlin.smith import SmithResult
+
+
+class TestSmithBasics:
+    def test_diagonal_already(self):
+        res = smith_normal_form([[2, 0], [0, 6]])
+        assert verify_smith([[2, 0], [0, 6]], res)
+        assert res.invariants == (2, 6)
+
+    def test_needs_divisibility_fix(self):
+        # diag(2, 3) is not in Smith form; invariants must become (1, 6).
+        res = smith_normal_form([[2, 0], [0, 3]])
+        assert verify_smith([[2, 0], [0, 3]], res)
+        assert res.invariants == (1, 6)
+
+    def test_rectangular_wide(self):
+        a = [[2, 4, 4]]
+        res = smith_normal_form(a)
+        assert verify_smith(a, res)
+        assert res.invariants == (2,)
+
+    def test_rectangular_tall(self):
+        a = [[2], [4], [6]]
+        res = smith_normal_form(a)
+        assert verify_smith(a, res)
+        assert res.invariants == (2,)
+
+    def test_zero_matrix(self):
+        a = [[0, 0], [0, 0]]
+        res = smith_normal_form(a)
+        assert verify_smith(a, res)
+        assert res.invariants == ()
+        assert res.rank == 0
+
+    def test_classic_example(self):
+        a = [[2, 4, 4], [-6, 6, 12], [10, 4, 16]]
+        res = smith_normal_form(a)
+        assert verify_smith(a, res)
+        # |det| must equal the product of invariants.
+        prod = 1
+        for s in res.invariants:
+            prod *= s
+        assert prod == abs(det_bareiss(a))
+
+    def test_invariants_positive(self, rng):
+        for _ in range(20):
+            rows = rng.randint(1, 4)
+            cols = rng.randint(1, 4)
+            a = [[rng.randint(-6, 6) for _ in range(cols)] for _ in range(rows)]
+            res = smith_normal_form(a)
+            assert all(s > 0 for s in res.invariants)
+
+    def test_multipliers_unimodular(self, rng):
+        for _ in range(20):
+            rows = rng.randint(1, 4)
+            cols = rng.randint(1, 4)
+            a = [[rng.randint(-6, 6) for _ in range(cols)] for _ in range(rows)]
+            res = smith_normal_form(a)
+            assert det_bareiss(res.p) in (1, -1)
+            assert det_bareiss(res.q) in (1, -1)
+
+    def test_random_verify(self, rng):
+        for _ in range(40):
+            rows = rng.randint(1, 5)
+            cols = rng.randint(1, 5)
+            a = [[rng.randint(-9, 9) for _ in range(cols)] for _ in range(rows)]
+            assert verify_smith(a, smith_normal_form(a))
+
+
+class TestSmithStructure:
+    def test_rank_matches_integer_rank(self, rng):
+        from repro.intlin import rank
+
+        for _ in range(25):
+            rows = rng.randint(1, 4)
+            cols = rng.randint(1, 5)
+            a = [[rng.randint(-4, 4) for _ in range(cols)] for _ in range(rows)]
+            assert smith_normal_form(a).rank == rank(a)
+
+    def test_unimodular_input_all_ones(self):
+        from repro.intlin import random_unimodular
+        import random
+
+        u = random_unimodular(4, rng=random.Random(5))
+        res = smith_normal_form(u)
+        assert res.invariants == (1, 1, 1, 1)
+
+    def test_result_reconstructs_input(self, rng):
+        from repro.intlin import inverse_unimodular
+
+        a = [[rng.randint(-5, 5) for _ in range(3)] for _ in range(3)]
+        res = smith_normal_form(a)
+        p_inv = inverse_unimodular(res.p)
+        q_inv = inverse_unimodular(res.q)
+        assert matmul(matmul(p_inv, res.d), q_inv) == a
+
+    def test_verify_rejects_tampered(self):
+        a = [[2, 0], [0, 6]]
+        res = smith_normal_form(a)
+        bad = SmithResult(
+            d=[[2, 1], [0, 6]], p=res.p, q=res.q, invariants=res.invariants
+        )
+        assert not verify_smith(a, bad)
+
+
+class TestSmithKernelAgreement:
+    def test_kernel_lattice_matches_hermite(self, rng):
+        """The last columns of Q span the same kernel lattice as the HNF
+        generators — each basis expresses the other integrally."""
+        from repro.intlin import kernel_basis, random_full_rank, solve_diophantine
+
+        for _ in range(10):
+            k = rng.randint(1, 2)
+            n = rng.randint(k + 1, 5)
+            t = random_full_rank(k, n, rng=rng)
+            hermite_gens = kernel_basis(t)
+            snf = smith_normal_form(t)
+            smith_gens = [
+                [snf.q[i][j] for i in range(n)] for j in range(snf.rank, n)
+            ]
+            assert len(smith_gens) == len(hermite_gens)
+            h_mat = [[col[i] for col in hermite_gens] for i in range(n)]
+            s_mat = [[col[i] for col in smith_gens] for i in range(n)]
+            for col in smith_gens:
+                assert solve_diophantine(h_mat, col) is not None
+            for col in hermite_gens:
+                assert solve_diophantine(s_mat, col) is not None

@@ -1,0 +1,93 @@
+"""Unit tests for repro.intlin.unimodular."""
+
+import random
+
+import pytest
+
+from repro.intlin import (
+    det_bareiss,
+    is_unimodular,
+    random_full_rank,
+    random_unimodular,
+    rank,
+)
+
+
+class TestIsUnimodular:
+    def test_identity(self):
+        assert is_unimodular([[1, 0], [0, 1]])
+
+    def test_swap(self):
+        assert is_unimodular([[0, 1], [1, 0]])
+
+    def test_shear(self):
+        assert is_unimodular([[1, 5], [0, 1]])
+
+    def test_det_two_rejected(self):
+        assert not is_unimodular([[2, 0], [0, 1]])
+
+    def test_non_square_rejected(self):
+        assert not is_unimodular([[1, 0, 0], [0, 1, 0]])
+
+    def test_non_integral_rejected(self):
+        assert not is_unimodular([[0.5, 0], [0, 2]])
+
+    def test_garbage_rejected(self):
+        assert not is_unimodular("matrix")
+
+    def test_empty_rejected(self):
+        assert not is_unimodular([])
+
+
+class TestRandomUnimodular:
+    def test_always_unimodular(self):
+        for seed in range(20):
+            m = random_unimodular(4, rng=random.Random(seed))
+            assert det_bareiss(m) in (1, -1)
+
+    def test_deterministic_given_seed(self):
+        a = random_unimodular(3, rng=random.Random(9))
+        b = random_unimodular(3, rng=random.Random(9))
+        assert a == b
+
+    def test_various_sizes(self):
+        for n in (1, 2, 5, 8):
+            assert is_unimodular(random_unimodular(n, rng=random.Random(1)))
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            random_unimodular(0)
+
+    def test_steps_zero_gives_identity(self):
+        from repro.intlin import identity
+
+        assert random_unimodular(3, rng=random.Random(0), steps=0) == identity(3)
+
+    def test_nontrivial_by_default(self):
+        # With the default number of steps the result should (for this
+        # seed) not be a signed permutation — i.e. mixing happened.
+        m = random_unimodular(4, rng=random.Random(123))
+        flat = [abs(x) for row in m for x in row]
+        assert any(x > 1 for x in flat)
+
+
+class TestRandomFullRank:
+    def test_has_full_rank(self):
+        for seed in range(15):
+            local = random.Random(seed)
+            k = local.randint(1, 3)
+            n = local.randint(k, 6)
+            m = random_full_rank(k, n, rng=local)
+            assert rank(m) == k
+
+    def test_shape(self):
+        m = random_full_rank(2, 5, rng=random.Random(0))
+        assert len(m) == 2 and len(m[0]) == 5
+
+    def test_k_greater_than_n_rejected(self):
+        with pytest.raises(ValueError):
+            random_full_rank(3, 2)
+
+    def test_magnitude_respected(self):
+        m = random_full_rank(2, 4, rng=random.Random(0), magnitude=2)
+        assert all(abs(x) <= 2 for row in m for x in row)

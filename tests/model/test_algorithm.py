@@ -1,0 +1,126 @@
+"""Unit tests for repro.model.algorithm (Definition 2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.model import (
+    ConstantBoundedIndexSet,
+    DependenceError,
+    UniformDependenceAlgorithm,
+)
+
+
+def make(mu=(2, 2), deps=((1, 0), (0, 1))):
+    """Helper: algorithm with D columns given as tuples."""
+    dep_matrix = tuple(
+        tuple(deps[c][r] for c in range(len(deps))) for r in range(len(mu))
+    )
+    return UniformDependenceAlgorithm(
+        index_set=ConstantBoundedIndexSet(mu), dependence_matrix=dep_matrix
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        algo = make()
+        assert algo.n == 2
+        assert algo.m == 2
+        assert algo.mu == (2, 2)
+
+    def test_dependence_vectors_roundtrip(self):
+        algo = make(deps=((1, 0), (0, 1), (1, -1)))
+        assert algo.dependence_vectors() == [(1, 0), (0, 1), (1, -1)]
+
+    def test_dependence_array_shape(self):
+        algo = make(deps=((1, 0), (0, 1), (1, -1)))
+        arr = algo.dependence_array()
+        assert arr.shape == (2, 3)
+        assert arr[:, 2].tolist() == [1, -1]
+
+    def test_no_dependences_allowed(self):
+        algo = UniformDependenceAlgorithm(
+            index_set=ConstantBoundedIndexSet((2, 2)), dependence_matrix=()
+        )
+        assert algo.m == 0
+        assert algo.dependence_vectors() == []
+        assert algo.dependence_array().shape == (2, 0)
+
+    def test_zero_dependence_rejected(self):
+        with pytest.raises(DependenceError, match="zero vector"):
+            make(deps=((1, 0), (0, 0)))
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(DependenceError, match="rows"):
+            UniformDependenceAlgorithm(
+                index_set=ConstantBoundedIndexSet((2, 2)),
+                dependence_matrix=((1,), (0,), (0,)),
+            )
+
+    def test_non_integral_rejected(self):
+        with pytest.raises((ValueError, TypeError)):
+            UniformDependenceAlgorithm(
+                index_set=ConstantBoundedIndexSet((2, 2)),
+                dependence_matrix=((0.5, 0), (0, 1)),
+            )
+
+    def test_numpy_input_normalized(self):
+        algo = UniformDependenceAlgorithm(
+            index_set=ConstantBoundedIndexSet((2, 2)),
+            dependence_matrix=np.array([[1, 0], [0, 1]]),
+        )
+        assert algo.dependence_matrix == ((1, 0), (0, 1))
+
+    def test_validate_idempotent(self):
+        algo = make()
+        algo.validate()  # must not raise
+
+
+class TestDependenceQueries:
+    def test_predecessors_interior(self):
+        algo = make(mu=(3, 3))
+        preds = dict(algo.predecessors((2, 2)))
+        assert preds == {0: (1, 2), 1: (2, 1)}
+
+    def test_predecessors_boundary(self):
+        algo = make(mu=(3, 3))
+        assert dict(algo.predecessors((0, 0))) == {}
+
+    def test_predecessors_partial_boundary(self):
+        algo = make(mu=(3, 3))
+        assert dict(algo.predecessors((0, 1))) == {1: (0, 0)}
+
+    def test_is_acyclic_under_valid(self):
+        algo = make()
+        assert algo.is_acyclic_under((1, 1))
+
+    def test_is_acyclic_under_invalid(self):
+        algo = make()
+        assert not algo.is_acyclic_under((1, 0))  # Pi d2 = 0 violates > 0
+        assert not algo.is_acyclic_under((1, -1))
+
+    def test_is_acyclic_under_mixed_deps(self):
+        algo = make(deps=((1, -1), (0, 1)))
+        assert algo.is_acyclic_under((2, 1))
+        assert not algo.is_acyclic_under((1, 1))  # (1,1).(1,-1) = 0
+
+    def test_acyclic_trivial_with_no_deps(self):
+        algo = UniformDependenceAlgorithm(
+            index_set=ConstantBoundedIndexSet((2, 2)), dependence_matrix=()
+        )
+        assert algo.is_acyclic_under((0, 0))
+
+
+class TestSemanticsAttachment:
+    def test_compute_attached_but_ignored_in_equality(self):
+        a1 = make()
+        a2 = UniformDependenceAlgorithm(
+            index_set=a1.index_set,
+            dependence_matrix=a1.dependence_matrix,
+            compute=lambda j, ops: 0,
+        )
+        assert a1 == a2  # compute/inputs excluded from comparison
+
+    def test_repr_is_informative(self):
+        algo = make()
+        assert "n=2" in repr(algo)
+        assert "m=2" in repr(algo)

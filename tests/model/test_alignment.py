@@ -1,0 +1,130 @@
+"""Unit tests for repro.model.alignment (multi-statement preprocessing)."""
+
+import pytest
+
+from repro.model import StatementDependence, align_statements
+from repro.model.algorithm import DependenceError
+
+
+class TestBasicAlignment:
+    def test_zero_distance_dependence_fixed_by_offset(self):
+        """S0 -> S1 at distance 0 needs an offset to become legal."""
+        res = align_statements(
+            2, 2, (4, 4),
+            [
+                StatementDependence(0, 1, (0, 0)),
+                StatementDependence(1, 0, (1, 0)),
+            ],
+        )
+        assert res.offsets[0] == (0, 0)
+        for d in res.aligned_distances:
+            # lexicographically positive
+            first = next((x for x in d if x != 0), 0)
+            assert first > 0
+
+    def test_single_statement_passthrough(self):
+        res = align_statements(
+            1, 2, (3, 3), [StatementDependence(0, 0, (1, 0))]
+        )
+        assert res.offsets == ((0, 0),)
+        assert res.aligned_distances == ((1, 0),)
+
+    def test_already_legal_stays_put(self):
+        """Legal dependences with zero offsets should keep offsets at 0
+        (the minimal-length solution)."""
+        res = align_statements(
+            2, 2, (3, 3),
+            [
+                StatementDependence(0, 1, (1, 0)),
+                StatementDependence(1, 0, (0, 1)),
+            ],
+        )
+        assert res.offsets == ((0, 0), (0, 0))
+
+    def test_minimizes_total_length(self):
+        """Among legal offset choices the shortest distances win."""
+        res = align_statements(
+            2, 1, (5,),
+            [
+                StatementDependence(0, 1, (0,)),
+                StatementDependence(1, 0, (2,)),
+            ],
+        )
+        total = sum(sum(abs(x) for x in d) for d in res.aligned_distances)
+        # distances (0 + o1, 2 - o1): o1 = 1 gives (1, 1), total 2.
+        assert total == 2
+
+    def test_fused_algorithm_usable_by_mapper(self):
+        from repro.core import procedure_5_1
+
+        res = align_statements(
+            2, 3, (2, 2, 2),
+            [
+                StatementDependence(0, 1, (0, 0, 0)),
+                StatementDependence(1, 0, (1, 0, 0)),
+                StatementDependence(0, 0, (0, 1, 0)),
+                StatementDependence(1, 1, (0, 0, 1)),
+            ],
+        )
+        search = procedure_5_1(res.algorithm, [[1, 1, -1]])
+        assert search.found
+
+    def test_deduplication(self):
+        res = align_statements(
+            2, 2, (3, 3),
+            [
+                StatementDependence(0, 0, (1, 0)),
+                StatementDependence(1, 1, (1, 0)),
+            ],
+        )
+        assert res.algorithm.m == 1  # identical aligned distances merge
+        assert len(res.aligned_distances) == 2
+
+
+class TestValidation:
+    def test_statement_index_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            align_statements(2, 2, (3, 3), [StatementDependence(0, 5, (1, 0))])
+
+    def test_distance_arity(self):
+        with pytest.raises(ValueError, match="arity"):
+            align_statements(2, 2, (3, 3), [StatementDependence(0, 1, (1,))])
+
+    def test_no_statements(self):
+        with pytest.raises(ValueError, match="at least one"):
+            align_statements(0, 2, (3, 3), [])
+
+    def test_unalignable_cycle(self):
+        """A zero-distance mutual dependence can never be aligned:
+        o1 - o0 > 0 and o0 - o1 > 0 are contradictory."""
+        with pytest.raises(DependenceError, match="no alignment"):
+            align_statements(
+                2, 1, (3,),
+                [
+                    StatementDependence(0, 1, (0,)),
+                    StatementDependence(1, 0, (0,)),
+                ],
+            )
+
+    def test_offset_bound_respected(self):
+        """A dependence needing offset 11 fails within bound 4 but
+        succeeds with a larger box.  (The cycle sum -10 + 12 = 2 leaves
+        exactly the two-unit slack both directions need.)"""
+        deps = [
+            StatementDependence(0, 1, (-10,)),
+            StatementDependence(1, 0, (12,)),
+        ]
+        with pytest.raises(DependenceError):
+            align_statements(2, 1, (3,), deps)
+        res = align_statements(2, 1, (3,), deps, offset_bound=12)
+        assert res.offsets[1][0] == 11
+
+    def test_cycle_sum_invariance_blocks_alignment(self):
+        """Offsets cancel around a cycle: a cycle whose distance sum is
+        too small can never be aligned no matter the bound."""
+        deps = [
+            StatementDependence(0, 1, (-10,)),
+            StatementDependence(1, 0, (0,)),
+        ]
+        with pytest.raises(DependenceError):
+            align_statements(2, 1, (3,), deps, offset_bound=20)

@@ -1,0 +1,154 @@
+"""Unit tests for repro.model.index_set (Equation 2.5)."""
+
+import numpy as np
+import pytest
+
+from repro.model import ConstantBoundedIndexSet
+
+
+class TestConstruction:
+    def test_basic(self):
+        j = ConstantBoundedIndexSet((4, 4))
+        assert j.mu == (4, 4)
+        assert j.dimension == 2
+
+    def test_coerces_to_int(self):
+        j = ConstantBoundedIndexSet((np.int64(3), 2))
+        assert j.mu == (3, 2)
+        assert all(isinstance(m, int) for m in j.mu)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ConstantBoundedIndexSet(())
+
+    def test_rejects_zero_bound(self):
+        with pytest.raises(ValueError):
+            ConstantBoundedIndexSet((4, 0))
+
+    def test_rejects_negative_bound(self):
+        with pytest.raises(ValueError):
+            ConstantBoundedIndexSet((-1,))
+
+    def test_hashable_and_equal(self):
+        assert ConstantBoundedIndexSet((2, 2)) == ConstantBoundedIndexSet((2, 2))
+        assert hash(ConstantBoundedIndexSet((2, 2))) == hash(
+            ConstantBoundedIndexSet((2, 2))
+        )
+
+
+class TestGeometry:
+    def test_cardinality(self):
+        assert len(ConstantBoundedIndexSet((4, 4))) == 25
+        assert len(ConstantBoundedIndexSet((1, 2, 3))) == 2 * 3 * 4
+
+    def test_membership(self):
+        j = ConstantBoundedIndexSet((4, 4))
+        assert (0, 0) in j
+        assert (4, 4) in j
+        assert (5, 0) not in j
+        assert (0, -1) not in j
+
+    def test_membership_wrong_arity(self):
+        j = ConstantBoundedIndexSet((4, 4))
+        assert (1, 2, 3) not in j
+
+    def test_membership_nonint(self):
+        j = ConstantBoundedIndexSet((4, 4))
+        assert (0.5, 1) not in j
+
+    def test_iteration_covers_all(self):
+        j = ConstantBoundedIndexSet((2, 3))
+        points = list(j)
+        assert len(points) == len(set(points)) == len(j)
+        assert all(p in j for p in points)
+
+    def test_iteration_lexicographic(self):
+        j = ConstantBoundedIndexSet((1, 1))
+        assert list(j) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_points_array_matches_iteration(self):
+        j = ConstantBoundedIndexSet((2, 2, 1))
+        arr = j.points_array()
+        assert arr.shape == (len(j), 3)
+        assert set(map(tuple, arr.tolist())) == set(j)
+
+    def test_contains_all_vectorized(self):
+        j = ConstantBoundedIndexSet((3, 3))
+        pts = np.array([[0, 0], [3, 3], [4, 0], [-1, 2]])
+        assert j.contains_all(pts).tolist() == [True, True, False, False]
+
+    def test_contains_all_shape_check(self):
+        j = ConstantBoundedIndexSet((3, 3))
+        with pytest.raises(ValueError):
+            j.contains_all(np.array([[1, 2, 3]]))
+
+    def test_corners(self):
+        j = ConstantBoundedIndexSet((2, 5))
+        assert set(j.corners()) == {(0, 0), (0, 5), (2, 0), (2, 5)}
+
+
+class TestPaperHelpers:
+    """Theorem 2.2's geometric content."""
+
+    def test_figure1_nonfeasible_vector(self):
+        j = ConstantBoundedIndexSet((4, 4))
+        # gamma = [1, 1] connects (0,0) to (1,1): a witness exists.
+        w = j.translate_witness((1, 1))
+        assert w is not None
+        assert w in j
+        assert tuple(a + g for a, g in zip(w, (1, 1))) in j
+
+    def test_figure1_feasible_vector(self):
+        j = ConstantBoundedIndexSet((4, 4))
+        # gamma = [3, 5]: |5| > 4 so no witness anywhere.
+        assert j.translate_witness((3, 5)) is None
+        assert not j.admits_translation((3, 5))
+
+    def test_witness_negative_components(self):
+        j = ConstantBoundedIndexSet((4, 4))
+        w = j.translate_witness((-2, 3))
+        assert w == (2, 0)
+        assert tuple(a + g for a, g in zip(w, (-2, 3))) in j
+
+    def test_witness_boundary_exact(self):
+        j = ConstantBoundedIndexSet((4, 4))
+        # |gamma_i| == mu_i is still inside (Theorem 2.2 is strict >).
+        assert j.admits_translation((4, -4))
+        assert not j.admits_translation((5, 0))
+
+    def test_witness_arity_check(self):
+        j = ConstantBoundedIndexSet((4, 4))
+        with pytest.raises(ValueError):
+            j.translate_witness((1, 2, 3))
+
+    def test_exhaustive_equivalence_small(self):
+        """admits_translation(gamma) iff brute force finds j, j+gamma in J."""
+        j = ConstantBoundedIndexSet((2, 3))
+        for g1 in range(-4, 5):
+            for g2 in range(-5, 6):
+                gamma = (g1, g2)
+                brute = any(
+                    tuple(a + g for a, g in zip(p, gamma)) in j for p in j
+                )
+                assert j.admits_translation(gamma) == brute
+
+    def test_diameter_along(self):
+        j = ConstantBoundedIndexSet((4, 4, 4))
+        # Equation 2.6: sum |pi_i| mu_i.
+        assert j.diameter_along((1, 4, 1)) == 24
+        assert j.diameter_along((-1, 4, -1)) == 24
+        assert j.diameter_along((0, 0, 0)) == 0
+
+    def test_diameter_matches_bruteforce(self):
+        j = ConstantBoundedIndexSet((2, 3))
+        pi = (-2, 3)
+        brute = max(
+            sum(p * (a - b) for p, a, b in zip(pi, j1, j2))
+            for j1 in j
+            for j2 in j
+        )
+        assert j.diameter_along(pi) == brute
+
+    def test_diameter_arity_check(self):
+        with pytest.raises(ValueError):
+            ConstantBoundedIndexSet((2, 2)).diameter_along((1,))

@@ -1,0 +1,215 @@
+"""Unit tests for repro.model.library (the paper's algorithm zoo)."""
+
+import numpy as np
+import pytest
+
+from repro.model import (
+    bit_level_convolution,
+    bit_level_matrix_multiplication,
+    convolution_1d,
+    example_2_1_algorithm,
+    lu_decomposition,
+    matrix_multiplication,
+    transitive_closure,
+)
+
+
+class TestMatrixMultiplication:
+    def test_structure_matches_equation_3_4(self):
+        algo = matrix_multiplication(4)
+        assert algo.n == 3
+        assert algo.mu == (4, 4, 4)
+        assert algo.dependence_vectors() == [(1, 0, 0), (0, 1, 0), (0, 0, 1)]
+
+    def test_index_set_size(self):
+        assert len(matrix_multiplication(2).index_set) == 27
+
+    def test_no_semantics_without_data(self):
+        assert matrix_multiplication(2).compute is None
+
+    def test_semantics_with_data(self):
+        a = np.arange(9).reshape(3, 3)
+        b = np.arange(9).reshape(3, 3) + 1
+        algo = matrix_multiplication(2, a=a, b=b)
+        assert algo.compute is not None
+        assert algo.inputs is not None
+
+    def test_partial_data_rejected(self):
+        with pytest.raises(ValueError, match="both"):
+            matrix_multiplication(2, a=np.eye(3))
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            matrix_multiplication(2, a=np.eye(4), b=np.eye(4))
+
+    def test_semantics_compute_accumulates(self):
+        a = np.full((3, 3), 2)
+        b = np.full((3, 3), 3)
+        algo = matrix_multiplication(2, a=a, b=b)
+        # operands: (B-carrier, A-carrier, C-carrier) triples
+        out = algo.compute((1, 1, 1), [(None, 3, None), (2, None, None), (None, None, 10)])
+        assert out == (2, 3, 16)
+
+    def test_inputs_boundary_values(self):
+        a = np.arange(9).reshape(3, 3)
+        b = np.arange(9).reshape(3, 3) * 10
+        algo = matrix_multiplication(2, a=a, b=b)
+        # d1 boundary at j1=0 injects B[j3, j2]
+        assert algo.inputs((0, 1, 2), 0)[1] == b[2, 1]
+        # d2 boundary at j2=0 injects A[j1, j3]
+        assert algo.inputs((1, 0, 2), 1)[0] == a[1, 2]
+        # d3 boundary at j3=0 starts C at 0
+        assert algo.inputs((1, 2, 0), 2)[2] == 0
+
+
+class TestTransitiveClosure:
+    def test_structure_matches_equation_3_6(self):
+        algo = transitive_closure(4)
+        assert algo.n == 3
+        assert algo.m == 5
+        # D columns exactly as printed in the paper.
+        assert algo.dependence_vectors() == [
+            (0, 0, 1),
+            (0, 1, 0),
+            (1, -1, -1),
+            (1, -1, 0),
+            (1, 0, -1),
+        ]
+
+    def test_schedule_constraints_from_paper(self):
+        """Example 5.2 derives pi_1 - pi_2 - pi_3 >= 1 etc. from Pi D > 0."""
+        algo = transitive_closure(4)
+        assert algo.is_acyclic_under((5, 1, 1))  # the optimal schedule
+        assert algo.is_acyclic_under((9, 1, 1))  # the [22] baseline
+        assert not algo.is_acyclic_under((1, 1, 1))  # violates d3
+        assert not algo.is_acyclic_under((2, 1, 1))  # pi1-pi2-pi3 = 0
+
+
+class TestConvolution:
+    def test_structure(self):
+        algo = convolution_1d(3, 8)
+        assert algo.n == 2
+        assert algo.mu == (8, 3)
+        assert algo.dependence_vectors() == [(0, 1), (1, 1), (1, 0)]
+
+    def test_semantics_requires_both(self):
+        with pytest.raises(ValueError, match="both"):
+            convolution_1d(3, 8, weights=np.ones(4))
+
+    def test_weights_length_check(self):
+        with pytest.raises(ValueError, match="weights"):
+            convolution_1d(3, 8, weights=np.ones(2), signal=np.ones(20))
+
+    def test_signal_length_check(self):
+        with pytest.raises(ValueError, match="signal"):
+            convolution_1d(3, 8, weights=np.ones(4), signal=np.ones(5))
+
+    def test_compute_step(self):
+        w = np.array([1, 2, 3, 4])
+        x = np.arange(12)
+        algo = convolution_1d(3, 8, weights=w, signal=x)
+        out = algo.compute((1, 1), [(10, None, None), (None, 5, None), (None, None, 2)])
+        assert out == (20, 5, 2)
+
+
+class TestLU:
+    def test_structure(self):
+        algo = lu_decomposition(3)
+        assert algo.n == 3
+        assert algo.dependence_vectors() == [(1, 0, 0), (0, 1, 0), (0, 0, 1)]
+
+
+class TestBitLevel:
+    def test_bit_matmul_is_5d(self):
+        algo = bit_level_matrix_multiplication(2, 3)
+        assert algo.n == 5
+        assert algo.m == 5
+        assert algo.mu == (2, 2, 2, 3, 3)
+
+    def test_bit_matmul_unit_dependences(self):
+        algo = bit_level_matrix_multiplication(2, 2)
+        deps = algo.dependence_vectors()
+        assert len(deps) == 5
+        for i, d in enumerate(deps):
+            assert d[i] == 1 and sum(abs(x) for x in d) == 1
+
+    def test_bit_matmul_word_bits_validated(self):
+        with pytest.raises(ValueError):
+            bit_level_matrix_multiplication(2, 0)
+
+    def test_bit_convolution_is_4d(self):
+        algo = bit_level_convolution(3, 8, 2)
+        assert algo.n == 4
+        assert algo.m == 4
+        assert algo.mu == (8, 3, 2, 2)
+
+    def test_bit_convolution_word_bits_validated(self):
+        with pytest.raises(ValueError):
+            bit_level_convolution(3, 8, 0)
+
+
+class TestExample21:
+    def test_matches_paper(self):
+        algo = example_2_1_algorithm()
+        assert algo.n == 4
+        assert algo.mu == (6, 6, 6, 6)
+
+    def test_custom_mu(self):
+        assert example_2_1_algorithm(3).mu == (3, 3, 3, 3)
+
+
+class TestConvolution2D:
+    def test_structure(self):
+        from repro.model import convolution_2d
+
+        algo = convolution_2d(4, 4, 2, 2)
+        assert algo.n == 4
+        assert algo.m == 5
+        assert algo.mu == (4, 4, 2, 2)
+
+    def test_x_reuse_diagonals_annihilate_access(self):
+        """d3, d4 must be invariant directions of x[i1-k1, i2-k2]."""
+        from repro.model import convolution_2d
+
+        algo = convolution_2d(4, 4, 2, 2)
+        deps = algo.dependence_vectors()
+        access = [[1, 0, -1, 0], [0, 1, 0, -1]]  # rows of the x access map
+        invariant = [
+            d for d in deps
+            if all(sum(a * x for a, x in zip(row, d)) == 0 for row in access)
+        ]
+        assert (1, 0, 1, 0) in invariant
+        assert (0, 1, 0, 1) in invariant
+
+    def test_valid_schedule_exists(self):
+        from repro.model import convolution_2d
+
+        algo = convolution_2d(3, 3, 1, 1)
+        assert algo.is_acyclic_under((1, 1, 1, 1))
+
+
+class TestBitLevelLU:
+    def test_structure(self):
+        from repro.model import bit_level_lu_decomposition
+
+        algo = bit_level_lu_decomposition(2, 2)
+        assert algo.n == 5
+        assert algo.m == 5
+        assert algo.mu == (2, 2, 2, 2, 2)
+
+    def test_word_bits_validated(self):
+        from repro.model import bit_level_lu_decomposition
+
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            bit_level_lu_decomposition(2, 0)
+
+    def test_mappable_to_2d(self):
+        """The Section-4 claim: Theorem 4.7 handles bit-level LU."""
+        from repro.core import procedure_5_1
+        from repro.model import bit_level_lu_decomposition
+
+        algo = bit_level_lu_decomposition(1, 1)
+        res = procedure_5_1(algo, [[1, 0, 1, 0, 0], [0, 1, 0, 1, 0]])
+        assert res.found

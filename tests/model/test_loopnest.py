@@ -1,0 +1,210 @@
+"""Unit tests for repro.model.loopnest (the (J, D) front-end)."""
+
+import pytest
+
+from repro.model import Access, LoopNest, SubscriptError, parse_affine
+from repro.model.algorithm import DependenceError
+
+
+class TestParseAffine:
+    IDX = ("i", "j", "k")
+
+    def test_single_index(self):
+        assert parse_affine("i", self.IDX) == ({"i": 1}, 0)
+
+    def test_index_minus_index(self):
+        assert parse_affine("i - k", self.IDX) == ({"i": 1, "k": -1}, 0)
+
+    def test_coefficient(self):
+        assert parse_affine("2*i + j", self.IDX) == ({"i": 2, "j": 1}, 0)
+
+    def test_constant_only(self):
+        assert parse_affine("3", self.IDX) == ({}, 3)
+
+    def test_mixed(self):
+        assert parse_affine("i - k + 2", self.IDX) == ({"i": 1, "k": -1}, 2)
+
+    def test_leading_minus(self):
+        assert parse_affine("-i + j", self.IDX) == ({"i": -1, "j": 1}, 0)
+
+    def test_repeated_index_accumulates(self):
+        assert parse_affine("i + i", self.IDX) == ({"i": 2}, 0)
+
+    def test_unknown_index_rejected(self):
+        with pytest.raises(SubscriptError, match="unknown"):
+            parse_affine("z", self.IDX)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SubscriptError):
+            parse_affine("i *", self.IDX)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SubscriptError):
+            parse_affine("  ", self.IDX)
+
+
+class TestAccessParsing:
+    def test_simple(self):
+        a = Access("v", ("i", "j-1", "k+2"))
+        assert a.parsed() == [("i", 0), ("j", -1), ("k", 2)]
+
+    def test_rejects_affine_in_strict_mode(self):
+        a = Access("v", ("i-k",))
+        with pytest.raises(SubscriptError):
+            a.parsed()
+
+
+class TestLoopNest:
+    def test_duplicate_indices_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            LoopNest(indices=("i", "i"), bounds=(2, 2))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            LoopNest(indices=("i", "j"), bounds=(2,))
+
+    def test_index_position(self):
+        nest = LoopNest(indices=("i", "j"), bounds=(2, 2))
+        assert nest.index_position("j") == 1
+        with pytest.raises(SubscriptError):
+            nest.index_position("z")
+
+
+class TestSelfDependence:
+    NEST = LoopNest(indices=("i", "j", "k"), bounds=(4, 4, 4))
+
+    def test_basic(self):
+        d = self.NEST.self_dependence(
+            Access("v", ("i", "j", "k")), Access("v", ("i-1", "j", "k"))
+        )
+        assert d == (1, 0, 0)
+
+    def test_multiple_offsets(self):
+        d = self.NEST.self_dependence(
+            Access("v", ("i", "j", "k")), Access("v", ("i-1", "j+2", "k"))
+        )
+        assert d == (1, -2, 0)
+
+    def test_offset_on_write_side(self):
+        d = self.NEST.self_dependence(
+            Access("v", ("i+1", "j", "k")), Access("v", ("i", "j", "k-1"))
+        )
+        assert d == (1, 0, 1)
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(DependenceError, match="zero"):
+            self.NEST.self_dependence(
+                Access("v", ("i", "j", "k")), Access("v", ("i", "j", "k"))
+            )
+
+    def test_different_variables_rejected(self):
+        with pytest.raises(ValueError, match="matching"):
+            self.NEST.self_dependence(
+                Access("v", ("i", "j", "k")), Access("w", ("i-1", "j", "k"))
+            )
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(SubscriptError, match="rank"):
+            self.NEST.self_dependence(
+                Access("v", ("i", "j", "k")), Access("v", ("i", "j"))
+            )
+
+    def test_non_uniform_rejected(self):
+        with pytest.raises(SubscriptError, match="non-uniform"):
+            self.NEST.self_dependence(
+                Access("v", ("i", "j", "k")), Access("v", ("j", "i", "k"))
+            )
+
+    def test_index_used_twice_rejected(self):
+        with pytest.raises(SubscriptError, match="twice"):
+            self.NEST.self_dependence(
+                Access("v", ("i", "i", "k")), Access("v", ("i-1", "i", "k"))
+            )
+
+
+class TestInputStreams:
+    NEST = LoopNest(indices=("j1", "j2", "j3"), bounds=(4, 4, 4))
+
+    def test_matmul_a(self):
+        # a[j1, j3] is invariant along j2.
+        assert self.NEST.input_stream_direction(Access("a", ("j1", "j3"))) == (0, 1, 0)
+
+    def test_matmul_b(self):
+        assert self.NEST.input_stream_direction(Access("b", ("j3", "j2"))) == (1, 0, 0)
+
+    def test_diagonal_reuse(self):
+        nest = LoopNest(indices=("i", "k"), bounds=(4, 4))
+        d = nest.input_stream_direction(Access("x", ("i-k",)))
+        assert d in ((1, 1), (-1, -1))
+
+    def test_injective_access_rejected(self):
+        with pytest.raises(DependenceError, match="injective"):
+            self.NEST.input_stream_direction(Access("a", ("j1", "j2", "j3")))
+
+    def test_ambiguous_reuse_rejected(self):
+        with pytest.raises(DependenceError, match="reuse space"):
+            self.NEST.input_stream_direction(Access("a", ("j1",)))
+
+    def test_scalar_rejected(self):
+        with pytest.raises(SubscriptError, match="subscripts"):
+            self.NEST.input_stream_direction(Access("a", ()))
+
+    def test_duplicated_subscript_rows(self):
+        # a[i, i] has dependent access rows; reuse space along (0, ..)?
+        nest = LoopNest(indices=("i", "j"), bounds=(4, 4))
+        d = nest.input_stream_direction(Access("a", ("i", "i")))
+        assert d in ((0, 1), (0, -1))
+
+
+class TestUniformize:
+    def test_matmul_pipeline(self):
+        nest = LoopNest(indices=("j1", "j2", "j3"), bounds=(4, 4, 4))
+        algo = nest.uniformize(
+            output=Access("c", ("j1", "j2", "j3"), variable_is_output=True),
+            reads=(
+                Access("c", ("j1", "j2", "j3-1")),
+                Access("a", ("j1", "j3")),
+                Access("b", ("j3", "j2")),
+            ),
+        )
+        assert algo.dependence_vectors() == [(0, 0, 1), (0, 1, 0), (1, 0, 0)]
+        assert algo.mu == (4, 4, 4)
+
+    def test_output_offset_contributes(self):
+        nest = LoopNest(indices=("j1", "j2", "j3"), bounds=(4, 4, 4))
+        algo = nest.uniformize(
+            output=Access("c", ("j1", "j2", "j3-1"), variable_is_output=True),
+            reads=(Access("a", ("j1", "j3")), Access("b", ("j3", "j2"))),
+        )
+        assert (0, 0, 1) in algo.dependence_vectors()
+
+    def test_convolution_matches_library(self):
+        from repro.model import convolution_1d
+
+        nest = LoopNest(indices=("i", "k"), bounds=(8, 3))
+        algo = nest.uniformize(
+            output=Access("y", ("i", "k"), variable_is_output=True),
+            reads=(
+                Access("y", ("i", "k-1")),
+                Access("x", ("i-k",)),
+                Access("w", ("k",)),
+            ),
+        )
+        assert algo.dependence_vectors() == convolution_1d(3, 8).dependence_vectors()
+
+    def test_no_dependences_rejected(self):
+        nest = LoopNest(indices=("i", "j"), bounds=(2, 2))
+        with pytest.raises(DependenceError, match="no dependence"):
+            nest.uniformize(
+                output=Access("v", ("i", "j"), variable_is_output=True),
+                reads=(),
+            )
+
+    def test_named_result(self):
+        nest = LoopNest(indices=("i", "j"), bounds=(2, 2))
+        algo = nest.uniformize(
+            output=Access("v", ("i", "j"), variable_is_output=True),
+            reads=(Access("v", ("i-1", "j")),),
+            name="custom",
+        )
+        assert algo.name == "custom"

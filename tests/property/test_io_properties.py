@@ -1,0 +1,99 @@
+"""Property-based tests for the boundary I/O schedule."""
+
+import random
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import MappingMatrix, is_conflict_free_kernel_box
+from repro.model import random_schedulable_algorithm
+from repro.systolic import RoutingError, derive_io_schedule, simulate_mapping
+
+
+@st.composite
+def mapped_instance(draw):
+    seed = draw(st.integers(0, 10_000))
+    algo = random_schedulable_algorithm(
+        random.Random(seed), n=3, m=3, mu_max=2, magnitude=1
+    )
+    pi = tuple(draw(st.integers(1, 4)) for _ in range(3))
+    row = tuple(draw(st.integers(-1, 2)) for _ in range(3))
+    assume(any(row))
+    t = MappingMatrix(space=(row,), schedule=pi)
+    assume(t.rank() == 2)
+    assume(algo.is_acyclic_under(pi))
+    return algo, t
+
+
+class TestIOInvariants:
+    @given(mapped_instance())
+    @settings(max_examples=40)
+    def test_injection_count_equals_boundary_consumers(self, inst):
+        algo, t = inst
+        try:
+            io = derive_io_schedule(algo, t)
+        except RoutingError:
+            return
+        expected = 0
+        for j in algo.index_set:
+            for d in algo.dependence_vectors():
+                pred = tuple(a - b for a, b in zip(j, d))
+                if pred not in algo.index_set:
+                    expected += 1
+        assert len(io.injections) == expected
+
+    @given(mapped_instance())
+    @settings(max_examples=40)
+    def test_drain_count_equals_chain_ends(self, inst):
+        algo, t = inst
+        try:
+            io = derive_io_schedule(algo, t)
+        except RoutingError:
+            return
+        expected = 0
+        for j in algo.index_set:
+            for d in algo.dependence_vectors():
+                succ = tuple(a + b for a, b in zip(j, d))
+                if succ not in algo.index_set:
+                    expected += 1
+        assert len(io.drains) == expected
+
+    @given(mapped_instance())
+    @settings(max_examples=40)
+    def test_conflict_free_implies_no_port_contention(self, inst):
+        algo, t = inst
+        if not is_conflict_free_kernel_box(t, algo.mu):
+            return
+        try:
+            io = derive_io_schedule(algo, t)
+        except RoutingError:
+            return
+        assert io.port_conflicts() == []
+
+    @given(mapped_instance())
+    @settings(max_examples=30)
+    def test_injections_never_late(self, inst):
+        """Every injection lands at or before its consumer's cycle."""
+        algo, t = inst
+        try:
+            io = derive_io_schedule(algo, t)
+        except RoutingError:
+            return
+        for e in io.injections:
+            assert e.time <= t.time(e.point)
+
+    @given(mapped_instance())
+    @settings(max_examples=25)
+    def test_io_consistent_with_simulation(self, inst):
+        """The simulator and the I/O schedule must agree on cleanliness
+        for conflict-free mappings."""
+        algo, t = inst
+        if not is_conflict_free_kernel_box(t, algo.mu):
+            return
+        try:
+            report = simulate_mapping(algo, t)
+        except RoutingError:
+            return
+        io = derive_io_schedule(algo, t, plan=report.plan)
+        assert report.conflicts == ()
+        assert io.port_conflicts() == []

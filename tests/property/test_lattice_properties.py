@@ -1,0 +1,108 @@
+"""Property-based tests for the lattice and reduction machinery."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.intlin import lll_reduce, rank
+from repro.intlin.lattice import Lattice
+
+
+@st.composite
+def independent_rows(draw, count=2, dim=3, magnitude=5):
+    for _ in range(30):
+        rows = draw(
+            st.lists(
+                st.lists(
+                    st.integers(-magnitude, magnitude),
+                    min_size=dim,
+                    max_size=dim,
+                ),
+                min_size=count,
+                max_size=count,
+            )
+        )
+        if rank(rows) == count:
+            return rows
+    return [[1 if j == i else 0 for j in range(dim)] for i in range(count)]
+
+
+def lattice_of(rows):
+    n = len(rows[0])
+    return Lattice(basis=tuple(tuple(r[i] for r in rows) for i in range(n)))
+
+
+class TestLatticeLaws:
+    @given(independent_rows())
+    @settings(max_examples=40)
+    def test_closed_under_addition(self, rows):
+        l = lattice_of(rows)
+        a, b = rows
+        s = [x + y for x, y in zip(a, b)]
+        d = [x - y for x, y in zip(a, b)]
+        assert l.contains(s)
+        assert l.contains(d)
+        assert l.contains([0] * len(a))
+
+    @given(independent_rows(), st.integers(-4, 4), st.integers(-4, 4))
+    @settings(max_examples=40)
+    def test_contains_all_combinations(self, rows, p, q):
+        l = lattice_of(rows)
+        v = [p * a + q * b for a, b in zip(rows[0], rows[1])]
+        assert l.contains(v)
+
+    @given(independent_rows())
+    @settings(max_examples=30)
+    def test_lll_preserves_lattice(self, rows):
+        reduced = lll_reduce(rows)
+        assert lattice_of(rows) == lattice_of(reduced)
+
+    @given(independent_rows())
+    @settings(max_examples=30)
+    def test_determinant_invariant_under_reduction(self, rows):
+        assert lattice_of(rows).determinant() == lattice_of(
+            lll_reduce(rows)
+        ).determinant()
+
+    @given(independent_rows(count=2, dim=2, magnitude=4))
+    @settings(max_examples=30)
+    def test_scaled_sublattice_index(self, rows):
+        l = lattice_of(rows)
+        doubled = lattice_of([[2 * x for x in r] for r in rows])
+        assert l.contains_lattice(doubled)
+        assert doubled.index_in(l) == 4  # scaling by 2 in rank 2
+
+    @given(independent_rows(), st.lists(st.integers(1, 3), min_size=3, max_size=3))
+    @settings(max_examples=25)
+    def test_points_in_box_are_lattice_members(self, rows, box):
+        l = lattice_of(rows)
+        pts = list(l.points_in_box(box))
+        assert (0,) * 3 in [tuple(p) for p in pts]
+        for p in pts:
+            assert l.contains(p)
+            assert all(abs(x) <= b for x, b in zip(p, box))
+
+    @given(independent_rows())
+    @settings(max_examples=25)
+    def test_box_points_symmetric(self, rows):
+        l = lattice_of(rows)
+        pts = {tuple(p) for p in l.points_in_box((3, 3, 3))}
+        for p in pts:
+            assert tuple(-x for x in p) in pts
+
+
+class TestMarginProperties:
+    @given(independent_rows(count=1, dim=3, magnitude=3))
+    @settings(max_examples=25)
+    def test_margin_positive(self, rows):
+        from fractions import Fraction
+
+        from repro.core import MappingMatrix, conflict_margin
+        from repro.intlin import random_full_rank
+
+        # Build a co-rank-1 mapping whose kernel is small but non-trivial.
+        import random as _random
+
+        t_rows = random_full_rank(2, 3, rng=_random.Random(sum(map(abs, rows[0]))))
+        t = MappingMatrix.from_rows(t_rows)
+        m = conflict_margin(t, (3, 3, 3))
+        assert m > Fraction(0)

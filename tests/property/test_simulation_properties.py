@@ -1,0 +1,109 @@
+"""Property-based tests linking the theory to the behavioral simulator.
+
+The strongest claim in the reproduction: for random algorithms and
+random valid mappings, *the lattice theory and the cycle-accurate
+simulation always agree* — a mapping is certified conflict-free iff the
+simulated array never double-books a (PE, cycle) slot, and the
+realized makespan is exactly Equation 2.7's closed form.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MappingMatrix, is_conflict_free_kernel_box
+from repro.model import ConstantBoundedIndexSet, UniformDependenceAlgorithm
+from repro.systolic import RoutingError, simulate_mapping
+
+
+@st.composite
+def algorithm_and_mapping(draw):
+    """A random small 2-D/3-D algorithm plus a dependence-valid mapping."""
+    n = draw(st.integers(2, 3))
+    mu = tuple(draw(st.integers(1, 3)) for _ in range(n))
+    index_set = ConstantBoundedIndexSet(mu)
+
+    # Unit dependence vectors guarantee positive schedules exist.
+    dep_cols = [tuple(1 if r == c else 0 for r in range(n)) for c in range(n)]
+    dep_matrix = tuple(tuple(col[r] for col in dep_cols) for r in range(n))
+    algo = UniformDependenceAlgorithm(
+        index_set=index_set, dependence_matrix=dep_matrix
+    )
+
+    pi = tuple(draw(st.integers(1, 5)) for _ in range(n))
+    space_row = tuple(draw(st.integers(-2, 2)) for _ in range(n))
+    t = MappingMatrix(space=(space_row,), schedule=pi)
+    return algo, t
+
+
+class TestTheorySimulationAgreement:
+    @given(algorithm_and_mapping())
+    @settings(max_examples=50)
+    def test_conflicts_iff_theory_says_so(self, am):
+        algo, t = am
+        if t.rank() != t.k:
+            return
+        try:
+            report = simulate_mapping(algo, t)
+        except RoutingError:
+            return  # schedule too tight for the displacement: no claim
+        free = is_conflict_free_kernel_box(t, algo.mu)
+        assert (len(report.conflicts) == 0) == free
+
+    @given(algorithm_and_mapping())
+    @settings(max_examples=50)
+    def test_makespan_is_equation_2_7(self, am):
+        algo, t = am
+        if t.rank() != t.k:
+            return
+        try:
+            report = simulate_mapping(algo, t)
+        except RoutingError:
+            return
+        expected = 1 + sum(abs(p) * m for p, m in zip(t.schedule, algo.mu))
+        assert report.makespan == expected
+
+    @given(algorithm_and_mapping())
+    @settings(max_examples=50)
+    def test_no_latency_violations_under_eq_2_3(self, am):
+        """Whenever planning succeeds, Equation 2.3 holds, so no operand
+        can arrive late."""
+        algo, t = am
+        if t.rank() != t.k:
+            return
+        try:
+            report = simulate_mapping(algo, t)
+        except RoutingError:
+            return
+        assert report.latency_violations == ()
+
+    @given(algorithm_and_mapping())
+    @settings(max_examples=50)
+    def test_buffer_occupancy_bounded_by_plan(self, am):
+        """For conflict-free mappings, peak FIFO occupancy never exceeds
+        the planned buffer depth plus one in-transit slot (a conflicted
+        mapping can legitimately pile several tokens into one slot)."""
+        algo, t = am
+        if t.rank() != t.k:
+            return
+        if not is_conflict_free_kernel_box(t, algo.mu):
+            return
+        try:
+            report = simulate_mapping(algo, t)
+        except RoutingError:
+            return
+        for channel, peak in enumerate(report.max_buffer_occupancy):
+            assert peak <= report.plan.buffers[channel] + 1
+
+    @given(algorithm_and_mapping())
+    @settings(max_examples=50)
+    def test_computation_conservation(self, am):
+        """Every index point is executed exactly once (counting
+        collisions as multiple points in one slot)."""
+        algo, t = am
+        if t.rank() != t.k:
+            return
+        try:
+            report = simulate_mapping(algo, t)
+        except RoutingError:
+            return
+        assert report.num_computations == len(algo.index_set)

@@ -1,0 +1,153 @@
+"""Property-based tests for the solver layer (ILP, Procedure 5.1, certificates).
+
+Quantified cross-checks between independent solution paths:
+
+* branch-and-bound vs exact vertex enumeration on random small ILPs;
+* Procedure 5.1 optimality vs a brute-force sweep on random algorithms;
+* every solver optimum carries a verifiable certificate.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    MappingMatrix,
+    certify_optimality,
+    enumerate_schedule_vectors,
+    is_conflict_free_kernel_box,
+    procedure_5_1,
+    verify_certificate,
+)
+from repro.ilp import (
+    LinearProgram,
+    best_integral_vertex,
+    enumerate_vertices,
+    solve_ilp,
+    solve_lp_relaxation,
+)
+from repro.model import ConstantBoundedIndexSet, UniformDependenceAlgorithm
+
+
+@st.composite
+def small_bounded_ilp(draw):
+    """A random bounded-feasible ILP in <= 3 variables."""
+    n = draw(st.integers(1, 3))
+    c = [draw(st.integers(-4, 4)) for _ in range(n)]
+    m = draw(st.integers(1, 3))
+    a_ub = [[draw(st.integers(-3, 3)) for _ in range(n)] for _ in range(m)]
+    # Bound the box so the problem is always bounded and usually feasible.
+    b_ub = [draw(st.integers(0, 8)) for _ in range(m)]
+    bounds = [(0.0, 5.0)] * n
+    return LinearProgram.build(
+        [float(x) for x in c],
+        a_ub=[[float(x) for x in row] for row in a_ub],
+        b_ub=[float(x) for x in b_ub],
+        bounds=bounds,
+        integer=True,
+    )
+
+
+class TestILPProperties:
+    @given(small_bounded_ilp())
+    @settings(max_examples=50)
+    def test_relaxation_bounds_ilp(self, prog):
+        rel = solve_lp_relaxation(prog)
+        ilp = solve_ilp(prog)
+        if rel.status == "infeasible":
+            assert ilp.status == "infeasible"
+            return
+        if ilp.status == "infeasible":
+            return  # LP feasible, no lattice point: fine
+        assert rel.objective <= ilp.objective + 1e-7
+
+    @given(small_bounded_ilp())
+    @settings(max_examples=50)
+    def test_ilp_solution_feasible(self, prog):
+        ilp = solve_ilp(prog)
+        if ilp.ok:
+            assert prog.is_feasible_point(ilp.x)
+            assert all(
+                float(v).is_integer() for v, flag in zip(ilp.x, prog.integer) if flag
+            )
+
+    @given(small_bounded_ilp())
+    @settings(max_examples=40)
+    def test_bb_beats_or_ties_every_integral_vertex(self, prog):
+        """B&B must be at least as good as the appendix technique."""
+        ilp = solve_ilp(prog)
+        best_vertex = best_integral_vertex(prog)
+        if best_vertex is None:
+            return
+        assume(ilp.ok)
+        _point, obj = best_vertex
+        assert ilp.objective <= float(obj) + 1e-7
+
+    @given(small_bounded_ilp())
+    @settings(max_examples=40)
+    def test_vertices_feasible(self, prog):
+        for v in enumerate_vertices(prog):
+            point = [float(x) for x in v]
+            assert prog.is_feasible_point(point, tol=1e-6)
+
+    @given(small_bounded_ilp())
+    @settings(max_examples=30)
+    def test_integral_polytope_vertex_equals_bb(self, prog):
+        """When all vertices are integral, the appendix technique is
+        exactly optimal (its premise, quantified)."""
+        verts = enumerate_vertices(prog)
+        if not verts or any(
+            x.denominator != 1 for v in verts for x in v
+        ):
+            return
+        ilp = solve_ilp(prog)
+        best = best_integral_vertex(prog)
+        if not ilp.ok:
+            return
+        assert best is not None
+        assert float(best[1]) == pytest.approx(ilp.objective)
+
+
+@st.composite
+def small_algorithm(draw):
+    """A random 2-D algorithm with unit + one extra dependence."""
+    mu = (draw(st.integers(1, 3)), draw(st.integers(1, 3)))
+    extra = (draw(st.integers(0, 2)), draw(st.integers(-2, 2)))
+    cols = [(1, 0), (0, 1)]
+    if extra != (0, 0) and extra not in cols:
+        cols.append(extra)
+    dep_matrix = tuple(tuple(c[r] for c in cols) for r in range(2))
+    return UniformDependenceAlgorithm(
+        index_set=ConstantBoundedIndexSet(mu), dependence_matrix=dep_matrix
+    )
+
+
+class TestProcedureOptimality:
+    @given(small_algorithm(), st.tuples(st.integers(-2, 2), st.integers(-2, 2)))
+    @settings(max_examples=40)
+    def test_first_survivor_is_global_optimum(self, algo, space_row):
+        assume(any(space_row))
+        res = procedure_5_1(algo, [list(space_row)], max_bound=60)
+        if not res.found:
+            return
+        best_f = res.schedule.f
+        # No strictly faster candidate survives all checks.
+        for pi in enumerate_schedule_vectors(algo.mu, best_f - 1):
+            if not algo.is_acyclic_under(pi):
+                continue
+            t = MappingMatrix(space=(tuple(space_row),), schedule=pi)
+            if t.rank() != 2:
+                continue
+            assert not is_conflict_free_kernel_box(t, algo.mu)
+
+    @given(small_algorithm(), st.tuples(st.integers(-2, 2), st.integers(-2, 2)))
+    @settings(max_examples=25)
+    def test_optimum_is_certifiable(self, algo, space_row):
+        assume(any(space_row))
+        res = procedure_5_1(algo, [list(space_row)], max_bound=60)
+        if not res.found:
+            return
+        cert = certify_optimality(algo, [list(space_row)], res.schedule.pi)
+        assert verify_certificate(algo, cert)

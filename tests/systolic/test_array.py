@@ -1,0 +1,98 @@
+"""Unit tests for repro.systolic.array (the physical array model)."""
+
+from repro.core import MappingMatrix
+from repro.model import matrix_multiplication, transitive_closure
+from repro.systolic import build_array, plan_interconnection
+
+
+def make_array(algo, space, pi):
+    t = MappingMatrix(space=space, schedule=pi)
+    plan = plan_interconnection(algo, t)
+    return build_array(algo, t, plan), t, plan
+
+
+class TestLinearArray:
+    def test_matmul_pe_range(self):
+        algo = matrix_multiplication(4)
+        array, _t, _p = make_array(algo, ((1, 1, -1),), (1, 4, 1))
+        # S j = j1 + j2 - j3 over [0,4]^3: range [-4, 8].
+        assert array.num_processors == 13
+        assert array.extent() == ((-4, 8),)
+
+    def test_tc_pe_range(self):
+        algo = transitive_closure(4)
+        array, _t, _p = make_array(algo, ((0, 0, 1),), (5, 1, 1))
+        assert array.num_processors == 5
+        assert array.extent() == ((0, 4),)
+
+    def test_links_per_channel(self):
+        algo = matrix_multiplication(2)
+        array, _t, _p = make_array(algo, ((1, 1, -1),), (1, 2, 1))
+        # Each dependence has its own channel (Figure 2's three links).
+        channels = {link.channel for link in array.links}
+        assert channels == {0, 1, 2}
+
+    def test_link_geometry_unit_steps(self):
+        algo = matrix_multiplication(2)
+        array, _t, _p = make_array(algo, ((1, 1, -1),), (1, 2, 1))
+        for link in array.links:
+            step = link.target[0] - link.source[0]
+            assert abs(step) == 1
+
+    def test_c_channel_direction_westward(self):
+        """Figure 2: the C stream travels right to left (S d3 = -1)."""
+        algo = matrix_multiplication(2)
+        array, _t, _p = make_array(algo, ((1, 1, -1),), (1, 2, 1))
+        c_links = list(array.links_by_channel(2))
+        assert c_links
+        assert all(l.target[0] - l.source[0] == -1 for l in c_links)
+
+    def test_processors_sorted_unique(self):
+        algo = matrix_multiplication(2)
+        array, _t, _p = make_array(algo, ((1, 1, -1),), (1, 2, 1))
+        assert list(array.processors) == sorted(set(array.processors))
+
+
+class TestTwoDArray:
+    def test_bitlevel_geometry(self):
+        from repro.model import bit_level_matrix_multiplication
+
+        algo = bit_level_matrix_multiplication(1, 1)
+        array, _t, _p = make_array(
+            algo,
+            ((1, 0, 1, 0, 0), (0, 1, 0, 1, 0)),
+            (1, 1, 2, 4, 8),
+        )
+        assert array.dimension == 2
+        # S j: (j1+j4, j2+j5) over {0,1}^5: coordinates 0..2 each.
+        assert array.num_processors == 9
+        assert array.extent() == ((0, 2), (0, 2))
+
+    def test_2d_links_are_axis_aligned(self):
+        from repro.model import bit_level_matrix_multiplication
+
+        algo = bit_level_matrix_multiplication(1, 1)
+        array, _t, _p = make_array(
+            algo,
+            ((1, 0, 1, 0, 0), (0, 1, 0, 1, 0)),
+            (1, 1, 2, 4, 8),
+        )
+        for link in array.links:
+            dx = link.target[0] - link.source[0]
+            dy = link.target[1] - link.source[1]
+            assert abs(dx) + abs(dy) == 1  # nearest-neighbor hops only
+
+
+class TestZeroDArray:
+    def test_single_pe(self):
+        from repro.model import ConstantBoundedIndexSet, UniformDependenceAlgorithm
+
+        algo = UniformDependenceAlgorithm(
+            index_set=ConstantBoundedIndexSet((2, 2)),
+            dependence_matrix=((1, 0), (0, 1)),
+        )
+        array, _t, _p = make_array(algo, (), (1, 3))
+        assert array.dimension == 0
+        assert array.num_processors == 1
+        assert array.extent() == ()
+        assert array.links == ()

@@ -1,0 +1,186 @@
+"""Unit tests for repro.systolic.interconnect (Def 2.2 condition 2)."""
+
+import pytest
+
+from repro.core import MappingMatrix
+from repro.model import matrix_multiplication, transitive_closure
+from repro.systolic import (
+    RoutingError,
+    nearest_neighbor_primitives,
+    plan_interconnection,
+)
+
+
+class TestPrimitives:
+    def test_dim1(self):
+        assert nearest_neighbor_primitives(1) == [[1, -1]]
+
+    def test_dim2_matches_paper(self):
+        """The paper's P = [[0,0,1,-1],[1,-1,0,0]] up to column order."""
+        p = nearest_neighbor_primitives(2)
+        cols = {tuple(p[r][c] for r in range(2)) for c in range(4)}
+        assert cols == {(0, 1), (0, -1), (1, 0), (-1, 0)}
+
+    def test_dim0(self):
+        assert nearest_neighbor_primitives(0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            nearest_neighbor_primitives(-1)
+
+
+class TestPlanMatmul:
+    """Example 5.1 / Figure 2: T = [[1,1,-1],[1,4,1]]."""
+
+    def setup_method(self):
+        self.algo = matrix_multiplication(4)
+        self.t = MappingMatrix(space=((1, 1, -1),), schedule=(1, 4, 1))
+        self.plan = plan_interconnection(self.algo, self.t)
+
+    def test_sd_pk_identity(self):
+        """S D == P K exactly."""
+        from repro.intlin import matmul
+
+        s = [list(r) for r in self.t.space]
+        d = [list(r) for r in self.algo.dependence_matrix]
+        p = [list(r) for r in self.plan.primitives]
+        k = [list(r) for r in self.plan.usage]
+        assert matmul(s, d) == matmul(p, k)
+
+    def test_figure2_buffers(self):
+        """Three buffers on the A link (d2), none elsewhere."""
+        assert self.plan.buffers == (0, 3, 0)
+        assert self.plan.total_buffers == 3
+
+    def test_hop_counts(self):
+        assert [self.plan.hops(i) for i in range(3)] == [1, 1, 1]
+
+    def test_equation_2_3(self):
+        """sum_j k_ji <= Pi d_i for every dependence."""
+        for i, d in enumerate(self.algo.dependence_vectors()):
+            assert self.plan.hops(i) <= self.t.time(d)
+
+    def test_statically_collision_free(self):
+        assert self.plan.statically_collision_free()
+
+    def test_usage_columns_shape(self):
+        cols = self.plan.usage_columns()
+        assert len(cols) == 3
+        assert all(len(c) == 2 for c in cols)  # r = 2 primitives in 1-D
+
+
+class TestPlanTC:
+    """Example 5.2: T = [[0,0,1],[5,1,1]]."""
+
+    def setup_method(self):
+        self.algo = transitive_closure(4)
+        self.t = MappingMatrix(space=((0, 0, 1),), schedule=(5, 1, 1))
+        self.plan = plan_interconnection(self.algo, self.t)
+
+    def test_displacements(self):
+        """S D = [1, 0, -1, 0, -1] (paper, Example 5.2)."""
+        from repro.intlin import matvec
+
+        s = [list(self.t.space[0])]
+        disp = [
+            matvec(s, list(d))[0] for d in self.algo.dependence_vectors()
+        ]
+        assert disp == [1, 0, -1, 0, -1]
+
+    def test_buffer_budget(self):
+        for i, d in enumerate(self.algo.dependence_vectors()):
+            assert self.plan.buffers[i] == self.t.time(d) - self.plan.hops(i)
+            assert self.plan.buffers[i] >= 0
+
+    def test_statically_collision_free(self):
+        assert self.plan.statically_collision_free()
+
+
+class TestRoutingErrors:
+    def test_budget_too_tight(self):
+        """A displacement farther than the schedule allows must fail."""
+        algo = matrix_multiplication(2)
+        # S d1 = 5 but Pi d1 = 1: cannot make 5 hops in 1 cycle.
+        t = MappingMatrix(space=((5, 0, 0),), schedule=(1, 1, 1))
+        with pytest.raises(RoutingError):
+            plan_interconnection(algo, t)
+
+    def test_no_links_with_displacement(self):
+        """A 0-D array cannot transport a non-zero displacement...
+        but S is empty so displacements are empty: planning succeeds."""
+        algo = matrix_multiplication(2)
+        t = MappingMatrix(space=(), schedule=(1, 2, 5))
+        plan = plan_interconnection(algo, t)
+        assert plan.routes == ((), (), ())
+
+    def test_unreachable_with_given_primitives(self):
+        """Primitives that only move east cannot realize a westward hop."""
+        algo = matrix_multiplication(2)
+        t = MappingMatrix(space=((1, 1, -1),), schedule=(1, 2, 1))
+        with pytest.raises(RoutingError):
+            plan_interconnection(algo, t, primitives=[[1]])
+
+    def test_wrong_primitive_rows(self):
+        algo = matrix_multiplication(2)
+        t = MappingMatrix(space=((1, 1, -1),), schedule=(1, 2, 1))
+        with pytest.raises(ValueError, match="rows"):
+            plan_interconnection(algo, t, primitives=[[1, -1], [0, 0]])
+
+    def test_nonpositive_schedule_length(self):
+        from repro.model import ConstantBoundedIndexSet, UniformDependenceAlgorithm
+
+        algo = UniformDependenceAlgorithm(
+            index_set=ConstantBoundedIndexSet((2, 2)),
+            dependence_matrix=((1,), (0,)),
+        )
+        t = MappingMatrix(space=((0, 1),), schedule=(0, 1))  # Pi d = 0
+        with pytest.raises(RoutingError, match="non-positive"):
+            plan_interconnection(algo, t)
+
+
+class TestCustomPrimitives:
+    def test_long_range_primitive_used(self):
+        """A machine with a jump-by-2 link routes in fewer hops."""
+        algo = matrix_multiplication(2)
+        t = MappingMatrix(space=((2, 1, -1),), schedule=(2, 1, 1))
+        plan = plan_interconnection(
+            algo, t, primitives=[[1, -1, 2, -2]]
+        )
+        # d1 displacement 2: one jump-2 hop instead of two unit hops.
+        assert plan.hops(0) == 1
+
+    def test_2d_plan(self):
+        """5-D bit-level mapping onto a 2-D nearest-neighbor array."""
+        from repro.model import bit_level_matrix_multiplication
+
+        algo = bit_level_matrix_multiplication(1, 1)
+        t = MappingMatrix(
+            space=((1, 0, 1, 0, 0), (0, 1, 0, 1, 0)),
+            schedule=(1, 1, 2, 4, 8),
+        )
+        plan = plan_interconnection(algo, t)
+        assert len(plan.routes) == 5
+        for i, d in enumerate(algo.dependence_vectors()):
+            assert plan.hops(i) <= t.time(d)
+
+
+class TestSingleUsePreference:
+    def test_single_use_preferred_when_affordable(self):
+        """With a jump-2 primitive available AND unit primitives, a
+        displacement of 2 with a generous budget routes as one jump-2
+        hop or two unit hops; the single-use preference must pick a
+        decomposition with every primitive used at most once."""
+        algo = matrix_multiplication(2)
+        t = MappingMatrix(space=((2, 1, -1),), schedule=(3, 1, 1))
+        plan = plan_interconnection(algo, t, primitives=[[1, -1, 2, -2]])
+        assert plan.statically_collision_free()
+
+    def test_fallback_when_single_use_infeasible(self):
+        """Only unit primitives and displacement 2: single-use is
+        impossible, so the planner falls back to the repeated-hop
+        route (and the static criterion correctly flags it)."""
+        algo = matrix_multiplication(2)
+        t = MappingMatrix(space=((2, 1, -1),), schedule=(3, 1, 1))
+        plan = plan_interconnection(algo, t, primitives=[[1, -1]])
+        assert plan.hops(0) == 2
+        assert not plan.statically_collision_free()

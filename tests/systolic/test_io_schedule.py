@@ -1,0 +1,95 @@
+"""Unit tests for repro.systolic.io_schedule (boundary data skewing)."""
+
+import pytest
+
+from repro.core import MappingMatrix
+from repro.model import matrix_multiplication, transitive_closure
+from repro.systolic import derive_io_schedule, render_injection_profile
+
+
+class TestMatmulIO:
+    """Figure 3's implicit I/O: skewed A, B injection and C drain."""
+
+    def setup_method(self):
+        self.algo = matrix_multiplication(2)
+        self.t = MappingMatrix(space=((1, 1, -1),), schedule=(1, 2, 1))
+        self.io = derive_io_schedule(self.algo, self.t)
+
+    def test_injection_counts(self):
+        # Each channel's boundary consumers: one face of the cube,
+        # (mu+1)^2 = 9 points each.
+        for channel in range(3):
+            assert len(self.io.injections_by_channel(channel)) == 9
+
+    def test_drain_counts(self):
+        for channel in range(3):
+            assert len(self.io.drains_by_channel(channel)) == 9
+
+    def test_no_port_conflicts(self):
+        assert self.io.port_conflicts() == []
+
+    def test_injection_timing_precedes_consumption(self):
+        for e in self.io.injections:
+            consume_t = self.t.time(e.point)
+            assert e.time <= consume_t
+            # Exactly hops earlier.
+            hops = 1  # all matmul channels are single-hop here
+            assert consume_t - e.time == hops
+
+    def test_injection_port_is_upstream(self):
+        """The port is one primitive step behind the consumer's PE,
+        against the channel's travel direction."""
+        deps = self.algo.dependence_vectors()
+        for e in self.io.injections:
+            pe = self.t.processor(e.point)
+            s_d = self.t.processor(deps[e.channel])
+            assert e.port == tuple(p - s for p, s in zip(pe, s_d))
+
+    def test_drain_points_have_no_successor(self):
+        deps = self.algo.dependence_vectors()
+        for e in self.io.drains:
+            succ = tuple(a + b for a, b in zip(e.point, deps[e.channel]))
+            assert succ not in self.algo.index_set
+
+    def test_c_drain_at_final_slice(self):
+        """The C results (channel 2) drain at j3 = mu."""
+        for e in self.io.drains_by_channel(2):
+            assert e.point[2] == 2
+
+
+class TestLocalChannelIO:
+    def test_zero_hop_channel_injects_at_own_pe(self):
+        algo = transitive_closure(2)
+        t = MappingMatrix(space=((0, 0, 1),), schedule=(3, 1, 1))
+        io = derive_io_schedule(algo, t)
+        # d2 = (0,1,0) has S d2 = 0: port == consumer PE, time == consume.
+        for e in io.injections_by_channel(1):
+            assert e.port == t.processor(e.point)
+            assert e.time == t.time(e.point)
+
+
+class TestConflictedMappingIO:
+    def test_port_conflicts_surface_for_conflicted_mapping(self):
+        """A mapping with computational conflicts also shows I/O port
+        contention (two consumers needing one port-cycle)."""
+        algo = matrix_multiplication(2)
+        t = MappingMatrix(space=((1, 1, -1),), schedule=(1, 1, 2))
+        io = derive_io_schedule(algo, t)
+        assert len(io.port_conflicts()) > 0
+
+
+class TestRendering:
+    def test_profile_renders(self):
+        algo = matrix_multiplication(2)
+        t = MappingMatrix(space=((1, 1, -1),), schedule=(1, 2, 1))
+        io = derive_io_schedule(algo, t)
+        out = render_injection_profile(io, 1)
+        assert "channel 1" in out
+        assert "#" in out
+
+    def test_empty_channel_message(self):
+        from repro.model import ConstantBoundedIndexSet, UniformDependenceAlgorithm
+        from repro.systolic.io_schedule import IOSchedule
+
+        empty = IOSchedule(injections=(), drains=())
+        assert "no boundary injections" in render_injection_profile(empty, 0)

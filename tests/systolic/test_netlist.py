@@ -1,0 +1,161 @@
+"""Unit tests for repro.systolic.netlist (structural array export)."""
+
+import json
+
+import pytest
+
+from repro.core import MappingMatrix
+from repro.model import matrix_multiplication, transitive_closure
+from repro.systolic import build_netlist, plan_interconnection
+
+
+class TestMatmulNetlist:
+    def setup_method(self):
+        self.algo = matrix_multiplication(2)
+        self.t = MappingMatrix(space=((1, 1, -1),), schedule=(1, 2, 1))
+        self.nl = build_netlist(self.algo, self.t)
+
+    def test_pe_count(self):
+        assert len(self.nl.cells_of_kind("pe")) == 7
+
+    def test_fifo_count_matches_buffered_channel_links(self):
+        """Channel A (index 1) has 1 buffer per link; 6 producer PEs."""
+        fifos = self.nl.cells_of_kind("fifo")
+        assert all(f.params["channel"] == 1 for f in fifos)
+        assert len(fifos) == 6
+
+    def test_fifo_depth_matches_plan(self):
+        plan = plan_interconnection(self.algo, self.t)
+        for f in self.nl.cells_of_kind("fifo"):
+            assert f.params["depth"] == plan.buffers[f.params["channel"]]
+
+    def test_validates(self):
+        self.nl.validate()  # must not raise
+
+    def test_boundary_ports_present(self):
+        # One injection port per (channel, boundary port PE).
+        assert len(self.nl.boundary_ports) > 0
+        assert all(p.startswith("in_ch") for p in self.nl.boundary_ports)
+
+    def test_buffered_channel_nets_pass_through_fifo(self):
+        """On the buffered channel every PE-to-PE connection is split
+        into PE -> FIFO -> PE."""
+        fifo_names = {c.name for c in self.nl.cells_of_kind("fifo")}
+        ch1_nets = [
+            n for n in self.nl.nets
+            if n.channel == 1 and not n.source.startswith("in_")
+        ]
+        for net in ch1_nets:
+            assert net.source in fifo_names or net.target in fifo_names
+
+
+class TestExports:
+    def make(self):
+        algo = transitive_closure(2)
+        t = MappingMatrix(space=((0, 0, 1),), schedule=(3, 1, 1))
+        return build_netlist(algo, t)
+
+    def test_json_roundtrip(self):
+        nl = self.make()
+        doc = json.loads(nl.to_json())
+        assert set(doc) == {"cells", "nets", "boundary_ports"}
+        assert len(doc["cells"]) == len(nl.cells)
+        assert len(doc["nets"]) == len(nl.nets)
+
+    def test_json_stable(self):
+        nl = self.make()
+        assert nl.to_json() == nl.to_json()
+
+    def test_dot_output(self):
+        nl = self.make()
+        dot = nl.to_dot()
+        assert dot.startswith("digraph array {")
+        assert dot.rstrip().endswith("}")
+        for c in nl.cells_of_kind("pe"):
+            assert c.name in dot
+        assert "ch0" in dot
+
+    def test_without_boundary_ports(self):
+        algo = matrix_multiplication(2)
+        t = MappingMatrix(space=((1, 1, -1),), schedule=(1, 2, 1))
+        nl = build_netlist(algo, t, include_boundary=False)
+        assert nl.boundary_ports == ()
+        nl.validate()
+
+
+class TestValidation:
+    def test_dangling_net_detected(self):
+        from repro.systolic.netlist import Cell, Net, Netlist
+
+        nl = Netlist(
+            cells=(Cell(name="pe_0", kind="pe"),),
+            nets=(Net(name="n0", channel=0, source="pe_0", target="ghost"),),
+            boundary_ports=(),
+        )
+        with pytest.raises(ValueError, match="unknown target"):
+            nl.validate()
+
+    def test_duplicate_cells_detected(self):
+        from repro.systolic.netlist import Cell, Netlist
+
+        nl = Netlist(
+            cells=(Cell(name="pe_0", kind="pe"), Cell(name="pe_0", kind="pe")),
+            nets=(),
+            boundary_ports=(),
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            nl.validate()
+
+    def test_zero_d_netlist(self):
+        from repro.model import ConstantBoundedIndexSet, UniformDependenceAlgorithm
+
+        algo = UniformDependenceAlgorithm(
+            index_set=ConstantBoundedIndexSet((2, 2)),
+            dependence_matrix=((1, 0), (0, 1)),
+        )
+        t = MappingMatrix(space=(), schedule=(1, 3))
+        nl = build_netlist(algo, t)
+        assert len(nl.cells_of_kind("pe")) == 1
+
+
+class TestParetoFrontier:
+    def test_matmul_frontier(self):
+        from repro.core import pareto_frontier
+
+        algo = matrix_multiplication(2)
+        front = pareto_frontier(algo)
+        assert len(front) >= 2
+        # No design dominates another within the frontier.
+        def metrics(d):
+            return (
+                d.cost.total_time,
+                d.cost.processors,
+                d.cost.wire_length,
+                d.cost.buffers,
+            )
+
+        for a in front:
+            for b in front:
+                if a is b:
+                    continue
+                ma, mb = metrics(a), metrics(b)
+                assert not (
+                    all(x >= y for x, y in zip(ma, mb)) and ma != mb
+                )
+
+    def test_frontier_contains_time_optimum(self):
+        from repro.core import pareto_frontier, procedure_5_1
+
+        algo = matrix_multiplication(2)
+        front = pareto_frontier(algo)
+        best_time = min(d.cost.total_time for d in front)
+        # The global time optimum (t = 9) must be represented.
+        assert best_time == 9
+
+    def test_frontier_sorted_by_time(self):
+        from repro.core import pareto_frontier
+
+        algo = matrix_multiplication(2)
+        front = pareto_frontier(algo)
+        times = [d.cost.total_time for d in front]
+        assert times == sorted(times)

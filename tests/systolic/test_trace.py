@@ -1,0 +1,121 @@
+"""Unit tests for repro.systolic.trace (execution trace export)."""
+
+import pytest
+
+from repro.core import MappingMatrix
+from repro.model import matrix_multiplication, stencil_2d
+from repro.systolic import derive_trace, simulate_mapping
+
+
+class TestTraceDerivation:
+    def setup_method(self):
+        self.algo = matrix_multiplication(2)
+        self.t = MappingMatrix(space=((1, 1, -1),), schedule=(1, 2, 1))
+        self.trace = derive_trace(self.algo, self.t)
+
+    def test_compute_event_per_index_point(self):
+        assert len(self.trace.computes()) == len(self.algo.index_set)
+
+    def test_compute_events_match_mapping(self):
+        for e in self.trace.computes():
+            assert e.location == self.t.processor(e.payload)
+            assert e.cycle == self.t.time(e.payload)
+
+    def test_transfer_count_matches_in_set_edges(self):
+        expected = 0
+        for j in self.algo.index_set:
+            for d in self.algo.dependence_vectors():
+                pred = tuple(a - b for a, b in zip(j, d))
+                if pred in self.algo.index_set:
+                    expected += 1  # single-hop routes: one transfer each
+        assert len(self.trace.transfers()) == expected
+
+    def test_events_cycle_ordered(self):
+        cycles = [e.cycle for e in self.trace.events]
+        assert cycles == sorted(cycles)
+
+    def test_makespan_agrees_with_simulation(self):
+        report = simulate_mapping(self.algo, self.t)
+        compute_cycles = [e.cycle for e in self.trace.computes()]
+        assert max(compute_cycles) - min(compute_cycles) + 1 == report.makespan
+
+    def test_busy_processors_unique_when_conflict_free(self):
+        for cycle in range(self.trace.first_cycle, self.trace.last_cycle + 1):
+            busy = self.trace.busy_processors(cycle)
+            computes_now = [
+                e for e in self.trace.computes() if e.cycle == cycle
+            ]
+            assert len(busy) == len(computes_now)  # injective placement
+
+    def test_transfers_skippable(self):
+        bare = derive_trace(self.algo, self.t, include_transfers=False)
+        assert bare.transfers() == []
+        assert len(bare.computes()) == len(self.algo.index_set)
+
+
+class TestExports:
+    def make(self):
+        algo = stencil_2d(2)
+        t = MappingMatrix(space=((0, 1, 0),), schedule=(3, 0, -1))
+        return derive_trace(algo, t), algo
+
+    def test_csv_shape(self):
+        trace, algo = self.make()
+        lines = trace.to_csv().splitlines()
+        assert lines[0] == "cycle,kind,location,payload"
+        assert len(lines) == 1 + len(trace.events)
+
+    def test_csv_parseable(self):
+        import csv
+        import io
+
+        trace, _algo = self.make()
+        rows = list(csv.DictReader(io.StringIO(trace.to_csv())))
+        assert len(rows) == len(trace.events)
+        kinds = {r["kind"] for r in rows}
+        assert kinds <= {"compute", "transfer"}
+
+    def test_vcd_structure(self):
+        trace, _algo = self.make()
+        vcd = trace.to_vcd()
+        assert vcd.startswith("$timescale")
+        assert "$enddefinitions $end" in vcd
+        assert vcd.count("$var string") == trace.num_processors
+        # One timestamp marker per cycle in range.
+        span = trace.last_cycle - trace.first_cycle + 1
+        assert vcd.count("#") >= span
+
+
+class TestStencilZoo:
+    def test_structure(self):
+        algo = stencil_2d(3)
+        assert algo.n == 3
+        assert algo.m == 5
+        assert algo.mu == (3, 3, 3)
+
+    def test_custom_sweeps(self):
+        algo = stencil_2d(3, time_steps=5)
+        assert algo.mu == (5, 3, 3)
+
+    def test_schedule_must_weight_sweep_axis(self):
+        algo = stencil_2d(3)
+        # Pure spatial schedules violate the neighbor dependences.
+        assert not algo.is_acyclic_under((0, 1, 1))
+        assert algo.is_acyclic_under((3, 1, 1))
+
+    def test_mappable(self):
+        from repro.core import is_conflict_free_kernel_box, procedure_5_1
+
+        algo = stencil_2d(2)
+        res = procedure_5_1(algo, [[0, 1, 0]])
+        assert res.found
+        assert is_conflict_free_kernel_box(res.mapping, algo.mu)
+
+    def test_simulates_clean(self):
+        from repro.core import procedure_5_1
+
+        algo = stencil_2d(2)
+        res = procedure_5_1(algo, [[0, 1, 0]])
+        report = simulate_mapping(algo, res.mapping)
+        assert report.ok
+        assert report.makespan == res.total_time

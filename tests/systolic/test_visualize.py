@@ -1,0 +1,175 @@
+"""Unit tests for repro.systolic.visualize (Figures 1-3 renderings)."""
+
+import pytest
+
+from repro.core import MappingMatrix
+from repro.model import ConstantBoundedIndexSet, matrix_multiplication
+from repro.systolic import (
+    plan_interconnection,
+    render_array_diagram,
+    render_index_set_2d,
+    render_space_time,
+)
+
+
+class TestFigure1:
+    J = ConstantBoundedIndexSet((4, 4))
+
+    def test_nonfeasible_vector_marks_points(self):
+        out = render_index_set_2d(self.J, [(1, 1)])
+        # Multiples of (1,1) inside the lattice get the digit 1.
+        assert "1" in out.splitlines()[1]  # top row contains (4,4)
+        assert "non-feasible" in out
+
+    def test_feasible_vector_marks_nothing(self):
+        out = render_index_set_2d(self.J, [(3, 5)])
+        assert "(feasible)" in out
+        grid_lines = out.splitlines()[1 : 1 + 5]
+        marked = sum(line.count("1") for line in grid_lines)
+        # Row labels contain digits; check no cell labels by counting
+        # the marker past the label column.
+        assert all("1" not in line[4:] for line in grid_lines)
+        _ = marked
+
+    def test_both_paper_vectors(self):
+        out = render_index_set_2d(self.J, [(1, 1), (3, 5)])
+        assert "gamma_1 = (1, 1)" in out
+        assert "gamma_2 = (3, 5)" in out
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            render_index_set_2d(ConstantBoundedIndexSet((2, 2, 2)), [])
+
+    def test_grid_dimensions(self):
+        out = render_index_set_2d(self.J, [])
+        lines = out.splitlines()
+        assert len([l for l in lines if l.strip()]) >= 6  # header + 5 rows
+
+
+class TestFigure2:
+    def test_matmul_diagram(self):
+        algo = matrix_multiplication(4)
+        t = MappingMatrix(space=((1, 1, -1),), schedule=(1, 4, 1))
+        plan = plan_interconnection(algo, t)
+        out = render_array_diagram(
+            t, plan, channel_names=["B", "A", "C"], num_processors=5
+        )
+        assert out.count("[PE]") == 5
+        assert "buffers=3" in out  # the A link
+        assert "<--" in out  # C travels westward
+        assert "-->" in out
+
+    def test_default_channel_names(self):
+        algo = matrix_multiplication(2)
+        t = MappingMatrix(space=((1, 1, -1),), schedule=(1, 2, 1))
+        plan = plan_interconnection(algo, t)
+        out = render_array_diagram(t, plan)
+        assert "d1" in out and "d3" in out
+
+    def test_local_channel_annotated(self):
+        from repro.model import transitive_closure
+
+        algo = transitive_closure(2)
+        t = MappingMatrix(space=((0, 0, 1),), schedule=(3, 1, 1))
+        plan = plan_interconnection(algo, t)
+        out = render_array_diagram(t, plan)
+        assert "(local)" in out  # d2 = (0,1,0) has S d2 = 0
+
+    def test_requires_linear_array(self):
+        t = MappingMatrix(
+            space=((1, 0, 1, 0, 0), (0, 1, 0, 1, 0)), schedule=(1, 1, 2, 4, 8)
+        )
+        from repro.model import bit_level_matrix_multiplication
+
+        algo = bit_level_matrix_multiplication(1, 1)
+        plan = plan_interconnection(algo, t)
+        with pytest.raises(ValueError, match="linear"):
+            render_array_diagram(t, plan)
+
+
+class TestFigure3:
+    def test_matmul_table(self):
+        algo = matrix_multiplication(2)
+        t = MappingMatrix(space=((1, 1, -1),), schedule=(1, 2, 1))
+        out = render_space_time(algo, t)
+        lines = out.splitlines()
+        assert lines[0].startswith("PE\\t")
+        # All 27 computations appear exactly once.
+        body = "\n".join(lines[1:])
+        count = sum(
+            1
+            for j1 in range(3)
+            for j2 in range(3)
+            for j3 in range(3)
+            if f"{j1}{j2}{j3}" in body
+        )
+        assert count == 27
+
+    def test_conflicted_mapping_rejected(self):
+        algo = matrix_multiplication(4)
+        t = MappingMatrix(space=((1, 1, -1),), schedule=(1, 1, 4))
+        with pytest.raises(ValueError, match="conflict"):
+            render_space_time(algo, t)
+
+    def test_width_guard(self):
+        algo = matrix_multiplication(4)
+        t = MappingMatrix(space=((1, 1, -1),), schedule=(1, 4, 1))
+        with pytest.raises(ValueError, match="wide"):
+            render_space_time(algo, t, max_width=10)
+
+    def test_requires_linear_array(self):
+        from repro.model import bit_level_matrix_multiplication
+
+        algo = bit_level_matrix_multiplication(1, 1)
+        t = MappingMatrix(
+            space=((1, 0, 1, 0, 0), (0, 1, 0, 1, 0)), schedule=(1, 1, 2, 4, 8)
+        )
+        with pytest.raises(ValueError, match="linear"):
+            render_space_time(algo, t)
+
+    def test_cell_count_matches_makespan(self):
+        algo = matrix_multiplication(2)
+        t = MappingMatrix(space=((1, 1, -1),), schedule=(1, 2, 1))
+        out = render_space_time(algo, t)
+        header = out.splitlines()[0]
+        # Columns span exactly t = 1 + 2(1+2+1) = 9 cycles: 0..8.
+        assert " 0" in header and " 8" in header
+
+
+class TestArray2DFloorplan:
+    def make_2d_array(self):
+        from repro.model import bit_level_matrix_multiplication
+        from repro.systolic import build_array, plan_interconnection
+
+        algo = bit_level_matrix_multiplication(1, 1)
+        t = MappingMatrix(
+            space=((1, 0, 1, 0, 0), (0, 1, 0, 1, 0)), schedule=(1, 1, 2, 4, 8)
+        )
+        plan = plan_interconnection(algo, t)
+        return build_array(algo, t, plan)
+
+    def test_renders(self):
+        from repro.systolic import render_array_2d
+
+        array = self.make_2d_array()
+        out = render_array_2d(array)
+        assert "[" in out
+        assert f"({array.num_processors} PEs" in out
+
+    def test_grid_dimensions(self):
+        from repro.systolic import render_array_2d
+
+        array = self.make_2d_array()
+        out = render_array_2d(array)
+        # 3x3 PE grid -> 3 grid rows + 1 legend line.
+        assert len(out.splitlines()) == 4
+
+    def test_requires_2d(self):
+        from repro.systolic import build_array, plan_interconnection, render_array_2d
+
+        algo = matrix_multiplication(2)
+        t = MappingMatrix(space=((1, 1, -1),), schedule=(1, 2, 1))
+        plan = plan_interconnection(algo, t)
+        array = build_array(algo, t, plan)
+        with pytest.raises(ValueError, match="2-D"):
+            render_array_2d(array)
