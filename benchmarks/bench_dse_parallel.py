@@ -1,0 +1,146 @@
+"""E-DSE — the exploration engine: serial vs sharded vs cached.
+
+Standalone (no pytest needed): ``PYTHONPATH=src python
+benchmarks/bench_dse_parallel.py`` times Procedure 5.1 and the joint
+Problem 6.2 search through :mod:`repro.dse` in four configurations —
+serial baseline, 2- and 4-worker fan-out, and cold/warm persistent
+cache — asserts that every configuration returns a result equal to the
+serial one, and writes the numbers to ``BENCH_dse.json``.
+
+The shape that must hold on any machine: warm-cache replay is at least
+2x faster than the cold serial search (on a multi-core box the 2/4-way
+fan-out should also help for the larger problem sizes; on a single
+core it honestly will not, and the JSON records whatever is true).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.optimize import procedure_5_1  # noqa: E402
+from repro.core.space_optimize import solve_joint_optimal  # noqa: E402
+from repro.dse import ResultCache, explore_joint, explore_schedule  # noqa: E402
+from repro.model import matrix_multiplication, transitive_closure  # noqa: E402
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_dse.json"
+
+SCHEDULE_CASES = [
+    ("example-5.1-matmul-mu6", lambda: matrix_multiplication(6), [[1, 1, -1]]),
+    ("example-5.2-tc-mu5", lambda: transitive_closure(5), [[0, 0, 1]]),
+]
+JOINT_CASES = [
+    ("joint-matmul-mu4", lambda: matrix_multiplication(4)),
+]
+JOB_COUNTS = [2, 4]
+
+
+def _timed(fn, repeats: int = 3):
+    """Best-of-N wall time and the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def bench_schedule_case(name, make_algo, space) -> dict:
+    algo = make_algo()
+    record = {"case": name, "mu": list(algo.mu)}
+
+    serial_t, serial = _timed(lambda: procedure_5_1(algo, space))
+    record["serial_s"] = serial_t
+    record["total_time"] = serial.total_time
+
+    for jobs in JOB_COUNTS:
+        par_t, par = _timed(lambda: explore_schedule(algo, space, jobs=jobs))
+        assert par == serial, f"{name}: jobs={jobs} diverged from serial"
+        record[f"jobs{jobs}_s"] = par_t
+
+    with tempfile.TemporaryDirectory() as d:
+        cache = ResultCache(d)
+        cold_t, cold = _timed(
+            lambda: explore_schedule(algo, space, jobs=1, cache=cache),
+            repeats=1,
+        )
+        warm_t, warm = _timed(
+            lambda: explore_schedule(algo, space, jobs=1, cache=cache)
+        )
+        assert cold == serial == warm, f"{name}: cached result diverged"
+    record["cache_cold_s"] = cold_t
+    record["cache_warm_s"] = warm_t
+    record["warm_speedup_vs_serial"] = serial_t / warm_t if warm_t else float("inf")
+    return record
+
+
+def bench_joint_case(name, make_algo) -> dict:
+    algo = make_algo()
+    record = {"case": name, "mu": list(algo.mu)}
+
+    serial_t, serial = _timed(lambda: solve_joint_optimal(algo), repeats=1)
+    record["serial_s"] = serial_t
+
+    for jobs in JOB_COUNTS:
+        par_t, par = _timed(
+            lambda: explore_joint(algo, jobs=jobs), repeats=1
+        )
+        assert par == serial, f"{name}: jobs={jobs} diverged from serial"
+        record[f"jobs{jobs}_s"] = par_t
+
+    with tempfile.TemporaryDirectory() as d:
+        cache = ResultCache(d)
+        cold_t, cold = _timed(
+            lambda: explore_joint(algo, cache=cache), repeats=1
+        )
+        warm_t, warm = _timed(lambda: explore_joint(algo, cache=cache))
+        assert cold == serial == warm, f"{name}: cached result diverged"
+    record["cache_cold_s"] = cold_t
+    record["cache_warm_s"] = warm_t
+    record["warm_speedup_vs_serial"] = serial_t / warm_t if warm_t else float("inf")
+    return record
+
+
+def main() -> int:
+    records = [bench_schedule_case(*case) for case in SCHEDULE_CASES]
+    records += [bench_joint_case(*case) for case in JOINT_CASES]
+
+    payload = {
+        "benchmark": "dse-parallel-cache",
+        "cpu_count": os.cpu_count(),
+        "records": records,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    header = (
+        f"{'case':28}  {'serial':>8}  {'jobs=2':>8}  {'jobs=4':>8}  "
+        f"{'cold':>8}  {'warm':>8}  {'warm speedup':>12}"
+    )
+    print(header)
+    print("-" * len(header))
+    ok = True
+    for r in records:
+        speedup = r["warm_speedup_vs_serial"]
+        print(
+            f"{r['case']:28}  {r['serial_s']:8.3f}  {r['jobs2_s']:8.3f}  "
+            f"{r['jobs4_s']:8.3f}  {r['cache_cold_s']:8.3f}  "
+            f"{r['cache_warm_s']:8.3f}  {speedup:11.1f}x"
+        )
+        if speedup < 2.0:
+            ok = False
+    print(f"\nwrote {OUTPUT}")
+    if not ok:
+        print("FAIL: warm cache replay under the 2x speedup bar", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,9 @@ Four subcommands mirror the library's workflow:
   space-time table;
 * ``design``   — space-optimal / joint design-space exploration
   (Problems 6.1 / 6.2);
+* ``explore``  — the same searches through the parallel, cached
+  work-queue engine (:mod:`repro.dse`), with ``--jobs`` /
+  ``--cache-dir`` / ``--no-cache`` and full telemetry;
 * ``report``   — regenerate every experiment into a markdown report
   (see :mod:`repro.experiments`).
 
@@ -23,6 +26,9 @@ Examples
     python -m repro simulate --algorithm matmul --mu 4 \
         --space "1,1,-1" --schedule 1,4,1 --render
     python -m repro design --algorithm matmul --mu 4 --schedule 1,4,1
+    python -m repro explore --algorithm matmul --mu 4 --space "1,1,-1" \
+        --jobs 4
+    python -m repro explore --algorithm matmul --mu 4 --jobs 4  # joint
 """
 
 from __future__ import annotations
@@ -133,6 +139,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_design.add_argument("--array-dim", type=int, default=1)
     p_design.add_argument("--magnitude", type=int, default=1)
 
+    p_explore = sub.add_parser(
+        "explore",
+        help="parallel, cached design-space exploration (repro.dse)",
+        description=(
+            "Run the mapping searches through the repro.dse work-queue "
+            "engine.  With --space: time-optimal schedule for that S "
+            "(Problem 2.2).  With --schedule: space-optimal S for that "
+            "Pi (Problem 6.1).  With neither: joint optimization over "
+            "both (Problem 6.2).  Results are identical to the serial "
+            "map/design commands for any --jobs value and cache state."
+        ),
+    )
+    add_algo_args(p_explore)
+    p_explore.add_argument("--space", "-s", type=_parse_matrix,
+                           help="fix S and search Pi (Problem 2.2)")
+    p_explore.add_argument("--schedule", "-p", type=_parse_vector,
+                           help="fix Pi and search S (Problem 6.1)")
+    p_explore.add_argument("--jobs", "-j", type=int, default=None,
+                           help="worker processes (default: CPU count)")
+    p_explore.add_argument("--cache-dir", default=None,
+                           help="result cache directory "
+                                "(default: ~/.cache/repro-dse)")
+    p_explore.add_argument("--no-cache", action="store_true",
+                           help="disable the persistent result cache")
+    p_explore.add_argument("--method", default="auto",
+                           choices=["auto", "paper", "exact"],
+                           help="conflict-check mode for schedule search")
+    p_explore.add_argument("--array-dim", type=int, default=1)
+    p_explore.add_argument("--magnitude", type=int, default=1)
+
     p_report = sub.add_parser(
         "report", help="regenerate all experiments into a markdown report"
     )
@@ -212,6 +248,64 @@ def _cmd_design(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from .dse import ResultCache, explore_joint, explore_schedule, explore_space
+    from .dse.progress import format_stats
+
+    if args.space is not None and args.schedule is not None:
+        raise SystemExit(
+            "give --space (schedule search) OR --schedule (space search) "
+            "OR neither (joint search), not both"
+        )
+    if args.jobs is not None and args.jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+    algo = _make_algorithm(args.algorithm, args.mu, args.word_bits)
+    cache = ResultCache(args.cache_dir, enabled=not args.no_cache)
+    print(f"algorithm      : {algo.name}")
+
+    if args.space is not None:
+        result = explore_schedule(
+            algo, args.space, jobs=args.jobs, method=args.method, cache=cache
+        )
+        print(f"mode           : schedule search (Problem 2.2)")
+        print(f"space mapping  : {[list(r) for r in args.space]}")
+        if not result.found:
+            print("no conflict-free schedule within the search bound")
+            print(format_stats(result.stats))
+            return 1
+        print(f"optimal Pi     : {list(result.schedule.pi)}")
+        print(f"total time     : {result.total_time}")
+        print(format_stats(result.stats))
+        return 0
+
+    if args.schedule is not None:
+        result = explore_space(
+            algo, args.schedule, jobs=args.jobs,
+            array_dim=args.array_dim, magnitude=args.magnitude, cache=cache,
+        )
+        print(f"mode           : space search (Problem 6.1)")
+        print(f"schedule Pi    : {list(args.schedule)}")
+    else:
+        result = explore_joint(
+            algo, jobs=args.jobs,
+            array_dim=args.array_dim, magnitude=args.magnitude, cache=cache,
+        )
+        print(f"mode           : joint search (Problem 6.2)")
+
+    if not result.found:
+        print("no conflict-free design within the search bound")
+        print(format_stats(result.stats))
+        return 1
+    for rank_idx, design in enumerate(result.ranking, start=1):
+        c = design.cost
+        print(f"  #{rank_idx}: S = {[list(r) for r in design.mapping.space]}  "
+              f"Pi = {list(design.mapping.schedule)}  "
+              f"PEs={c.processors} wire={c.wire_length} t={c.total_time}  "
+              f"objective={design.objective:g}")
+    print(format_stats(result.stats))
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .experiments import write_markdown_report
 
@@ -227,6 +321,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "check": _cmd_check,
         "simulate": _cmd_simulate,
         "design": _cmd_design,
+        "explore": _cmd_explore,
         "report": _cmd_report,
     }
     return handlers[args.command](args)

@@ -35,7 +35,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass, field
 from typing import Any
 
-from ..intlin import det_bareiss, gcd_list, hnf
+from ..intlin import det_bareiss, gcd_list, hnf_cached
 from .conflict import conflict_vector_corank1, is_feasible_conflict_vector
 from .mapping import MappingMatrix
 
@@ -81,7 +81,7 @@ class ConditionVerdict:
 
 
 def _hermite_u(t: MappingMatrix) -> tuple[list[list[int]], list[list[int]], int]:
-    res = hnf(t.rows())
+    res = hnf_cached(t.rows())
     return res.u, res.v, res.rank
 
 

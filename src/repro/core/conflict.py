@@ -32,7 +32,7 @@ from ..intlin import (
     adjugate,
     as_int_matrix,
     det_bareiss,
-    hnf,
+    hnf_cached,
     matvec,
     normalize_primitive,
 )
@@ -77,7 +77,7 @@ def conflict_vector_corank1(t: MappingMatrix) -> list[int]:
     """
     if t.corank != 1:
         raise ValueError(f"mapping has co-rank {t.corank}, expected 1")
-    res = hnf(t.rows())
+    res = hnf_cached(t.rows())
     [gamma] = res.kernel_columns()
     return normalize_primitive(gamma)
 
@@ -119,7 +119,7 @@ def conflict_generators(t: MappingMatrix) -> list[list[int]]:
     The returned columns are primitive (columns of a unimodular matrix
     always are).
     """
-    return hnf(t.rows()).kernel_columns()
+    return hnf_cached(t.rows()).kernel_columns()
 
 
 def is_conflict_free_bruteforce(

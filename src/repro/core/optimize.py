@@ -19,9 +19,11 @@ paper's Steps 1-7 with the candidate set ``C_l = {Pi : sum |pi_i| mu_i
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable, Iterator, Sequence
 from dataclasses import dataclass, field
 
+from ..dse.progress import SearchStats
 from ..model import UniformDependenceAlgorithm
 from .conditions import ConditionVerdict, check_conflict_free
 from .mapping import MappingMatrix
@@ -32,6 +34,7 @@ __all__ = [
     "enumerate_schedule_vectors",
     "find_all_optima",
     "procedure_5_1",
+    "search_bounds",
 ]
 
 
@@ -52,6 +55,10 @@ class SearchResult:
         Number of candidate vectors that went through the full check.
     rings_expanded:
         How many times the bound ``x_l`` grew before success.
+    stats:
+        Uniform :class:`repro.dse.progress.SearchStats` accounting; its
+        deterministic counters are identical whichever execution
+        strategy (serial, sharded, cached) produced this result.
     """
 
     schedule: LinearSchedule | None
@@ -59,6 +66,7 @@ class SearchResult:
     verdict: ConditionVerdict | None
     candidates_examined: int
     rings_expanded: int
+    stats: SearchStats = field(default_factory=SearchStats)
 
     @property
     def found(self) -> bool:
@@ -116,6 +124,30 @@ def enumerate_schedule_vectors(
     yield from walker([], 0, 0)
 
 
+def search_bounds(
+    algorithm: UniformDependenceAlgorithm,
+    *,
+    alpha: int | None = None,
+    initial_bound: int | None = None,
+    max_bound: int | None = None,
+) -> tuple[int, int, int]:
+    """Resolve Procedure 5.1's ``(alpha, initial_bound, max_bound)`` defaults.
+
+    One place owns the defaulting rules so the serial search and the
+    sharded engine (:mod:`repro.dse.executor`) expand exactly the same
+    rings — a prerequisite for their results comparing equal.
+    """
+    mu = algorithm.mu
+    n = algorithm.n
+    if alpha is None:
+        alpha = max(1, min(mu))
+    if initial_bound is None:
+        initial_bound = sum(mu)
+    if max_bound is None:
+        max_bound = (n + 1) * (max(mu) + 1) * max(mu)
+    return alpha, initial_bound, max_bound
+
+
 def procedure_5_1(
     algorithm: UniformDependenceAlgorithm,
     space: Sequence[Sequence[int]],
@@ -161,17 +193,14 @@ def procedure_5_1(
     candidate is optimal.
     """
     mu = algorithm.mu
-    n = algorithm.n
     space_rows = tuple(tuple(int(x) for x in row) for row in space)
     k = len(space_rows) + 1
+    alpha, initial_bound, max_bound = search_bounds(
+        algorithm, alpha=alpha, initial_bound=initial_bound, max_bound=max_bound
+    )
 
-    if alpha is None:
-        alpha = max(1, min(mu))
-    if initial_bound is None:
-        initial_bound = sum(mu)
-    if max_bound is None:
-        max_bound = (n + 1) * (max(mu) + 1) * max(mu)
-
+    started = time.perf_counter()
+    stats = SearchStats()
     examined = 0
     rings = 0
     x_prev = -1
@@ -181,36 +210,49 @@ def procedure_5_1(
             LinearSchedule(pi=pi, index_set=algorithm.index_set)
             for pi in enumerate_schedule_vectors(mu, min(x, max_bound), f_min=x_prev + 1)
         ]
+        stats.candidates_enumerated += len(ring)
         ring.sort(key=LinearSchedule.sort_key)
         for cand in ring:
             if not cand.respects(algorithm):
+                stats.candidates_pruned += 1
                 continue
             t = MappingMatrix(space=space_rows, schedule=cand.pi)
             examined += 1
             if t.rank() != k:
+                stats.candidates_pruned += 1
                 continue
+            stats.candidates_checked += 1
             verdict = check_conflict_free(t, mu, method=method)
             if not verdict.holds:
+                stats.conflicts_rejected += 1
                 continue
             if extra_constraint is not None and not extra_constraint(t):
                 continue
+            stats.rings_expanded = rings
+            stats.wall_time = time.perf_counter() - started
+            stats.shard_wall_times = (stats.wall_time,)
             return SearchResult(
                 schedule=cand,
                 mapping=t,
                 verdict=verdict,
                 candidates_examined=examined,
                 rings_expanded=rings,
+                stats=stats,
             )
         rings += 1
         x_prev = min(x, max_bound)
         x += alpha
 
+    stats.rings_expanded = rings
+    stats.wall_time = time.perf_counter() - started
+    stats.shard_wall_times = (stats.wall_time,)
     return SearchResult(
         schedule=None,
         mapping=None,
         verdict=None,
         candidates_examined=examined,
         rings_expanded=rings,
+        stats=stats,
     )
 
 
@@ -253,6 +295,7 @@ def find_all_optima(
                 verdict=verdict,
                 candidates_examined=first.candidates_examined,
                 rings_expanded=first.rings_expanded,
+                stats=first.stats,
             )
         )
     return results

@@ -74,6 +74,8 @@ def find_time_optimal_mapping(
     *,
     solver: str = "auto",
     method: str = "auto",
+    jobs: int | None = None,
+    cache=None,
     **solver_kwargs,
 ) -> MappingResult:
     """Solve Problem 2.2 end to end for a given space mapping.
@@ -92,6 +94,15 @@ def find_time_optimal_mapping(
     method:
         Conflict-check mode for the search route (see
         :func:`repro.core.conditions.check_conflict_free`).
+    jobs:
+        Route the Procedure 5.1 search through the
+        :mod:`repro.dse.executor` work-queue engine with this many
+        worker processes.  Results (including the stats) are identical
+        to the serial search for any value.  Ignored by the ILP route,
+        whose closed-form subproblems are already cheap.
+    cache:
+        Optional :class:`repro.dse.cache.ResultCache`; the search route
+        consults it before searching and records its decision after.
 
     Raises
     ------
@@ -123,7 +134,20 @@ def find_time_optimal_mapping(
         mapping = res.mapping
         schedule = res.schedule
     elif solver == "procedure-5.1":
-        res = procedure_5_1(algorithm, space_rows, method=method, **solver_kwargs)
+        if jobs is not None or cache is not None:
+            # Lazy import: repro.dse.executor imports repro.core back.
+            from ..dse.executor import explore_schedule
+
+            res = explore_schedule(
+                algorithm,
+                space_rows,
+                jobs=jobs if jobs is not None else 1,
+                method=method,
+                cache=cache,
+                **solver_kwargs,
+            )
+        else:
+            res = procedure_5_1(algorithm, space_rows, method=method, **solver_kwargs)
         if not res.found:
             raise ValueError(
                 "Procedure 5.1 exhausted its bound without a conflict-free schedule"
@@ -131,6 +155,7 @@ def find_time_optimal_mapping(
         stats = {
             "candidates_examined": res.candidates_examined,
             "rings_expanded": res.rings_expanded,
+            **res.stats.counter_dict(),
         }
         mapping = res.mapping
         schedule = res.schedule

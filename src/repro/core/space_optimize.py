@@ -22,9 +22,11 @@ the exact ``auto`` checker, so reported optima are certified.
 from __future__ import annotations
 
 import itertools
+import time
 from collections.abc import Callable, Iterator, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from ..dse.progress import SearchStats
 from ..intlin import normalize_primitive, rank
 from ..model import UniformDependenceAlgorithm
 from ..systolic.cost import ArrayCost, evaluate_cost
@@ -38,8 +40,11 @@ __all__ = [
     "SpaceDesign",
     "SpaceOptimizationResult",
     "enumerate_space_rows",
+    "evaluate_design",
+    "evaluate_joint_candidate",
     "pareto_frontier",
     "enumerate_space_mappings",
+    "rank_designs",
     "solve_space_optimal",
     "solve_joint_optimal",
 ]
@@ -68,6 +73,9 @@ class SpaceOptimizationResult:
         single optimum but array designers want the Pareto context.
     candidates_examined, rejected_conflicts, rejected_routing:
         Search accounting.
+    stats:
+        Uniform :class:`repro.dse.progress.SearchStats` accounting,
+        deterministic across execution strategies.
     """
 
     best: SpaceDesign | None
@@ -75,6 +83,7 @@ class SpaceOptimizationResult:
     candidates_examined: int
     rejected_conflicts: int
     rejected_routing: int
+    stats: SearchStats = field(default_factory=SearchStats)
 
     @property
     def found(self) -> bool:
@@ -119,6 +128,68 @@ def _default_objective(cost: ArrayCost) -> float:
     return cost.combined(processor_weight=1.0, wire_weight=1.0)
 
 
+def evaluate_design(
+    algorithm: UniformDependenceAlgorithm,
+    space: Sequence[Sequence[int]],
+    pi: Sequence[int],
+    objective: Callable[[ArrayCost], float] | None = None,
+) -> tuple[str, SpaceDesign | None]:
+    """Judge one Problem-6.1 candidate ``(S, Pi)``.
+
+    Returns ``(status, design)`` with status one of ``"rank"``,
+    ``"conflict"``, ``"routing"`` (design is ``None``) or ``"ok"``.
+    This is the unit of work both :func:`solve_space_optimal` and the
+    sharded engine execute, so a sharded search judges candidates
+    exactly as the serial one does.
+    """
+    pi_t = tuple(int(x) for x in pi)
+    space_rows = tuple(tuple(int(x) for x in row) for row in space)
+    obj = objective or _default_objective
+    t = MappingMatrix(space=space_rows, schedule=pi_t)
+    if t.rank() != len(space_rows) + 1:
+        return "rank", None
+    if not check_conflict_free(t, algorithm.mu, method="auto").holds:
+        return "conflict", None
+    try:
+        cost = evaluate_cost(algorithm, t)
+    except RoutingError:
+        return "routing", None
+    return "ok", SpaceDesign(mapping=t, cost=cost, objective=obj(cost))
+
+
+def evaluate_joint_candidate(
+    algorithm: UniformDependenceAlgorithm,
+    space: Sequence[Sequence[int]],
+    time_weight: float = 1.0,
+    space_weight: float = 1.0,
+    schedule_kwargs: dict | None = None,
+) -> tuple[str, SpaceDesign | None]:
+    """Judge one Problem-6.2 candidate ``S`` (time-optimal ``Pi`` found
+    by Procedure 5.1).
+
+    Status is ``"conflict"`` when no conflict-free schedule exists in
+    the search bound, ``"routing"`` when the winner is unroutable, else
+    ``"ok"``.  Shared by :func:`solve_joint_optimal` and the engine.
+    """
+    kwargs = schedule_kwargs or {}
+    search = procedure_5_1(algorithm, space, **kwargs)
+    if not search.found:
+        return "conflict", None
+    try:
+        cost = evaluate_cost(algorithm, search.mapping)
+    except RoutingError:
+        return "routing", None
+    objective = time_weight * cost.total_time + space_weight * (
+        cost.processors + cost.wire_length
+    )
+    return "ok", SpaceDesign(mapping=search.mapping, cost=cost, objective=objective)
+
+
+def rank_designs(designs: list[SpaceDesign]) -> list[SpaceDesign]:
+    """Deterministic total order: objective first, then the space rows."""
+    return sorted(designs, key=lambda d: (d.objective, d.mapping.space))
+
+
 def solve_space_optimal(
     algorithm: UniformDependenceAlgorithm,
     pi: Sequence[int],
@@ -149,35 +220,34 @@ def solve_space_optimal(
     sched = LinearSchedule(pi=pi_t, index_set=algorithm.index_set)
     if not sched.respects(algorithm):
         raise ValueError("the given Pi violates the dependence condition Pi D > 0")
-    obj = objective or _default_objective
 
-    examined = 0
-    bad_conflicts = 0
-    bad_routing = 0
+    started = time.perf_counter()
+    stats = SearchStats()
     designs: list[SpaceDesign] = []
-    k = array_dim + 1
     for space in enumerate_space_mappings(algorithm.n, array_dim, magnitude):
-        examined += 1
-        t = MappingMatrix(space=space, schedule=pi_t)
-        if t.rank() != k:
+        stats.candidates_enumerated += 1
+        status, design = evaluate_design(algorithm, space, pi_t, objective)
+        if status == "rank":
+            stats.candidates_pruned += 1
             continue
-        if not check_conflict_free(t, algorithm.mu, method="auto").holds:
-            bad_conflicts += 1
-            continue
-        try:
-            cost = evaluate_cost(algorithm, t)
-        except RoutingError:
-            bad_routing += 1
-            continue
-        designs.append(SpaceDesign(mapping=t, cost=cost, objective=obj(cost)))
+        stats.candidates_checked += 1
+        if status == "conflict":
+            stats.conflicts_rejected += 1
+        elif status == "routing":
+            stats.routing_rejected += 1
+        else:
+            designs.append(design)
 
-    designs.sort(key=lambda d: (d.objective, d.mapping.space))
+    designs = rank_designs(designs)
+    stats.wall_time = time.perf_counter() - started
+    stats.shard_wall_times = (stats.wall_time,)
     return SpaceOptimizationResult(
         best=designs[0] if designs else None,
         ranking=tuple(designs[:keep_ranking]),
-        candidates_examined=examined,
-        rejected_conflicts=bad_conflicts,
-        rejected_routing=bad_routing,
+        candidates_examined=stats.candidates_enumerated,
+        rejected_conflicts=stats.conflicts_rejected,
+        rejected_routing=stats.routing_rejected,
+        stats=stats,
     )
 
 
@@ -258,33 +328,30 @@ def solve_joint_optimal(
     "combination of the total execution time and the VLSI area"
     criterion Section 2 mentions.
     """
-    examined = 0
-    bad_conflicts = 0
-    bad_routing = 0
+    started = time.perf_counter()
+    stats = SearchStats()
     designs: list[SpaceDesign] = []
-    kwargs = schedule_kwargs or {}
     for space in enumerate_space_mappings(algorithm.n, array_dim, magnitude):
-        examined += 1
-        search = procedure_5_1(algorithm, space, **kwargs)
-        if not search.found:
-            bad_conflicts += 1
-            continue
-        t = search.mapping
-        try:
-            cost = evaluate_cost(algorithm, t)
-        except RoutingError:
-            bad_routing += 1
-            continue
-        objective = time_weight * cost.total_time + space_weight * (
-            cost.processors + cost.wire_length
+        stats.candidates_enumerated += 1
+        stats.candidates_checked += 1
+        status, design = evaluate_joint_candidate(
+            algorithm, space, time_weight, space_weight, schedule_kwargs
         )
-        designs.append(SpaceDesign(mapping=t, cost=cost, objective=objective))
+        if status == "conflict":
+            stats.conflicts_rejected += 1
+        elif status == "routing":
+            stats.routing_rejected += 1
+        else:
+            designs.append(design)
 
-    designs.sort(key=lambda d: (d.objective, d.mapping.space))
+    designs = rank_designs(designs)
+    stats.wall_time = time.perf_counter() - started
+    stats.shard_wall_times = (stats.wall_time,)
     return SpaceOptimizationResult(
         best=designs[0] if designs else None,
         ranking=tuple(designs[:keep_ranking]),
-        candidates_examined=examined,
-        rejected_conflicts=bad_conflicts,
-        rejected_routing=bad_routing,
+        candidates_examined=stats.candidates_enumerated,
+        rejected_conflicts=stats.conflicts_rejected,
+        rejected_routing=stats.routing_rejected,
+        stats=stats,
     )

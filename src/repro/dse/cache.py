@@ -1,0 +1,151 @@
+"""Persistent result cache for design-space exploration queries.
+
+A query is identified by a **canonical key**: the SHA-256 of a
+canonical-JSON rendering (sorted keys, compact separators, no floats
+except plain weights) of everything the answer depends on — the index
+set ``J``, the dependence matrix ``D``, the space mapping ``S`` (or the
+design-space bounds when ``S`` is being searched), the solver/method,
+and the search bounds.  Renaming an algorithm does not change its key;
+changing ``mu``, ``D``, the method, or any bound does.
+
+Entries are stored one JSON file per key under a cache directory
+(``$REPRO_DSE_CACHE_DIR``, else ``~/.cache/repro-dse``).  Writes go
+through a temp file + :func:`os.replace`, so concurrent processes never
+observe a torn entry.  What is stored is the *decision* of the search
+(the winning schedule vector, the ranked design list, the deterministic
+counters) — never derived objects like verdicts or cost structures,
+which the engine re-derives exactly on a hit.  That keeps entries tiny,
+version-tolerant, and guarantees a warm result is equal to a cold one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["ResultCache", "canonical_key", "default_cache_dir"]
+
+# Bump when the stored-entry layout changes; old entries are then
+# simply never looked up again.
+CACHE_SCHEMA_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_DSE_CACHE_DIR`` if set, else ``~/.cache/repro-dse``."""
+    env = os.environ.get("REPRO_DSE_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-dse"
+
+
+def canonical_key(payload: dict) -> str:
+    """SHA-256 hex digest of the canonical JSON form of ``payload``.
+
+    The payload must be JSON-serializable; lists/tuples of ints are the
+    expected currency.  Key order and whitespace never influence the
+    digest.
+    """
+    blob = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=_jsonify
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _jsonify(obj):
+    if isinstance(obj, tuple):
+        return list(obj)
+    raise TypeError(f"non-canonical cache-key component: {obj!r}")
+
+
+class ResultCache:
+    """On-disk JSON store mapping canonical keys to search decisions.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory for entries; created lazily on first write.  ``None``
+        uses :func:`default_cache_dir`.
+    enabled:
+        A disabled cache never reads or writes but still counts lookups
+        as misses, so callers need no branching.
+    """
+
+    def __init__(self, cache_dir: str | os.PathLike | None = None,
+                 *, enabled: bool = True) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+
+    # -- lookup ----------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The stored entry for ``key``, or ``None`` (counted as a miss)."""
+        if self.enabled:
+            try:
+                with open(self._path(key), encoding="utf-8") as fh:
+                    entry = json.load(fh)
+            except (OSError, json.JSONDecodeError):
+                entry = None
+            if (
+                isinstance(entry, dict)
+                and entry.get("schema") == CACHE_SCHEMA_VERSION
+            ):
+                self.hits += 1
+                return entry["value"]
+        self.misses += 1
+        return None
+
+    def put(self, key: str, value: dict) -> None:
+        """Store ``value`` under ``key`` atomically (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        entry = {"schema": CACHE_SCHEMA_VERSION, "value": value}
+        fd, tmp = tempfile.mkstemp(
+            dir=self.cache_dir, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh, separators=(",", ":"))
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- maintenance -----------------------------------------------------
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many files were removed."""
+        removed = 0
+        if self.cache_dir.is_dir():
+            for path in self.cache_dir.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.cache_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.cache_dir.glob("*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "on" if self.enabled else "off"
+        return (
+            f"ResultCache({str(self.cache_dir)!r}, {state}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

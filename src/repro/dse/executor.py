@@ -1,0 +1,685 @@
+"""Parallel, cached execution of the mapping-space searches.
+
+The engine wraps the serial enumerators of :mod:`repro.core` behind a
+work-queue architecture:
+
+* :func:`explore_schedule` — Procedure 5.1 (Problem 2.2).  Each
+  expanding ring ``C_l`` is materialized in the serial scan order,
+  dealt round-robin across worker processes, and the per-candidate
+  verdicts are merged back in that order, so the winner, the verdict
+  *and every stats counter* equal the serial search's exactly.  Rings
+  are processed strictly in sequence, which doubles as the
+  early-termination broadcast: the moment one ring proves an optimum,
+  no candidate of any later ring is ever submitted.
+* :func:`explore_space` / :func:`explore_joint` — Problems 6.1 / 6.2.
+  The bounded space-mapping design space is dealt across workers; each
+  judged design travels back whole and the merge re-ranks with the same
+  total order the serial solvers use.
+
+Execution strategy is a detail, never a semantic: ``jobs=1``, the
+in-process fallback (forced whenever a non-picklable callback such as
+``extra_constraint`` is supplied), and any ``jobs=N`` all return results
+that compare equal.  Workers never receive live algorithm objects —
+only a plain spec ``(mu, D, name)`` — so the executable semantics
+attached to library algorithms (closures, ufuncs) never need to pickle.
+
+Results are optionally backed by a persistent :class:`~repro.dse.cache.
+ResultCache`: the cache stores the search *decision* (winning vector,
+ranked design list, deterministic counters) under a canonical key of
+``(J, D, S, solver, bounds)``, and a hit re-derives verdicts and costs
+exactly instead of re-searching.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+
+from ..core.conditions import check_conflict_free
+from ..core.mapping import MappingMatrix
+from ..core.optimize import (
+    SearchResult,
+    enumerate_schedule_vectors,
+    search_bounds,
+)
+from ..core.schedule import LinearSchedule
+from ..core.space_optimize import (
+    SpaceDesign,
+    SpaceOptimizationResult,
+    enumerate_space_mappings,
+    evaluate_design,
+    evaluate_joint_candidate,
+    rank_designs,
+)
+from ..model import ConstantBoundedIndexSet, UniformDependenceAlgorithm
+from ..systolic.cost import evaluate_cost
+from .cache import ResultCache, canonical_key
+from .partition import effective_shards, ring_bounds, round_robin
+from .progress import SearchStats
+
+__all__ = [
+    "explore_schedule",
+    "explore_space",
+    "explore_joint",
+    "resolve_jobs",
+]
+
+# Per-candidate scan outcomes, in serial rejection order.
+_DEPS = "deps"          # Pi D <= 0 — pruned before the mapping is built
+_RANK = "rank"          # rank([S; Pi]) < k
+_CONFLICT = "conflict"  # conflict checker rejected
+_EXTRA = "extra"        # user extra_constraint rejected
+_OK = "ok"              # fully valid candidate
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """``None`` means one worker per CPU; explicit values must be >= 1."""
+    if jobs is None:
+        return os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+# -- algorithm transport ----------------------------------------------------
+
+
+def _algorithm_spec(algorithm: UniformDependenceAlgorithm) -> dict:
+    """The picklable essence of ``(J, D)`` — semantics callbacks dropped."""
+    return {
+        "mu": list(algorithm.mu),
+        "dependence": [list(row) for row in algorithm.dependence_matrix],
+        "name": algorithm.name,
+    }
+
+
+def _algorithm_from_spec(spec: dict) -> UniformDependenceAlgorithm:
+    return UniformDependenceAlgorithm(
+        index_set=ConstantBoundedIndexSet(tuple(spec["mu"])),
+        dependence_matrix=tuple(tuple(row) for row in spec["dependence"]),
+        name=spec["name"],
+    )
+
+
+# -- shard workers (module level: must pickle under ProcessPoolExecutor) ----
+
+
+def _scan_schedule_shard(payload: dict) -> dict:
+    """Judge one shard of a schedule ring; returns per-candidate records.
+
+    A record is ``(sort_key, outcome)`` with ``sort_key = (total_time,
+    pi)`` — the same total order the serial scan sorts by — so the
+    parent can merge shards back into the exact serial visit sequence.
+    """
+    algo = _algorithm_from_spec(payload["algorithm"])
+    space = tuple(tuple(row) for row in payload["space"])
+    method = payload["method"]
+    k = len(space) + 1
+    records: list[tuple[tuple[int, tuple[int, ...]], str]] = []
+    started = time.perf_counter()
+    for pi in payload["candidates"]:
+        pi = tuple(pi)
+        cand = LinearSchedule(pi=pi, index_set=algo.index_set)
+        key = cand.sort_key()
+        if not cand.respects(algo):
+            records.append((key, _DEPS))
+            continue
+        t = MappingMatrix(space=space, schedule=pi)
+        if t.rank() != k:
+            records.append((key, _RANK))
+            continue
+        if not check_conflict_free(t, algo.mu, method=method).holds:
+            records.append((key, _CONFLICT))
+            continue
+        records.append((key, _OK))
+    return {"records": records, "wall_time": time.perf_counter() - started}
+
+
+def _evaluate_space_shard(payload: dict) -> dict:
+    """Judge one shard of Problem 6.1's design space."""
+    algo = _algorithm_from_spec(payload["algorithm"])
+    pi = tuple(payload["pi"])
+    started = time.perf_counter()
+    evaluated = [
+        evaluate_design(algo, space, pi) for space in payload["spaces"]
+    ]
+    return {"evaluated": evaluated, "wall_time": time.perf_counter() - started}
+
+
+def _evaluate_joint_shard(payload: dict) -> dict:
+    """Judge one shard of Problem 6.2's design space."""
+    algo = _algorithm_from_spec(payload["algorithm"])
+    started = time.perf_counter()
+    evaluated = [
+        evaluate_joint_candidate(
+            algo,
+            space,
+            payload["time_weight"],
+            payload["space_weight"],
+            payload["schedule_kwargs"],
+        )
+        for space in payload["spaces"]
+    ]
+    return {"evaluated": evaluated, "wall_time": time.perf_counter() - started}
+
+
+# -- fan-out helper ---------------------------------------------------------
+
+
+class _ShardRunner:
+    """Runs shard payloads either in-process or on a persistent pool.
+
+    The pool is created lazily on the first parallel batch and reused
+    across rings, so an early-terminating search never pays fork
+    start-up for rings it does not reach.
+    """
+
+    def __init__(self, jobs: int, *, in_process: bool = False) -> None:
+        self.jobs = jobs
+        self.in_process = in_process or jobs <= 1
+        self._pool: ProcessPoolExecutor | None = None
+
+    def run(self, worker: Callable[[dict], dict], payloads: list[dict]) -> list[dict]:
+        if self.in_process or len(payloads) <= 1:
+            return [worker(p) for p in payloads]
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return list(self._pool.map(worker, payloads))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "_ShardRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# -- Problem 2.2: schedule search ------------------------------------------
+
+
+def explore_schedule(
+    algorithm: UniformDependenceAlgorithm,
+    space: Sequence[Sequence[int]],
+    *,
+    jobs: int | None = None,
+    method: str = "auto",
+    alpha: int | None = None,
+    initial_bound: int | None = None,
+    max_bound: int | None = None,
+    extra_constraint: Callable[[MappingMatrix], bool] | None = None,
+    cache: ResultCache | None = None,
+) -> SearchResult:
+    """Procedure 5.1 through the work-queue engine.
+
+    Equal (dataclass ``==``) to ``procedure_5_1(algorithm, space, ...)``
+    for every ``jobs`` value and for warm-cache replays; only the
+    telemetry fields of :class:`~repro.dse.progress.SearchStats`
+    (shards, wall times, cache counters) reflect the execution strategy.
+
+    Parameters mirror :func:`repro.core.optimize.procedure_5_1`, plus:
+
+    jobs:
+        Worker processes (``None``: one per CPU).  ``extra_constraint``
+        forces the in-process fallback — arbitrary callbacks do not
+        cross process boundaries.
+    cache:
+        Optional persistent :class:`~repro.dse.cache.ResultCache`; hits
+        skip the search and re-derive the verdict exactly.
+    """
+    jobs = resolve_jobs(jobs)
+    mu = algorithm.mu
+    space_rows = tuple(tuple(int(x) for x in row) for row in space)
+    alpha, initial_bound, max_bound = search_bounds(
+        algorithm, alpha=alpha, initial_bound=initial_bound, max_bound=max_bound
+    )
+    started = time.perf_counter()
+
+    cache_key = None
+    if cache is not None and extra_constraint is None:
+        cache_key = canonical_key(
+            {
+                "task": "procedure-5.1",
+                "mu": list(mu),
+                "dependence": [list(r) for r in algorithm.dependence_matrix],
+                "space": [list(r) for r in space_rows],
+                "method": method,
+                "alpha": alpha,
+                "initial_bound": initial_bound,
+                "max_bound": max_bound,
+            }
+        )
+        entry = cache.get(cache_key)
+        if entry is not None:
+            return _schedule_result_from_entry(
+                algorithm, space_rows, method, entry,
+                wall_time=time.perf_counter() - started,
+            )
+
+    spec = _algorithm_spec(algorithm)
+    stats = SearchStats(cache_misses=1 if cache_key is not None else 0)
+    examined = 0
+    rings = 0
+    winner_pi: tuple[int, ...] | None = None
+    max_shards = 1
+
+    with _ShardRunner(jobs, in_process=extra_constraint is not None) as runner:
+        for f_min, f_max in ring_bounds(initial_bound, alpha, max_bound):
+            ring = [
+                LinearSchedule(pi=pi, index_set=algorithm.index_set)
+                for pi in enumerate_schedule_vectors(mu, f_max, f_min=f_min)
+            ]
+            stats.candidates_enumerated += len(ring)
+            ring.sort(key=LinearSchedule.sort_key)
+            candidates = [cand.pi for cand in ring]
+            shards = effective_shards(len(candidates), jobs)
+            max_shards = max(max_shards, shards)
+            payloads = [
+                {
+                    "algorithm": spec,
+                    "space": space_rows,
+                    "method": method,
+                    "candidates": part,
+                }
+                for part in round_robin(candidates, shards)
+            ]
+            if extra_constraint is None:
+                outs = runner.run(_scan_schedule_shard, payloads)
+            else:
+                outs = [
+                    _scan_constrained_shard(p, extra_constraint)
+                    for p in payloads
+                ]
+            records = [rec for out in outs for rec in out["records"]]
+            stats.shard_wall_times = stats.shard_wall_times + tuple(
+                out["wall_time"] for out in outs
+            )
+
+            # Deterministic merge: replay the serial visit order.
+            for key, stage in sorted(records):
+                if stage == _DEPS:
+                    stats.candidates_pruned += 1
+                    continue
+                examined += 1
+                if stage == _RANK:
+                    stats.candidates_pruned += 1
+                    continue
+                stats.candidates_checked += 1
+                if stage == _CONFLICT:
+                    stats.conflicts_rejected += 1
+                    continue
+                if stage == _EXTRA:
+                    continue
+                winner_pi = tuple(key[1])
+                break
+            if winner_pi is not None:
+                break  # later rings are never submitted
+            rings += 1
+
+    stats.rings_expanded = rings
+    stats.shards = max_shards
+    stats.wall_time = time.perf_counter() - started
+
+    if winner_pi is None:
+        result = SearchResult(
+            schedule=None,
+            mapping=None,
+            verdict=None,
+            candidates_examined=examined,
+            rings_expanded=rings,
+            stats=stats,
+        )
+    else:
+        mapping = MappingMatrix(space=space_rows, schedule=winner_pi)
+        result = SearchResult(
+            schedule=LinearSchedule(pi=winner_pi, index_set=algorithm.index_set),
+            mapping=mapping,
+            verdict=check_conflict_free(mapping, mu, method=method),
+            candidates_examined=examined,
+            rings_expanded=rings,
+            stats=stats,
+        )
+
+    if cache_key is not None:
+        cache.put(
+            cache_key,
+            {
+                "found": result.found,
+                "pi": list(winner_pi) if winner_pi is not None else None,
+                "candidates_examined": examined,
+                "rings_expanded": rings,
+                "counters": stats.counter_dict(),
+            },
+        )
+    return result
+
+
+def _scan_constrained_shard(
+    payload: dict, extra_constraint: Callable[[MappingMatrix], bool]
+) -> dict:
+    """In-process variant of :func:`_scan_schedule_shard` that applies the
+    (non-picklable) user constraint after the conflict check, exactly
+    where the serial scan applies it."""
+    out = _scan_schedule_shard(payload)
+    space = tuple(tuple(row) for row in payload["space"])
+    records = []
+    for key, stage in out["records"]:
+        if stage == _OK and not extra_constraint(
+            MappingMatrix(space=space, schedule=tuple(key[1]))
+        ):
+            stage = _EXTRA
+        records.append((key, stage))
+    out["records"] = records
+    return out
+
+
+def _schedule_result_from_entry(
+    algorithm: UniformDependenceAlgorithm,
+    space_rows: tuple[tuple[int, ...], ...],
+    method: str,
+    entry: dict,
+    *,
+    wall_time: float,
+) -> SearchResult:
+    """Rebuild a :class:`SearchResult` from a cache hit.
+
+    The entry stores only the decision; the verdict is re-derived with
+    the same checker call the search would have made, so the rebuilt
+    result equals the cold one.
+    """
+    stats = SearchStats.from_dict(entry["counters"])
+    stats.cache_hits = 1
+    stats.wall_time = wall_time
+    if not entry["found"]:
+        return SearchResult(
+            schedule=None,
+            mapping=None,
+            verdict=None,
+            candidates_examined=entry["candidates_examined"],
+            rings_expanded=entry["rings_expanded"],
+            stats=stats,
+        )
+    pi = tuple(entry["pi"])
+    mapping = MappingMatrix(space=space_rows, schedule=pi)
+    return SearchResult(
+        schedule=LinearSchedule(pi=pi, index_set=algorithm.index_set),
+        mapping=mapping,
+        verdict=check_conflict_free(mapping, algorithm.mu, method=method),
+        candidates_examined=entry["candidates_examined"],
+        rings_expanded=entry["rings_expanded"],
+        stats=stats,
+    )
+
+
+# -- Problems 6.1 / 6.2: design-space search -------------------------------
+
+
+def explore_space(
+    algorithm: UniformDependenceAlgorithm,
+    pi: Sequence[int],
+    *,
+    jobs: int | None = None,
+    array_dim: int = 1,
+    magnitude: int = 1,
+    objective=None,
+    keep_ranking: int = 10,
+    cache: ResultCache | None = None,
+) -> SpaceOptimizationResult:
+    """Problem 6.1 through the engine; equal to ``solve_space_optimal``.
+
+    A custom ``objective`` callable forces the in-process fallback and
+    bypasses the cache (it is part of the answer but not of any
+    canonical key).
+    """
+    pi_t = tuple(int(x) for x in pi)
+    sched = LinearSchedule(pi=pi_t, index_set=algorithm.index_set)
+    if not sched.respects(algorithm):
+        raise ValueError("the given Pi violates the dependence condition Pi D > 0")
+    jobs = resolve_jobs(jobs)
+    started = time.perf_counter()
+
+    cache_key = None
+    if cache is not None and objective is None:
+        cache_key = canonical_key(
+            {
+                "task": "space-optimal",
+                "mu": list(algorithm.mu),
+                "dependence": [list(r) for r in algorithm.dependence_matrix],
+                "pi": list(pi_t),
+                "array_dim": array_dim,
+                "magnitude": magnitude,
+                "keep_ranking": keep_ranking,
+            }
+        )
+        entry = cache.get(cache_key)
+        if entry is not None:
+            return _space_result_from_entry(
+                algorithm, entry,
+                rebuild=lambda space: evaluate_design(algorithm, space, pi_t)[1],
+                wall_time=time.perf_counter() - started,
+            )
+
+    candidates = list(enumerate_space_mappings(algorithm.n, array_dim, magnitude))
+    payload_extra = {"pi": pi_t}
+    if objective is None:
+        outs = _fan_out_designs(
+            algorithm, candidates, jobs, _evaluate_space_shard, payload_extra
+        )
+    else:
+        outs = [
+            {
+                "evaluated": [
+                    evaluate_design(algorithm, space, pi_t, objective)
+                    for space in part
+                ],
+                "wall_time": 0.0,
+            }
+            for part in round_robin(
+                candidates, effective_shards(len(candidates), jobs)
+            )
+        ]
+
+    result = _merge_design_outs(
+        candidates, outs, keep_ranking, jobs, time.perf_counter() - started,
+        cache_misses=1 if cache_key is not None else 0,
+    )
+    if cache_key is not None:
+        cache.put(cache_key, _space_entry_from_result(result))
+    return result
+
+
+def explore_joint(
+    algorithm: UniformDependenceAlgorithm,
+    *,
+    jobs: int | None = None,
+    array_dim: int = 1,
+    magnitude: int = 1,
+    time_weight: float = 1.0,
+    space_weight: float = 1.0,
+    keep_ranking: int = 10,
+    schedule_kwargs: dict | None = None,
+    cache: ResultCache | None = None,
+) -> SpaceOptimizationResult:
+    """Problem 6.2 through the engine; equal to ``solve_joint_optimal``.
+
+    ``schedule_kwargs`` containing callbacks (``extra_constraint``)
+    forces the in-process fallback and bypasses the cache.
+    """
+    jobs = resolve_jobs(jobs)
+    kwargs = dict(schedule_kwargs or {})
+    has_callback = any(callable(v) for v in kwargs.values())
+    started = time.perf_counter()
+
+    cache_key = None
+    if cache is not None and not has_callback:
+        cache_key = canonical_key(
+            {
+                "task": "joint-optimal",
+                "mu": list(algorithm.mu),
+                "dependence": [list(r) for r in algorithm.dependence_matrix],
+                "array_dim": array_dim,
+                "magnitude": magnitude,
+                "time_weight": time_weight,
+                "space_weight": space_weight,
+                "keep_ranking": keep_ranking,
+                "schedule_kwargs": {k: kwargs[k] for k in sorted(kwargs)},
+            }
+        )
+        entry = cache.get(cache_key)
+        if entry is not None:
+            def rebuild(space, pi=None):
+                mapping = MappingMatrix(space=space, schedule=pi)
+                cost = evaluate_cost(algorithm, mapping)
+                objective = time_weight * cost.total_time + space_weight * (
+                    cost.processors + cost.wire_length
+                )
+                return SpaceDesign(mapping=mapping, cost=cost, objective=objective)
+
+            return _space_result_from_entry(
+                algorithm, entry, rebuild=rebuild,
+                wall_time=time.perf_counter() - started,
+            )
+
+    candidates = list(enumerate_space_mappings(algorithm.n, array_dim, magnitude))
+    payload_extra = {
+        "time_weight": time_weight,
+        "space_weight": space_weight,
+        "schedule_kwargs": kwargs,
+    }
+    if has_callback:
+        outs = [
+            {
+                "evaluated": [
+                    evaluate_joint_candidate(
+                        algorithm, space, time_weight, space_weight, kwargs
+                    )
+                    for space in part
+                ],
+                "wall_time": 0.0,
+            }
+            for part in round_robin(
+                candidates, effective_shards(len(candidates), jobs)
+            )
+        ]
+    else:
+        outs = _fan_out_designs(
+            algorithm, candidates, jobs, _evaluate_joint_shard, payload_extra
+        )
+
+    result = _merge_design_outs(
+        candidates, outs, keep_ranking, jobs, time.perf_counter() - started,
+        cache_misses=1 if cache_key is not None else 0,
+    )
+    if cache_key is not None:
+        cache.put(cache_key, _space_entry_from_result(result, with_pi=True))
+    return result
+
+
+def _fan_out_designs(
+    algorithm: UniformDependenceAlgorithm,
+    candidates: list,
+    jobs: int,
+    worker: Callable[[dict], dict],
+    payload_extra: dict,
+) -> list[dict]:
+    spec = _algorithm_spec(algorithm)
+    shards = effective_shards(len(candidates), jobs)
+    payloads = [
+        {"algorithm": spec, "spaces": part, **payload_extra}
+        for part in round_robin(candidates, shards)
+    ]
+    with _ShardRunner(jobs) as runner:
+        return runner.run(worker, payloads)
+
+
+def _merge_design_outs(
+    candidates: list,
+    outs: list[dict],
+    keep_ranking: int,
+    jobs: int,
+    wall_time: float,
+    *,
+    cache_misses: int,
+) -> SpaceOptimizationResult:
+    stats = SearchStats(
+        candidates_enumerated=len(candidates),
+        shards=max(1, len(outs)),
+        cache_misses=cache_misses,
+        wall_time=wall_time,
+        shard_wall_times=tuple(out["wall_time"] for out in outs),
+    )
+    designs: list[SpaceDesign] = []
+    for out in outs:
+        for status, design in out["evaluated"]:
+            if status == "rank":
+                stats.candidates_pruned += 1
+                continue
+            stats.candidates_checked += 1
+            if status == "conflict":
+                stats.conflicts_rejected += 1
+            elif status == "routing":
+                stats.routing_rejected += 1
+            else:
+                designs.append(design)
+    designs = rank_designs(designs)
+    return SpaceOptimizationResult(
+        best=designs[0] if designs else None,
+        ranking=tuple(designs[:keep_ranking]),
+        candidates_examined=stats.candidates_enumerated,
+        rejected_conflicts=stats.conflicts_rejected,
+        rejected_routing=stats.routing_rejected,
+        stats=stats,
+    )
+
+
+def _space_entry_from_result(
+    result: SpaceOptimizationResult, *, with_pi: bool = False
+) -> dict:
+    ranking = []
+    for design in result.ranking:
+        item = {"space": [list(r) for r in design.mapping.space]}
+        if with_pi:
+            item["pi"] = list(design.mapping.schedule)
+        ranking.append(item)
+    return {
+        "ranking": ranking,
+        "candidates_examined": result.candidates_examined,
+        "rejected_conflicts": result.rejected_conflicts,
+        "rejected_routing": result.rejected_routing,
+        "counters": result.stats.counter_dict(),
+    }
+
+
+def _space_result_from_entry(
+    algorithm: UniformDependenceAlgorithm,
+    entry: dict,
+    *,
+    rebuild: Callable[..., SpaceDesign | None],
+    wall_time: float,
+) -> SpaceOptimizationResult:
+    stats = SearchStats.from_dict(entry["counters"])
+    stats.cache_hits = 1
+    stats.wall_time = wall_time
+    designs: list[SpaceDesign] = []
+    for item in entry["ranking"]:
+        space = tuple(tuple(int(x) for x in row) for row in item["space"])
+        if "pi" in item:
+            design = rebuild(space, pi=tuple(item["pi"]))
+        else:
+            design = rebuild(space)
+        if design is None:  # pragma: no cover - cache/codebase version skew
+            continue
+        designs.append(design)
+    return SpaceOptimizationResult(
+        best=designs[0] if designs else None,
+        ranking=tuple(designs),
+        candidates_examined=entry["candidates_examined"],
+        rejected_conflicts=entry["rejected_conflicts"],
+        rejected_routing=entry["rejected_routing"],
+        stats=stats,
+    )

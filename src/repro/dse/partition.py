@@ -1,0 +1,78 @@
+"""Deterministic partitioning of candidate spaces into work shards.
+
+The engine's correctness contract is that a sharded search returns a
+result *equal* to the serial one.  Two properties of this module make
+that cheap to guarantee downstream:
+
+* **Stable candidate order.**  Candidates are always materialized in the
+  serial enumerator's order (sorted schedule rings from
+  :func:`repro.core.optimize.enumerate_schedule_vectors`, combination
+  order from :func:`repro.core.space_optimize.enumerate_space_mappings`)
+  *before* sharding, so the merge step can reconstruct exactly the
+  sequence the serial scan would have visited.
+* **Round-robin assignment.**  Shard ``r`` receives candidates
+  ``r, r + jobs, r + 2*jobs, ...`` of that order.  Schedule rings are
+  sorted by execution time first, so round-robin deals the cheap and
+  expensive candidates evenly across workers instead of handing one
+  worker the whole expensive tail.
+
+Nothing here depends on the executor; the functions are pure and unit
+tested in isolation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from typing import TypeVar
+
+__all__ = ["round_robin", "ring_bounds", "effective_shards"]
+
+T = TypeVar("T")
+
+
+def round_robin(items: Sequence[T], shards: int) -> list[list[T]]:
+    """Deal ``items`` into ``shards`` lists, round-robin, dropping none.
+
+    Empty shards are omitted, so the result has
+    ``min(shards, len(items))`` entries (and is ``[]`` for no items).
+    Concatenating the shards interleaved (position 0 of each shard,
+    position 1 of each shard, ...) reproduces the input order — the
+    property the merge step relies on.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    dealt = [list(items[r::shards]) for r in range(shards)]
+    return [shard for shard in dealt if shard]
+
+
+def effective_shards(num_items: int, jobs: int) -> int:
+    """How many shards to actually cut for ``num_items`` candidates.
+
+    Never more shards than items, never fewer than one; a handful of
+    candidates is not worth the fan-out bookkeeping of many workers.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return max(1, min(jobs, num_items))
+
+
+def ring_bounds(
+    initial_bound: int, alpha: int, max_bound: int
+) -> Iterator[tuple[int, int]]:
+    """Successive ``(f_min, f_max)`` windows of Procedure 5.1's rings.
+
+    Mirrors the serial loop exactly: the first ring is
+    ``[0, initial_bound]``, each following ring covers
+    ``[previous_max + 1, previous_max + alpha]``, and every upper bound
+    is clamped to ``max_bound``.  The iterator stops once ``max_bound``
+    has been covered.
+    """
+    if alpha < 1:
+        raise ValueError(f"alpha must be >= 1, got {alpha}")
+    x_prev = -1
+    x = initial_bound
+    while x_prev < max_bound:
+        top = min(x, max_bound)
+        yield (x_prev + 1, top)
+        x_prev = top
+        x += alpha

@@ -18,7 +18,14 @@ from .gcdutil import (
     normalize_primitive,
     primitive_part,
 )
-from .hermite import HermiteResult, hnf, kernel_basis, verify_hermite
+from .hermite import (
+    HermiteResult,
+    hermite_normal_form,
+    hnf,
+    hnf_cached,
+    kernel_basis,
+    verify_hermite,
+)
 from .lattice import Lattice
 from .reduction import lll_reduce, shortest_vector
 from .matrix import (
@@ -27,6 +34,7 @@ from .matrix import (
     as_int_vector,
     cofactor,
     det_bareiss,
+    freeze_matrix,
     identity,
     inverse_unimodular,
     is_integer_matrix,
@@ -37,7 +45,7 @@ from .matrix import (
     to_array,
     transpose,
 )
-from .smith import SmithResult, smith_normal_form, verify_smith
+from .smith import SmithResult, smith_normal_form, smith_normal_form_cached, verify_smith
 from .unimodular import is_unimodular, random_full_rank, random_unimodular
 
 __all__ = [
@@ -52,8 +60,11 @@ __all__ = [
     "cofactor",
     "det_bareiss",
     "extended_gcd",
+    "freeze_matrix",
     "gcd_list",
+    "hermite_normal_form",
     "hnf",
+    "hnf_cached",
     "identity",
     "inverse_unimodular",
     "is_integer_matrix",
@@ -72,6 +83,7 @@ __all__ = [
     "rank",
     "shortest_vector",
     "smith_normal_form",
+    "smith_normal_form_cached",
     "solve_diophantine",
     "to_array",
     "transpose",

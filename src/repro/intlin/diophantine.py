@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from .matrix import IntVector, as_int_matrix, as_int_vector, matvec
-from .smith import smith_normal_form
+from .smith import smith_normal_form_cached
 
 __all__ = ["DiophantineSolution", "solve_diophantine"]
 
@@ -69,7 +69,10 @@ def solve_diophantine(a: Any, b: Any) -> DiophantineSolution | None:
     if len(bv) != m:
         raise ValueError(f"shape mismatch: A is ({m},{n}), b has {len(bv)} entries")
 
-    snf = smith_normal_form(am)
+    # Memoized: interconnection planning solves the same left-hand side
+    # for every dependence column of a design, and the design-space
+    # searches revisit structurally identical systems across candidates.
+    snf = smith_normal_form_cached(am)
     pb = matvec(snf.p, bv)
     r = snf.rank
 

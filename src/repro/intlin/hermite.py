@@ -23,11 +23,19 @@ matrix inversion is ever performed and all results are exact.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Any
 
-from .matrix import IntMatrix, as_int_matrix, identity, matmul
+from .matrix import (
+    FrozenIntMatrix,
+    IntMatrix,
+    as_int_matrix,
+    freeze_matrix,
+    identity,
+    matmul,
+)
 
-__all__ = ["HermiteResult", "hnf", "kernel_basis"]
+__all__ = ["HermiteResult", "hermite_normal_form", "hnf", "hnf_cached", "kernel_basis"]
 
 
 @dataclass(frozen=True)
@@ -173,6 +181,35 @@ def hnf(t: Any, *, canonical: bool = False) -> HermiteResult:
                 ops.add_multiple(j, i, -q)
 
     return HermiteResult(h=tm, u=ops.u, v=ops.v, rank=k, canonical=canonical)
+
+
+# The paper's own Theorem-4.1 terminology, for discoverability.
+hermite_normal_form = hnf
+
+
+@lru_cache(maxsize=4096)
+def _hnf_frozen(frozen: FrozenIntMatrix, canonical: bool) -> HermiteResult:
+    return hnf([list(row) for row in frozen], canonical=canonical)
+
+
+def hnf_cached(t: Any, *, canonical: bool = False) -> HermiteResult:
+    """Memoized :func:`hnf` keyed on the frozen matrix.
+
+    The conflict checkers recompute the Hermite form of the same mapping
+    matrix whenever a winner is re-verified, re-analyzed, or rebuilt
+    from the persistent DSE cache; this in-process layer makes those
+    repeats O(copy) instead of O(elimination).  Each call returns fresh
+    row lists, so callers may mutate the result without poisoning the
+    cache — the identity ``hnf_cached(t) == hnf(t)`` is property-tested.
+    """
+    res = _hnf_frozen(freeze_matrix(t), canonical)
+    return HermiteResult(
+        h=[row[:] for row in res.h],
+        u=[row[:] for row in res.u],
+        v=[row[:] for row in res.v],
+        rank=res.rank,
+        canonical=res.canonical,
+    )
 
 
 def kernel_basis(t: Any) -> list[list[int]]:

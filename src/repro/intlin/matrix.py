@@ -29,6 +29,7 @@ import numpy as np
 __all__ = [
     "as_int_matrix",
     "as_int_vector",
+    "freeze_matrix",
     "to_array",
     "identity",
     "matmul",
@@ -76,6 +77,22 @@ def as_int_matrix(a: Any) -> IntMatrix:
             row.append(_as_int(arr[i, j]))
         out.append(row)
     return out
+
+
+FrozenIntMatrix = tuple[tuple[int, ...], ...]
+
+
+def freeze_matrix(a: Any) -> FrozenIntMatrix:
+    """Normalize matrix-like input into a hashable tuple-of-tuples form.
+
+    The canonical key type for the memoized normal-form kernels
+    (:func:`repro.intlin.hermite.hnf_cached`,
+    :func:`repro.intlin.smith.smith_normal_form_cached`): two inputs
+    that :func:`as_int_matrix` would normalize identically freeze to the
+    same key, whatever mix of lists, tuples or NumPy arrays they arrive
+    as.
+    """
+    return tuple(tuple(row) for row in as_int_matrix(a))
 
 
 def as_int_vector(v: Any) -> IntVector:

@@ -20,11 +20,19 @@ Smith form gives us two things the reproduction uses:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Any
 
-from .matrix import IntMatrix, as_int_matrix, identity, matmul
+from .matrix import (
+    FrozenIntMatrix,
+    IntMatrix,
+    as_int_matrix,
+    freeze_matrix,
+    identity,
+    matmul,
+)
 
-__all__ = ["SmithResult", "smith_normal_form"]
+__all__ = ["SmithResult", "smith_normal_form", "smith_normal_form_cached"]
 
 
 @dataclass(frozen=True)
@@ -141,6 +149,28 @@ def smith_normal_form(a: Any) -> SmithResult:
 
     invariants = tuple(d[i][i] for i in range(min(m, n)) if d[i][i] != 0)
     return SmithResult(d=d, p=p, q=q, invariants=invariants)
+
+
+@lru_cache(maxsize=4096)
+def _smith_frozen(frozen: FrozenIntMatrix) -> SmithResult:
+    return smith_normal_form([list(row) for row in frozen])
+
+
+def smith_normal_form_cached(a: Any) -> SmithResult:
+    """Memoized :func:`smith_normal_form` keyed on the frozen matrix.
+
+    The diophantine solver recomputes the Smith form of the same
+    dependence system for every design sharing an interconnection
+    structure; this layer returns fresh row lists per call (mutation
+    safe) while skipping the elimination on repeats.
+    """
+    res = _smith_frozen(freeze_matrix(a))
+    return SmithResult(
+        d=[row[:] for row in res.d],
+        p=[row[:] for row in res.p],
+        q=[row[:] for row in res.q],
+        invariants=res.invariants,
+    )
 
 
 def verify_smith(a: Any, result: SmithResult) -> bool:

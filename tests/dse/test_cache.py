@@ -1,0 +1,106 @@
+"""Unit tests for the persistent result cache and its canonical keys."""
+
+import json
+
+import pytest
+
+from repro.dse.cache import (
+    CACHE_SCHEMA_VERSION,
+    ResultCache,
+    canonical_key,
+    default_cache_dir,
+)
+
+
+class TestCanonicalKey:
+    def test_key_order_does_not_matter(self):
+        a = canonical_key({"mu": [4, 4, 4], "space": [[1, 1, -1]]})
+        b = canonical_key({"space": [[1, 1, -1]], "mu": [4, 4, 4]})
+        assert a == b
+
+    def test_tuples_and_lists_coincide(self):
+        assert canonical_key({"s": ((1, 2), (3, 4))}) == canonical_key(
+            {"s": [[1, 2], [3, 4]]}
+        )
+
+    def test_any_component_change_changes_the_key(self):
+        base = {
+            "task": "procedure-5.1",
+            "mu": [4, 4, 4],
+            "dependence": [[1, 0, 0], [0, 1, 0], [0, 0, 1]],
+            "space": [[1, 1, -1]],
+            "method": "auto",
+            "alpha": 4,
+            "initial_bound": 12,
+            "max_bound": 60,
+        }
+        reference = canonical_key(base)
+        perturbed = [
+            {**base, "mu": [4, 4, 5]},
+            {**base, "dependence": [[1, 0, 0], [0, 1, 0], [0, 0, 2]]},
+            {**base, "space": [[1, 1, 1]]},
+            {**base, "method": "exact"},
+            {**base, "alpha": 5},
+            {**base, "initial_bound": 13},
+            {**base, "max_bound": 61},
+            {**base, "task": "joint-optimal"},
+        ]
+        keys = {canonical_key(p) for p in perturbed}
+        assert reference not in keys
+        assert len(keys) == len(perturbed)
+
+    def test_unserializable_component_is_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_key({"cb": object()})
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = canonical_key({"q": 1})
+        assert cache.get(key) is None
+        cache.put(key, {"found": True, "pi": [1, 2, 3]})
+        assert cache.get(key) == {"found": True, "pi": [1, 2, 3]}
+        assert cache.hits == 1 and cache.misses == 1
+        assert len(cache) == 1
+
+    def test_schema_bump_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = canonical_key({"q": 2})
+        cache.put(key, {"found": False})
+        path = tmp_path / f"{key}.json"
+        entry = json.loads(path.read_text())
+        entry["schema"] = CACHE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(entry))
+        assert cache.get(key) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = canonical_key({"q": 3})
+        cache.put(key, {"x": 1})
+        (tmp_path / f"{key}.json").write_text("{not json")
+        assert cache.get(key) is None
+        assert cache.misses == 1
+
+    def test_disabled_cache_never_stores(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=False)
+        key = canonical_key({"q": 4})
+        cache.put(key, {"x": 1})
+        assert cache.get(key) is None
+        assert len(cache) == 0
+        assert cache.misses == 1 and cache.hits == 0
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(3):
+            cache.put(canonical_key({"q": i}), {"i": i})
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_default_dir_honors_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_DSE_CACHE_DIR", str(tmp_path / "envdir"))
+        assert default_cache_dir() == tmp_path / "envdir"
+        monkeypatch.delenv("REPRO_DSE_CACHE_DIR")
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == tmp_path / "xdg" / "repro-dse"

@@ -1,0 +1,67 @@
+"""End-to-end tests for the ``explore`` CLI subcommand."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestExploreSchedule:
+    def test_matches_serial_map_answer(self, capsys, tmp_path):
+        rc = main([
+            "explore", "-a", "matmul", "--mu", "4", "-s", "1,1,-1",
+            "--jobs", "2", "--cache-dir", str(tmp_path),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "optimal Pi     : [1, 2, 3]" in out
+        assert "total time     : 25" in out
+        assert "shards" in out
+
+    def test_warm_replay_reports_cache_hit(self, capsys, tmp_path):
+        args = [
+            "explore", "-a", "matmul", "--mu", "4", "-s", "1,1,-1",
+            "--jobs", "1", "--cache-dir", str(tmp_path),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "1 hits / 0 misses" in out
+
+    def test_no_cache_flag(self, capsys, tmp_path):
+        rc = main([
+            "explore", "-a", "matmul", "--mu", "3", "-s", "1,1,-1",
+            "--jobs", "1", "--cache-dir", str(tmp_path), "--no-cache",
+        ])
+        assert rc == 0
+        assert len(list(tmp_path.glob("*.json"))) == 0
+
+
+class TestExploreSpaceAndJoint:
+    def test_space_mode(self, capsys, tmp_path):
+        rc = main([
+            "explore", "-a", "matmul", "--mu", "3", "-p", "1,3,1",
+            "--jobs", "1", "--cache-dir", str(tmp_path),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "space search (Problem 6.1)" in out
+        assert "#1: S =" in out
+
+    def test_joint_mode(self, capsys, tmp_path):
+        rc = main([
+            "explore", "-a", "matmul", "--mu", "3",
+            "--jobs", "1", "--cache-dir", str(tmp_path),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "joint search (Problem 6.2)" in out
+        assert "Pi =" in out
+
+    def test_space_and_schedule_together_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "explore", "-a", "matmul", "--mu", "3",
+                "-s", "1,1,-1", "-p", "1,3,1",
+                "--cache-dir", str(tmp_path),
+            ])

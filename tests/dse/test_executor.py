@@ -1,0 +1,217 @@
+"""Parallel/serial/cached equivalence of the exploration engine.
+
+The engine's contract is that execution strategy is invisible in the
+result: for the paper's worked examples (5.1, 5.2, the 4-D Example 2.1
+algorithm) the sharded searches with ``jobs in {1, 2, 4}`` and warm
+cache replays must return results that compare equal to the serial
+solvers' — winners, verdicts and deterministic stats included.
+"""
+
+import pytest
+
+from repro.core.optimize import procedure_5_1
+from repro.core.pipeline import find_time_optimal_mapping
+from repro.core.space_optimize import solve_joint_optimal, solve_space_optimal
+from repro.dse.cache import ResultCache
+from repro.dse.executor import (
+    explore_joint,
+    explore_schedule,
+    explore_space,
+    resolve_jobs,
+)
+from repro.model import example_2_1_algorithm
+
+JOBS = [1, 2, 4]
+
+
+@pytest.fixture
+def e21_small():
+    """The 4-D Example 2.1 algorithm at a test-friendly size."""
+    return example_2_1_algorithm(2)
+
+
+S_4D = ((1, 0, 0, 0), (0, 1, 0, 0), (0, 0, 1, 0))
+
+
+class TestScheduleEquivalence:
+    @pytest.mark.parametrize("jobs", JOBS)
+    def test_example_5_1(self, matmul4, jobs):
+        serial = procedure_5_1(matmul4, [[1, 1, -1]])
+        parallel = explore_schedule(matmul4, [[1, 1, -1]], jobs=jobs)
+        assert parallel == serial
+        assert parallel.schedule.pi == (1, 2, 3)
+
+    @pytest.mark.parametrize("jobs", JOBS)
+    def test_example_5_2(self, tc4, jobs):
+        serial = procedure_5_1(tc4, [[0, 0, 1]])
+        parallel = explore_schedule(tc4, [[0, 0, 1]], jobs=jobs)
+        assert parallel == serial
+
+    @pytest.mark.parametrize("jobs", JOBS)
+    def test_example_2_1_4d(self, e21_small, jobs):
+        serial = procedure_5_1(e21_small, S_4D)
+        parallel = explore_schedule(e21_small, S_4D, jobs=jobs)
+        assert parallel == serial
+
+    def test_exhausted_bound_equivalence(self, matmul4):
+        # A bound too small for any conflict-free winner: the engine must
+        # report the same not-found result and counters as the serial scan.
+        kwargs = dict(initial_bound=3, max_bound=5)
+        serial = procedure_5_1(matmul4, [[1, 1, -1]], **kwargs)
+        assert not serial.found
+        for jobs in JOBS:
+            assert explore_schedule(matmul4, [[1, 1, -1]], jobs=jobs, **kwargs) == serial
+
+    def test_extra_constraint_forces_in_process_but_matches(self, matmul4):
+        constraint = lambda t: t.schedule[0] != 1  # noqa: E731
+        serial = procedure_5_1(matmul4, [[1, 1, -1]], extra_constraint=constraint)
+        parallel = explore_schedule(
+            matmul4, [[1, 1, -1]], jobs=4, extra_constraint=constraint
+        )
+        assert parallel == serial
+        assert parallel.schedule.pi[0] != 1
+
+    def test_explicit_bounds_respected(self, matmul4):
+        kwargs = dict(alpha=2, initial_bound=8, max_bound=40)
+        serial = procedure_5_1(matmul4, [[1, 1, -1]], **kwargs)
+        assert explore_schedule(matmul4, [[1, 1, -1]], jobs=2, **kwargs) == serial
+
+    def test_telemetry_reports_shards(self, matmul4):
+        parallel = explore_schedule(matmul4, [[1, 1, -1]], jobs=2)
+        assert parallel.stats.shards == 2
+        assert len(parallel.stats.shard_wall_times) >= 2
+
+
+class TestScheduleCache:
+    def test_warm_equals_cold_equals_serial(self, matmul4, tmp_path):
+        cache = ResultCache(tmp_path)
+        serial = procedure_5_1(matmul4, [[1, 1, -1]])
+        cold = explore_schedule(matmul4, [[1, 1, -1]], jobs=2, cache=cache)
+        warm = explore_schedule(matmul4, [[1, 1, -1]], jobs=2, cache=cache)
+        assert cold == serial == warm
+        assert cold.stats.cache_misses == 1 and cold.stats.cache_hits == 0
+        assert warm.stats.cache_hits == 1 and warm.stats.cache_misses == 0
+        assert len(cache) == 1
+
+    def test_not_found_is_cached_too(self, matmul4, tmp_path):
+        cache = ResultCache(tmp_path)
+        kwargs = dict(initial_bound=3, max_bound=5, cache=cache)
+        cold = explore_schedule(matmul4, [[1, 1, -1]], jobs=1, **kwargs)
+        warm = explore_schedule(matmul4, [[1, 1, -1]], jobs=1, **kwargs)
+        assert not cold.found and cold == warm
+        assert warm.stats.cache_hits == 1
+
+    def test_different_bounds_do_not_collide(self, matmul4, tmp_path):
+        cache = ResultCache(tmp_path)
+        explore_schedule(matmul4, [[1, 1, -1]], jobs=1, cache=cache)
+        explore_schedule(matmul4, [[1, 1, -1]], jobs=1, cache=cache, alpha=2)
+        assert len(cache) == 2
+
+    def test_extra_constraint_bypasses_cache(self, matmul4, tmp_path):
+        cache = ResultCache(tmp_path)
+        explore_schedule(
+            matmul4, [[1, 1, -1]], jobs=1, cache=cache,
+            extra_constraint=lambda t: True,
+        )
+        assert len(cache) == 0
+
+
+class TestSpaceEquivalence:
+    @pytest.mark.parametrize("jobs", JOBS)
+    def test_problem_6_1(self, matmul4, jobs):
+        serial = solve_space_optimal(matmul4, (1, 2, 3))
+        parallel = explore_space(matmul4, (1, 2, 3), jobs=jobs)
+        assert parallel == serial
+
+    def test_rejects_dependence_violating_pi(self, matmul4):
+        with pytest.raises(ValueError):
+            explore_space(matmul4, (0, 0, -1))
+
+    def test_custom_objective_in_process(self, matmul4):
+        objective = lambda cost: float(cost.processors)  # noqa: E731
+        serial = solve_space_optimal(matmul4, (1, 2, 3), objective=objective)
+        parallel = explore_space(matmul4, (1, 2, 3), jobs=4, objective=objective)
+        assert parallel == serial
+
+    def test_cache_round_trip(self, matmul4, tmp_path):
+        cache = ResultCache(tmp_path)
+        serial = solve_space_optimal(matmul4, (1, 2, 3))
+        cold = explore_space(matmul4, (1, 2, 3), jobs=2, cache=cache)
+        warm = explore_space(matmul4, (1, 2, 3), jobs=2, cache=cache)
+        assert cold == serial == warm
+        assert warm.stats.cache_hits == 1
+
+    def test_custom_objective_bypasses_cache(self, matmul4, tmp_path):
+        cache = ResultCache(tmp_path)
+        explore_space(
+            matmul4, (1, 2, 3), cache=cache, objective=lambda c: 0.0
+        )
+        assert len(cache) == 0
+
+
+class TestJointEquivalence:
+    @pytest.mark.parametrize("jobs", JOBS)
+    def test_problem_6_2(self, matmul4, jobs):
+        serial = solve_joint_optimal(matmul4)
+        parallel = explore_joint(matmul4, jobs=jobs)
+        assert parallel == serial
+
+    def test_weights_flow_through(self, matmul4):
+        serial = solve_joint_optimal(matmul4, time_weight=2.0, space_weight=0.5)
+        parallel = explore_joint(matmul4, jobs=2, time_weight=2.0, space_weight=0.5)
+        assert parallel == serial
+
+    def test_cache_round_trip(self, matmul4, tmp_path):
+        cache = ResultCache(tmp_path)
+        serial = solve_joint_optimal(matmul4)
+        cold = explore_joint(matmul4, jobs=2, cache=cache)
+        warm = explore_joint(matmul4, jobs=2, cache=cache)
+        assert cold == serial == warm
+        assert warm.stats.cache_hits == 1
+
+    def test_callback_schedule_kwargs_bypass_cache(self, matmul4, tmp_path):
+        cache = ResultCache(tmp_path)
+        kwargs = {"extra_constraint": lambda t: True}
+        serial = solve_joint_optimal(matmul4, schedule_kwargs=kwargs)
+        parallel = explore_joint(
+            matmul4, jobs=4, schedule_kwargs=kwargs, cache=cache
+        )
+        assert parallel == serial
+        assert len(cache) == 0
+
+
+class TestPipelineIntegration:
+    def test_jobs_routes_through_engine(self, matmul4):
+        baseline = find_time_optimal_mapping(
+            matmul4, [[1, 1, -1]], solver="procedure-5.1"
+        )
+        engine = find_time_optimal_mapping(
+            matmul4, [[1, 1, -1]], solver="procedure-5.1", jobs=2
+        )
+        assert engine.schedule == baseline.schedule
+        assert engine.mapping == baseline.mapping
+        assert engine.stats == baseline.stats
+
+    def test_cache_routes_through_engine(self, matmul4, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = find_time_optimal_mapping(
+            matmul4, [[1, 1, -1]], solver="procedure-5.1", cache=cache
+        )
+        second = find_time_optimal_mapping(
+            matmul4, [[1, 1, -1]], solver="procedure-5.1", cache=cache
+        )
+        assert first.schedule == second.schedule
+        assert first.stats == second.stats
+        assert cache.hits == 1
+
+
+class TestResolveJobs:
+    def test_none_means_cpu_count(self):
+        assert resolve_jobs(None) >= 1
+
+    def test_explicit_passthrough(self):
+        assert resolve_jobs(3) == 3
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(0)

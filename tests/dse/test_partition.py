@@ -1,0 +1,79 @@
+"""Unit tests for the deterministic sharding primitives."""
+
+import pytest
+
+from repro.dse.partition import effective_shards, ring_bounds, round_robin
+
+
+class TestRoundRobin:
+    def test_deals_in_stride(self):
+        assert round_robin([1, 2, 3, 4, 5], 2) == [[1, 3, 5], [2, 4]]
+
+    def test_single_shard_is_identity(self):
+        items = list(range(7))
+        assert round_robin(items, 1) == [items]
+
+    def test_more_shards_than_items_drops_empties(self):
+        assert round_robin([1, 2], 5) == [[1], [2]]
+
+    def test_empty_input(self):
+        assert round_robin([], 3) == []
+
+    def test_rejects_nonpositive_shards(self):
+        with pytest.raises(ValueError):
+            round_robin([1], 0)
+
+    @pytest.mark.parametrize("shards", [1, 2, 3, 4, 7, 20])
+    def test_interleave_reconstructs_input_order(self, shards):
+        items = list(range(17))
+        dealt = round_robin(items, shards)
+        rebuilt = []
+        width = max(len(s) for s in dealt)
+        for pos in range(width):
+            for shard in dealt:
+                if pos < len(shard):
+                    rebuilt.append(shard[pos])
+        assert rebuilt == items
+
+    def test_no_item_lost_or_duplicated(self):
+        items = list(range(23))
+        dealt = round_robin(items, 4)
+        assert sorted(x for shard in dealt for x in shard) == items
+
+
+class TestEffectiveShards:
+    def test_caps_at_item_count(self):
+        assert effective_shards(3, 8) == 3
+
+    def test_caps_at_jobs(self):
+        assert effective_shards(100, 4) == 4
+
+    def test_at_least_one(self):
+        assert effective_shards(0, 4) == 1
+
+    def test_rejects_nonpositive_jobs(self):
+        with pytest.raises(ValueError):
+            effective_shards(5, 0)
+
+
+class TestRingBounds:
+    def test_mirrors_serial_loop(self):
+        # initial_bound=12, alpha=4, max_bound=21:
+        # serial: x_prev=-1, x=12 -> ring [0,12]; [13,16]; [17,20]; [21,21]
+        assert list(ring_bounds(12, 4, 21)) == [
+            (0, 12), (13, 16), (17, 20), (21, 21),
+        ]
+
+    def test_clamps_first_ring_to_max_bound(self):
+        assert list(ring_bounds(50, 5, 10)) == [(0, 10)]
+
+    def test_windows_partition_the_range(self):
+        windows = list(ring_bounds(7, 3, 40))
+        assert windows[0][0] == 0
+        assert windows[-1][1] == 40
+        for (_, hi), (lo2, _) in zip(windows, windows[1:]):
+            assert lo2 == hi + 1
+
+    def test_rejects_nonpositive_alpha(self):
+        with pytest.raises(ValueError):
+            next(ring_bounds(5, 0, 10))

@@ -1,0 +1,97 @@
+"""Cached == uncached for the memoized normal-form kernels.
+
+The design-space searches call the Hermite and Smith routines on the
+same handful of matrices thousands of times; ``hnf_cached`` /
+``smith_normal_form_cached`` memoize them behind a hashable-matrix
+adapter.  These tests pin the two contracts that make that safe:
+identical results on arbitrary inputs, and immunity to caller mutation
+of returned structures.
+"""
+
+from repro.intlin import (
+    freeze_matrix,
+    hnf,
+    hnf_cached,
+    random_full_rank,
+    smith_normal_form,
+    smith_normal_form_cached,
+    verify_hermite,
+    verify_smith,
+)
+from repro.intlin.hermite import _hnf_frozen
+from repro.intlin.smith import _smith_frozen
+
+
+def _random_matrices(rng, count=25):
+    for _ in range(count):
+        k = rng.randint(1, 4)
+        n = rng.randint(k, 5)
+        yield random_full_rank(k, n, rng=rng, magnitude=7)
+
+
+class TestFreezeMatrix:
+    def test_hashable_and_faithful(self):
+        frozen = freeze_matrix([[1, 2], [3, 4]])
+        assert frozen == ((1, 2), (3, 4))
+        assert hash(frozen) == hash(((1, 2), (3, 4)))
+
+    def test_accepts_mixed_sequence_types(self):
+        assert freeze_matrix(((1, 2),)) == freeze_matrix([[1, 2]])
+
+
+class TestHnfCached:
+    def test_equals_uncached_on_random_matrices(self, rng):
+        for a in _random_matrices(rng):
+            cold = hnf(a)
+            cached = hnf_cached(a)
+            assert cached == cold
+            assert verify_hermite(a, cached)
+
+    def test_canonical_variant_matches(self, rng):
+        for a in _random_matrices(rng, count=10):
+            assert hnf_cached(a, canonical=True) == hnf(a, canonical=True)
+
+    def test_repeated_calls_hit_the_cache(self):
+        _hnf_frozen.cache_clear()
+        a = [[1, 7, 1, 1], [1, 7, 1, 0]]
+        first = hnf_cached(a)
+        second = hnf_cached(a)
+        assert first == second
+        info = _hnf_frozen.cache_info()
+        assert info.hits >= 1 and info.misses >= 1
+
+    def test_caller_mutation_cannot_poison_the_cache(self):
+        a = [[2, 4], [6, 9]]
+        res = hnf_cached(a)
+        res.h[0][0] = 999
+        res.u[0][0] = 999
+        fresh = hnf_cached(a)
+        assert fresh.h[0][0] != 999
+        assert fresh == hnf(a)
+
+
+class TestSmithCached:
+    def test_equals_uncached_on_random_matrices(self, rng):
+        for a in _random_matrices(rng):
+            cold = smith_normal_form(a)
+            cached = smith_normal_form_cached(a)
+            assert cached == cold
+            assert verify_smith(a, cached)
+
+    def test_repeated_calls_hit_the_cache(self):
+        _smith_frozen.cache_clear()
+        a = [[2, 0], [0, 6]]
+        first = smith_normal_form_cached(a)
+        second = smith_normal_form_cached(a)
+        assert first == second
+        info = _smith_frozen.cache_info()
+        assert info.hits >= 1 and info.misses >= 1
+
+    def test_caller_mutation_cannot_poison_the_cache(self):
+        a = [[4, 6], [10, 15]]
+        res = smith_normal_form_cached(a)
+        res.d[0][0] = 999
+        res.p[0][0] = 999
+        fresh = smith_normal_form_cached(a)
+        assert fresh.d[0][0] != 999
+        assert fresh == smith_normal_form(a)
