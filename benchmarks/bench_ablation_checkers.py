@@ -12,7 +12,6 @@ and almost always decisive" argument of Section 4.
 
 import random
 
-import pytest
 
 from conftest import print_table
 from repro.core import (

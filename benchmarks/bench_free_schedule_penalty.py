@@ -14,7 +14,6 @@ import pytest
 from conftest import print_table
 from repro.core import (
     optimal_free_schedule,
-    procedure_5_1,
     solve_corank1_optimal,
 )
 from repro.model import matrix_multiplication, transitive_closure

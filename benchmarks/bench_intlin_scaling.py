@@ -1,24 +1,51 @@
-"""E9 — substrate performance: Hermite/Smith normal form scaling.
+"""E9 — substrate performance: Hermite/Smith normal form scaling,
+plus the IntMat fast-path/object-path comparison.
 
 The Hermite normal form is evaluated inside every conflict check of
 Procedure 5.1, so its cost controls the whole search.  This harness
 measures HNF, Smith and kernel-basis time against matrix size on
 seeded random full-rank inputs, and checks the exactness invariants on
 every timed sample (no point benchmarking a wrong answer).
+
+The second half compares the two :class:`repro.intlin.IntMat` backends
+— the overflow-certified int64 vectorized route against the exact
+Python-int object route — on the workloads the search actually runs:
+conflict-check image products and HNF conflict vectors at the paper's
+Example 5.1 / 5.2 sizes.  Run standalone (``PYTHONPATH=src python
+benchmarks/bench_intlin_scaling.py``) to write ``BENCH_intmat.json``;
+the fast path must win the Example 5.1 conflict-check workload by at
+least 2x with byte-identical verdicts, or the run exits non-zero.
 """
 
+import json
+import os
 import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import pytest
 
+from repro.core import distinct_image_count
+from repro.core.optimize import enumerate_schedule_vectors
 from repro.intlin import (
+    IntMat,
     hnf,
+    hnf_cached,
     kernel_basis,
     random_full_rank,
     smith_normal_form,
     verify_hermite,
     verify_smith,
 )
+from repro.model import (
+    matrix_multiplication,
+    transitive_closure,
+)
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_intmat.json"
 
 SIZES = [(2, 4), (3, 6), (4, 8), (5, 10), (6, 12)]
 
@@ -70,3 +97,187 @@ def test_entry_growth_is_harmless(benchmark):
 
     res = benchmark(run)
     assert res.rank == 3
+
+
+# -- IntMat backend comparison ----------------------------------------------
+#
+# The search's two hot matrix workloads, once per backend.  The
+# "exact" variants force the object route via ``IntMat(..., exact=True)``
+# — same values, no int64 vectorization — so the delta is purely the
+# fast path's contribution.
+
+_EXAMPLES = {
+    "example-5.1-matmul-mu6": (matrix_multiplication(6), ((1, 1, -1),)),
+    "example-5.2-tc-mu5": (transitive_closure(5), ((0, 0, 1),)),
+}
+
+
+def _candidate_rows(algo, space):
+    """Full-rank mapping rows ``[S; Pi]`` for the first search ring.
+
+    Rank-deficient candidates are dropped exactly as Procedure 5.1's
+    Step 4 drops them before any conflict check runs.
+    """
+    mu = algo.mu
+    candidates = [
+        tuple(space) + (pi,)
+        for pi in sorted(enumerate_schedule_vectors(mu, sum(mu)))
+    ]
+    k = len(space) + 1
+    return [rows for rows in candidates if IntMat(rows).rank() == k]
+
+
+def _conflict_verdicts(mats, pts):
+    """Injectivity verdict of each mapping on the index points.
+
+    Same image product + distinct-row count the production decider
+    :func:`repro.core.is_conflict_free_bruteforce_vectorized` runs,
+    but parameterized over the matrix backend.
+    """
+    return [
+        bool(distinct_image_count(m.image_of_points(pts)) == pts.shape[0])
+        for m in mats
+    ]
+
+
+@pytest.mark.parametrize("backend", ["int64", "exact"])
+def test_conflict_check_backend(benchmark, backend):
+    algo, space = _EXAMPLES["example-5.1-matmul-mu6"]
+    rows = _candidate_rows(algo, space)
+    pts = algo.index_set.points_array()
+    exact = backend == "exact"
+
+    verdicts = benchmark(
+        lambda: _conflict_verdicts(
+            [IntMat(r, exact=exact) for r in rows], pts
+        )
+    )
+    reference = _conflict_verdicts([IntMat(r, exact=True) for r in rows], pts)
+    assert verdicts == reference
+
+
+@pytest.mark.parametrize("backend", ["int64", "exact"])
+def test_det_adjugate_backend(benchmark, backend):
+    rng = random.Random(11)
+    rows_pool = [
+        [[rng.randint(-9, 9) for _ in range(4)] for _ in range(4)]
+        for _ in range(20)
+    ]
+    exact = backend == "exact"
+
+    def run():
+        out = []
+        for rows in rows_pool:
+            m = IntMat(rows, exact=exact)
+            out.append((m.det(), m.adjugate()))
+        return out
+
+    result = benchmark(run)
+    for (d, adj), rows in zip(result, rows_pool):
+        assert IntMat(rows, exact=True).det() == d
+        assert IntMat(rows, exact=True).adjugate() == adj
+
+
+# -- standalone harness: BENCH_intmat.json ----------------------------------
+
+
+def _timed(fn, repeats: int = 3):
+    """Best-of-N wall time and the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def bench_conflict_case(name: str) -> dict:
+    """Fast-path vs object-path on one example's conflict-check workload."""
+    algo, space = _EXAMPLES[name]
+    rows = _candidate_rows(algo, space)
+    pts = algo.index_set.points_array()
+
+    # Matrices are prebuilt: construction/validation is identical on
+    # both backends, so timing it would only dilute the comparison.
+    fast_mats = [IntMat(r) for r in rows]
+    exact_mats = [IntMat(r, exact=True) for r in rows]
+    fast_t, fast_verdicts = _timed(lambda: _conflict_verdicts(fast_mats, pts))
+    exact_t, exact_verdicts = _timed(lambda: _conflict_verdicts(exact_mats, pts))
+    fast_blob = json.dumps(fast_verdicts).encode()
+    exact_blob = json.dumps(exact_verdicts).encode()
+    assert fast_blob == exact_blob, f"{name}: backends disagree on verdicts"
+
+    return {
+        "case": name,
+        "workload": "conflict-check",
+        "candidates": len(rows),
+        "index_points": int(pts.shape[0]),
+        "fast_s": fast_t,
+        "exact_s": exact_t,
+        "speedup": exact_t / fast_t if fast_t else float("inf"),
+        "verdicts_identical": True,
+    }
+
+
+def bench_hnf_conflict_vectors(name: str) -> dict:
+    """Conflict generators through HNF: uncached vs the IntMat-keyed memo."""
+    algo, space = _EXAMPLES[name]
+    mats = [IntMat(r) for r in _candidate_rows(algo, space)]
+
+    def uncached():
+        return [tuple(hnf(m).kernel_columns()) for m in mats]
+
+    def memoized():
+        return [tuple(hnf_cached(m).kernel_columns()) for m in mats]
+
+    uncached_t, reference = _timed(uncached)
+    memoized()  # warm the memo once; steady-state is what the search sees
+    memo_t, generators = _timed(memoized)
+    assert generators == reference, f"{name}: memoized HNF diverged"
+
+    return {
+        "case": name,
+        "workload": "hnf-conflict-vectors",
+        "candidates": len(mats),
+        "uncached_s": uncached_t,
+        "memoized_s": memo_t,
+        "speedup": uncached_t / memo_t if memo_t else float("inf"),
+    }
+
+
+def main() -> int:
+    records = [bench_conflict_case(name) for name in _EXAMPLES]
+    records += [bench_hnf_conflict_vectors("example-5.1-matmul-mu6")]
+
+    payload = {
+        "benchmark": "intmat-fast-path",
+        "cpu_count": os.cpu_count(),
+        "records": records,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    header = f"{'case':28}  {'workload':22}  {'speedup':>8}"
+    print(header)
+    print("-" * len(header))
+    for r in records:
+        print(f"{r['case']:28}  {r['workload']:22}  {r['speedup']:7.1f}x")
+    print(f"\nwrote {OUTPUT}")
+
+    bar = next(
+        r for r in records
+        if r["case"] == "example-5.1-matmul-mu6"
+        and r["workload"] == "conflict-check"
+    )
+    if bar["speedup"] < 2.0:
+        print(
+            "FAIL: fast path under the 2x bar on the Example 5.1 "
+            "conflict-check workload",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -191,7 +191,7 @@ def _cmd_map(args: argparse.Namespace) -> int:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    t = MappingMatrix.from_rows([list(r) for r in args.rows])
+    t = MappingMatrix.from_rows(args.rows)
     if len(args.mu) != t.n:
         raise SystemExit(f"mu has {len(args.mu)} entries, T has {t.n} columns")
     verdict = check_conflict_free(t, args.mu, method=args.method)

@@ -44,6 +44,7 @@ from .conflict import (
     conflict_margin,
     conflict_vector_corank1,
     conflict_vector_via_adjugate,
+    distinct_image_count,
     find_conflict_witness,
     is_conflict_free_bruteforce,
     is_conflict_free_bruteforce_vectorized,
@@ -114,6 +115,7 @@ __all__ = [
     "conflict_margin",
     "conflict_vector_corank1",
     "conflict_vector_via_adjugate",
+    "distinct_image_count",
     "enumerate_schedule_vectors",
     "enumerate_space_mappings",
     "enumerate_space_rows",

@@ -35,7 +35,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass, field
 from typing import Any
 
-from ..intlin import det_bareiss, gcd_list, hnf_cached
+from ..intlin import IntMat, gcd_list, hnf_cached
 from .conflict import conflict_vector_corank1, is_feasible_conflict_vector
 from .mapping import MappingMatrix
 
@@ -69,19 +69,22 @@ class ConditionVerdict:
         condition relates to conflict-freedom.
     witnesses:
         Clause-by-clause evidence (row indices, vectors, determinants).
+        Excluded from equality and hashing: a verdict is a value object
+        identified by ``(holds, theorem, kind)``, so it can key caches
+        and sets; the witnesses are explanatory payload.
     """
 
     holds: bool
     theorem: str
     kind: str
-    witnesses: dict[str, Any] = field(default_factory=dict)
+    witnesses: dict[str, Any] = field(default_factory=dict, compare=False)
 
     def __bool__(self) -> bool:
         return self.holds
 
 
-def _hermite_u(t: MappingMatrix) -> tuple[list[list[int]], list[list[int]], int]:
-    res = hnf_cached(t.rows())
+def _hermite_u(t: MappingMatrix) -> tuple[IntMat, IntMat, int]:
+    res = hnf_cached(t.matrix)
     return res.u, res.v, res.rank
 
 
@@ -127,7 +130,7 @@ def theorem_4_4(t: MappingMatrix, mu: Sequence[int]) -> ConditionVerdict:
     """Necessary condition 3: the generators ``u_{k+1..n}`` are feasible."""
     u, _v, k = _hermite_u(t)
     n = t.n
-    columns = [[u[i][j] for i in range(n)] for j in range(k, n)]
+    columns = [u.column(j) for j in range(k, n)]
     infeasible = [
         j for j, col in enumerate(columns)
         if not is_feasible_conflict_vector(col, mu)
@@ -137,7 +140,7 @@ def theorem_4_4(t: MappingMatrix, mu: Sequence[int]) -> ConditionVerdict:
         theorem="4.4",
         kind="necessary",
         witnesses={
-            "generators": tuple(tuple(c) for c in columns),
+            "generators": tuple(columns),
             "infeasible_generator_indices": tuple(infeasible),
         },
     )
@@ -161,8 +164,8 @@ def theorem_4_5(t: MappingMatrix, mu: Sequence[int]) -> ConditionVerdict:
         if gcd_list(u[i][k:]) >= mu[i] + 1
     ]
     for combo in itertools.combinations(eligible, c):
-        block = [[u[i][j] for j in range(k, n)] for i in combo]
-        if det_bareiss(block) != 0:
+        block = u.submatrix(combo, range(k, n))
+        if block.det() != 0:
             return ConditionVerdict(
                 holds=True,
                 theorem="4.5",
@@ -215,7 +218,7 @@ def theorem_4_6(t: MappingMatrix, mu: Sequence[int]) -> ConditionVerdict:
 
 
 def sign_pattern_condition(
-    u: list[list[int]], k: int, mu: Sequence[int]
+    u: Sequence[Sequence[int]], k: int, mu: Sequence[int]
 ) -> ConditionVerdict:
     """The sign-pattern clauses shared by Theorems 4.7 and 4.8.
 
@@ -262,7 +265,7 @@ def sign_pattern_condition(
 
 
 def subset_sign_pattern_condition(
-    u: list[list[int]], k: int, mu: Sequence[int]
+    u: Sequence[Sequence[int]], k: int, mu: Sequence[int]
 ) -> ConditionVerdict:
     """Strengthened sufficient condition: sign patterns over *every* subset.
 

@@ -19,6 +19,13 @@ Implements the backbone of Sections 2-4:
   - :func:`is_conflict_free_kernel_box` enumerates the kernel lattice
     inside the bounding box — exponentially cheaper than brute force
     (it never touches ``|J|``) and exact for any co-rank.
+
+Everything here operates on the mapping's immutable
+:attr:`~repro.core.mapping.MappingMatrix.matrix` (:class:`IntMat`)
+directly: the Hermite cache is keyed on that matrix value, and the
+vectorized brute-force decider routes through
+:meth:`IntMat.image_of_points`, whose overflow guard promotes to exact
+object arithmetic instead of silently wrapping in int64.
 """
 
 from __future__ import annotations
@@ -28,14 +35,9 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 from fractions import Fraction
 
-from ..intlin import (
-    adjugate,
-    as_int_matrix,
-    det_bareiss,
-    hnf_cached,
-    matvec,
-    normalize_primitive,
-)
+import numpy as np
+
+from ..intlin import IntVec, hnf_cached, normalize_primitive
 from ..model import ConstantBoundedIndexSet
 from .mapping import MappingMatrix
 
@@ -45,6 +47,7 @@ __all__ = [
     "conflict_vector_corank1",
     "conflict_vector_via_adjugate",
     "conflict_generators",
+    "distinct_image_count",
     "is_conflict_free_bruteforce",
     "is_conflict_free_bruteforce_vectorized",
     "is_conflict_free_kernel_box",
@@ -67,7 +70,7 @@ def is_feasible_conflict_vector(gamma: Sequence[int], mu: Sequence[int]) -> bool
     return any(abs(gi) > mi for gi, mi in zip(g, m))
 
 
-def conflict_vector_corank1(t: MappingMatrix) -> list[int]:
+def conflict_vector_corank1(t: MappingMatrix) -> IntVec:
     """The unique conflict vector of a co-rank-1 mapping (Theorem 3.1).
 
     Normalized to relatively prime entries with positive first non-zero
@@ -77,12 +80,12 @@ def conflict_vector_corank1(t: MappingMatrix) -> list[int]:
     """
     if t.corank != 1:
         raise ValueError(f"mapping has co-rank {t.corank}, expected 1")
-    res = hnf_cached(t.rows())
+    res = hnf_cached(t.matrix)
     [gamma] = res.kernel_columns()
-    return normalize_primitive(gamma)
+    return IntVec(normalize_primitive(gamma))
 
 
-def conflict_vector_via_adjugate(t: MappingMatrix) -> list[int]:
+def conflict_vector_via_adjugate(t: MappingMatrix) -> IntVec:
     """Equation 3.2 literally: ``gamma = lambda * [-B^* b ; det B]``.
 
     ``T = [B, b]`` with ``B`` the first ``n-1`` columns.  When ``B`` is
@@ -93,25 +96,25 @@ def conflict_vector_via_adjugate(t: MappingMatrix) -> list[int]:
     """
     if t.corank != 1:
         raise ValueError(f"mapping has co-rank {t.corank}, expected 1")
-    rows = as_int_matrix(t.rows())
+    tm = t.matrix
     n = t.n
+    all_rows = range(tm.nrows)
     for drop in range(n - 1, -1, -1):
         cols = [c for c in range(n) if c != drop]
-        b_mat = [[row[c] for c in cols] for row in rows]
-        if det_bareiss(b_mat) != 0:
-            b_vec = [row[drop] for row in rows]
-            adj = adjugate(b_mat)
-            top = [-x for x in matvec(adj, b_vec)]
-            det_b = det_bareiss(b_mat)
+        b_mat = tm.submatrix(all_rows, cols)
+        det_b = b_mat.det()
+        if det_b != 0:
+            b_vec = tm.column(drop)
+            top = b_mat.adjugate().matvec(b_vec)
             gamma = [0] * n
             for pos, c in enumerate(cols):
-                gamma[c] = top[pos]
+                gamma[c] = -top[pos]
             gamma[drop] = det_b
-            return normalize_primitive(gamma)
+            return IntVec(normalize_primitive(gamma))
     raise ValueError("mapping matrix does not have full row rank")
 
 
-def conflict_generators(t: MappingMatrix) -> list[list[int]]:
+def conflict_generators(t: MappingMatrix) -> list[IntVec]:
     """Hermite generators ``u_{k+1}, ..., u_n`` of all conflict vectors.
 
     Theorem 4.2(3): every conflict vector of ``T`` is ``U_2 beta`` for
@@ -119,7 +122,7 @@ def conflict_generators(t: MappingMatrix) -> list[list[int]]:
     The returned columns are primitive (columns of a unimodular matrix
     always are).
     """
-    return hnf_cached(t.rows()).kernel_columns()
+    return hnf_cached(t.matrix).kernel_columns()
 
 
 def is_conflict_free_bruteforce(
@@ -146,20 +149,59 @@ def is_conflict_free_bruteforce_vectorized(
 
     Same semantics as :func:`is_conflict_free_bruteforce` — conflict-
     free iff ``tau`` is injective on ``J`` — but materialized as a
-    single NumPy matmul plus a unique-rows count, an order of magnitude
-    faster on the larger index sets.  Entries stay well inside int64
-    for every realistic mapping (``|T| * mu * n`` scale).
+    single matmul plus a unique-rows count, an order of magnitude
+    faster on the larger index sets.  The product goes through
+    :meth:`IntMat.image_of_points`, which certifies the int64 bound
+    ``max|point| * max|T| * n`` before vectorizing and otherwise
+    computes the exact object-dtype product — mappings with huge
+    entries get the same verdict, never a wrapped one.
     """
-    import numpy as np
-
     pts = index_set.points_array()
-    tm = np.array(t.rows(), dtype=np.int64)
-    images = pts @ tm.T
-    unique_rows = np.unique(images, axis=0)
-    return unique_rows.shape[0] == pts.shape[0]
+    images = t.matrix.image_of_points(pts)
+    return distinct_image_count(images) == pts.shape[0]
 
 
-def _exact_beta_bounds(generators: list[list[int]], mu: Sequence[int]) -> list[int]:
+def distinct_image_count(images: np.ndarray) -> int:
+    """Number of distinct rows of an ``(N, k)`` image array, exactly.
+
+    Object-dtype images (the overflow-promoted route) are counted with
+    a set of row tuples over Python ints.  int64 images collapse each
+    row to a single scalar key — ``(row - lo) . strides``, a mixed-radix
+    encoding over the per-column value ranges — when the total range
+    provably fits int64 (checked in Python-int arithmetic, so the key
+    computation itself cannot wrap), and fall back to a lexicographic
+    row sort otherwise.  Both are order-of-magnitude cheaper than
+    ``np.unique(images, axis=0)``, which sorts void views.
+    """
+    n, k = images.shape
+    if n <= 1 or k == 0:
+        return n
+    if images.dtype == object:
+        return len({tuple(row) for row in images.tolist()})
+    lo = images.min(axis=0)
+    hi = images.max(axis=0)
+    spans = [int(h) - int(l) + 1 for l, h in zip(lo, hi)]
+    total = 1
+    for s in spans:
+        total *= s
+    if total <= np.iinfo(np.int64).max:
+        strides = np.empty(k, dtype=np.int64)
+        acc = 1
+        for j in range(k - 1, -1, -1):
+            strides[j] = acc
+            acc *= spans[j]
+        keys = (images - lo) @ strides
+        keys.sort()
+        return 1 + int(np.count_nonzero(keys[1:] != keys[:-1]))
+    order = np.lexsort(images.T)
+    rows = images[order]
+    changed = np.any(rows[1:] != rows[:-1], axis=1)
+    return 1 + int(np.count_nonzero(changed))
+
+
+def _exact_beta_bounds(
+    generators: Sequence[Sequence[int]], mu: Sequence[int]
+) -> list[int]:
     """Per-coordinate bounds on ``beta`` with ``U_2 beta`` inside the box.
 
     Solves the normal equations ``beta = (G^T G)^{-1} G^T gamma`` over
@@ -341,7 +383,7 @@ class ConflictAnalysis:
     """
 
     conflict_free: bool
-    generators: tuple[tuple[int, ...], ...]
+    generators: tuple[IntVec, ...]
     generator_feasible: tuple[bool, ...]
     witness: tuple[tuple[int, ...], tuple[int, ...]] | None
 
@@ -358,7 +400,7 @@ def analyze_conflicts(
     witness = None if free else find_conflict_witness(t, index_set)
     return ConflictAnalysis(
         conflict_free=free,
-        generators=tuple(tuple(g) for g in generators),
+        generators=tuple(generators),
         generator_feasible=feasible,
         witness=witness,
     )

@@ -26,7 +26,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 from fractions import Fraction
 
-from ..ilp import LinearProgram, best_integral_vertex, enumerate_vertices, solve_ilp
+from ..ilp import LinearProgram, enumerate_vertices, solve_ilp
 from ..intlin import det_bareiss
 from ..model import UniformDependenceAlgorithm
 from .conditions import theorem_3_1

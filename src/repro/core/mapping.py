@@ -8,6 +8,12 @@ give the processor coordinates and the last row (the linear schedule
 and the structural conditions 1 and 4 of Definition 2.2; conflict
 analysis (condition 3) lives in :mod:`repro.core.conflict` and the
 interconnection condition 2 in :mod:`repro.systolic.interconnect`.
+
+A :class:`MappingMatrix` is a hashable value object; its full matrix is
+exposed as an immutable :class:`~repro.intlin.IntMat` (:attr:`matrix`,
+built lazily and cached), which is what the conflict machinery and the
+memoized normal-form kernels consume directly — no per-call list
+round-trips.
 """
 
 from __future__ import annotations
@@ -16,7 +22,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import Any
 
-from ..intlin import as_int_matrix, as_int_vector, matvec, rank
+from ..intlin import IntMat, IntVec, as_intmat, as_intvec
 from ..model import UniformDependenceAlgorithm
 
 __all__ = ["MappingMatrix", "MappingError"]
@@ -50,17 +56,15 @@ class MappingMatrix:
     (4, 15)
     """
 
-    space: tuple[tuple[int, ...], ...]
-    schedule: tuple[int, ...]
+    space: tuple[IntVec, ...]
+    schedule: IntVec
 
     def __post_init__(self) -> None:
-        sched = tuple(as_int_vector(self.schedule))
+        sched = as_intvec(self.schedule)
         raw_space = self.space
         if raw_space is None:
             raw_space = ()
-        space_rows = tuple(
-            tuple(as_int_vector(row)) for row in raw_space
-        )
+        space_rows = tuple(as_intvec(row) for row in raw_space)
         n = len(sched)
         if n == 0:
             raise MappingError("schedule vector must be non-empty")
@@ -77,14 +81,14 @@ class MappingMatrix:
     @classmethod
     def from_rows(cls, rows: Any) -> "MappingMatrix":
         """Build from a full ``k x n`` matrix (last row is the schedule)."""
-        m = as_int_matrix(rows)
-        if not m:
+        m = as_intmat(rows)
+        if not m.nrows:
             raise MappingError("mapping matrix must have at least one row")
-        return cls(space=tuple(tuple(r) for r in m[:-1]), schedule=tuple(m[-1]))
+        return cls(space=tuple(m[:-1]), schedule=m[-1])
 
     def with_schedule(self, pi: Sequence[int]) -> "MappingMatrix":
         """The same space mapping with a different schedule vector."""
-        return MappingMatrix(space=self.space, schedule=tuple(int(x) for x in pi))
+        return MappingMatrix(space=self.space, schedule=as_intvec(pi))
 
     # -- shape -------------------------------------------------------------
 
@@ -113,15 +117,33 @@ class MappingMatrix:
         """
         return self.n - self.k
 
+    @property
+    def matrix(self) -> IntMat:
+        """``T`` as an immutable :class:`IntMat` (lazily built, cached)."""
+        cached = self.__dict__.get("_matrix")
+        if cached is None:
+            cached = IntMat(self.space + (self.schedule,))
+            object.__setattr__(self, "_matrix", cached)
+        return cached
+
+    @property
+    def space_matrix(self) -> IntMat:
+        """``S`` alone as an :class:`IntMat` (lazily built, cached)."""
+        cached = self.__dict__.get("_space_matrix")
+        if cached is None:
+            cached = IntMat(self.space)
+            object.__setattr__(self, "_space_matrix", cached)
+        return cached
+
     def rows(self) -> list[list[int]]:
         """``T`` as a list of row lists (space rows then the schedule)."""
-        return [list(r) for r in self.space] + [list(self.schedule)]
+        return self.matrix.rows()
 
     # -- Definition 2.2 conditions ------------------------------------------
 
     def rank(self) -> int:
         """Exact integer rank of ``T``."""
-        return rank(self.rows())
+        return self.matrix.rank()
 
     def has_full_rank(self) -> bool:
         """Condition 4 of Definition 2.2: ``rank(T) == k``."""
@@ -133,15 +155,15 @@ class MappingMatrix:
 
     # -- evaluation ----------------------------------------------------------
 
-    def tau(self, j: Sequence[int]) -> tuple[int, ...]:
+    def tau(self, j: Sequence[int]) -> IntVec:
         """``tau(j) = T j``: processor coordinates followed by time."""
-        return tuple(matvec(self.rows(), list(j)))
+        return self.matrix.matvec(j)
 
-    def processor(self, j: Sequence[int]) -> tuple[int, ...]:
+    def processor(self, j: Sequence[int]) -> IntVec:
         """Processor coordinates ``S j`` (empty tuple for a single PE)."""
         if not self.space:
-            return ()
-        return tuple(matvec([list(r) for r in self.space], list(j)))
+            return IntVec()
+        return self.space_matrix.matvec(j)
 
     def time(self, j: Sequence[int]) -> int:
         """Execution time ``Pi j``."""

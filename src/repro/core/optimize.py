@@ -24,10 +24,11 @@ from collections.abc import Callable, Iterator, Sequence
 from dataclasses import dataclass, field
 
 from ..dse.progress import SearchStats
+from ..intlin import as_intvec
 from ..model import UniformDependenceAlgorithm
 from .conditions import ConditionVerdict, check_conflict_free
 from .mapping import MappingMatrix
-from .schedule import LinearSchedule, objective_f
+from .schedule import LinearSchedule
 
 __all__ = [
     "SearchResult",
@@ -193,7 +194,9 @@ def procedure_5_1(
     candidate is optimal.
     """
     mu = algorithm.mu
-    space_rows = tuple(tuple(int(x) for x in row) for row in space)
+    # Pre-normalized IntVec rows: MappingMatrix construction inside the
+    # candidate loop then reuses them as-is instead of re-validating.
+    space_rows = tuple(as_intvec(row) for row in space)
     k = len(space_rows) + 1
     alpha, initial_bound, max_bound = search_bounds(
         algorithm, alpha=alpha, initial_bound=initial_bound, max_bound=max_bound
@@ -275,7 +278,7 @@ def find_all_optima(
     if not first.found:
         return []
     mu = algorithm.mu
-    space_rows = tuple(tuple(int(x) for x in row) for row in space)
+    space_rows = tuple(as_intvec(row) for row in space)
     k = len(space_rows) + 1
     best_f = first.schedule.f
     results: list[SearchResult] = []

@@ -28,7 +28,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
-from ..intlin import extended_gcd, matvec
+from ..intlin import extended_gcd
 from .mapping import MappingMatrix
 
 __all__ = ["Prop81Result", "prop81_columns", "prop81_applicable"]
@@ -128,9 +128,8 @@ def prop81_columns(
     ]
 
     t = MappingMatrix(space=tuple(tuple(r) for r in s), schedule=tuple(p))
-    rows = t.rows()
     for col, label in ((u4, "u4"), (u5, "u5")):
-        if any(x != 0 for x in matvec(rows, col)):
+        if any(t.matrix.matvec(col)):
             raise ValueError(f"constructed {label} is not in the kernel of T")
 
     return Prop81Result(

@@ -15,6 +15,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+from ..intlin import IntVec, as_intvec
 from ..model import ConstantBoundedIndexSet, UniformDependenceAlgorithm
 
 __all__ = [
@@ -67,11 +68,11 @@ class LinearSchedule:
     sort).
     """
 
-    pi: tuple[int, ...]
+    pi: IntVec
     index_set: ConstantBoundedIndexSet
 
     def __post_init__(self) -> None:
-        pi = tuple(int(x) for x in self.pi)
+        pi = as_intvec(self.pi)
         if len(pi) != self.index_set.dimension:
             raise ValueError(
                 f"schedule has {len(pi)} entries, index set dimension is "

@@ -26,11 +26,14 @@ import os
 import tempfile
 from pathlib import Path
 
+from ..intlin import IntMat
+
 __all__ = ["ResultCache", "canonical_key", "default_cache_dir"]
 
-# Bump when the stored-entry layout changes; old entries are then
-# simply never looked up again.
-CACHE_SCHEMA_VERSION = 1
+# Bump when the stored-entry layout or the key canonicalization changes;
+# old entries are then simply never looked up again.  v2: matrix-valued
+# key components are rendered as IntMat digests instead of nested lists.
+CACHE_SCHEMA_VERSION = 2
 
 
 def default_cache_dir() -> Path:
@@ -47,13 +50,29 @@ def canonical_key(payload: dict) -> str:
     """SHA-256 hex digest of the canonical JSON form of ``payload``.
 
     The payload must be JSON-serializable; lists/tuples of ints are the
-    expected currency.  Key order and whitespace never influence the
+    expected currency.  :class:`~repro.intlin.IntMat` components are
+    rendered as their cached content digest (shape + entries), so keying
+    on a matrix costs one hash of an immutable value instead of
+    re-serializing rows.  Key order and whitespace never influence the
     digest.
     """
     blob = json.dumps(
-        payload, sort_keys=True, separators=(",", ":"), default=_jsonify
+        _canonicalize(payload), sort_keys=True, separators=(",", ":"),
+        default=_jsonify,
     )
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _canonicalize(obj):
+    # IntMat first: it is a tuple subclass, so json.dumps would happily
+    # re-serialize its rows without ever consulting the default hook.
+    if isinstance(obj, IntMat):
+        return {"intmat": obj.digest()}
+    if isinstance(obj, dict):
+        return {k: _canonicalize(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_canonicalize(x) for x in obj]
+    return obj
 
 
 def _jsonify(obj):

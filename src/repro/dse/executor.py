@@ -45,6 +45,7 @@ from ..core.optimize import (
     search_bounds,
 )
 from ..core.schedule import LinearSchedule
+from ..intlin import as_intvec
 from ..core.space_optimize import (
     SpaceDesign,
     SpaceOptimizationResult,
@@ -87,10 +88,15 @@ def resolve_jobs(jobs: int | None) -> int:
 
 
 def _algorithm_spec(algorithm: UniformDependenceAlgorithm) -> dict:
-    """The picklable essence of ``(J, D)`` — semantics callbacks dropped."""
+    """The picklable essence of ``(J, D)`` — semantics callbacks dropped.
+
+    ``D`` travels as the :class:`~repro.intlin.IntMat` value itself
+    (immutable and picklable); the receiving side's constructor accepts
+    it without copying.
+    """
     return {
         "mu": list(algorithm.mu),
-        "dependence": [list(row) for row in algorithm.dependence_matrix],
+        "dependence": algorithm.dependence_matrix,
         "name": algorithm.name,
     }
 
@@ -98,7 +104,7 @@ def _algorithm_spec(algorithm: UniformDependenceAlgorithm) -> dict:
 def _algorithm_from_spec(spec: dict) -> UniformDependenceAlgorithm:
     return UniformDependenceAlgorithm(
         index_set=ConstantBoundedIndexSet(tuple(spec["mu"])),
-        dependence_matrix=tuple(tuple(row) for row in spec["dependence"]),
+        dependence_matrix=spec["dependence"],
         name=spec["name"],
     )
 
@@ -114,13 +120,12 @@ def _scan_schedule_shard(payload: dict) -> dict:
     parent can merge shards back into the exact serial visit sequence.
     """
     algo = _algorithm_from_spec(payload["algorithm"])
-    space = tuple(tuple(row) for row in payload["space"])
+    space = payload["space"]  # tuple of IntVec rows, reused as-is
     method = payload["method"]
     k = len(space) + 1
     records: list[tuple[tuple[int, tuple[int, ...]], str]] = []
     started = time.perf_counter()
     for pi in payload["candidates"]:
-        pi = tuple(pi)
         cand = LinearSchedule(pi=pi, index_set=algo.index_set)
         key = cand.sort_key()
         if not cand.respects(algo):
@@ -140,7 +145,7 @@ def _scan_schedule_shard(payload: dict) -> dict:
 def _evaluate_space_shard(payload: dict) -> dict:
     """Judge one shard of Problem 6.1's design space."""
     algo = _algorithm_from_spec(payload["algorithm"])
-    pi = tuple(payload["pi"])
+    pi = payload["pi"]
     started = time.perf_counter()
     evaluated = [
         evaluate_design(algo, space, pi) for space in payload["spaces"]
@@ -234,7 +239,9 @@ def explore_schedule(
     """
     jobs = resolve_jobs(jobs)
     mu = algorithm.mu
-    space_rows = tuple(tuple(int(x) for x in row) for row in space)
+    # Pre-normalized IntVec rows: every MappingMatrix built from them —
+    # in shards and in the final result — reuses them without validation.
+    space_rows = tuple(as_intvec(row) for row in space)
     alpha, initial_bound, max_bound = search_bounds(
         algorithm, alpha=alpha, initial_bound=initial_bound, max_bound=max_bound
     )
@@ -246,8 +253,8 @@ def explore_schedule(
             {
                 "task": "procedure-5.1",
                 "mu": list(mu),
-                "dependence": [list(r) for r in algorithm.dependence_matrix],
-                "space": [list(r) for r in space_rows],
+                "dependence": algorithm.dependence_matrix,
+                "space": space_rows,
                 "method": method,
                 "alpha": alpha,
                 "initial_bound": initial_bound,
@@ -366,11 +373,11 @@ def _scan_constrained_shard(
     (non-picklable) user constraint after the conflict check, exactly
     where the serial scan applies it."""
     out = _scan_schedule_shard(payload)
-    space = tuple(tuple(row) for row in payload["space"])
+    space = payload["space"]
     records = []
     for key, stage in out["records"]:
         if stage == _OK and not extra_constraint(
-            MappingMatrix(space=space, schedule=tuple(key[1]))
+            MappingMatrix(space=space, schedule=key[1])
         ):
             stage = _EXTRA
         records.append((key, stage))
@@ -436,7 +443,7 @@ def explore_space(
     bypasses the cache (it is part of the answer but not of any
     canonical key).
     """
-    pi_t = tuple(int(x) for x in pi)
+    pi_t = as_intvec(pi)
     sched = LinearSchedule(pi=pi_t, index_set=algorithm.index_set)
     if not sched.respects(algorithm):
         raise ValueError("the given Pi violates the dependence condition Pi D > 0")
@@ -449,7 +456,7 @@ def explore_space(
             {
                 "task": "space-optimal",
                 "mu": list(algorithm.mu),
-                "dependence": [list(r) for r in algorithm.dependence_matrix],
+                "dependence": algorithm.dependence_matrix,
                 "pi": list(pi_t),
                 "array_dim": array_dim,
                 "magnitude": magnitude,
@@ -521,7 +528,7 @@ def explore_joint(
             {
                 "task": "joint-optimal",
                 "mu": list(algorithm.mu),
-                "dependence": [list(r) for r in algorithm.dependence_matrix],
+                "dependence": algorithm.dependence_matrix,
                 "array_dim": array_dim,
                 "magnitude": magnitude,
                 "time_weight": time_weight,

@@ -6,7 +6,14 @@ normal forms with unimodular multipliers, saturated kernel bases and a
 linear diophantine solver.  These are the tools the paper's theory
 (Sections 3-4) is phrased in; everything downstream in
 :mod:`repro.core` is built on this package.
+
+All matrix-valued results are immutable, hashable :class:`IntMat`
+values (see :mod:`repro.intlin.intmat`) carrying a checked int64 fast
+path with automatic promotion to arbitrary-precision arithmetic; the
+memoized normal-form kernels key directly on the matrix.
 """
+
+import warnings
 
 from .diophantine import DiophantineSolution, solve_diophantine
 from .gcdutil import (
@@ -26,6 +33,7 @@ from .hermite import (
     kernel_basis,
     verify_hermite,
 )
+from .intmat import INT64_MAX, INT64_MIN, IntMat, IntVec, as_intmat, as_intvec
 from .lattice import Lattice
 from .reduction import lll_reduce, shortest_vector
 from .matrix import (
@@ -34,7 +42,6 @@ from .matrix import (
     as_int_vector,
     cofactor,
     det_bareiss,
-    freeze_matrix,
     identity,
     inverse_unimodular,
     is_integer_matrix,
@@ -49,13 +56,19 @@ from .smith import SmithResult, smith_normal_form, smith_normal_form_cached, ver
 from .unimodular import is_unimodular, random_full_rank, random_unimodular
 
 __all__ = [
+    "INT64_MAX",
+    "INT64_MIN",
     "DiophantineSolution",
     "HermiteResult",
+    "IntMat",
+    "IntVec",
     "Lattice",
     "SmithResult",
     "adjugate",
     "as_int_matrix",
     "as_int_vector",
+    "as_intmat",
+    "as_intvec",
     "bezout_row",
     "cofactor",
     "det_bareiss",
@@ -90,3 +103,32 @@ __all__ = [
     "verify_hermite",
     "verify_smith",
 ]
+
+
+def _deprecated_freeze_matrix(a):
+    """Former tuple-of-tuples memoization adapter (PR 1), now redundant."""
+    return as_intmat(a)
+
+
+def __getattr__(name):
+    # Deprecated pre-IntMat memoization surface: freeze_matrix produced a
+    # hashable tuple-of-tuples key, FrozenIntMatrix was its type alias.
+    # IntMat is itself hashable (and hash-compatible with the frozen
+    # form), so both now resolve to the IntMat machinery.
+    if name == "freeze_matrix":
+        warnings.warn(
+            "repro.intlin.freeze_matrix is deprecated; IntMat is hashable — "
+            "use repro.intlin.as_intmat instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _deprecated_freeze_matrix
+    if name == "FrozenIntMatrix":
+        warnings.warn(
+            "repro.intlin.FrozenIntMatrix is deprecated; "
+            "use repro.intlin.IntMat instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return IntMat
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
-from .matrix import IntVector, as_int_matrix, as_int_vector, matvec
+from .intmat import IntVec, as_intmat, as_intvec
 from .smith import smith_normal_form_cached
 
 __all__ = ["DiophantineSolution", "solve_diophantine"]
@@ -32,18 +32,18 @@ class DiophantineSolution:
     Attributes
     ----------
     particular:
-        One integral solution ``x0``.
+        One integral solution ``x0`` (an :class:`IntVec`).
     kernel:
-        Saturated kernel basis as a list of column vectors; empty when
+        Saturated kernel basis as a tuple of column vectors; empty when
         the solution is unique.
     """
 
-    particular: IntVector
-    kernel: tuple[tuple[int, ...], ...]
+    particular: IntVec
+    kernel: tuple[IntVec, ...]
 
-    def sample(self, coefficients: Any) -> IntVector:
+    def sample(self, coefficients: Any) -> IntVec:
         """The solution ``x0 + sum(coefficients[i] * kernel[i])``."""
-        coeffs = as_int_vector(coefficients)
+        coeffs = as_intvec(coefficients)
         if len(coeffs) != len(self.kernel):
             raise ValueError(
                 f"expected {len(self.kernel)} coefficients, got {len(coeffs)}"
@@ -52,7 +52,7 @@ class DiophantineSolution:
         for c, col in zip(coeffs, self.kernel):
             for i, entry in enumerate(col):
                 x[i] += c * entry
-        return x
+        return IntVec(x)
 
 
 def solve_diophantine(a: Any, b: Any) -> DiophantineSolution | None:
@@ -62,10 +62,9 @@ def solve_diophantine(a: Any, b: Any) -> DiophantineSolution | None:
     >>> 2 * sol.particular[0] + 3 * sol.particular[1]
     1
     """
-    am = as_int_matrix(a)
-    bv = as_int_vector(b)
-    m = len(am)
-    n = len(am[0]) if am else 0
+    am = as_intmat(a)
+    bv = as_intvec(b)
+    m, n = am.shape
     if len(bv) != m:
         raise ValueError(f"shape mismatch: A is ({m},{n}), b has {len(bv)} entries")
 
@@ -73,7 +72,7 @@ def solve_diophantine(a: Any, b: Any) -> DiophantineSolution | None:
     # for every dependence column of a design, and the design-space
     # searches revisit structurally identical systems across candidates.
     snf = smith_normal_form_cached(am)
-    pb = matvec(snf.p, bv)
+    pb = snf.p.matvec(bv)
     r = snf.rank
 
     y = [0] * n
@@ -90,8 +89,6 @@ def solve_diophantine(a: Any, b: Any) -> DiophantineSolution | None:
         if pb[i] != 0:
             return None
 
-    particular = matvec(snf.q, y)
-    kernel_cols = tuple(
-        tuple(snf.q[i][j] for i in range(n)) for j in range(r, n)
-    )
+    particular = snf.q.matvec(y)
+    kernel_cols = tuple(snf.q.column(j) for j in range(r, n))
     return DiophantineSolution(particular=particular, kernel=kernel_cols)

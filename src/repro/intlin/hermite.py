@@ -18,6 +18,10 @@ default and produces the canonical form under ``canonical=True``.
 Both the multiplier ``U`` and its exact inverse ``V = U^{-1}`` are
 tracked simultaneously through elementary column operations, so no
 matrix inversion is ever performed and all results are exact.
+
+Results are immutable :class:`IntMat` values, so the memoized layer
+(:func:`hnf_cached`) hands out the *same* result object on every hit —
+no defensive copies, and the cache is keyed on the matrix itself.
 """
 
 from __future__ import annotations
@@ -26,14 +30,7 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Any
 
-from .matrix import (
-    FrozenIntMatrix,
-    IntMatrix,
-    as_int_matrix,
-    freeze_matrix,
-    identity,
-    matmul,
-)
+from .intmat import IntMat, IntVec, as_intmat
 
 __all__ = ["HermiteResult", "hermite_normal_form", "hnf", "hnf_cached", "kernel_basis"]
 
@@ -57,27 +54,41 @@ class HermiteResult:
     canonical:
         Whether the canonical reduction (positive diagonal, reduced
         off-diagonals) was applied.
+
+    All three matrices are immutable :class:`IntMat` values (raw nested
+    sequences passed to the constructor are coerced), so a result can be
+    shared, hashed, and cached without copying.
     """
 
-    h: IntMatrix
-    u: IntMatrix
-    v: IntMatrix
+    h: IntMat
+    u: IntMat
+    v: IntMat
     rank: int
     canonical: bool = False
 
-    @property
-    def lower_block(self) -> IntMatrix:
-        """The nonsingular lower-triangular ``L`` block (first ``k`` columns)."""
-        return [row[: self.rank] for row in self.h]
+    def __post_init__(self) -> None:
+        for name in ("h", "u", "v"):
+            value = getattr(self, name)
+            if not isinstance(value, IntMat):
+                object.__setattr__(self, name, as_intmat(value))
 
-    def kernel_columns(self) -> list[list[int]]:
+    @property
+    def lower_block(self) -> IntMat:
+        """The nonsingular lower-triangular ``L`` block (first ``k`` columns)."""
+        return self.h.submatrix(range(self.h.nrows), range(self.rank))
+
+    def kernel_columns(self) -> list[IntVec]:
         """Columns ``u_{k+1}, ..., u_n`` of ``U``: a basis of ``ker T`` over ``Z``.
 
         By Theorem 4.2(3) every conflict vector of ``T`` is an integral,
         relatively-prime combination of these columns.
         """
-        n = len(self.u)
-        return [[self.u[i][j] for i in range(n)] for j in range(self.rank, n)]
+        return [self.u.column(j) for j in range(self.rank, self.u.ncols)]
+
+
+def _ident_rows(n: int) -> list[list[int]]:
+    """A mutable identity working matrix for the elimination loops."""
+    return [[1 if i == j else 0 for j in range(n)] for i in range(n)]
 
 
 class _ColumnOps:
@@ -88,10 +99,10 @@ class _ColumnOps:
     the invariant ``U @ V == I`` holds at every step.
     """
 
-    def __init__(self, t: IntMatrix, n: int) -> None:
+    def __init__(self, t: list[list[int]], n: int) -> None:
         self.t = t
-        self.u = identity(n)
-        self.v = identity(n)
+        self.u = _ident_rows(n)
+        self.v = _ident_rows(n)
         self.n = n
 
     def swap(self, i: int, j: int) -> None:
@@ -140,7 +151,7 @@ def hnf(t: Any, *, canonical: bool = False) -> HermiteResult:
         Definition 2.2 — a rank-deficient ``T`` would map into a lower
         dimensional array than intended).
     """
-    tm = [row[:] for row in as_int_matrix(t)]
+    tm = as_intmat(t).rows()
     k = len(tm)
     n = len(tm[0]) if tm else 0
     if k > n:
@@ -188,31 +199,25 @@ hermite_normal_form = hnf
 
 
 @lru_cache(maxsize=4096)
-def _hnf_frozen(frozen: FrozenIntMatrix, canonical: bool) -> HermiteResult:
-    return hnf([list(row) for row in frozen], canonical=canonical)
+def _hnf_memo(t: IntMat, canonical: bool) -> HermiteResult:
+    return hnf(t, canonical=canonical)
 
 
 def hnf_cached(t: Any, *, canonical: bool = False) -> HermiteResult:
-    """Memoized :func:`hnf` keyed on the frozen matrix.
+    """Memoized :func:`hnf` keyed on the matrix value itself.
 
     The conflict checkers recompute the Hermite form of the same mapping
     matrix whenever a winner is re-verified, re-analyzed, or rebuilt
     from the persistent DSE cache; this in-process layer makes those
-    repeats O(copy) instead of O(elimination).  Each call returns fresh
-    row lists, so callers may mutate the result without poisoning the
-    cache — the identity ``hnf_cached(t) == hnf(t)`` is property-tested.
+    repeats O(hash) instead of O(elimination).  Because
+    :class:`HermiteResult` is immutable, every hit returns the *same*
+    shared result object — the identity ``hnf_cached(t) == hnf(t)`` is
+    property-tested.
     """
-    res = _hnf_frozen(freeze_matrix(t), canonical)
-    return HermiteResult(
-        h=[row[:] for row in res.h],
-        u=[row[:] for row in res.u],
-        v=[row[:] for row in res.v],
-        rank=res.rank,
-        canonical=res.canonical,
-    )
+    return _hnf_memo(as_intmat(t), canonical)
 
 
-def kernel_basis(t: Any) -> list[list[int]]:
+def kernel_basis(t: Any) -> list[IntVec]:
     """Primitive integral basis of ``{x in Z^n : T x = 0}`` via HNF.
 
     Returns the last ``n - k`` columns of the unimodular multiplier
@@ -231,12 +236,12 @@ def verify_hermite(t: Any, result: HermiteResult) -> bool:
     Used by the test-suite and by :mod:`repro.core.conflict` in
     paranoid mode; returns ``True`` when all invariants hold.
     """
-    tm = as_int_matrix(t)
-    n = len(result.u)
+    tm = as_intmat(t)
+    n = result.u.nrows
     k = result.rank
-    if matmul(tm, result.u) != result.h:
+    if tm.mul(result.u) != result.h:
         return False
-    if matmul(result.u, result.v) != identity(n):
+    if result.u.mul(result.v) != IntMat.identity(n):
         return False
     for i, row in enumerate(result.h):
         if any(row[j] != 0 for j in range(i + 1, n)):

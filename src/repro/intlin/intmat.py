@@ -1,0 +1,669 @@
+"""Immutable, hashable exact integer matrices and vectors.
+
+This module is the single value-type kernel every exact-linear-algebra
+result in the reproduction rests on.  The paper's machinery — Equation
+3.2 adjugates, the Theorem 4.1 Hermite multipliers, the Theorem 4.x
+conflict-freedom conditions, Procedure 5.1's candidate scans — all
+reduce to exact integer matrix arithmetic, and before this module the
+repo juggled three representations (``list[list[int]]``, object-dtype
+NumPy, tuple-of-tuples freeze adapters) with conversions on every hot
+call.  :class:`IntMat` replaces all of them.
+
+Two backends, one exact semantics
+---------------------------------
+``IntMat`` carries an optional vectorized **int64 fast path**: when
+every entry fits in a signed 64-bit word, a NumPy ``int64`` array is
+materialized lazily, and operations whose *intermediate* magnitudes can
+be bounded a-priori (matrix products via ``max|a| * max|b| * inner``,
+Bareiss determinants and adjugates via a Hadamard bound) run
+vectorized.  Whenever a bound cannot be certified the operation falls
+back — automatically and silently — to arbitrary-precision Python-int
+arithmetic, so results are *bit-identical* on both backends.  A matrix
+constructed with ``exact=True`` never touches the fast path, which is
+what the property-test suite uses to pin the equivalence.
+
+Value semantics
+---------------
+``IntMat`` subclasses ``tuple`` (of :class:`IntVec` rows, themselves
+``tuple`` subclasses), so instances are
+
+* **immutable** — safe to share across threads and memoization caches
+  without defensive copies;
+* **hashable** — ``hash(m)`` equals the hash of the plain
+  tuple-of-tuples with the same entries, so an ``IntMat`` and its
+  frozen-row form are interchangeable as dict keys (this is what lets
+  the normal-form ``lru_cache`` layers key on the matrix itself);
+* **liberally comparable** — ``m == [[1, 2], [3, 4]]`` normalizes the
+  right-hand side, so call sites written against list-of-lists keep
+  working unchanged;
+* **picklable** — the cached NumPy array and digests are dropped on
+  serialization and rebuilt lazily, so DSE worker processes receive
+  compact payloads.
+
+The :meth:`IntMat.digest` SHA-256 fingerprint depends only on the shape
+and entries (never on the backend) and is stable across processes and
+releases; the persistent DSE cache uses it as the canonical key
+component for matrix-valued inputs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "INT64_MAX",
+    "INT64_MIN",
+    "IntMat",
+    "IntVec",
+    "as_intmat",
+    "as_intvec",
+]
+
+INT64_MAX = 2**63 - 1
+INT64_MIN = -(2**63)
+
+_SCALARS = (int, float, np.integer, np.floating, bool, np.bool_)
+
+
+def _as_int(x: Any) -> int:
+    """Normalize one entry to an exact Python int (rejecting bools/floats)."""
+    if isinstance(x, (bool, np.bool_)):
+        raise ValueError("boolean entries are not valid integer matrix entries")
+    if isinstance(x, (int, np.integer)):
+        return int(x)
+    if isinstance(x, (float, np.floating)):
+        if float(x).is_integer():
+            return int(x)
+        raise ValueError(f"non-integral entry {x!r}")
+    raise TypeError(f"entry {x!r} of type {type(x).__name__} is not an integer")
+
+
+class IntVec(tuple):
+    """An immutable exact integer vector.
+
+    A ``tuple`` subclass whose entries are guaranteed to be Python
+    ints: hashing and ordering are inherited from ``tuple`` (so an
+    ``IntVec`` is interchangeable with the equal plain tuple as a dict
+    key), while equality additionally accepts lists and 1-D NumPy
+    arrays by normalizing them first.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, data: Iterable[Any] = ()) -> "IntVec":
+        if isinstance(data, IntVec):
+            return data
+        if isinstance(data, np.ndarray):
+            if data.ndim != 1:
+                raise ValueError(f"expected a 1-D vector, got ndim={data.ndim}")
+            data = data.tolist()
+        if isinstance(data, _SCALARS):
+            raise TypeError("IntVec expects an iterable of integers, not a scalar")
+        entries = []
+        for x in data:
+            if isinstance(x, (list, tuple, np.ndarray)):
+                raise ValueError("expected a 1-D vector, got nested sequences")
+            entries.append(_as_int(x))
+        return tuple.__new__(cls, entries)
+
+    # -- equality ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, tuple):
+            return tuple.__eq__(self, other)
+        if isinstance(other, (list, np.ndarray)):
+            try:
+                return tuple.__eq__(self, IntVec(other))
+            except (TypeError, ValueError):
+                return NotImplemented
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    __hash__ = tuple.__hash__
+
+    def __getitem__(self, index):
+        result = tuple.__getitem__(self, index)
+        if isinstance(index, slice):
+            return tuple.__new__(IntVec, result)
+        return result
+
+    def __reduce__(self):
+        return (IntVec, (tuple(self),))
+
+    # -- arithmetic -------------------------------------------------------
+
+    def dot(self, other: Iterable[Any]) -> int:
+        """Exact inner product with another vector."""
+        other = as_intvec(other)
+        if len(other) != len(self):
+            raise ValueError(f"length mismatch: {len(self)} vs {len(other)}")
+        return sum(a * b for a, b in zip(self, other))
+
+    def max_abs(self) -> int:
+        """Largest entry magnitude (0 for the empty vector)."""
+        return max((abs(x) for x in self), default=0)
+
+    def to_int64(self) -> np.ndarray:
+        """Checked conversion to an ``int64`` NumPy array.
+
+        Raises :class:`OverflowError` when an entry does not fit — never
+        wraps silently.
+        """
+        if self.max_abs() > INT64_MAX:
+            raise OverflowError(
+                "vector entries exceed int64 range; stay on the exact backend"
+            )
+        return np.array(self, dtype=np.int64)
+
+
+def as_intvec(v: Any) -> IntVec:
+    """Normalize vector-like input (list, tuple, 1-D array) to :class:`IntVec`."""
+    return IntVec(v)
+
+
+class IntMat(tuple):
+    """An immutable, hashable exact integer matrix.
+
+    A ``tuple`` of :class:`IntVec` rows.  See the module docstring for
+    the backend model; the short version:
+
+    * ``IntMat(data)`` — normalizes nested sequences / 2-D NumPy arrays
+      of any integer dtype; the int64 fast path is used whenever it can
+      be certified overflow-free.
+    * ``IntMat(data, exact=True)`` — pins the arbitrary-precision
+      backend (used by the property tests and available to paranoid
+      callers); results are identical either way.
+
+    Construction from an existing ``IntMat`` with the same backend flag
+    returns the instance itself (immutability makes sharing safe).
+    """
+
+    def __new__(cls, data: Any = (), *, exact: bool = False) -> "IntMat":
+        if isinstance(data, IntMat) and data._exact == bool(exact):
+            return data
+        rows = _normalize_rows(data)
+        return cls._trusted(rows, exact=exact)
+
+    @classmethod
+    def _trusted(
+        cls, rows: tuple[IntVec, ...], *, exact: bool = False
+    ) -> "IntMat":
+        """Internal constructor for pre-validated rows (no re-checking)."""
+        obj = tuple.__new__(cls, rows)
+        obj._exact = bool(exact)
+        obj._ncols = len(rows[0]) if rows else 0
+        obj._cache: dict[str, Any] = {}
+        return obj
+
+    # -- shape ------------------------------------------------------------
+
+    @property
+    def nrows(self) -> int:
+        return len(self)
+
+    @property
+    def ncols(self) -> int:
+        return self._ncols
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (len(self), self._ncols)
+
+    def is_square(self) -> bool:
+        return len(self) == self._ncols
+
+    # -- backends ---------------------------------------------------------
+
+    @property
+    def exact_only(self) -> bool:
+        """True when the int64 fast path is disabled for this instance."""
+        return self._exact
+
+    @property
+    def arr(self) -> np.ndarray | None:
+        """The int64 fast-path array, or ``None`` on the exact backend.
+
+        Lazily materialized; the returned array is marked read-only —
+        callers needing a mutable copy should use :meth:`to_int64`.
+        """
+        if "arr" not in self._cache:
+            if self._exact or self.max_abs() > INT64_MAX:
+                self._cache["arr"] = None
+            else:
+                a = np.array(
+                    [list(r) for r in self], dtype=np.int64
+                ).reshape(self.shape)
+                a.setflags(write=False)
+                self._cache["arr"] = a
+        return self._cache["arr"]
+
+    @property
+    def is_fast(self) -> bool:
+        """True when the int64 backend is active for this instance."""
+        return self.arr is not None
+
+    def to_exact(self) -> "IntMat":
+        """The same matrix pinned to the arbitrary-precision backend."""
+        return IntMat(self, exact=True)
+
+    def to_int64(self) -> np.ndarray:
+        """Checked conversion to a fresh writable ``int64`` array.
+
+        Raises :class:`OverflowError` when an entry does not fit in a
+        signed 64-bit word — never wraps silently (unlike
+        ``np.array(rows, dtype=np.int64)`` on object input).
+        """
+        if self.max_abs() > INT64_MAX:
+            raise OverflowError(
+                "matrix entries exceed int64 range; use the exact backend"
+            )
+        return np.array([list(r) for r in self], dtype=np.int64).reshape(self.shape)
+
+    # -- conversions ------------------------------------------------------
+
+    def rows(self) -> list[list[int]]:
+        """Fresh mutable list-of-lists copy (the elimination working form)."""
+        return [list(r) for r in self]
+
+    def tolist(self) -> list[list[int]]:
+        return self.rows()
+
+    def column(self, j: int) -> IntVec:
+        """Column ``j`` as an :class:`IntVec`."""
+        return tuple.__new__(IntVec, tuple(row[j] for row in self))
+
+    def columns(self) -> list[IntVec]:
+        """All columns, left to right."""
+        return [self.column(j) for j in range(self._ncols)]
+
+    # -- value semantics --------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, tuple):
+            return tuple.__eq__(self, other)
+        if isinstance(other, (list, np.ndarray)):
+            try:
+                return tuple.__eq__(self, IntMat(other))
+            except (TypeError, ValueError):
+                return NotImplemented
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    __hash__ = tuple.__hash__
+
+    def __reduce__(self):
+        return (_rebuild_intmat, (tuple(tuple(r) for r in self), self._exact))
+
+    def digest(self) -> str:
+        """SHA-256 fingerprint of the matrix value.
+
+        Depends only on shape and entries (backend-independent) and is
+        stable across processes — the canonical key component for the
+        persistent DSE cache.
+        """
+        if "digest" not in self._cache:
+            blob = "{}x{}:".format(*self.shape) + ";".join(
+                ",".join(str(x) for x in row) for row in self
+            )
+            self._cache["digest"] = hashlib.sha256(
+                blob.encode("ascii")
+            ).hexdigest()
+        return self._cache["digest"]
+
+    # -- entry statistics -------------------------------------------------
+
+    def max_abs(self) -> int:
+        """Largest entry magnitude (0 for the empty matrix)."""
+        if "max_abs" not in self._cache:
+            self._cache["max_abs"] = max(
+                (abs(x) for row in self for x in row), default=0
+            )
+        return self._cache["max_abs"]
+
+    def _hadamard_sq(self) -> int:
+        """``prod_i max(1, sum_j a_ij^2)`` — the squared Hadamard bound.
+
+        Every minor of the matrix is bounded in magnitude by the square
+        root of this value (rows with square-sum < 1 are zero rows whose
+        minors vanish, hence the ``max(1, .)`` clamp keeps the product
+        an upper bound for submatrices too).
+        """
+        if "hadamard_sq" not in self._cache:
+            h = 1
+            for row in self:
+                h *= max(1, sum(x * x for x in row))
+            self._cache["hadamard_sq"] = h
+        return self._cache["hadamard_sq"]
+
+    def _bareiss_fits_int64(self) -> bool:
+        """Whether every Bareiss intermediate provably fits in int64.
+
+        The elimination forms ``a*b - c*d`` with ``a..d`` minors of the
+        input, each bounded by the Hadamard bound ``H``; the guard
+        ``2 * H^2 <= INT64_MAX`` therefore certifies the whole run.
+        """
+        return self.arr is not None and 2 * self._hadamard_sq() <= INT64_MAX
+
+    # -- products ---------------------------------------------------------
+
+    def __matmul__(self, other: Any) -> "IntMat | IntVec":
+        if isinstance(other, IntVec):
+            return self.matvec(other)
+        if isinstance(other, (list, tuple, np.ndarray)) and not isinstance(
+            other, IntMat
+        ):
+            probe = other[0] if len(other) else None
+            if probe is None or isinstance(probe, _SCALARS):
+                return self.matvec(other)
+        return self.mul(other)
+
+    def mul(self, other: Any) -> "IntMat":
+        """Exact matrix product, vectorized when provably overflow-free."""
+        other = as_intmat(other)
+        if self._ncols != other.nrows:
+            raise ValueError(
+                f"shape mismatch: {self.shape} @ {other.shape}"
+            )
+        exact = self._exact or other._exact
+        if (
+            not exact
+            and self.arr is not None
+            and other.arr is not None
+            and self.max_abs() * other.max_abs() * max(1, self._ncols)
+            <= INT64_MAX
+        ):
+            return IntMat(self.arr @ other.arr)
+        cols = list(zip(*other)) if other.nrows else []
+        rows = tuple(
+            tuple.__new__(
+                IntVec,
+                tuple(
+                    sum(a * b for a, b in zip(row, col)) for col in cols
+                ),
+            )
+            for row in self
+        )
+        return IntMat._trusted(rows, exact=exact)
+
+    def matvec(self, v: Any) -> IntVec:
+        """Exact matrix-vector product, vectorized when overflow-free."""
+        v = as_intvec(v)
+        if self.nrows and self._ncols != len(v):
+            raise ValueError(
+                f"shape mismatch: {self.shape} @ ({len(v)},)"
+            )
+        if (
+            not self._exact
+            and self.arr is not None
+            and v.max_abs() <= INT64_MAX
+            and self.max_abs() * v.max_abs() * max(1, self._ncols) <= INT64_MAX
+        ):
+            return tuple.__new__(
+                IntVec, tuple(int(x) for x in self.arr @ v.to_int64())
+            )
+        return tuple.__new__(
+            IntVec, tuple(sum(a * b for a, b in zip(row, v)) for row in self)
+        )
+
+    def image_of_points(self, points: np.ndarray) -> np.ndarray:
+        """``points @ T^T`` for an ``(N, n)`` point array, overflow-checked.
+
+        The conflict-image fast path: returns an int64 array when the
+        product provably fits (``max|point| * max|T| * n`` within
+        int64), and an exact object-dtype array otherwise — it never
+        silently wraps, unlike a bare ``np.array(rows, dtype=np.int64)``
+        matmul.
+        """
+        pts = np.asarray(points)
+        if pts.ndim != 2 or pts.shape[1] != self._ncols:
+            raise ValueError(f"expected points of shape (N, {self._ncols})")
+        if pts.dtype != object and self.arr is not None:
+            pts_max = int(np.abs(pts).max(initial=0))
+            if pts_max * self.max_abs() * max(1, self._ncols) <= INT64_MAX:
+                return pts.astype(np.int64, copy=False) @ self.arr.T
+        obj_t = np.array(self.rows(), dtype=object).reshape(self.shape)
+        return pts.astype(object) @ obj_t.T
+
+    # -- structure --------------------------------------------------------
+
+    def transpose(self) -> "IntMat":
+        rows = tuple(
+            tuple.__new__(IntVec, col) for col in zip(*self)
+        )
+        return IntMat._trusted(rows, exact=self._exact)
+
+    @property
+    def T(self) -> "IntMat":
+        return self.transpose()
+
+    def submatrix(
+        self, row_indices: Sequence[int], col_indices: Sequence[int]
+    ) -> "IntMat":
+        """The submatrix on the given rows and columns (order preserved)."""
+        rows = tuple(
+            tuple.__new__(
+                IntVec, tuple(self[i][j] for j in col_indices)
+            )
+            for i in row_indices
+        )
+        return IntMat._trusted(rows, exact=self._exact)
+
+    def drop(self, i: int, j: int) -> "IntMat":
+        """The matrix with row ``i`` and column ``j`` removed."""
+        return self.submatrix(
+            [r for r in range(len(self)) if r != i],
+            [c for c in range(self._ncols) if c != j],
+        )
+
+    @classmethod
+    def identity(cls, n: int) -> "IntMat":
+        rows = tuple(
+            tuple.__new__(IntVec, tuple(1 if i == j else 0 for j in range(n)))
+            for i in range(n)
+        )
+        return cls._trusted(rows)
+
+    @classmethod
+    def zeros(cls, nrows: int, ncols: int) -> "IntMat":
+        row = tuple.__new__(IntVec, (0,) * ncols)
+        return cls._trusted(tuple(row for _ in range(nrows)))
+
+    # -- exact invariants -------------------------------------------------
+
+    def det(self) -> int:
+        """Exact determinant (Bareiss), vectorized int64 when certified.
+
+        The fast path runs the fraction-free elimination on the int64
+        array with NumPy row updates, guarded by the Hadamard bound
+        (:meth:`_bareiss_fits_int64`); otherwise the identical algorithm
+        runs over arbitrary-precision Python ints.  Results are
+        bit-identical (property-tested).
+        """
+        if "det" not in self._cache:
+            if not self.is_square():
+                raise ValueError("determinant requires a square matrix")
+            if self._bareiss_fits_int64():
+                self._cache["det"] = _det_bareiss_i64(self.to_int64())
+            else:
+                self._cache["det"] = _det_bareiss_exact(self.rows())
+        return self._cache["det"]
+
+    def minor(self, i: int, j: int) -> int:
+        """Determinant of the matrix with row ``i`` and column ``j`` removed."""
+        return self.drop(i, j).det()
+
+    def cofactor(self, i: int, j: int) -> int:
+        """Signed cofactor ``(-1)^(i+j) * minor(i, j)`` (Equation 3.3)."""
+        sign = -1 if (i + j) % 2 else 1
+        return sign * self.minor(i, j)
+
+    def adjugate(self) -> "IntMat":
+        """Adjugate matrix with ``A @ adj(A) == det(A) * I`` exactly.
+
+        Minors run on the int64 fast path when the parent matrix's
+        Hadamard bound certifies them (every minor of a submatrix is
+        bounded by the full bound), else over Python ints.
+        """
+        if not self.is_square():
+            raise ValueError("adjugate requires a square matrix")
+        n = len(self)
+        if n == 0:
+            return IntMat._trusted((), exact=self._exact)
+        if n == 1:
+            return IntMat._trusted(
+                (tuple.__new__(IntVec, (1,)),), exact=self._exact
+            )
+        fast = self._bareiss_fits_int64()
+        base = self.to_int64() if fast else None
+        rows = []
+        for i in range(n):
+            row = []
+            for j in range(n):
+                sign = -1 if (i + j) % 2 else 1
+                if fast:
+                    sub = np.delete(np.delete(base, j, axis=0), i, axis=1)
+                    row.append(sign * _det_bareiss_i64(sub))
+                else:
+                    sub = [
+                        [self[r][c] for c in range(n) if c != i]
+                        for r in range(n)
+                        if r != j
+                    ]
+                    row.append(sign * _det_bareiss_exact(sub))
+            rows.append(tuple.__new__(IntVec, tuple(row)))
+        return IntMat._trusted(tuple(rows), exact=self._exact)
+
+    def rank(self) -> int:
+        """Exact integer rank (fraction-free Gaussian elimination)."""
+        if "rank" not in self._cache:
+            self._cache["rank"] = _rank_exact(self.rows())
+        return self._cache["rank"]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        backend = "exact" if self._exact else "auto"
+        return f"IntMat({self.rows()!r}, backend={backend!r})"
+
+
+def _rebuild_intmat(rows: tuple, exact: bool) -> IntMat:
+    return IntMat(rows, exact=exact)
+
+
+def _normalize_rows(data: Any) -> tuple[IntVec, ...]:
+    if isinstance(data, IntMat):
+        return tuple(data)
+    if isinstance(data, np.ndarray):
+        if data.ndim != 2:
+            raise ValueError(f"expected a 2-D matrix, got ndim={data.ndim}")
+        data = data.tolist()
+    if isinstance(data, _SCALARS):
+        raise ValueError("expected a 2-D matrix, got a scalar")
+    rows: list[IntVec] = []
+    for r in data:
+        if isinstance(r, _SCALARS):
+            raise ValueError("expected a 2-D matrix, got a flat sequence")
+        rows.append(IntVec(r))
+    if rows:
+        width = len(rows[0])
+        for r in rows[1:]:
+            if len(r) != width:
+                raise ValueError(
+                    f"ragged matrix: row lengths {width} and {len(r)}"
+                )
+    return tuple(rows)
+
+
+def as_intmat(a: Any, *, exact: bool = False) -> IntMat:
+    """Normalize matrix-like input (nested sequences, 2-D arrays) to IntMat."""
+    return IntMat(a, exact=exact)
+
+
+# -- Bareiss kernels ---------------------------------------------------------
+
+
+def _det_bareiss_exact(m: list[list[int]]) -> int:
+    """Fraction-free determinant over Python ints (arbitrary precision)."""
+    n = len(m)
+    if n == 0:
+        return 1
+    sign = 1
+    prev = 1
+    for k in range(n - 1):
+        if m[k][k] == 0:
+            pivot_row = next(
+                (i for i in range(k + 1, n) if m[i][k] != 0), None
+            )
+            if pivot_row is None:
+                return 0
+            m[k], m[pivot_row] = m[pivot_row], m[k]
+            sign = -sign
+        for i in range(k + 1, n):
+            for j in range(k + 1, n):
+                m[i][j] = (m[i][j] * m[k][k] - m[i][k] * m[k][j]) // prev
+            m[i][k] = 0
+        prev = m[k][k]
+    return sign * m[n - 1][n - 1]
+
+
+def _det_bareiss_i64(m: np.ndarray) -> int:
+    """The identical elimination, vectorized over an int64 working array.
+
+    Only call under :meth:`IntMat._bareiss_fits_int64`: the Hadamard
+    guard certifies every product formed here stays inside int64, and
+    all divisions are exact (so NumPy's floor division agrees with
+    Python's).
+    """
+    n = m.shape[0]
+    if n == 0:
+        return 1
+    sign = 1
+    prev = np.int64(1)
+    for k in range(n - 1):
+        if m[k, k] == 0:
+            nz = np.nonzero(m[k + 1 :, k])[0]
+            if nz.size == 0:
+                return 0
+            i = k + 1 + int(nz[0])
+            m[[k, i]] = m[[i, k]]
+            sign = -sign
+        block = m[k + 1 :, k + 1 :]
+        block[...] = (
+            block * m[k, k] - np.outer(m[k + 1 :, k], m[k, k + 1 :])
+        ) // prev
+        m[k + 1 :, k] = 0
+        prev = m[k, k]
+    return sign * int(m[n - 1, n - 1])
+
+
+def _rank_exact(m: list[list[int]]) -> int:
+    """Exact rank by fraction-free Gaussian elimination."""
+    if not m or not m[0]:
+        return 0
+    rows, cols = len(m), len(m[0])
+    r = 0
+    for c in range(cols):
+        pivot = next((i for i in range(r, rows) if m[i][c] != 0), None)
+        if pivot is None:
+            continue
+        m[r], m[pivot] = m[pivot], m[r]
+        for i in range(r + 1, rows):
+            if m[i][c] != 0:
+                f1, f2 = m[r][c], m[i][c]
+                m[i] = [f1 * m[i][j] - f2 * m[r][j] for j in range(cols)]
+        r += 1
+        if r == rows:
+            break
+    return r

@@ -26,7 +26,7 @@ from typing import Any
 
 from .diophantine import solve_diophantine
 from .hermite import hnf
-from .matrix import as_int_matrix, det_bareiss, matmul, rank, transpose
+from .intmat import IntMat, as_intmat
 
 __all__ = ["Lattice"]
 
@@ -39,23 +39,23 @@ class Lattice:
     ----------
     basis:
         Generator matrix with one *column* per generator (``n x r``,
-        rank ``r``).  Use :meth:`from_generators` for a list-of-vectors
-        constructor that also discards dependent generators.
+        rank ``r``); normalized to an immutable :class:`IntMat`.  Use
+        :meth:`from_generators` for a list-of-vectors constructor that
+        also discards dependent generators.
     """
 
-    basis: tuple[tuple[int, ...], ...]
+    basis: IntMat
 
     def __post_init__(self) -> None:
-        b = as_int_matrix(self.basis)
-        if not b or not b[0]:
+        b = as_intmat(self.basis)
+        if not b.nrows or not b.ncols:
             raise ValueError("lattice needs at least one generator")
-        r = len(b[0])
-        if rank(b) != r:
+        if b.rank() != b.ncols:
             raise ValueError(
                 "basis columns must be linearly independent; use "
                 "Lattice.from_generators to reduce a spanning set"
             )
-        object.__setattr__(self, "basis", tuple(tuple(row) for row in b))
+        object.__setattr__(self, "basis", b)
 
     # -- constructors -----------------------------------------------------
 
@@ -66,7 +66,7 @@ class Lattice:
         for g in generators:
             candidate = cols + [list(map(int, g))]
             mat = [[c[i] for c in candidate] for i in range(len(candidate[0]))]
-            if rank(mat) == len(candidate):
+            if as_intmat(mat).rank() == len(candidate):
                 cols.append(list(map(int, g)))
         if not cols:
             raise ValueError("no independent generators supplied")
@@ -91,11 +91,11 @@ class Lattice:
 
     @property
     def ambient_dimension(self) -> int:
-        return len(self.basis)
+        return self.basis.nrows
 
     @property
     def lattice_rank(self) -> int:
-        return len(self.basis[0])
+        return self.basis.ncols
 
     # -- equality -----------------------------------------------------------
 
@@ -118,7 +118,7 @@ class Lattice:
         p = [int(x) for x in point]
         if len(p) != self.ambient_dimension:
             raise ValueError("point dimension mismatch")
-        return solve_diophantine([list(row) for row in self.basis], p) is not None
+        return solve_diophantine(self.basis, p) is not None
 
     def contains_lattice(self, other: "Lattice") -> bool:
         """Whether every generator of ``other`` lies in this lattice."""
@@ -138,11 +138,9 @@ class Lattice:
         value itself is returned for non-full-rank lattices (a standard
         invariant: equal lattices share it).
         """
-        b = [list(row) for row in self.basis]
         if self.lattice_rank == self.ambient_dimension:
-            return abs(det_bareiss(b))
-        gram = matmul(transpose(b), b)
-        return det_bareiss(gram)
+            return abs(self.basis.det())
+        return self.basis.T.mul(self.basis).det()
 
     def index_in(self, superlattice: "Lattice") -> int:
         """The group index ``[superlattice : self]`` for same-rank pairs.

@@ -1,22 +1,19 @@
-"""Exact integer matrix operations.
+"""Exact integer matrix operations — functional facade over :class:`IntMat`.
 
-Everything here runs over arbitrary-precision Python integers stored in
-``object``-dtype NumPy arrays or plain ``int64`` arrays; we never go
-through floating point, so determinants, ranks and adjugates are exact
-no matter how large the intermediate entries grow.  This is the
-foundation the paper's conflict-vector computations rest on: Equation
-3.2 expresses the unique conflict vector of a co-rank-1 mapping matrix
-through the adjugate ``B^*`` and determinant of a submatrix, and
-Theorems 4.5-4.8 repeatedly take determinants of sub-blocks of the
-unimodular multiplier ``U``.
+Historically this module carried its own list-of-lists implementations;
+the arithmetic now lives in :mod:`repro.intlin.intmat` on the immutable
+:class:`IntMat` value type (with its checked int64 fast path), and the
+functions here are thin wrappers kept for the established functional
+call style.  They accept anything matrix-like and return :class:`IntMat`
+/ :class:`IntVec` values, which compare equal to the lists the old
+versions returned — call sites keep working unchanged while gaining
+hashability and the vectorized backend.
 
-Implementation notes
---------------------
-* Determinants use the Bareiss fraction-free algorithm: ``O(n^3)``
-  arithmetic operations with all intermediate divisions exact.
-* ``as_int_matrix`` normalizes arbitrary input (lists, tuples, NumPy
-  arrays of any integer dtype) into a list-of-lists of Python ints, the
-  internal representation shared across :mod:`repro.intlin`.
+This is the foundation the paper's conflict-vector computations rest
+on: Equation 3.2 expresses the unique conflict vector of a co-rank-1
+mapping matrix through the adjugate ``B^*`` and determinant of a
+submatrix, and Theorems 4.5-4.8 repeatedly take determinants of
+sub-blocks of the unimodular multiplier ``U``.
 """
 
 from __future__ import annotations
@@ -26,10 +23,11 @@ from typing import Any
 
 import numpy as np
 
+from .intmat import IntMat, IntVec, as_intmat, as_intvec
+
 __all__ = [
     "as_int_matrix",
     "as_int_vector",
-    "freeze_matrix",
     "to_array",
     "identity",
     "matmul",
@@ -51,7 +49,7 @@ IntVector = list[int]
 def is_integer_matrix(a: Any) -> bool:
     """True when ``a`` converts to a rectangular matrix of exact integers."""
     try:
-        as_int_matrix(a)
+        as_intmat(a)
     except (TypeError, ValueError):
         return False
     return True
@@ -62,156 +60,66 @@ def as_int_matrix(a: Any) -> IntMatrix:
 
     Accepts nested sequences and NumPy arrays.  Floating inputs are
     accepted only when every entry is integral (e.g. ``2.0``); anything
-    else raises :class:`ValueError`.
+    else raises :class:`ValueError`.  New code should prefer
+    :func:`repro.intlin.as_intmat`, which returns the immutable
+    :class:`IntMat` without the mutable-copy cost.
     """
-    if isinstance(a, (list, tuple)) and len(a) == 0:
-        return []  # the empty (0 x 0) matrix
-    arr = np.asarray(a, dtype=object)
-    if arr.ndim != 2:
-        raise ValueError(f"expected a 2-D matrix, got ndim={arr.ndim}")
-    rows, cols = arr.shape
-    out: IntMatrix = []
-    for i in range(rows):
-        row: IntVector = []
-        for j in range(cols):
-            row.append(_as_int(arr[i, j]))
-        out.append(row)
-    return out
-
-
-FrozenIntMatrix = tuple[tuple[int, ...], ...]
-
-
-def freeze_matrix(a: Any) -> FrozenIntMatrix:
-    """Normalize matrix-like input into a hashable tuple-of-tuples form.
-
-    The canonical key type for the memoized normal-form kernels
-    (:func:`repro.intlin.hermite.hnf_cached`,
-    :func:`repro.intlin.smith.smith_normal_form_cached`): two inputs
-    that :func:`as_int_matrix` would normalize identically freeze to the
-    same key, whatever mix of lists, tuples or NumPy arrays they arrive
-    as.
-    """
-    return tuple(tuple(row) for row in as_int_matrix(a))
+    return as_intmat(a).rows()
 
 
 def as_int_vector(v: Any) -> IntVector:
     """Normalize vector-like input to a list of Python ints."""
-    arr = np.asarray(v, dtype=object)
-    if arr.ndim != 1:
-        raise ValueError(f"expected a 1-D vector, got ndim={arr.ndim}")
-    return [_as_int(x) for x in arr]
-
-
-def _as_int(x: Any) -> int:
-    if isinstance(x, (bool, np.bool_)):
-        raise ValueError("boolean entries are not valid integer matrix entries")
-    if isinstance(x, (int, np.integer)):
-        return int(x)
-    if isinstance(x, (float, np.floating)):
-        if float(x).is_integer():
-            return int(x)
-        raise ValueError(f"non-integral entry {x!r}")
-    raise TypeError(f"entry {x!r} of type {type(x).__name__} is not an integer")
+    return list(as_intvec(v))
 
 
 def to_array(m: Sequence[Sequence[int]]) -> np.ndarray:
-    """Convert an internal int matrix to an ``int64`` NumPy array.
+    """Checked conversion of an integer matrix to an ``int64`` NumPy array.
 
-    Raises :class:`OverflowError` if any entry exceeds int64 range; use
-    the list-of-lists form for arbitrary precision work.
+    Raises :class:`OverflowError` if any entry exceeds int64 range —
+    never wraps silently.  Use :class:`IntMat` directly for arbitrary
+    precision work.
     """
-    return np.array(m, dtype=np.int64)
+    return as_intmat(m).to_int64()
 
 
-def identity(n: int) -> IntMatrix:
-    """The ``n x n`` identity matrix as lists of Python ints."""
-    return [[1 if i == j else 0 for j in range(n)] for i in range(n)]
+def identity(n: int) -> IntMat:
+    """The ``n x n`` identity matrix."""
+    return IntMat.identity(n)
 
 
-def matmul(a: Sequence[Sequence[int]], b: Sequence[Sequence[int]]) -> IntMatrix:
+def matmul(a: Sequence[Sequence[int]], b: Sequence[Sequence[int]]) -> IntMat:
     """Exact product of two integer matrices."""
-    a = as_int_matrix(a)
-    b = as_int_matrix(b)
-    ra, ca = len(a), len(a[0]) if a else 0
-    rb, cb = len(b), len(b[0]) if b else 0
-    if ca != rb:
-        raise ValueError(f"shape mismatch: ({ra},{ca}) @ ({rb},{cb})")
-    bt = list(zip(*b)) if b else []
-    return [[sum(x * y for x, y in zip(row, col)) for col in bt] for row in a]
+    return as_intmat(a).mul(b)
 
 
-def matvec(a: Sequence[Sequence[int]], v: Sequence[int]) -> IntVector:
+def matvec(a: Sequence[Sequence[int]], v: Sequence[int]) -> IntVec:
     """Exact matrix-vector product."""
-    a = as_int_matrix(a)
-    v = as_int_vector(v)
-    if a and len(a[0]) != len(v):
-        raise ValueError(f"shape mismatch: ({len(a)},{len(a[0])}) @ ({len(v)},)")
-    return [sum(x * y for x, y in zip(row, v)) for row in a]
+    return as_intmat(a).matvec(v)
 
 
-def transpose(a: Sequence[Sequence[int]]) -> IntMatrix:
+def transpose(a: Sequence[Sequence[int]]) -> IntMat:
     """Transpose of an integer matrix."""
-    a = as_int_matrix(a)
-    return [list(col) for col in zip(*a)] if a else []
+    return as_intmat(a).transpose()
 
 
 def det_bareiss(a: Sequence[Sequence[int]]) -> int:
     """Exact determinant via the Bareiss fraction-free algorithm.
 
     All divisions performed are exact over the integers, so the result
-    is correct for arbitrarily large entries.
+    is correct for arbitrarily large entries; within the certified
+    int64 envelope the elimination runs vectorized.
     """
-    m = [row[:] for row in as_int_matrix(a)]
-    n = len(m)
-    if n == 0:
-        return 1
-    if any(len(row) != n for row in m):
-        raise ValueError("determinant requires a square matrix")
-    sign = 1
-    prev = 1
-    for k in range(n - 1):
-        if m[k][k] == 0:
-            pivot_row = next((i for i in range(k + 1, n) if m[i][k] != 0), None)
-            if pivot_row is None:
-                return 0
-            m[k], m[pivot_row] = m[pivot_row], m[k]
-            sign = -sign
-        for i in range(k + 1, n):
-            for j in range(k + 1, n):
-                m[i][j] = (m[i][j] * m[k][k] - m[i][k] * m[k][j]) // prev
-            m[i][k] = 0
-        prev = m[k][k]
-    return sign * m[n - 1][n - 1]
+    return as_intmat(a).det()
 
 
 def rank(a: Sequence[Sequence[int]]) -> int:
     """Exact rank of an integer matrix (fraction-free Gaussian elimination)."""
-    m = [row[:] for row in as_int_matrix(a)]
-    if not m or not m[0]:
-        return 0
-    rows, cols = len(m), len(m[0])
-    r = 0
-    for c in range(cols):
-        pivot = next((i for i in range(r, rows) if m[i][c] != 0), None)
-        if pivot is None:
-            continue
-        m[r], m[pivot] = m[pivot], m[r]
-        for i in range(r + 1, rows):
-            if m[i][c] != 0:
-                f1, f2 = m[r][c], m[i][c]
-                m[i] = [f1 * m[i][j] - f2 * m[r][j] for j in range(cols)]
-        r += 1
-        if r == rows:
-            break
-    return r
+    return as_intmat(a).rank()
 
 
 def minor(a: Sequence[Sequence[int]], i: int, j: int) -> int:
     """Determinant of ``a`` with row ``i`` and column ``j`` removed."""
-    m = as_int_matrix(a)
-    sub = [row[:j] + row[j + 1 :] for ri, row in enumerate(m) if ri != i]
-    return det_bareiss(sub)
+    return as_intmat(a).minor(i, j)
 
 
 def cofactor(a: Sequence[Sequence[int]], i: int, j: int) -> int:
@@ -219,38 +127,29 @@ def cofactor(a: Sequence[Sequence[int]], i: int, j: int) -> int:
 
     These are the ``B_ij`` of the paper's Equation 3.3.
     """
-    sign = -1 if (i + j) % 2 else 1
-    return sign * minor(a, i, j)
+    return as_intmat(a).cofactor(i, j)
 
 
-def adjugate(a: Sequence[Sequence[int]]) -> IntMatrix:
+def adjugate(a: Sequence[Sequence[int]]) -> IntMat:
     """Adjugate (classical adjoint) matrix: ``adj(A)[j][i] = cofactor(A, i, j)``.
 
     Satisfies ``A @ adj(A) == det(A) * I`` exactly.  Used to realize the
     paper's Equation 3.2 conflict vector ``gamma = lambda * [-B^* b; det B]``.
     """
-    m = as_int_matrix(a)
-    n = len(m)
-    if any(len(row) != n for row in m):
-        raise ValueError("adjugate requires a square matrix")
-    if n == 0:
-        return []
-    if n == 1:
-        return [[1]]
-    return [[cofactor(m, j, i) for j in range(n)] for i in range(n)]
+    return as_intmat(a).adjugate()
 
 
-def inverse_unimodular(a: Sequence[Sequence[int]]) -> IntMatrix:
+def inverse_unimodular(a: Sequence[Sequence[int]]) -> IntMat:
     """Exact inverse of a unimodular integer matrix (``|det| == 1``).
 
     Raises :class:`ValueError` when the determinant is not ±1 — the
     inverse would not be integral.
     """
-    m = as_int_matrix(a)
-    d = det_bareiss(m)
+    m = as_intmat(a)
+    d = m.det()
     if d not in (1, -1):
         raise ValueError(f"matrix is not unimodular (det={d})")
-    adj = adjugate(m)
+    adj = m.adjugate()
     if d == 1:
         return adj
-    return [[-x for x in row] for row in adj]
+    return IntMat([[-x for x in row] for row in adj])

@@ -15,6 +15,10 @@ Smith form gives us two things the reproduction uses:
   Hermite form — the last ``n - r`` columns of ``Q`` are a second,
   differently-derived saturated kernel basis, and the property tests
   assert both bases generate the same lattice.
+
+Results are immutable :class:`IntMat` values; the memoized layer
+(:func:`smith_normal_form_cached`) shares the same result object across
+hits with no defensive copies.
 """
 
 from __future__ import annotations
@@ -23,14 +27,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Any
 
-from .matrix import (
-    FrozenIntMatrix,
-    IntMatrix,
-    as_int_matrix,
-    freeze_matrix,
-    identity,
-    matmul,
-)
+from .intmat import IntMat, as_intmat
 
 __all__ = ["SmithResult", "smith_normal_form", "smith_normal_form_cached"]
 
@@ -49,16 +46,30 @@ class SmithResult:
         Unimodular column multiplier (``n x n``).
     invariants:
         The non-zero diagonal entries ``s_1 | s_2 | ... | s_r``.
+
+    All three matrices are immutable :class:`IntMat` values (raw nested
+    sequences passed to the constructor are coerced).
     """
 
-    d: IntMatrix
-    p: IntMatrix
-    q: IntMatrix
+    d: IntMat
+    p: IntMat
+    q: IntMat
     invariants: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        for name in ("d", "p", "q"):
+            value = getattr(self, name)
+            if not isinstance(value, IntMat):
+                object.__setattr__(self, name, as_intmat(value))
 
     @property
     def rank(self) -> int:
         return len(self.invariants)
+
+
+def _ident_rows(n: int) -> list[list[int]]:
+    """A mutable identity working matrix for the elimination loops."""
+    return [[1 if i == j else 0 for j in range(n)] for i in range(n)]
 
 
 def smith_normal_form(a: Any) -> SmithResult:
@@ -69,11 +80,11 @@ def smith_normal_form(a: Any) -> SmithResult:
     when a remainder appears (gcd descent guarantees termination), then
     enforce the divisibility chain.
     """
-    d = [row[:] for row in as_int_matrix(a)]
+    d = as_intmat(a).rows()
     m = len(d)
     n = len(d[0]) if d else 0
-    p = identity(m)
-    q = identity(n)
+    p = _ident_rows(m)
+    q = _ident_rows(n)
 
     def row_swap(i: int, j: int) -> None:
         d[i], d[j] = d[j], d[i]
@@ -152,34 +163,28 @@ def smith_normal_form(a: Any) -> SmithResult:
 
 
 @lru_cache(maxsize=4096)
-def _smith_frozen(frozen: FrozenIntMatrix) -> SmithResult:
-    return smith_normal_form([list(row) for row in frozen])
+def _smith_memo(a: IntMat) -> SmithResult:
+    return smith_normal_form(a)
 
 
 def smith_normal_form_cached(a: Any) -> SmithResult:
-    """Memoized :func:`smith_normal_form` keyed on the frozen matrix.
+    """Memoized :func:`smith_normal_form` keyed on the matrix value itself.
 
     The diophantine solver recomputes the Smith form of the same
     dependence system for every design sharing an interconnection
-    structure; this layer returns fresh row lists per call (mutation
-    safe) while skipping the elimination on repeats.
+    structure; because :class:`SmithResult` is immutable every hit
+    returns the *same* shared result object, skipping both the
+    elimination and any copying.
     """
-    res = _smith_frozen(freeze_matrix(a))
-    return SmithResult(
-        d=[row[:] for row in res.d],
-        p=[row[:] for row in res.p],
-        q=[row[:] for row in res.q],
-        invariants=res.invariants,
-    )
+    return _smith_memo(as_intmat(a))
 
 
 def verify_smith(a: Any, result: SmithResult) -> bool:
     """Exact self-check: ``P A Q == D``, diagonal, divisibility chain."""
-    am = as_int_matrix(a)
-    if matmul(matmul(result.p, am), result.q) != result.d:
+    am = as_intmat(a)
+    if result.p.mul(am).mul(result.q) != result.d:
         return False
-    m = len(result.d)
-    n = len(result.d[0]) if result.d else 0
+    m, n = result.d.shape
     for i in range(m):
         for j in range(n):
             if i != j and result.d[i][j] != 0:

@@ -12,7 +12,7 @@ from __future__ import annotations
 import random
 from typing import Any
 
-from .matrix import IntMatrix, as_int_matrix, det_bareiss, identity
+from .intmat import IntMat, as_intmat
 
 __all__ = ["is_unimodular", "random_unimodular", "random_full_rank"]
 
@@ -20,12 +20,12 @@ __all__ = ["is_unimodular", "random_unimodular", "random_full_rank"]
 def is_unimodular(a: Any) -> bool:
     """True iff ``a`` is square, integral and ``|det a| == 1``."""
     try:
-        m = as_int_matrix(a)
+        m = as_intmat(a)
     except (TypeError, ValueError):
         return False
-    if not m or len(m) != len(m[0]):
+    if not m.nrows or not m.is_square():
         return False
-    return det_bareiss(m) in (1, -1)
+    return m.det() in (1, -1)
 
 
 def random_unimodular(
@@ -34,7 +34,7 @@ def random_unimodular(
     rng: random.Random | None = None,
     steps: int | None = None,
     magnitude: int = 3,
-) -> IntMatrix:
+) -> IntMat:
     """A random ``n x n`` unimodular matrix built from elementary operations.
 
     Starts from the identity and applies ``steps`` random shear/swap/
@@ -45,7 +45,7 @@ def random_unimodular(
         raise ValueError("n must be positive")
     rng = rng or random.Random(0)
     steps = steps if steps is not None else 4 * n
-    m = identity(n)
+    m = [[1 if i == j else 0 for j in range(n)] for i in range(n)]
     for _ in range(steps):
         op = rng.randrange(3)
         i = rng.randrange(n)
@@ -57,7 +57,7 @@ def random_unimodular(
             m[i], m[j] = m[j], m[i]
         elif op == 2:  # negate row
             m[i] = [-a for a in m[i]]
-    return m
+    return IntMat(m)
 
 
 def random_full_rank(
@@ -67,7 +67,7 @@ def random_full_rank(
     rng: random.Random | None = None,
     magnitude: int = 5,
     max_tries: int = 100,
-) -> IntMatrix:
+) -> IntMat:
     """A random integral ``k x n`` matrix with full row rank ``k``.
 
     Rejection sampling over small uniform entries; raises
@@ -77,10 +77,10 @@ def random_full_rank(
     if k > n:
         raise ValueError("need k <= n")
     rng = rng or random.Random(0)
-    from .matrix import rank as int_rank
-
     for _ in range(max_tries):
-        m = [[rng.randint(-magnitude, magnitude) for _ in range(n)] for _ in range(k)]
-        if int_rank(m) == k:
+        m = IntMat(
+            [[rng.randint(-magnitude, magnitude) for _ in range(n)] for _ in range(k)]
+        )
+        if m.rank() == k:
             return m
     raise RuntimeError("failed to sample a full-rank matrix")

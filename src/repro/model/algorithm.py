@@ -16,7 +16,7 @@ from typing import Any
 
 import numpy as np
 
-from ..intlin import as_int_matrix
+from ..intlin import IntMat, IntVec, as_intmat
 from .index_set import ConstantBoundedIndexSet
 
 __all__ = ["UniformDependenceAlgorithm", "DependenceError"]
@@ -52,26 +52,23 @@ class UniformDependenceAlgorithm:
     """
 
     index_set: ConstantBoundedIndexSet
-    dependence_matrix: tuple[tuple[int, ...], ...]
+    dependence_matrix: IntMat
     name: str = "algorithm"
     compute: Callable[..., Any] | None = field(default=None, compare=False)
     inputs: Callable[..., Any] | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
-        d = as_int_matrix(self.dependence_matrix) if self._has_deps() else []
+        d = as_intmat(self.dependence_matrix if self._has_deps() else ())
         n = self.index_set.dimension
-        if d:
-            if len(d) != n:
+        if d.nrows:
+            if d.nrows != n:
                 raise DependenceError(
-                    f"dependence matrix has {len(d)} rows, index set has dimension {n}"
+                    f"dependence matrix has {d.nrows} rows, index set has dimension {n}"
                 )
-            for col in range(len(d[0])):
-                column = [d[r][col] for r in range(n)]
-                if all(x == 0 for x in column):
+            for col, column in enumerate(d.columns()):
+                if not any(column):
                     raise DependenceError(f"dependence vector {col} is the zero vector")
-        object.__setattr__(
-            self, "dependence_matrix", tuple(tuple(row) for row in d)
-        )
+        object.__setattr__(self, "dependence_matrix", d)
 
     def _has_deps(self) -> bool:
         dm = self.dependence_matrix
@@ -93,25 +90,24 @@ class UniformDependenceAlgorithm:
     @property
     def m(self) -> int:
         """Number of dependence vectors."""
-        return len(self.dependence_matrix[0]) if self.dependence_matrix else 0
+        return self.dependence_matrix.ncols if self.dependence_matrix.nrows else 0
 
     @property
     def mu(self) -> tuple[int, ...]:
         """Problem-size variables ``mu_i`` of the index set."""
         return self.index_set.mu
 
-    def dependence_vectors(self) -> list[tuple[int, ...]]:
-        """The columns ``d_1, ..., d_m`` of ``D`` as tuples."""
-        d = self.dependence_matrix
-        if not d:
+    def dependence_vectors(self) -> list[IntVec]:
+        """The columns ``d_1, ..., d_m`` of ``D`` as vectors."""
+        if not self.dependence_matrix.nrows:
             return []
-        return [tuple(d[r][c] for r in range(self.n)) for c in range(self.m)]
+        return self.dependence_matrix.columns()
 
     def dependence_array(self) -> np.ndarray:
         """``D`` as an ``(n, m)`` int64 array (empty ``(n, 0)`` when m=0)."""
         if self.m == 0:
             return np.zeros((self.n, 0), dtype=np.int64)
-        return np.array(self.dependence_matrix, dtype=np.int64)
+        return self.dependence_matrix.to_int64()
 
     # -- dependence-graph queries ----------------------------------------
 

@@ -13,7 +13,6 @@ from __future__ import annotations
 from collections.abc import Iterator
 from dataclasses import dataclass
 
-from ..intlin import matvec
 from ..model import UniformDependenceAlgorithm
 from ..core.mapping import MappingMatrix
 from .interconnect import InterconnectionPlan
@@ -104,14 +103,14 @@ def build_array(
     and records every directed link segment on its channel.
     """
     dim = mapping.array_dimension
-    space_rows = [list(row) for row in mapping.space]
+    smat = mapping.space_matrix
     processors: set[tuple[int, ...]] = set()
     links: set[Link] = set()
     deps = algorithm.dependence_vectors()
 
     pe_of: dict[tuple[int, ...], tuple[int, ...]] = {}
     for j in algorithm.index_set:
-        pe = tuple(matvec(space_rows, list(j))) if space_rows else ()
+        pe = tuple(smat.matvec(j)) if smat.nrows else ()
         processors.add(pe)
         pe_of[tuple(j)] = pe
 

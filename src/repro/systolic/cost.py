@@ -21,7 +21,6 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from ..core.mapping import MappingMatrix
-from ..intlin import matvec
 from ..model import UniformDependenceAlgorithm
 from .interconnect import InterconnectionPlan, plan_interconnection
 
@@ -76,11 +75,11 @@ def processor_count(
     but arbitrary ``S`` images need not be dense, so we enumerate
     exactly.
     """
-    space_rows = [list(r) for r in mapping.space]
-    if not space_rows:
+    smat = mapping.space_matrix
+    if not smat.nrows:
         return 1
     return len(
-        {tuple(matvec(space_rows, list(j))) for j in algorithm.index_set}
+        {smat.matvec(j) for j in algorithm.index_set}
     )
 
 

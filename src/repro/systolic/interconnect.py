@@ -27,7 +27,6 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from ..ilp import LinearProgram, solve_ilp
-from ..intlin import matvec
 from ..model import UniformDependenceAlgorithm
 from ..core.mapping import MappingMatrix
 
@@ -199,9 +198,9 @@ def plan_interconnection(
     usage_cols: list[list[int]] = []
     routes: list[tuple[int, ...]] = []
     buffers: list[int] = []
-    space_rows = [list(row) for row in mapping.space]
+    smat = mapping.space_matrix
     for d in deps:
-        displacement = matvec(space_rows, list(d)) if space_rows else []
+        displacement = smat.matvec(d) if smat.nrows else []
         budget = mapping.time(d)
         if budget <= 0:
             raise RoutingError(

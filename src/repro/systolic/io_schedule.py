@@ -30,7 +30,6 @@ from collections import defaultdict
 from dataclasses import dataclass
 
 from ..core.mapping import MappingMatrix
-from ..intlin import matvec
 from ..model import UniformDependenceAlgorithm
 from .interconnect import InterconnectionPlan, plan_interconnection
 
@@ -99,21 +98,21 @@ def derive_io_schedule(
     """
     if plan is None:
         plan = plan_interconnection(algorithm, mapping)
-    space_rows = [list(r) for r in mapping.space]
+    smat = mapping.space_matrix
     deps = algorithm.dependence_vectors()
     in_set = algorithm.index_set
 
     injections: list[IOEvent] = []
     drains: list[IOEvent] = []
     for j in in_set:
-        pe = tuple(matvec(space_rows, list(j))) if space_rows else ()
+        pe = tuple(smat.matvec(j)) if smat.nrows else ()
         t = mapping.time(j)
         for i, d in enumerate(deps):
             pred = tuple(a - b for a, b in zip(j, d))
             if pred not in in_set:
                 hops = plan.hops(i)
                 displacement = (
-                    matvec(space_rows, list(d)) if space_rows else []
+                    smat.matvec(d) if smat.nrows else []
                 )
                 port = tuple(p - s for p, s in zip(pe, displacement))
                 injections.append(

@@ -29,7 +29,6 @@ from collections import defaultdict
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
-from ..intlin import matvec
 from ..model import UniformDependenceAlgorithm
 from ..core.mapping import MappingMatrix
 from .array import ProcessorArray, build_array
@@ -168,7 +167,7 @@ def simulate_mapping(
     if functional and algorithm.compute is None:
         raise ValueError("functional simulation requires algorithm.compute")
 
-    space_rows = [list(row) for row in mapping.space]
+    smat = mapping.space_matrix
     deps = algorithm.dependence_vectors()
     m = len(deps)
 
@@ -179,7 +178,7 @@ def simulate_mapping(
 
     for j in algorithm.index_set:
         t = mapping.time(j)
-        pe = tuple(matvec(space_rows, list(j))) if space_rows else ()
+        pe = tuple(smat.matvec(j)) if smat.nrows else ()
         placement[(pe, t)].append(j)
         times.append(t)
         schedule_of[j] = t

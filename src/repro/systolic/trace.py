@@ -20,7 +20,6 @@ from collections import defaultdict
 from dataclasses import dataclass
 
 from ..core.mapping import MappingMatrix
-from ..intlin import matvec
 from ..model import UniformDependenceAlgorithm
 from .interconnect import InterconnectionPlan, plan_interconnection
 
@@ -114,14 +113,14 @@ def derive_trace(
     """Build the cycle-ordered activity trace of a mapped execution."""
     if plan is None:
         plan = plan_interconnection(algorithm, mapping)
-    space_rows = [list(r) for r in mapping.space]
+    smat = mapping.space_matrix
     deps = algorithm.dependence_vectors()
 
     events: list[TraceEvent] = []
     pe_of: dict[tuple[int, ...], tuple[int, ...]] = {}
     time_of: dict[tuple[int, ...], int] = {}
     for j in algorithm.index_set:
-        pe = tuple(matvec(space_rows, list(j))) if space_rows else ()
+        pe = tuple(smat.matvec(j)) if smat.nrows else ()
         t = mapping.time(j)
         pe_of[tuple(j)] = pe
         time_of[tuple(j)] = t

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from ..intlin import matvec
 from ..model import ConstantBoundedIndexSet, UniformDependenceAlgorithm
 from ..core.mapping import MappingMatrix
 from .interconnect import InterconnectionPlan
@@ -124,12 +123,12 @@ def render_space_time(
     """
     if mapping.array_dimension != 1:
         raise ValueError("space-time rendering is for linear arrays")
-    space_row = list(mapping.space[0])
+    smat = mapping.space_matrix
     cells: dict[tuple[int, int], tuple[int, ...]] = {}
     pes: set[int] = set()
     ts: set[int] = set()
     for j in algorithm.index_set:
-        pe = matvec([space_row], list(j))[0]
+        pe = smat.matvec(j)[0]
         t = mapping.time(j)
         if (pe, t) in cells:
             raise ValueError(

@@ -5,12 +5,11 @@ import dataclasses
 import pytest
 
 from repro.core import (
-    OptimalityCertificate,
     Refutation,
     certify_optimality,
     verify_certificate,
 )
-from repro.model import matrix_multiplication, transitive_closure
+from repro.model import matrix_multiplication
 
 
 class TestCertify:

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import MappingError, MappingMatrix
-from repro.model import matrix_multiplication, transitive_closure
 
 
 class TestConstruction:

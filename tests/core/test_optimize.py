@@ -12,7 +12,6 @@ from repro.model import (
     ConstantBoundedIndexSet,
     UniformDependenceAlgorithm,
     matrix_multiplication,
-    transitive_closure,
 )
 
 

@@ -1,0 +1,88 @@
+"""Regression tests for silent int64 wraparound in conflict analysis.
+
+The vectorized conflict decider used to materialize ``tau`` images with
+``np.array(t.rows(), dtype=np.int64) @ points`` — for mappings with
+large entries the product wraps modulo 2**64 and two distinct images
+can collide (or a genuine collision can split), flipping the verdict
+with no error raised.  The image computation now goes through
+:meth:`IntMat.image_of_points`, which certifies the int64 bound before
+vectorizing and otherwise computes the exact object-dtype product.
+
+These tests pin the contract at the scales the bug bites: entries just
+past 2**31, and entries within a couple of bits of 2**63.
+"""
+
+import numpy as np
+
+from repro.core import (
+    analyze_conflicts,
+    is_conflict_free_bruteforce,
+    is_conflict_free_bruteforce_vectorized,
+)
+from repro.core.mapping import MappingMatrix
+from repro.model import ConstantBoundedIndexSet
+
+J3 = ConstantBoundedIndexSet((2, 2, 2))
+
+
+def _both_backends_agree(t: MappingMatrix) -> bool:
+    """Vectorized verdict, asserted identical to the pure-Python referee."""
+    fast = is_conflict_free_bruteforce_vectorized(t, J3)
+    exact = is_conflict_free_bruteforce(t, J3)
+    assert fast == exact
+    return fast
+
+
+class TestEntriesPast2_31:
+    """Entries > 2**31 still fit the certified int64 path."""
+
+    def test_conflict_free_mapping(self):
+        t = MappingMatrix(
+            space=((2**31 + 1, 0, 0), (0, 1, 0)), schedule=(0, 0, 1)
+        )
+        assert _both_backends_agree(t) is True
+
+    def test_conflicting_mapping(self):
+        # tau(j) = ((2**31+1) j1, j2 + j3): j = (0,0,1) and (0,1,0) collide.
+        t = MappingMatrix(space=((2**31 + 1, 0, 0),), schedule=(0, 1, 1))
+        assert _both_backends_agree(t) is False
+
+
+class TestEntriesNear2_63:
+    """Entries near 2**63 exceed the product bound; the decider must
+    promote to exact arithmetic instead of wrapping."""
+
+    def test_conflict_free_mapping_promotes(self):
+        big = 2**62
+        t = MappingMatrix(space=((big, 0, 0), (0, 1, 0)), schedule=(0, 0, 1))
+        images = t.matrix.image_of_points(J3.points_array())
+        assert images.dtype == object  # exact route, not a wrapped int64 one
+        assert _both_backends_agree(t) is True
+
+    def test_conflicting_mapping_promotes(self):
+        big = 2**63 - 1
+        t = MappingMatrix(space=((big, 0, 0),), schedule=(0, 1, 1))
+        assert _both_backends_agree(t) is False
+
+    def test_wraparound_would_have_merged_distinct_images(self):
+        # 4 * 2**62 == 2**64 wraps to 0 in int64 arithmetic, colliding
+        # with the image of the origin; the exact product keeps them apart.
+        big = 2**62
+        t = MappingMatrix(space=((big, 0),), schedule=(0, 1))
+        pts = np.array([[4, 0], [0, 0]])
+        images = t.matrix.image_of_points(pts)
+        assert images.dtype == object
+        assert images[0][0] == 4 * big
+        assert tuple(images[0]) != tuple(images[1])
+        # The failure mode being guarded against: modulo-2**64 the two
+        # images are identical.
+        assert (4 * big) % 2**64 == 0 == images[1][0]
+
+    def test_analyze_conflicts_with_huge_entries(self):
+        big = 2**62
+        t = MappingMatrix(space=((big, 0, 0),), schedule=(0, 1, 1))
+        analysis = analyze_conflicts(t, J3)
+        assert not analysis.conflict_free
+        j1, j2 = analysis.witness
+        assert t.tau(j1) == t.tau(j2)
+        assert j1 != j2

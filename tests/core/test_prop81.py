@@ -1,6 +1,5 @@
 """Unit tests for repro.core.prop81 (Proposition 8.1)."""
 
-import random
 
 import pytest
 

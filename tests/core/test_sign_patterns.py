@@ -5,7 +5,6 @@ These exercise :func:`sign_pattern_condition` and
 matrices, pinning the clause logic the composite theorems rely on.
 """
 
-import pytest
 
 from repro.core import sign_pattern_condition, subset_sign_pattern_condition
 

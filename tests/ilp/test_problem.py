@@ -1,6 +1,5 @@
 """Unit tests for repro.ilp.problem (the LP/ILP container)."""
 
-import numpy as np
 import pytest
 
 from repro.ilp import LinearProgram, LPSolution

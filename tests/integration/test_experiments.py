@@ -1,6 +1,5 @@
 """Integration tests for repro.experiments (programmatic regeneration)."""
 
-import pytest
 
 from repro.experiments import (
     experiment_e1_conflict_vectors,

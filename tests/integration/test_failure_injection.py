@@ -11,9 +11,8 @@ import dataclasses
 import pytest
 
 from repro.core import MappingMatrix
-from repro.model import ConstantBoundedIndexSet, matrix_multiplication
+from repro.model import matrix_multiplication
 from repro.systolic import (
-    InterconnectionPlan,
     plan_interconnection,
     simulate_mapping,
 )

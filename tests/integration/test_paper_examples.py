@@ -5,14 +5,10 @@ figures and asserts the exact quantities the paper prints.
 """
 
 import numpy as np
-import pytest
 
 from repro.core import (
     MappingMatrix,
-    analyze_conflicts,
-    conflict_generators,
     conflict_vector_corank1,
-    find_time_optimal_mapping,
     is_conflict_free_kernel_box,
     is_feasible_conflict_vector,
     procedure_5_1,

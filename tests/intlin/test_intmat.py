@@ -1,0 +1,267 @@
+"""Unit tests for the IntMat/IntVec exact integer kernel.
+
+Covers construction and validation, the value-type contract (equality,
+hashing, immutability, pickling), and the checked int64 fast path with
+automatic promotion to exact Python-int arithmetic.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.intlin import INT64_MAX, IntMat, IntVec, as_intmat, as_intvec
+
+
+class TestIntVecConstruction:
+    def test_from_list_tuple_ndarray(self):
+        assert IntVec([1, 2, 3]) == (1, 2, 3)
+        assert IntVec((1, 2, 3)) == (1, 2, 3)
+        assert IntVec(np.array([1, 2, 3])) == (1, 2, 3)
+
+    def test_identity_passthrough(self):
+        v = IntVec([1, 2])
+        assert IntVec(v) is v
+        assert as_intvec(v) is v
+
+    def test_integral_floats_ok_nonintegral_rejected(self):
+        assert IntVec([1.0, -2.0]) == (1, -2)
+        with pytest.raises(ValueError):
+            IntVec([1.5])
+
+    def test_scalar_rejected(self):
+        with pytest.raises(TypeError):
+            IntVec(3)
+
+    def test_nested_rejected(self):
+        with pytest.raises(ValueError):
+            IntVec([[1, 2], [3, 4]])
+        with pytest.raises(ValueError):
+            IntVec(np.eye(2, dtype=np.int64))
+
+    def test_empty(self):
+        assert IntVec(()) == ()
+        assert len(IntVec([])) == 0
+
+
+class TestIntVecValueType:
+    def test_equals_tuple_list_ndarray(self):
+        v = IntVec([1, -2, 3])
+        assert v == (1, -2, 3)
+        assert v == [1, -2, 3]
+        assert v == np.array([1, -2, 3])
+        assert v != (1, -2, 4)
+        assert v != [1, -2]
+
+    def test_hash_matches_tuple(self):
+        v = IntVec([5, 7])
+        assert hash(v) == hash((5, 7))
+        assert v in {(5, 7)}
+
+    def test_slicing_stays_intvec(self):
+        v = IntVec([1, 2, 3, 4])
+        assert isinstance(v[1:3], IntVec)
+        assert v[1:3] == (2, 3)
+        assert v[0] == 1  # scalar indexing stays a plain int
+
+    def test_pickle_roundtrip(self):
+        v = IntVec([1, 2**70, -3])
+        w = pickle.loads(pickle.dumps(v))
+        assert isinstance(w, IntVec)
+        assert w == v and hash(w) == hash(v)
+
+    def test_dot_and_max_abs(self):
+        v = IntVec([2, -3])
+        assert v.dot([4, 5]) == -7
+        assert v.max_abs() == 3
+
+    def test_to_int64_overflow(self):
+        IntVec([INT64_MAX]).to_int64()  # fits
+        with pytest.raises(OverflowError):
+            IntVec([INT64_MAX + 1]).to_int64()
+
+
+class TestIntMatConstruction:
+    def test_from_rows_and_ndarray(self):
+        m = IntMat([[1, 2], [3, 4]])
+        assert m.shape == (2, 2)
+        assert m == IntMat(np.array([[1, 2], [3, 4]]))
+
+    def test_identity_passthrough(self):
+        m = IntMat([[1, 2]])
+        assert IntMat(m) is m
+        assert as_intmat(m) is m
+
+    def test_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            IntMat([[1, 2], [3]])
+
+    def test_rejects_flat_sequence(self):
+        with pytest.raises(ValueError):
+            IntMat([1, 2, 3])
+
+    def test_rejects_scalar(self):
+        with pytest.raises((TypeError, ValueError)):
+            IntMat(7)
+
+    def test_empty(self):
+        m = IntMat(())
+        assert m.nrows == 0 and m.ncols == 0
+        assert m.rows() == []
+
+    def test_identity_and_zeros(self):
+        assert IntMat.identity(2) == [[1, 0], [0, 1]]
+        assert IntMat.zeros(2, 3) == [[0, 0, 0], [0, 0, 0]]
+
+
+class TestIntMatValueType:
+    def test_equality_and_hash(self):
+        a = IntMat([[1, 2], [3, 4]])
+        b = IntMat([[1, 2], [3, 4]])
+        assert a == b and hash(a) == hash(b)
+        assert hash(a) == hash(((1, 2), (3, 4)))
+        assert a != IntMat([[1, 2], [3, 5]])
+
+    def test_backend_flag_never_affects_equality(self):
+        fast = IntMat([[1, 2], [3, 4]])
+        exact = IntMat([[1, 2], [3, 4]], exact=True)
+        assert fast == exact and hash(fast) == hash(exact)
+
+    def test_usable_as_dict_key(self):
+        d = {IntMat([[1, 0], [0, 1]]): "id"}
+        assert d[IntMat.identity(2)] == "id"
+
+    def test_immutable(self):
+        m = IntMat([[1, 2], [3, 4]])
+        with pytest.raises(TypeError):
+            m[0][0] = 9
+        assert m.arr is not None and not m.arr.flags.writeable
+
+    def test_rows_returns_fresh_mutable_copies(self):
+        m = IntMat([[1, 2], [3, 4]])
+        rows = m.rows()
+        rows[0][0] = 99
+        assert m == [[1, 2], [3, 4]]
+
+    def test_pickle_roundtrip(self):
+        m = IntMat([[1, 2**70], [3, 4]])
+        n = pickle.loads(pickle.dumps(m))
+        assert isinstance(n, IntMat)
+        assert n == m and hash(n) == hash(m)
+
+    def test_digest_depends_on_shape_and_entries(self):
+        flat = IntMat([[1, 2, 3, 4]])
+        square = IntMat([[1, 2], [3, 4]])
+        assert flat.digest() != square.digest()
+        assert square.digest() == IntMat([[1, 2], [3, 4]]).digest()
+        assert square.digest() != IntMat([[1, 2], [3, 5]]).digest()
+
+    def test_repr_names_backend(self):
+        assert "auto" in repr(IntMat([[1]]))
+        assert "exact" in repr(IntMat([[1]], exact=True))
+
+
+class TestBackends:
+    def test_small_matrix_is_fast(self):
+        assert IntMat([[1, 2], [3, 4]]).is_fast
+
+    def test_huge_entries_force_exact(self):
+        m = IntMat([[INT64_MAX + 1, 0], [0, 1]])
+        assert not m.is_fast and m.arr is None
+        with pytest.raises(OverflowError):
+            m.to_int64()
+
+    def test_exact_flag_disables_fast_path(self):
+        m = IntMat([[1, 2], [3, 4]], exact=True)
+        assert not m.is_fast and m.arr is None
+        assert m.to_exact() is m
+
+    def test_to_exact_preserves_value(self):
+        m = IntMat([[1, 2], [3, 4]])
+        assert m.to_exact() == m
+
+
+class TestArithmetic:
+    def test_mul_small(self):
+        a = IntMat([[1, 2], [3, 4]])
+        b = IntMat([[0, 1], [1, 0]])
+        assert a.mul(b) == [[2, 1], [4, 3]]
+        assert a @ b == a.mul(b)
+
+    def test_mul_promotes_on_overflow(self):
+        big = 2**40
+        a = IntMat([[big, big], [big, -big]])
+        expected = [
+            [2 * big * big, 0],
+            [0, 2 * big * big],
+        ]
+        assert a.mul(a).rows() == expected
+        assert a.mul(a) == IntMat(a, exact=True).mul(IntMat(a, exact=True))
+
+    def test_matvec(self):
+        m = IntMat([[1, 2], [3, 4]])
+        v = m.matvec([1, 1])
+        assert isinstance(v, IntVec)
+        assert v == (3, 7)
+        assert m @ (1, 1) == (3, 7)
+
+    def test_det_known_values(self):
+        assert IntMat([[1, 2], [3, 4]]).det() == -2
+        assert IntMat.identity(3).det() == 1
+        assert IntMat([[0, 1], [1, 0]]).det() == -1
+        assert IntMat(()).det() == 1
+
+    def test_det_fast_equals_exact(self):
+        rows = [[7, -3, 2], [4, 0, 5], [-6, 1, 8]]
+        assert IntMat(rows).det() == IntMat(rows, exact=True).det()
+
+    def test_det_huge_entries(self):
+        big = 2**62
+        m = IntMat([[big, 1], [1, 1]])
+        assert m.det() == big - 1
+
+    def test_adjugate_identity_property(self):
+        rows = [[2, -1, 0], [3, 4, 1], [0, 5, -2]]
+        m = IntMat(rows)
+        d = m.det()
+        assert m.mul(m.adjugate()) == [
+            [d, 0, 0],
+            [0, d, 0],
+            [0, 0, d],
+        ]
+        assert m.adjugate() == IntMat(rows, exact=True).adjugate()
+
+    def test_rank(self):
+        assert IntMat([[1, 2], [2, 4]]).rank() == 1
+        assert IntMat.identity(3).rank() == 3
+
+    def test_minor_cofactor(self):
+        m = IntMat([[1, 2], [3, 4]])
+        assert m.minor(0, 0) == 4
+        assert m.cofactor(0, 1) == -3
+
+    def test_submatrix_drop_transpose(self):
+        m = IntMat([[1, 2, 3], [4, 5, 6]])
+        assert m.submatrix([1], [0, 2]) == [[4, 6]]
+        assert m.drop(0, 1) == [[4, 6]]
+        assert m.T == [[1, 4], [2, 5], [3, 6]]
+        assert m.column(2) == (3, 6)
+
+
+class TestImageOfPoints:
+    def test_small_uses_int64(self):
+        m = IntMat([[1, 0], [1, 1]])
+        pts = np.array([[0, 0], [1, 2]])
+        images = m.image_of_points(pts)
+        assert images.dtype == np.int64
+        assert images.tolist() == [[0, 0], [1, 3]]
+
+    def test_huge_entries_promote_and_stay_exact(self):
+        big = 2**62
+        m = IntMat([[big, 0], [0, 1]])
+        pts = np.array([[4, 0], [0, 0]])
+        images = m.image_of_points(pts)
+        assert images.dtype == object
+        # int64 arithmetic would wrap 4 * 2**62 to 0, merging the rows.
+        assert images[0][0] == 4 * big
+        assert tuple(images[0]) != tuple(images[1])

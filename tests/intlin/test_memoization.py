@@ -2,14 +2,21 @@
 
 The design-space searches call the Hermite and Smith routines on the
 same handful of matrices thousands of times; ``hnf_cached`` /
-``smith_normal_form_cached`` memoize them behind a hashable-matrix
-adapter.  These tests pin the two contracts that make that safe:
-identical results on arbitrary inputs, and immunity to caller mutation
-of returned structures.
+``smith_normal_form_cached`` memoize them keyed directly on the
+hashable :class:`IntMat` value.  These tests pin the contracts that
+make that safe: identical results on arbitrary inputs, key
+equivalence across input spellings (lists, tuples, arrays, IntMat),
+and immutability of the shared result objects.
 """
 
+import warnings
+
+import pytest
+
+import repro.intlin as intlin
 from repro.intlin import (
-    freeze_matrix,
+    IntMat,
+    as_intmat,
     hnf,
     hnf_cached,
     random_full_rank,
@@ -18,8 +25,8 @@ from repro.intlin import (
     verify_hermite,
     verify_smith,
 )
-from repro.intlin.hermite import _hnf_frozen
-from repro.intlin.smith import _smith_frozen
+from repro.intlin.hermite import _hnf_memo
+from repro.intlin.smith import _smith_memo
 
 
 def _random_matrices(rng, count=25):
@@ -29,14 +36,22 @@ def _random_matrices(rng, count=25):
         yield random_full_rank(k, n, rng=rng, magnitude=7)
 
 
-class TestFreezeMatrix:
-    def test_hashable_and_faithful(self):
-        frozen = freeze_matrix([[1, 2], [3, 4]])
+class TestDeprecatedFreezeSurface:
+    def test_freeze_matrix_warns_and_returns_intmat(self):
+        with pytest.warns(DeprecationWarning, match="freeze_matrix"):
+            frozen = intlin.freeze_matrix([[1, 2], [3, 4]])
+        assert isinstance(frozen, IntMat)
         assert frozen == ((1, 2), (3, 4))
         assert hash(frozen) == hash(((1, 2), (3, 4)))
 
-    def test_accepts_mixed_sequence_types(self):
-        assert freeze_matrix(((1, 2),)) == freeze_matrix([[1, 2]])
+    def test_frozen_int_matrix_alias_warns(self):
+        with pytest.warns(DeprecationWarning, match="FrozenIntMatrix"):
+            alias = intlin.FrozenIntMatrix
+        assert alias is IntMat
+
+    def test_no_other_deprecated_attributes(self):
+        with pytest.raises(AttributeError):
+            intlin.no_such_symbol
 
 
 class TestHnfCached:
@@ -52,22 +67,25 @@ class TestHnfCached:
             assert hnf_cached(a, canonical=True) == hnf(a, canonical=True)
 
     def test_repeated_calls_hit_the_cache(self):
-        _hnf_frozen.cache_clear()
+        _hnf_memo.cache_clear()
         a = [[1, 7, 1, 1], [1, 7, 1, 0]]
         first = hnf_cached(a)
         second = hnf_cached(a)
         assert first == second
-        info = _hnf_frozen.cache_info()
+        info = _hnf_memo.cache_info()
         assert info.hits >= 1 and info.misses >= 1
 
-    def test_caller_mutation_cannot_poison_the_cache(self):
+    def test_cache_hits_share_the_result_object(self):
         a = [[2, 4], [6, 9]]
-        res = hnf_cached(a)
-        res.h[0][0] = 999
-        res.u[0][0] = 999
-        fresh = hnf_cached(a)
-        assert fresh.h[0][0] != 999
-        assert fresh == hnf(a)
+        assert hnf_cached(a) is hnf_cached([(2, 4), (6, 9)])
+        assert hnf_cached(a) is hnf_cached(as_intmat(a))
+
+    def test_results_are_immutable(self):
+        res = hnf_cached([[2, 4], [6, 9]])
+        with pytest.raises(TypeError):
+            res.h[0][0] = 999
+        with pytest.raises(TypeError):
+            res.u[0] = (0, 0)
 
 
 class TestSmithCached:
@@ -79,19 +97,32 @@ class TestSmithCached:
             assert verify_smith(a, cached)
 
     def test_repeated_calls_hit_the_cache(self):
-        _smith_frozen.cache_clear()
+        _smith_memo.cache_clear()
         a = [[2, 0], [0, 6]]
         first = smith_normal_form_cached(a)
         second = smith_normal_form_cached(a)
         assert first == second
-        info = _smith_frozen.cache_info()
+        info = _smith_memo.cache_info()
         assert info.hits >= 1 and info.misses >= 1
 
-    def test_caller_mutation_cannot_poison_the_cache(self):
+    def test_cache_hits_share_the_result_object(self):
         a = [[4, 6], [10, 15]]
-        res = smith_normal_form_cached(a)
-        res.d[0][0] = 999
-        res.p[0][0] = 999
-        fresh = smith_normal_form_cached(a)
-        assert fresh.d[0][0] != 999
-        assert fresh == smith_normal_form(a)
+        assert smith_normal_form_cached(a) is smith_normal_form_cached(
+            as_intmat(a)
+        )
+
+    def test_results_are_immutable(self):
+        res = smith_normal_form_cached([[4, 6], [10, 15]])
+        with pytest.raises(TypeError):
+            res.d[0][0] = 999
+        with pytest.raises(TypeError):
+            res.p[0] = (0, 0)
+
+
+class TestNoWarningsOnModernSurface:
+    def test_plain_import_surface_is_warning_free(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            as_intmat([[1, 2], [3, 4]])
+            hnf_cached([[1, 0], [0, 1]])
+            smith_normal_form_cached([[1, 0], [0, 1]])

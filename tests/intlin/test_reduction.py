@@ -1,6 +1,5 @@
 """Unit tests for repro.intlin.reduction (exact LLL)."""
 
-import random
 from fractions import Fraction
 
 import pytest

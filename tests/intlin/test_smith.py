@@ -1,6 +1,5 @@
 """Unit tests for repro.intlin.smith (Smith normal form)."""
 
-import pytest
 
 from repro.intlin import (
     det_bareiss,

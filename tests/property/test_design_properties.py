@@ -5,7 +5,7 @@ Quantified soundness of the optimizers and the alignment preprocessor.
 
 import random
 
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import (
@@ -116,17 +116,12 @@ class TestAlignmentProperties:
 
     @given(alignment_instance())
     @settings(max_examples=30)
-    def test_unalignable_iff_nonpositive_cycle(self, deps):
-        """If alignment fails inside a generous box, some dependence
-        cycle has a lexicographically non-positive distance sum (the
-        invariance obstruction)."""
-        try:
-            align_statements(2, 2, (3, 3), deps, offset_bound=8)
-            return  # aligned fine
-        except DependenceError:
-            pass
-        # Look for an obstruction: a cycle 0->1->0 (or self-loop) whose
-        # total distance is lexicographically non-positive.
+    def test_unalignable_iff_no_offset_in_box(self, deps):
+        """Alignment fails exactly when no offset in the search box
+        relocates every dependence to a lexicographically positive
+        distance.  (A lex-positive cycle sum is NOT sufficient: the
+        2-cycle (0,0) / (0,1) sums to (0,1), which cannot be split into
+        two lex-positive distances.)"""
         import itertools
 
         def lex_positive(v):
@@ -137,17 +132,25 @@ class TestAlignmentProperties:
                     return False
             return False
 
-        self_loops = [
-            d for d in deps if d.source == d.target
-        ]
-        cross_01 = [d for d in deps if (d.source, d.target) == (0, 1)]
-        cross_10 = [d for d in deps if (d.source, d.target) == (1, 0)]
-        obstruction = any(
-            not lex_positive(d.distance) for d in self_loops
-        ) or any(
-            not lex_positive(
-                tuple(x + y for x, y in zip(a.distance, b.distance))
-            )
-            for a, b in itertools.product(cross_01, cross_10)
+        def feasible(o1):
+            for d in deps:
+                o_src = (0, 0) if d.source == 0 else o1
+                o_tgt = (0, 0) if d.target == 0 else o1
+                relocated = tuple(
+                    e + t - s for e, s, t in zip(d.distance, o_src, o_tgt)
+                )
+                if not lex_positive(relocated):
+                    return False
+            return True
+
+        bound = 8
+        box_has_solution = any(
+            feasible(o1)
+            for o1 in itertools.product(range(-bound, bound + 1), repeat=2)
         )
-        assert obstruction
+        try:
+            align_statements(2, 2, (3, 3), deps, offset_bound=bound)
+            aligned = True
+        except DependenceError:
+            aligned = False
+        assert aligned == box_has_solution

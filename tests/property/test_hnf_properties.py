@@ -5,7 +5,7 @@ on; each property is quantified over randomly generated integer
 matrices rather than hand-picked examples.
 """
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.intlin import (

@@ -1,0 +1,123 @@
+"""Property-based tests for the IntMat kernel's two backends.
+
+The central claim of the checked fast path is *semantic invisibility*:
+whatever the entry magnitudes, the int64-vectorized route and the
+arbitrary-precision object route compute identical values, and the
+value-type contract (equality, hashing, pickling) never depends on
+which backend a matrix happens to sit on.  Entry strategies straddle
+the promotion boundary on purpose: small ints, 32-bit-scale ints, and
+ints within a few bits of 2**63.
+"""
+
+import pickle
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.intlin import (
+    IntMat,
+    hnf,
+    smith_normal_form,
+    verify_hermite,
+    verify_smith,
+)
+
+# Magnitudes chosen to land matrices on both sides of every guard:
+# always-fast, fast-until-multiplied, and born-exact (> int64).
+_entries = st.one_of(
+    st.integers(-9, 9),
+    st.integers(-(2**31) - 3, 2**31 + 3),
+    st.integers(2**61, 2**63 + 2),
+    st.integers(-(2**63) - 2, -(2**61)),
+)
+
+
+def _square(side):
+    return st.lists(
+        st.lists(_entries, min_size=side, max_size=side),
+        min_size=side,
+        max_size=side,
+    )
+
+
+square_2 = _square(2)
+square_3 = _square(3)
+
+
+class TestBackendAgreement:
+    @given(square_3)
+    @settings(max_examples=60)
+    def test_det_identical(self, rows):
+        assert IntMat(rows).det() == IntMat(rows, exact=True).det()
+
+    @given(square_3)
+    @settings(max_examples=40)
+    def test_adjugate_identical(self, rows):
+        assert IntMat(rows).adjugate() == IntMat(rows, exact=True).adjugate()
+
+    @given(square_2, square_2)
+    @settings(max_examples=60)
+    def test_product_identical_and_exact(self, a_rows, b_rows):
+        a, b = IntMat(a_rows), IntMat(b_rows)
+        product = a.mul(b)
+        reference = [
+            [
+                sum(a_rows[i][t] * b_rows[t][j] for t in range(2))
+                for j in range(2)
+            ]
+            for i in range(2)
+        ]
+        assert product == reference
+        assert product == a.to_exact().mul(b.to_exact())
+
+    @given(square_2)
+    @settings(max_examples=40)
+    def test_rank_identical(self, rows):
+        assert IntMat(rows).rank() == IntMat(rows, exact=True).rank()
+
+    @given(square_3)
+    @settings(max_examples=25)
+    def test_hnf_identical_and_verified(self, rows):
+        assume(IntMat(rows).rank() == len(rows))  # hnf requires full row rank
+        fast = hnf(IntMat(rows))
+        exact = hnf(IntMat(rows, exact=True))
+        assert fast.h == exact.h
+        assert fast.u == exact.u
+        assert fast.rank == exact.rank
+        assert verify_hermite(rows, fast)
+
+    @given(square_2)
+    @settings(max_examples=25)
+    def test_smith_identical_and_verified(self, rows):
+        fast = smith_normal_form(IntMat(rows))
+        exact = smith_normal_form(IntMat(rows, exact=True))
+        assert fast.d == exact.d
+        assert fast.invariants == exact.invariants
+        assert verify_smith(rows, fast)
+
+
+class TestValueContract:
+    @given(square_2)
+    @settings(max_examples=60)
+    def test_hash_equals_plain_tuple_hash(self, rows):
+        m = IntMat(rows)
+        assert hash(m) == hash(tuple(tuple(r) for r in rows))
+        assert m == IntMat(rows, exact=True)
+        assert hash(m) == hash(IntMat(rows, exact=True))
+
+    @given(square_2)
+    @settings(max_examples=40)
+    def test_pickle_roundtrip_preserves_identity(self, rows):
+        m = IntMat(rows)
+        n = pickle.loads(pickle.dumps(m))
+        assert isinstance(n, IntMat)
+        assert n == m
+        assert hash(n) == hash(m)
+        assert n.digest() == m.digest()
+
+    @given(square_2)
+    @settings(max_examples=40)
+    def test_det_is_cached_and_stable(self, rows):
+        m = IntMat(rows)
+        assert m.det() == m.det()
+        assert m.det() == IntMat(m.rows()).det()

@@ -1,6 +1,6 @@
 """Property-based tests for the lattice and reduction machinery."""
 
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.intlin import lll_reduce, rank

@@ -7,7 +7,6 @@ Quantified cross-checks between independent solution paths:
 * every solver optimum carries a verifiable certificate.
 """
 
-from fractions import Fraction
 
 import pytest
 from hypothesis import assume, given, settings

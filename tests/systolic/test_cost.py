@@ -1,6 +1,5 @@
 """Unit tests for repro.systolic.cost (the VLSI cost model)."""
 
-import pytest
 
 from repro.core import MappingMatrix
 from repro.model import matrix_multiplication, transitive_closure

@@ -1,6 +1,5 @@
 """Unit tests for repro.systolic.io_schedule (boundary data skewing)."""
 
-import pytest
 
 from repro.core import MappingMatrix
 from repro.model import matrix_multiplication, transitive_closure
@@ -88,7 +87,6 @@ class TestRendering:
         assert "#" in out
 
     def test_empty_channel_message(self):
-        from repro.model import ConstantBoundedIndexSet, UniformDependenceAlgorithm
         from repro.systolic.io_schedule import IOSchedule
 
         empty = IOSchedule(injections=(), drains=())

@@ -144,7 +144,7 @@ class TestParetoFrontier:
                 )
 
     def test_frontier_contains_time_optimum(self):
-        from repro.core import pareto_frontier, procedure_5_1
+        from repro.core import pareto_frontier
 
         algo = matrix_multiplication(2)
         front = pareto_frontier(algo)

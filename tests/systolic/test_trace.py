@@ -1,6 +1,5 @@
 """Unit tests for repro.systolic.trace (execution trace export)."""
 
-import pytest
 
 from repro.core import MappingMatrix
 from repro.model import matrix_multiplication, stencil_2d
