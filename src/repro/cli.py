@@ -13,7 +13,9 @@ Four subcommands mirror the library's workflow:
   (Problems 6.1 / 6.2);
 * ``explore``  — the same searches through the parallel, cached
   work-queue engine (:mod:`repro.dse`), with ``--jobs`` /
-  ``--cache-dir`` / ``--no-cache`` and full telemetry;
+  ``--cache-dir`` / ``--no-cache``, fault-tolerance knobs
+  (``--shard-timeout`` / ``--max-retries`` / ``--no-degrade``) and
+  full telemetry;
 * ``report``   — regenerate every experiment into a markdown report
   (see :mod:`repro.experiments`).
 
@@ -163,6 +165,15 @@ def build_parser() -> argparse.ArgumentParser:
                                 "(default: ~/.cache/repro-dse)")
     p_explore.add_argument("--no-cache", action="store_true",
                            help="disable the persistent result cache")
+    p_explore.add_argument("--shard-timeout", type=float, default=None,
+                           help="seconds a shard batch may run before hung "
+                                "workers are replaced (default: no timeout)")
+    p_explore.add_argument("--max-retries", type=int, default=2,
+                           help="re-submissions of a failed shard before "
+                                "degrading (default: 2)")
+    p_explore.add_argument("--no-degrade", action="store_true",
+                           help="fail instead of falling back to in-process "
+                                "execution when shard retries are exhausted")
     p_explore.add_argument("--method", default="auto",
                            choices=["auto", "paper", "exact"],
                            help="conflict-check mode for schedule search")
@@ -249,7 +260,13 @@ def _cmd_design(args: argparse.Namespace) -> int:
 
 
 def _cmd_explore(args: argparse.Namespace) -> int:
-    from .dse import ResultCache, explore_joint, explore_schedule, explore_space
+    from .dse import (
+        ResiliencePolicy,
+        ResultCache,
+        explore_joint,
+        explore_schedule,
+        explore_space,
+    )
     from .dse.progress import format_stats
 
     if args.space is not None and args.schedule is not None:
@@ -261,11 +278,20 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
     algo = _make_algorithm(args.algorithm, args.mu, args.word_bits)
     cache = ResultCache(args.cache_dir, enabled=not args.no_cache)
+    try:
+        policy = ResiliencePolicy(
+            shard_timeout=args.shard_timeout,
+            max_retries=args.max_retries,
+            degrade=not args.no_degrade,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
     print(f"algorithm      : {algo.name}")
 
     if args.space is not None:
         result = explore_schedule(
-            algo, args.space, jobs=args.jobs, method=args.method, cache=cache
+            algo, args.space, jobs=args.jobs, method=args.method, cache=cache,
+            resilience=policy,
         )
         print(f"mode           : schedule search (Problem 2.2)")
         print(f"space mapping  : {[list(r) for r in args.space]}")
@@ -282,6 +308,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         result = explore_space(
             algo, args.schedule, jobs=args.jobs,
             array_dim=args.array_dim, magnitude=args.magnitude, cache=cache,
+            resilience=policy,
         )
         print(f"mode           : space search (Problem 6.1)")
         print(f"schedule Pi    : {list(args.schedule)}")
@@ -289,6 +316,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         result = explore_joint(
             algo, jobs=args.jobs,
             array_dim=args.array_dim, magnitude=args.magnitude, cache=cache,
+            resilience=policy,
         )
         print(f"mode           : joint search (Problem 6.2)")
 

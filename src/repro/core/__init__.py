@@ -76,6 +76,7 @@ from .space_optimize import (
     SpaceOptimizationResult,
     enumerate_space_mappings,
     enumerate_space_rows,
+    joint_objective,
     pareto_frontier,
     solve_joint_optimal,
     solve_space_optimal,
@@ -126,6 +127,7 @@ __all__ = [
     "is_conflict_free_bruteforce_vectorized",
     "is_conflict_free_kernel_box",
     "is_feasible_conflict_vector",
+    "joint_objective",
     "matmul_baseline_ref23",
     "matmul_optimal_paper",
     "objective_f",

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import time
 from collections.abc import Callable, Iterator, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..dse.progress import SearchStats
 from ..intlin import as_intvec
@@ -272,7 +272,12 @@ def find_all_optima(
     ``[mu, 1, 1]``); this returns every schedule achieving the minimal
     total time, each wrapped as a :class:`SearchResult`.  Runs the
     standard search once for the optimum, then sweeps the optimal ring
-    exhaustively.
+    exhaustively in the search's documented
+    :meth:`~repro.core.schedule.LinearSchedule.sort_key` order.
+
+    Each returned result carries its *own* :class:`SearchStats` copy
+    (same counter values — one search was performed); mutating one
+    result's telemetry never leaks into its siblings.
     """
     first = procedure_5_1(algorithm, space, method=method, **kwargs)
     if not first.found:
@@ -281,11 +286,16 @@ def find_all_optima(
     space_rows = tuple(as_intvec(row) for row in space)
     k = len(space_rows) + 1
     best_f = first.schedule.f
+    ties = [
+        LinearSchedule(pi=pi, index_set=algorithm.index_set)
+        for pi in enumerate_schedule_vectors(mu, best_f, f_min=best_f)
+    ]
+    ties.sort(key=LinearSchedule.sort_key)
     results: list[SearchResult] = []
-    for pi in sorted(enumerate_schedule_vectors(mu, best_f, f_min=best_f)):
-        if not algorithm.is_acyclic_under(pi):
+    for cand in ties:
+        if not algorithm.is_acyclic_under(cand.pi):
             continue
-        t = MappingMatrix(space=space_rows, schedule=pi)
+        t = MappingMatrix(space=space_rows, schedule=cand.pi)
         if t.rank() != k:
             continue
         verdict = check_conflict_free(t, mu, method=method)
@@ -293,12 +303,12 @@ def find_all_optima(
             continue
         results.append(
             SearchResult(
-                schedule=LinearSchedule(pi=pi, index_set=algorithm.index_set),
+                schedule=cand,
                 mapping=t,
                 verdict=verdict,
                 candidates_examined=first.candidates_examined,
                 rings_expanded=first.rings_expanded,
-                stats=first.stats,
+                stats=replace(first.stats),
             )
         )
     return results

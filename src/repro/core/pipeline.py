@@ -76,6 +76,7 @@ def find_time_optimal_mapping(
     method: str = "auto",
     jobs: int | None = None,
     cache=None,
+    resilience=None,
     **solver_kwargs,
 ) -> MappingResult:
     """Solve Problem 2.2 end to end for a given space mapping.
@@ -103,6 +104,11 @@ def find_time_optimal_mapping(
     cache:
         Optional :class:`repro.dse.cache.ResultCache`; the search route
         consults it before searching and records its decision after.
+    resilience:
+        Optional :class:`repro.dse.resilience.ResiliencePolicy` for the
+        engine route — per-shard timeouts, bounded retries, and
+        degradation behavior.  Supplying one routes the search through
+        the engine even without ``jobs``/``cache``.
 
     Raises
     ------
@@ -134,7 +140,7 @@ def find_time_optimal_mapping(
         mapping = res.mapping
         schedule = res.schedule
     elif solver == "procedure-5.1":
-        if jobs is not None or cache is not None:
+        if jobs is not None or cache is not None or resilience is not None:
             # Lazy import: repro.dse.executor imports repro.core back.
             from ..dse.executor import explore_schedule
 
@@ -144,6 +150,7 @@ def find_time_optimal_mapping(
                 jobs=jobs if jobs is not None else 1,
                 method=method,
                 cache=cache,
+                resilience=resilience,
                 **solver_kwargs,
             )
         else:

@@ -42,6 +42,7 @@ __all__ = [
     "enumerate_space_rows",
     "evaluate_design",
     "evaluate_joint_candidate",
+    "joint_objective",
     "pareto_frontier",
     "enumerate_space_mappings",
     "rank_designs",
@@ -128,6 +129,22 @@ def _default_objective(cost: ArrayCost) -> float:
     return cost.combined(processor_weight=1.0, wire_weight=1.0)
 
 
+def joint_objective(
+    cost: ArrayCost, time_weight: float = 1.0, space_weight: float = 1.0
+) -> float:
+    """Problem 6.2's ranking criterion: weighted time plus VLSI area.
+
+    The single source of truth for the joint cost model — used by
+    :func:`evaluate_joint_candidate` (cold searches, serial and
+    sharded) *and* by the engine's warm-cache rebuild, so a cached
+    ranking can never drift from a recomputed one if the formula
+    changes.
+    """
+    return time_weight * cost.total_time + space_weight * (
+        cost.processors + cost.wire_length
+    )
+
+
 def evaluate_design(
     algorithm: UniformDependenceAlgorithm,
     space: Sequence[Sequence[int]],
@@ -179,9 +196,7 @@ def evaluate_joint_candidate(
         cost = evaluate_cost(algorithm, search.mapping)
     except RoutingError:
         return "routing", None
-    objective = time_weight * cost.total_time + space_weight * (
-        cost.processors + cost.wire_length
-    )
+    objective = joint_objective(cost, time_weight, space_weight)
     return "ok", SpaceDesign(mapping=search.mapping, cost=cost, objective=objective)
 
 

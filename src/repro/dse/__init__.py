@@ -11,6 +11,10 @@ Public surface:
 * :class:`ResultCache`, :func:`canonical_key`,
   :func:`default_cache_dir` — the persistent result cache
   (:mod:`repro.dse.cache`).
+* :class:`ResiliencePolicy`, :class:`ResilienceError` — fault
+  tolerance for the parallel path (:mod:`repro.dse.resilience`):
+  shard timeouts, bounded retries, pool replacement and graceful
+  degradation, all preserving serial-result equality.
 * :func:`round_robin`, :func:`ring_bounds`, :func:`effective_shards` —
   deterministic sharding primitives (:mod:`repro.dse.partition`).
 
@@ -34,6 +38,8 @@ __all__ = [
     "ResultCache",
     "canonical_key",
     "default_cache_dir",
+    "ResiliencePolicy",
+    "ResilienceError",
     "round_robin",
     "ring_bounds",
     "effective_shards",
@@ -47,6 +53,8 @@ _LAZY = {
     "ResultCache": "cache",
     "canonical_key": "cache",
     "default_cache_dir": "cache",
+    "ResiliencePolicy": "resilience",
+    "ResilienceError": "resilience",
     "round_robin": "partition",
     "ring_bounds": "partition",
     "effective_shards": "partition",

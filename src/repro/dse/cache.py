@@ -24,6 +24,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 
 from ..intlin import IntMat
@@ -100,6 +101,7 @@ class ResultCache:
         self.enabled = enabled
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     # -- lookup ----------------------------------------------------------
 
@@ -107,21 +109,45 @@ class ResultCache:
         return self.cache_dir / f"{key}.json"
 
     def get(self, key: str) -> dict | None:
-        """The stored entry for ``key``, or ``None`` (counted as a miss)."""
+        """The stored entry for ``key``, or ``None`` (counted as a miss).
+
+        A malformed entry — unparsable JSON, a non-object document, or a
+        schema-valid object missing its ``"value"`` — is a miss too:
+        the file is quarantined aside (renamed ``*.json.corrupt``) so
+        the search re-runs and overwrites it, instead of crashing on a
+        truncated or hand-edited file.  A well-formed entry of another
+        schema version is an ordinary miss (version skew, not damage).
+        """
         if self.enabled:
+            path = self._path(key)
+            absent = object()
+            entry = absent
             try:
-                with open(self._path(key), encoding="utf-8") as fh:
+                with open(path, encoding="utf-8") as fh:
                     entry = json.load(fh)
-            except (OSError, json.JSONDecodeError):
-                entry = None
-            if (
-                isinstance(entry, dict)
-                and entry.get("schema") == CACHE_SCHEMA_VERSION
-            ):
-                self.hits += 1
-                return entry["value"]
+            except OSError:
+                entry = absent
+            except json.JSONDecodeError:
+                entry = None  # file exists but is damaged
+            if isinstance(entry, dict):
+                if entry.get("schema") == CACHE_SCHEMA_VERSION:
+                    if isinstance(entry.get("value"), dict):
+                        self.hits += 1
+                        return entry["value"]
+                    self._quarantine(path)
+                # other schema versions: inert, plain miss
+            elif entry is not absent:
+                self._quarantine(path)
         self.misses += 1
         return None
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a malformed entry aside (``*.json.corrupt``)."""
+        try:
+            path.replace(path.with_name(path.name + ".corrupt"))
+            self.quarantined += 1
+        except OSError:  # pragma: no cover - raced deletion
+            pass
 
     def put(self, key: str, value: dict) -> None:
         """Store ``value`` under ``key`` atomically (no-op when disabled)."""
@@ -145,22 +171,64 @@ class ResultCache:
 
     # -- maintenance -----------------------------------------------------
 
+    def _entry_paths(self):
+        """Real entry files only — writer temp files (``.tmp-*.json``,
+        left behind if a writer crashes between ``mkstemp`` and
+        ``os.replace``) are dotfiles and must never count as entries,
+        even though :meth:`Path.glob` happily matches them."""
+        if not self.cache_dir.is_dir():
+            return
+        for path in self.cache_dir.glob("*.json"):
+            if not path.name.startswith("."):
+                yield path
+
     def clear(self) -> int:
-        """Delete every entry; returns how many files were removed."""
+        """Delete every entry; returns how many entries were removed.
+
+        Leftover writer temp files and quarantined ``*.json.corrupt``
+        files are swept as well (not counted — they were never
+        entries).
+        """
         removed = 0
+        for path in self._entry_paths():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        self.sweep_temp(max_age_seconds=0.0)
         if self.cache_dir.is_dir():
-            for path in self.cache_dir.glob("*.json"):
+            for path in self.cache_dir.glob("*.json.corrupt"):
                 try:
                     path.unlink()
-                    removed += 1
-                except OSError:
+                except OSError:  # pragma: no cover - raced deletion
                     pass
         return removed
 
-    def __len__(self) -> int:
+    def sweep_temp(self, max_age_seconds: float = 3600.0) -> int:
+        """Delete stale writer temp files; returns how many were removed.
+
+        A temp file only outlives its ``put`` if the writing process
+        died between creating it and the atomic rename, so anything
+        older than ``max_age_seconds`` is garbage from a crashed
+        writer.  Newer files are left alone — they may belong to a
+        concurrent live writer.
+        """
+        removed = 0
         if not self.cache_dir.is_dir():
             return 0
-        return sum(1 for _ in self.cache_dir.glob("*.json"))
+        cutoff = time.time() - max_age_seconds
+        for path in self.cache_dir.glob(".tmp-*.json"):
+            try:
+                if path.stat().st_mtime <= cutoff:
+                    path.unlink()
+                    removed += 1
+            except OSError:  # pragma: no cover - raced deletion
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entry_paths())
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "on" if self.enabled else "off"

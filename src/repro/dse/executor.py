@@ -35,7 +35,6 @@ from __future__ import annotations
 import os
 import time
 from collections.abc import Callable, Sequence
-from concurrent.futures import ProcessPoolExecutor
 
 from ..core.conditions import check_conflict_free
 from ..core.mapping import MappingMatrix
@@ -52,6 +51,7 @@ from ..core.space_optimize import (
     enumerate_space_mappings,
     evaluate_design,
     evaluate_joint_candidate,
+    joint_objective,
     rank_designs,
 )
 from ..model import ConstantBoundedIndexSet, UniformDependenceAlgorithm
@@ -59,6 +59,7 @@ from ..systolic.cost import evaluate_cost
 from .cache import ResultCache, canonical_key
 from .partition import effective_shards, ring_bounds, round_robin
 from .progress import SearchStats
+from .resilience import ResiliencePolicy, ResilientShardRunner
 
 __all__ = [
     "explore_schedule",
@@ -76,8 +77,19 @@ _OK = "ok"              # fully valid candidate
 
 
 def resolve_jobs(jobs: int | None) -> int:
-    """``None`` means one worker per CPU; explicit values must be >= 1."""
+    """``None`` means one worker per *available* CPU; explicit values
+    must be >= 1.
+
+    "Available" honors cgroup/affinity limits where the platform
+    exposes them (``os.sched_getaffinity``), so a container pinned to 2
+    cores gets 2 workers, not one per physical core of the host.
+    """
     if jobs is None:
+        if hasattr(os, "sched_getaffinity"):
+            try:
+                return len(os.sched_getaffinity(0)) or 1
+            except OSError:  # pragma: no cover - affinity query denied
+                pass
         return os.cpu_count() or 1
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -172,37 +184,10 @@ def _evaluate_joint_shard(payload: dict) -> dict:
 
 # -- fan-out helper ---------------------------------------------------------
 
-
-class _ShardRunner:
-    """Runs shard payloads either in-process or on a persistent pool.
-
-    The pool is created lazily on the first parallel batch and reused
-    across rings, so an early-terminating search never pays fork
-    start-up for rings it does not reach.
-    """
-
-    def __init__(self, jobs: int, *, in_process: bool = False) -> None:
-        self.jobs = jobs
-        self.in_process = in_process or jobs <= 1
-        self._pool: ProcessPoolExecutor | None = None
-
-    def run(self, worker: Callable[[dict], dict], payloads: list[dict]) -> list[dict]:
-        if self.in_process or len(payloads) <= 1:
-            return [worker(p) for p in payloads]
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
-        return list(self._pool.map(worker, payloads))
-
-    def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
-
-    def __enter__(self) -> "_ShardRunner":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
+# The fan-out loop lives in repro.dse.resilience: ResilientShardRunner
+# runs payloads in-process or on a supervised pool, retrying/re-judging
+# failed shards so the serial-equality contract survives worker death,
+# hangs and corrupted outputs.
 
 
 # -- Problem 2.2: schedule search ------------------------------------------
@@ -219,6 +204,7 @@ def explore_schedule(
     max_bound: int | None = None,
     extra_constraint: Callable[[MappingMatrix], bool] | None = None,
     cache: ResultCache | None = None,
+    resilience: ResiliencePolicy | None = None,
 ) -> SearchResult:
     """Procedure 5.1 through the work-queue engine.
 
@@ -230,12 +216,16 @@ def explore_schedule(
     Parameters mirror :func:`repro.core.optimize.procedure_5_1`, plus:
 
     jobs:
-        Worker processes (``None``: one per CPU).  ``extra_constraint``
-        forces the in-process fallback — arbitrary callbacks do not
-        cross process boundaries.
+        Worker processes (``None``: one per available CPU).
+        ``extra_constraint`` forces the in-process fallback — arbitrary
+        callbacks do not cross process boundaries.
     cache:
         Optional persistent :class:`~repro.dse.cache.ResultCache`; hits
         skip the search and re-derive the verdict exactly.
+    resilience:
+        Optional :class:`~repro.dse.resilience.ResiliencePolicy`
+        governing shard timeouts, retries and degradation on the
+        parallel path (``None``: the default policy).
     """
     jobs = resolve_jobs(jobs)
     mu = algorithm.mu
@@ -275,7 +265,9 @@ def explore_schedule(
     winner_pi: tuple[int, ...] | None = None
     max_shards = 1
 
-    with _ShardRunner(jobs, in_process=extra_constraint is not None) as runner:
+    with ResilientShardRunner(
+        jobs, in_process=extra_constraint is not None, policy=resilience
+    ) as runner:
         for f_min, f_max in ring_bounds(initial_bound, alpha, max_bound):
             ring = [
                 LinearSchedule(pi=pi, index_set=algorithm.index_set)
@@ -331,6 +323,7 @@ def explore_schedule(
     stats.rings_expanded = rings
     stats.shards = max_shards
     stats.wall_time = time.perf_counter() - started
+    runner.apply_telemetry(stats)
 
     if winner_pi is None:
         result = SearchResult(
@@ -436,6 +429,7 @@ def explore_space(
     objective=None,
     keep_ranking: int = 10,
     cache: ResultCache | None = None,
+    resilience: ResiliencePolicy | None = None,
 ) -> SpaceOptimizationResult:
     """Problem 6.1 through the engine; equal to ``solve_space_optimal``.
 
@@ -473,9 +467,11 @@ def explore_space(
 
     candidates = list(enumerate_space_mappings(algorithm.n, array_dim, magnitude))
     payload_extra = {"pi": pi_t}
+    runner = None
     if objective is None:
-        outs = _fan_out_designs(
-            algorithm, candidates, jobs, _evaluate_space_shard, payload_extra
+        outs, runner = _fan_out_designs(
+            algorithm, candidates, jobs, _evaluate_space_shard, payload_extra,
+            resilience,
         )
     else:
         outs = [
@@ -495,6 +491,8 @@ def explore_space(
         candidates, outs, keep_ranking, jobs, time.perf_counter() - started,
         cache_misses=1 if cache_key is not None else 0,
     )
+    if runner is not None:
+        runner.apply_telemetry(result.stats)
     if cache_key is not None:
         cache.put(cache_key, _space_entry_from_result(result))
     return result
@@ -511,6 +509,7 @@ def explore_joint(
     keep_ranking: int = 10,
     schedule_kwargs: dict | None = None,
     cache: ResultCache | None = None,
+    resilience: ResiliencePolicy | None = None,
 ) -> SpaceOptimizationResult:
     """Problem 6.2 through the engine; equal to ``solve_joint_optimal``.
 
@@ -540,11 +539,12 @@ def explore_joint(
         entry = cache.get(cache_key)
         if entry is not None:
             def rebuild(space, pi=None):
+                # Shares joint_objective with evaluate_joint_candidate,
+                # so a warm rebuild can never drift from the cold path's
+                # cost model.
                 mapping = MappingMatrix(space=space, schedule=pi)
                 cost = evaluate_cost(algorithm, mapping)
-                objective = time_weight * cost.total_time + space_weight * (
-                    cost.processors + cost.wire_length
-                )
+                objective = joint_objective(cost, time_weight, space_weight)
                 return SpaceDesign(mapping=mapping, cost=cost, objective=objective)
 
             return _space_result_from_entry(
@@ -558,6 +558,7 @@ def explore_joint(
         "space_weight": space_weight,
         "schedule_kwargs": kwargs,
     }
+    runner = None
     if has_callback:
         outs = [
             {
@@ -574,14 +575,17 @@ def explore_joint(
             )
         ]
     else:
-        outs = _fan_out_designs(
-            algorithm, candidates, jobs, _evaluate_joint_shard, payload_extra
+        outs, runner = _fan_out_designs(
+            algorithm, candidates, jobs, _evaluate_joint_shard, payload_extra,
+            resilience,
         )
 
     result = _merge_design_outs(
         candidates, outs, keep_ranking, jobs, time.perf_counter() - started,
         cache_misses=1 if cache_key is not None else 0,
     )
+    if runner is not None:
+        runner.apply_telemetry(result.stats)
     if cache_key is not None:
         cache.put(cache_key, _space_entry_from_result(result, with_pi=True))
     return result
@@ -593,15 +597,16 @@ def _fan_out_designs(
     jobs: int,
     worker: Callable[[dict], dict],
     payload_extra: dict,
-) -> list[dict]:
+    resilience: ResiliencePolicy | None,
+) -> tuple[list[dict], ResilientShardRunner]:
     spec = _algorithm_spec(algorithm)
     shards = effective_shards(len(candidates), jobs)
     payloads = [
         {"algorithm": spec, "spaces": part, **payload_extra}
         for part in round_robin(candidates, shards)
     ]
-    with _ShardRunner(jobs) as runner:
-        return runner.run(worker, payloads)
+    with ResilientShardRunner(jobs, policy=resilience) as runner:
+        return runner.run(worker, payloads), runner
 
 
 def _merge_design_outs(

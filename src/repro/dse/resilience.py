@@ -1,0 +1,374 @@
+"""Fault tolerance for the parallel design-space exploration engine.
+
+The executor's contract — a sharded search returns a result *equal* to
+the serial one — makes recovery unusually simple: every shard is a pure
+function of its payload, so a shard lost to a crashed worker, a hung
+conflict check, or a corrupted result can always be re-judged
+deterministically.  This module supplies the machinery:
+
+* :class:`ResiliencePolicy` — the knobs: per-shard timeout, bounded
+  retries with exponential backoff, and whether the engine may degrade
+  to the in-process path once the process pool proves unreliable.
+* :class:`ResilientShardRunner` — the fan-out loop.  It detects worker
+  death (``BrokenProcessPool``), hung shards (per-batch deadline), and
+  malformed shard outputs; failed shards are retried on a replacement
+  pool and, once retries are exhausted, re-judged in-process — a shard
+  is **never dropped**, which is what preserves result equality.
+* Deterministic fault injection — ``$REPRO_DSE_FAULT`` makes a chosen
+  shard crash, hang, or return garbage *inside the worker process*, so
+  the recovery paths are exercised for real in tests rather than
+  mocked.
+
+Failure telemetry (``shard_retries``, ``shard_timeouts``,
+``pool_restarts``, ``degraded``) is folded into the search's
+:class:`~repro.dse.progress.SearchStats`; like all telemetry it is
+excluded from result equality.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections.abc import Callable
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+__all__ = [
+    "ResiliencePolicy",
+    "ResilienceError",
+    "ResilientShardRunner",
+    "FAULT_ENV_VAR",
+    "FAULT_HANG_ENV_VAR",
+]
+
+# -- fault injection --------------------------------------------------------
+
+#: ``mode:shard_index[:always]`` with mode in {crash, hang, corrupt}.
+#: Without ``always`` the fault fires exactly once per search: on the
+#: first attempt of the chosen shard in the runner's first batch.
+FAULT_ENV_VAR = "REPRO_DSE_FAULT"
+
+#: How long a ``hang`` fault sleeps, in seconds (default 30; the parent
+#: terminates the hung worker when the shard deadline passes, so the
+#: sleep only bounds cleanup if termination itself fails).
+FAULT_HANG_ENV_VAR = "REPRO_DSE_FAULT_HANG"
+
+_FAULT_MODES = ("crash", "hang", "corrupt")
+
+
+def _parse_fault_spec(raw: str | None) -> tuple[str, int, bool] | None:
+    """``(mode, shard_index, always)`` from a ``$REPRO_DSE_FAULT`` value."""
+    if not raw:
+        return None
+    parts = raw.split(":")
+    if len(parts) not in (2, 3) or parts[0] not in _FAULT_MODES:
+        raise ValueError(
+            f"bad {FAULT_ENV_VAR} value {raw!r}; expected "
+            f"'mode:shard_index[:always]' with mode in {_FAULT_MODES}"
+        )
+    always = len(parts) == 3 and parts[2] == "always"
+    return parts[0], int(parts[1]), always
+
+
+def _maybe_inject_fault(shard_index: int, attempt: int, batch: int) -> bool:
+    """Fire the configured fault for this shard, if any.
+
+    Runs inside the worker process.  Returns ``True`` when the caller
+    should return a corrupted output (the ``corrupt`` mode); ``crash``
+    never returns and ``hang`` returns after its sleep.
+    """
+    spec = _parse_fault_spec(os.environ.get(FAULT_ENV_VAR))
+    if spec is None:
+        return False
+    mode, target, always = spec
+    if shard_index != target:
+        return False
+    if not always and (attempt > 0 or batch > 0):
+        return False
+    if mode == "crash":
+        os._exit(17)
+    if mode == "hang":
+        time.sleep(float(os.environ.get(FAULT_HANG_ENV_VAR, "30")))
+        return False
+    return True  # corrupt
+
+
+def _call_shard(worker: Callable[[dict], dict], payload: dict) -> object:
+    """Pool-side shard entry point: fault hook, then the real worker.
+
+    The runner annotates payloads with ``_shard_index`` / ``_attempt`` /
+    ``_batch``; they are stripped before the worker sees the payload.
+    """
+    shard_index = payload.pop("_shard_index", -1)
+    attempt = payload.pop("_attempt", 0)
+    batch = payload.pop("_batch", 0)
+    if _maybe_inject_fault(shard_index, attempt, batch):
+        return {"corrupted": True}  # fails _output_ok; retried by parent
+    return worker(payload)
+
+
+def _output_ok(out: object) -> bool:
+    """Structural sanity of a shard output (guards corrupted transport)."""
+    if not isinstance(out, dict):
+        return False
+    if not isinstance(out.get("wall_time"), (int, float)):
+        return False
+    data = out.get("records", out.get("evaluated"))
+    return isinstance(data, list)
+
+
+# -- policy -----------------------------------------------------------------
+
+
+class ResilienceError(RuntimeError):
+    """A shard could not be completed under the active policy."""
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Fault-tolerance knobs for the parallel execution path.
+
+    Attributes
+    ----------
+    shard_timeout:
+        Seconds a batch of shards may run before unfinished shards are
+        declared hung and their pool replaced (``None``: wait forever).
+    max_retries:
+        How many times a failed shard is re-submitted to a pool before
+        the policy gives up on parallel execution for it.
+    backoff_base, backoff_factor:
+        The ``r``-th retry round sleeps ``backoff_base *
+        backoff_factor**(r - 1)`` seconds before resubmitting.
+    max_pool_restarts:
+        After this many pool replacements the runner stops trusting
+        process pools for the rest of the search.
+    degrade:
+        Whether exhausted retries fall back to the deterministic
+        in-process path (the default).  With ``degrade=False`` the
+        search raises :class:`ResilienceError` instead — the result is
+        still never silently wrong, just absent.
+    """
+
+    shard_timeout: float | None = None
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    max_pool_restarts: int = 3
+    degrade: bool = True
+
+    def __post_init__(self) -> None:
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ValueError(
+                f"shard_timeout must be positive or None, got {self.shard_timeout}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base < 0:
+            raise ValueError(f"backoff_base must be >= 0, got {self.backoff_base}")
+        if self.backoff_factor < 1:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.max_pool_restarts < 0:
+            raise ValueError(
+                f"max_pool_restarts must be >= 0, got {self.max_pool_restarts}"
+            )
+
+    def backoff_delay(self, retry_round: int) -> float:
+        """Sleep before retry round ``retry_round`` (1-based)."""
+        return self.backoff_base * self.backoff_factor ** max(0, retry_round - 1)
+
+
+# -- runner -----------------------------------------------------------------
+
+
+class ResilientShardRunner:
+    """Runs shard payloads in-process or on a supervised process pool.
+
+    The pool is created lazily on the first parallel batch and reused
+    across batches (rings), so an early-terminating search never pays
+    fork start-up for rings it does not reach.  Every failure mode ends
+    in one of two states: the shard's result was recomputed exactly, or
+    (with ``degrade=False``) :class:`ResilienceError` was raised —
+    results are never dropped or reordered, preserving the engine's
+    serial-equality contract.
+
+    Failure telemetry accumulates on the runner; callers fold it into
+    their :class:`~repro.dse.progress.SearchStats` via
+    :meth:`apply_telemetry`.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        *,
+        in_process: bool = False,
+        policy: ResiliencePolicy | None = None,
+    ) -> None:
+        self.jobs = jobs
+        self.in_process = in_process or jobs <= 1
+        self.policy = policy or ResiliencePolicy()
+        self._pool: ProcessPoolExecutor | None = None
+        self._batch = 0
+        self._degraded = False
+        self.shard_retries = 0
+        self.shard_timeouts = 0
+        self.pool_restarts = 0
+        self.degraded = False
+
+    # -- pool lifecycle --------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def _abandon_pool(self) -> None:
+        """Discard the pool, terminating workers (they may be hung)."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - shutdown never raises today
+            pass
+        for proc in list((getattr(pool, "_processes", None) or {}).values()):
+            try:
+                proc.terminate()
+            except Exception:  # pragma: no cover - already-dead worker
+                pass
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ResilientShardRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- execution -------------------------------------------------------
+
+    def run(self, worker: Callable[[dict], dict], payloads: list[dict]) -> list[dict]:
+        if self.in_process or self._degraded or len(payloads) <= 1:
+            return [worker(p) for p in payloads]
+
+        results: list[dict | None] = [None] * len(payloads)
+        attempts = [0] * len(payloads)
+        pending = list(range(len(payloads)))
+        retry_round = 0
+        while pending:
+            if self._degraded:
+                for i in pending:
+                    results[i] = worker(payloads[i])
+                break
+            if retry_round:
+                delay = self.policy.backoff_delay(retry_round)
+                if delay > 0:
+                    time.sleep(delay)
+            failed = self._run_batch(worker, payloads, pending, attempts, results)
+            pending = []
+            for i in failed:
+                attempts[i] += 1
+                if attempts[i] <= self.policy.max_retries:
+                    self.shard_retries += 1
+                    pending.append(i)
+                else:
+                    self._degrade_shard(worker, payloads, results, i)
+            retry_round += 1
+        return results  # type: ignore[return-value]  # every slot is filled
+
+    def _run_batch(
+        self,
+        worker: Callable[[dict], dict],
+        payloads: list[dict],
+        pending: list[int],
+        attempts: list[int],
+        results: list[dict | None],
+    ) -> list[int]:
+        """Submit ``pending`` shards once; returns the indices that failed."""
+        pool = self._ensure_pool()
+        batch = self._batch
+        self._batch += 1
+        submitted = [
+            (
+                i,
+                pool.submit(
+                    _call_shard,
+                    worker,
+                    dict(payloads[i], _shard_index=i, _attempt=attempts[i], _batch=batch),
+                ),
+            )
+            for i in pending
+        ]
+        deadline = (
+            None
+            if self.policy.shard_timeout is None
+            else time.monotonic() + self.policy.shard_timeout
+        )
+        failed: list[int] = []
+        pool_dead = False
+        for i, fut in submitted:
+            try:
+                if deadline is None:
+                    out = fut.result()
+                else:
+                    out = fut.result(timeout=max(0.0, deadline - time.monotonic()))
+            except _FuturesTimeout:
+                self.shard_timeouts += 1
+                failed.append(i)
+                pool_dead = True  # the worker may be hung; reclaim it
+                continue
+            except BrokenProcessPool:
+                failed.append(i)
+                pool_dead = True
+                continue
+            except Exception:
+                failed.append(i)  # worker raised; pool itself survives
+                continue
+            if _output_ok(out):
+                results[i] = out  # type: ignore[assignment]
+            else:
+                failed.append(i)
+        if pool_dead:
+            self._abandon_pool()
+            self.pool_restarts += 1
+            if self.pool_restarts > self.policy.max_pool_restarts:
+                if not self.policy.degrade:
+                    raise ResilienceError(
+                        f"process pool failed {self.pool_restarts} times "
+                        f"(> max_pool_restarts={self.policy.max_pool_restarts}) "
+                        "and degradation is disabled"
+                    )
+                self._degraded = True
+                self.degraded = True
+        return failed
+
+    def _degrade_shard(
+        self,
+        worker: Callable[[dict], dict],
+        payloads: list[dict],
+        results: list[dict | None],
+        i: int,
+    ) -> None:
+        """Retries exhausted: re-judge shard ``i`` in-process (or raise)."""
+        if not self.policy.degrade:
+            raise ResilienceError(
+                f"shard {i} failed {self.policy.max_retries + 1} attempts "
+                "and degradation is disabled"
+            )
+        results[i] = worker(payloads[i])
+        self.degraded = True
+
+    # -- telemetry -------------------------------------------------------
+
+    def apply_telemetry(self, stats) -> None:
+        """Fold this runner's failure counters into ``stats``."""
+        stats.shard_retries += self.shard_retries
+        stats.shard_timeouts += self.shard_timeouts
+        stats.pool_restarts += self.pool_restarts
+        stats.degraded = stats.degraded or self.degraded

@@ -193,3 +193,30 @@ class TestFindAllOptima:
 
         algo = matrix_multiplication(2)
         assert find_all_optima(algo, [[1, 1, -1]], max_bound=3) == []
+
+    def test_tie_sweep_follows_sort_key_order(self, matmul4):
+        # Regression: the sweep used to sort raw pi tuples with
+        # sorted(); the documented order is LinearSchedule.sort_key
+        # (total time, then the vector) — the search's own visit order.
+        from repro.core import find_all_optima
+
+        optima = find_all_optima(matmul4, [[1, 1, -1]])
+        keys = [o.schedule.sort_key() for o in optima]
+        assert keys == sorted(keys)
+        pis = [o.schedule.pi for o in optima]
+        # The paper's Example 5.1 pair, in sweep order.
+        assert pis.index((1, 4, 1)) < pis.index((4, 1, 1))
+
+    def test_tie_results_do_not_alias_stats(self, matmul4):
+        # Regression: every tie result used to share the single stats
+        # object of the initial search; mutating one result's telemetry
+        # leaked into all its siblings.
+        from repro.core import find_all_optima
+
+        optima = find_all_optima(matmul4, [[1, 1, -1]])
+        assert len(optima) >= 2
+        assert len({id(o.stats) for o in optima}) == len(optima)
+        first, second = optima[0], optima[1]
+        assert first.stats == second.stats  # same values...
+        first.stats.wall_time += 123.0      # ...but independent objects
+        assert second.stats.wall_time != first.stats.wall_time

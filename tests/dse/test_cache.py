@@ -104,3 +104,96 @@ class TestResultCache:
         monkeypatch.delenv("REPRO_DSE_CACHE_DIR")
         monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
         assert default_cache_dir() == tmp_path / "xdg" / "repro-dse"
+
+
+class TestMalformedEntries:
+    """Malformed files are misses that get quarantined, never crashes."""
+
+    def test_entry_without_value_is_miss_and_quarantined(self, tmp_path):
+        # Regression: a truncated/hand-edited entry that still passes the
+        # isinstance+schema guard used to raise KeyError on entry["value"].
+        cache = ResultCache(tmp_path)
+        key = canonical_key({"q": 10})
+        (tmp_path / f"{key}.json").write_text(
+            json.dumps({"schema": CACHE_SCHEMA_VERSION})
+        )
+        assert cache.get(key) is None
+        assert cache.misses == 1 and cache.hits == 0
+        assert cache.quarantined == 1
+        assert not (tmp_path / f"{key}.json").exists()
+        assert (tmp_path / f"{key}.json.corrupt").exists()
+
+    def test_non_object_document_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = canonical_key({"q": 11})
+        (tmp_path / f"{key}.json").write_text("[1, 2, 3]")
+        assert cache.get(key) is None
+        assert cache.quarantined == 1
+
+    def test_unparsable_json_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = canonical_key({"q": 12})
+        (tmp_path / f"{key}.json").write_text("{truncated")
+        assert cache.get(key) is None
+        assert cache.quarantined == 1
+        assert len(cache) == 0  # the quarantined file is no longer an entry
+
+    def test_schema_skew_is_a_plain_miss_not_damage(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = canonical_key({"q": 13})
+        path = tmp_path / f"{key}.json"
+        path.write_text(
+            json.dumps({"schema": CACHE_SCHEMA_VERSION + 1, "value": {"x": 1}})
+        )
+        assert cache.get(key) is None
+        assert cache.quarantined == 0
+        assert path.exists()
+
+    def test_quarantined_key_can_be_repopulated(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = canonical_key({"q": 14})
+        (tmp_path / f"{key}.json").write_text("garbage")
+        assert cache.get(key) is None
+        cache.put(key, {"fresh": True})
+        assert cache.get(key) == {"fresh": True}
+
+
+class TestTempFiles:
+    """Crashed writers leak ``.tmp-*.json``; they must never read as entries."""
+
+    def test_len_and_clear_ignore_temp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(canonical_key({"q": 20}), {"x": 1})
+        (tmp_path / ".tmp-dead.json").write_text("{}")
+        assert len(cache) == 1
+        assert cache.clear() == 1
+        assert len(cache) == 0
+        # clear() also sweeps the leaked temp file.
+        assert not list(tmp_path.glob(".tmp-*.json"))
+
+    def test_clear_sweeps_quarantined_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = canonical_key({"q": 21})
+        (tmp_path / f"{key}.json").write_text("garbage")
+        cache.get(key)
+        assert list(tmp_path.glob("*.json.corrupt"))
+        assert cache.clear() == 0
+        assert not list(tmp_path.glob("*.json.corrupt"))
+
+    def test_sweep_temp_respects_age(self, tmp_path):
+        import os as _os
+        import time as _time
+
+        cache = ResultCache(tmp_path)
+        old = tmp_path / ".tmp-old.json"
+        young = tmp_path / ".tmp-young.json"
+        old.write_text("{}")
+        young.write_text("{}")
+        stale = _time.time() - 7200
+        _os.utime(old, (stale, stale))
+        assert cache.sweep_temp(max_age_seconds=3600) == 1
+        assert not old.exists() and young.exists()
+
+    def test_sweep_temp_on_missing_dir(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        assert cache.sweep_temp() == 0

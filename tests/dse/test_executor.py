@@ -169,6 +169,25 @@ class TestJointEquivalence:
         assert cold == serial == warm
         assert warm.stats.cache_hits == 1
 
+    def test_warm_rebuild_shares_cost_model_with_cold(self, matmul4, tmp_path):
+        # Regression: the warm-cache rebuild used to re-implement the
+        # joint objective inline; with non-default weights a formula
+        # drift would surface as warm != cold.  Both paths now call
+        # repro.core.space_optimize.joint_objective.
+        cache = ResultCache(tmp_path)
+        weights = dict(time_weight=2.0, space_weight=0.5)
+        cold = explore_joint(matmul4, jobs=1, cache=cache, **weights)
+        warm = explore_joint(matmul4, jobs=1, cache=cache, **weights)
+        assert warm == cold
+        assert warm.stats.cache_hits == 1
+        assert [d.objective for d in warm.ranking] == [
+            d.objective for d in cold.ranking
+        ]
+        from repro.core import joint_objective
+
+        for design in warm.ranking:
+            assert design.objective == joint_objective(design.cost, **weights)
+
     def test_callback_schedule_kwargs_bypass_cache(self, matmul4, tmp_path):
         cache = ResultCache(tmp_path)
         kwargs = {"extra_constraint": lambda t: True}
@@ -206,8 +225,25 @@ class TestPipelineIntegration:
 
 
 class TestResolveJobs:
-    def test_none_means_cpu_count(self):
+    def test_none_means_available_cpus(self):
         assert resolve_jobs(None) >= 1
+
+    def test_none_prefers_affinity_mask(self, monkeypatch):
+        # A cgroup/affinity-limited runner must get workers for the CPUs
+        # it may actually use, not one per physical core of the host.
+        import os
+
+        monkeypatch.setattr(
+            os, "sched_getaffinity", lambda pid: {0, 1, 2}, raising=False
+        )
+        assert resolve_jobs(None) == 3
+
+    def test_none_falls_back_to_cpu_count(self, monkeypatch):
+        import os
+
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 5)
+        assert resolve_jobs(None) == 5
 
     def test_explicit_passthrough(self):
         assert resolve_jobs(3) == 3

@@ -1,0 +1,280 @@
+"""Fault-injection tests for the DSE engine's resilience layer.
+
+These exercise the real recovery paths — a worker killed mid-ring, a
+shard hung past its deadline, a corrupted shard output, a truncated
+cache entry — via the deterministic ``$REPRO_DSE_FAULT`` hook, which
+fires *inside the worker process*.  Nothing is mocked.  The invariant
+under test is the engine's contract: a recovered search result compares
+equal to the serial (``jobs=1``, no-cache) one, with the recovery
+visible only in the ``SearchStats`` failure telemetry.
+"""
+
+import json
+
+import pytest
+
+from repro.core.optimize import procedure_5_1
+from repro.core.pipeline import find_time_optimal_mapping
+from repro.core.space_optimize import solve_joint_optimal, solve_space_optimal
+from repro.dse.cache import ResultCache
+from repro.dse.executor import explore_joint, explore_schedule, explore_space
+from repro.dse.resilience import (
+    FAULT_ENV_VAR,
+    FAULT_HANG_ENV_VAR,
+    ResilienceError,
+    ResiliencePolicy,
+    ResilientShardRunner,
+    _parse_fault_spec,
+)
+
+SPACE = [[1, 1, -1]]
+
+# No backoff sleeps in tests; recovery behavior is unaffected.
+FAST = ResiliencePolicy(backoff_base=0.0)
+
+
+class TestResiliencePolicy:
+    def test_defaults_are_valid(self):
+        p = ResiliencePolicy()
+        assert p.shard_timeout is None
+        assert p.max_retries == 2
+        assert p.degrade is True
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"shard_timeout": 0.0},
+            {"shard_timeout": -1.0},
+            {"max_retries": -1},
+            {"backoff_base": -0.1},
+            {"backoff_factor": 0.5},
+            {"max_pool_restarts": -1},
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            ResiliencePolicy(**kwargs)
+
+    def test_backoff_progression(self):
+        p = ResiliencePolicy(backoff_base=0.1, backoff_factor=2.0)
+        assert p.backoff_delay(1) == pytest.approx(0.1)
+        assert p.backoff_delay(2) == pytest.approx(0.2)
+        assert p.backoff_delay(3) == pytest.approx(0.4)
+
+
+class TestFaultSpec:
+    def test_parses_once_and_always(self):
+        assert _parse_fault_spec("crash:2") == ("crash", 2, False)
+        assert _parse_fault_spec("hang:0:always") == ("hang", 0, True)
+        assert _parse_fault_spec(None) is None
+        assert _parse_fault_spec("") is None
+
+    @pytest.mark.parametrize("raw", ["explode:1", "crash", "crash:1:2:3"])
+    def test_rejects_malformed_specs(self, raw):
+        with pytest.raises(ValueError):
+            _parse_fault_spec(raw)
+
+
+class TestCrashRecovery:
+    def test_shard_killed_mid_ring_recovers(self, matmul4, monkeypatch):
+        serial = procedure_5_1(matmul4, SPACE)
+        monkeypatch.setenv(FAULT_ENV_VAR, "crash:0")
+        recovered = explore_schedule(matmul4, SPACE, jobs=2, resilience=FAST)
+        assert recovered == serial
+        assert recovered.schedule.pi == serial.schedule.pi
+        # The recovery is visible in the failure telemetry.
+        assert recovered.stats.shard_retries >= 1
+        assert recovered.stats.pool_restarts == 1
+        assert recovered.stats.shard_timeouts == 0
+        assert not recovered.stats.degraded
+
+    def test_space_search_recovers_from_crash(self, matmul4, monkeypatch):
+        serial = solve_space_optimal(matmul4, (1, 2, 3))
+        monkeypatch.setenv(FAULT_ENV_VAR, "crash:1")
+        recovered = explore_space(matmul4, (1, 2, 3), jobs=2, resilience=FAST)
+        assert recovered == serial
+        assert recovered.stats.pool_restarts == 1
+
+    def test_joint_search_recovers_from_crash(self, matmul4, monkeypatch):
+        serial = solve_joint_optimal(matmul4)
+        monkeypatch.setenv(FAULT_ENV_VAR, "crash:0")
+        recovered = explore_joint(matmul4, jobs=2, resilience=FAST)
+        assert recovered == serial
+        assert recovered.stats.shard_retries >= 1
+
+
+class TestTimeoutRecovery:
+    def test_hung_shard_is_reaped_and_retried(self, matmul4, monkeypatch):
+        serial = procedure_5_1(matmul4, SPACE)
+        monkeypatch.setenv(FAULT_ENV_VAR, "hang:0")
+        monkeypatch.setenv(FAULT_HANG_ENV_VAR, "30")
+        policy = ResiliencePolicy(shard_timeout=1.0, backoff_base=0.0)
+        recovered = explore_schedule(matmul4, SPACE, jobs=2, resilience=policy)
+        assert recovered == serial
+        assert recovered.stats.shard_timeouts >= 1
+        assert recovered.stats.pool_restarts >= 1
+        assert not recovered.stats.degraded
+
+
+class TestCorruptOutputRecovery:
+    def test_corrupted_shard_output_is_retried(self, matmul4, monkeypatch):
+        serial = procedure_5_1(matmul4, SPACE)
+        monkeypatch.setenv(FAULT_ENV_VAR, "corrupt:0")
+        recovered = explore_schedule(matmul4, SPACE, jobs=2, resilience=FAST)
+        assert recovered == serial
+        assert recovered.stats.shard_retries == 1
+        # The pool itself survives a garbage result.
+        assert recovered.stats.pool_restarts == 0
+
+
+class TestDegradation:
+    def test_persistent_crash_degrades_in_process(self, matmul4, monkeypatch):
+        serial = procedure_5_1(matmul4, SPACE)
+        monkeypatch.setenv(FAULT_ENV_VAR, "crash:0:always")
+        policy = ResiliencePolicy(
+            max_retries=1, backoff_base=0.0, max_pool_restarts=100
+        )
+        recovered = explore_schedule(matmul4, SPACE, jobs=2, resilience=policy)
+        assert recovered == serial
+        assert recovered.stats.degraded
+        assert recovered.stats.shard_retries >= 1
+
+    def test_pool_restart_budget_degrades_globally(self, matmul4, monkeypatch):
+        serial = procedure_5_1(matmul4, SPACE)
+        monkeypatch.setenv(FAULT_ENV_VAR, "crash:0:always")
+        policy = ResiliencePolicy(
+            max_retries=5, backoff_base=0.0, max_pool_restarts=0
+        )
+        recovered = explore_schedule(matmul4, SPACE, jobs=2, resilience=policy)
+        assert recovered == serial
+        assert recovered.stats.degraded
+        assert recovered.stats.pool_restarts == 1
+
+    def test_no_degrade_raises_instead(self, matmul4, monkeypatch):
+        monkeypatch.setenv(FAULT_ENV_VAR, "crash:0:always")
+        policy = ResiliencePolicy(
+            max_retries=1, backoff_base=0.0, degrade=False, max_pool_restarts=100
+        )
+        with pytest.raises(ResilienceError):
+            explore_schedule(matmul4, SPACE, jobs=2, resilience=policy)
+
+    def test_jobs_1_never_touches_a_pool(self, matmul4, monkeypatch):
+        # The in-process path is the degradation target; faults only fire
+        # inside pool workers, so jobs=1 is immune by construction.
+        monkeypatch.setenv(FAULT_ENV_VAR, "crash:0:always")
+        serial = procedure_5_1(matmul4, SPACE)
+        assert explore_schedule(matmul4, SPACE, jobs=1, resilience=FAST) == serial
+
+
+class TestCorruptCacheRecovery:
+    def _entry_files(self, tmp_path):
+        return [p for p in tmp_path.glob("*.json") if not p.name.startswith(".")]
+
+    def test_truncated_entry_recovers_and_quarantines(self, matmul4, tmp_path):
+        serial = procedure_5_1(matmul4, SPACE)
+        cache = ResultCache(tmp_path)
+        explore_schedule(matmul4, SPACE, jobs=2, cache=cache, resilience=FAST)
+        (entry,) = self._entry_files(tmp_path)
+        entry.write_text(entry.read_text()[: len(entry.read_text()) // 2])
+        recovered = explore_schedule(
+            matmul4, SPACE, jobs=2, cache=cache, resilience=FAST
+        )
+        assert recovered == serial
+        assert recovered.stats.cache_hits == 0
+        assert recovered.stats.cache_misses == 1
+        assert cache.quarantined == 1
+        assert list(tmp_path.glob("*.json.corrupt"))
+        # The re-search rewrote a good entry: the next replay hits.
+        warm = explore_schedule(matmul4, SPACE, jobs=2, cache=cache, resilience=FAST)
+        assert warm == serial
+        assert warm.stats.cache_hits == 1
+
+    def test_entry_without_value_is_a_miss_not_a_crash(self, matmul4, tmp_path):
+        from repro.dse.cache import CACHE_SCHEMA_VERSION
+
+        serial = procedure_5_1(matmul4, SPACE)
+        cache = ResultCache(tmp_path)
+        explore_schedule(matmul4, SPACE, jobs=1, cache=cache)
+        (entry,) = self._entry_files(tmp_path)
+        entry.write_text(json.dumps({"schema": CACHE_SCHEMA_VERSION}))
+        recovered = explore_schedule(matmul4, SPACE, jobs=1, cache=cache)
+        assert recovered == serial
+        assert cache.quarantined == 1
+
+
+class TestRunnerUnit:
+    def test_single_payload_stays_in_process(self):
+        runner = ResilientShardRunner(4, policy=FAST)
+        out = runner.run(lambda p: {"wall_time": 0.0, "records": [p["x"]]},
+                         [{"x": 1}])
+        assert out == [{"wall_time": 0.0, "records": [1]}]
+        assert runner.pool_restarts == 0
+
+    def test_telemetry_application(self):
+        from repro.dse.progress import SearchStats
+
+        runner = ResilientShardRunner(2, policy=FAST)
+        runner.shard_retries = 3
+        runner.shard_timeouts = 1
+        runner.pool_restarts = 2
+        runner.degraded = True
+        stats = SearchStats()
+        runner.apply_telemetry(stats)
+        assert stats.shard_retries == 3
+        assert stats.shard_timeouts == 1
+        assert stats.pool_restarts == 2
+        assert stats.degraded is True
+        # Telemetry never participates in equality.
+        assert stats == SearchStats()
+
+
+class TestPipelineAndStats:
+    def test_pipeline_threads_resilience_policy(self, matmul4, monkeypatch):
+        baseline = find_time_optimal_mapping(
+            matmul4, SPACE, solver="procedure-5.1"
+        )
+        monkeypatch.setenv(FAULT_ENV_VAR, "crash:0")
+        engine = find_time_optimal_mapping(
+            matmul4, SPACE, solver="procedure-5.1", jobs=2, resilience=FAST
+        )
+        assert engine.schedule == baseline.schedule
+        assert engine.mapping == baseline.mapping
+        assert engine.stats == baseline.stats
+
+    def test_failure_counters_round_trip_and_format(self):
+        from repro.dse.progress import SearchStats, format_stats
+
+        stats = SearchStats(
+            shard_retries=2, shard_timeouts=1, pool_restarts=1, degraded=True
+        )
+        data = stats.to_dict()
+        assert data["shard_retries"] == 2
+        assert data["pool_restarts"] == 1
+        assert data["degraded"] is True
+        rebuilt = SearchStats.from_dict(data)
+        assert rebuilt.shard_timeouts == 1
+        text = format_stats(stats)
+        assert "resilience" in text and "degraded" in text
+
+
+class TestCLIFlags:
+    def test_explore_accepts_resilience_flags(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main([
+            "explore", "-a", "matmul", "--mu", "3", "-s", "1,1,-1",
+            "--jobs", "2", "--cache-dir", str(tmp_path),
+            "--shard-timeout", "30", "--max-retries", "1", "--no-degrade",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "optimal Pi" in out
+
+    def test_bad_shard_timeout_is_a_clean_exit(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main([
+                "explore", "-a", "matmul", "--mu", "3", "-s", "1,1,-1",
+                "--cache-dir", str(tmp_path), "--shard-timeout", "-1",
+            ])
