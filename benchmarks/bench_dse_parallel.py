@@ -108,14 +108,65 @@ def bench_joint_case(name, make_algo) -> dict:
     return record
 
 
+def bench_trace_overhead() -> dict:
+    """The observability tax, measured both ways.
+
+    ``disabled``: the default path — the global tracer is off, spans
+    only time themselves.  Its cost is bounded by the measured per-span
+    price times the handful of spans a search opens; the bar is < 2%
+    of the serial search.  ``enabled``: a full ``trace_session`` with
+    JSONL export, for the record (not subject to the bar).
+    """
+    from repro.obs import get_tracer, trace_session
+
+    algo = matrix_multiplication(6)
+    space = [[1, 1, -1]]
+
+    disabled_t, base = _timed(lambda: procedure_5_1(algo, space), repeats=5)
+
+    reps = 100_000
+    tracer = get_tracer()
+    assert not tracer.enabled
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        with tracer.span("noop"):
+            pass
+    per_span = (time.perf_counter() - t0) / reps
+    # Spans opened by one serial search: the root plus one per ring.
+    spans_per_search = 1 + base.rings_expanded
+    disabled_overhead = per_span * spans_per_search / disabled_t
+
+    with tempfile.TemporaryDirectory() as d:
+        path = Path(d) / "trace.jsonl"
+
+        def traced():
+            with trace_session(path):
+                return procedure_5_1(algo, space)
+
+        enabled_t, traced_result = _timed(traced, repeats=5)
+    assert traced_result == base, "tracing changed the search result"
+
+    return {
+        "case": "trace-overhead-matmul-mu6",
+        "disabled_s": disabled_t,
+        "disabled_span_cost_s": per_span,
+        "spans_per_search": spans_per_search,
+        "disabled_overhead_ratio": disabled_overhead,
+        "enabled_s": enabled_t,
+        "enabled_overhead_ratio": enabled_t / disabled_t if disabled_t else 1.0,
+    }
+
+
 def main() -> int:
     records = [bench_schedule_case(*case) for case in SCHEDULE_CASES]
     records += [bench_joint_case(*case) for case in JOINT_CASES]
+    overhead = bench_trace_overhead()
 
     payload = {
         "benchmark": "dse-parallel-cache",
         "cpu_count": os.cpu_count(),
         "records": records,
+        "trace_overhead": overhead,
     }
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
 
@@ -135,6 +186,16 @@ def main() -> int:
         )
         if speedup < 2.0:
             ok = False
+    print(
+        f"\ntrace overhead: disabled "
+        f"{overhead['disabled_overhead_ratio'] * 100:.3f}% "
+        f"({overhead['spans_per_search']} spans x "
+        f"{overhead['disabled_span_cost_s'] * 1e6:.2f}us), "
+        f"enabled {(overhead['enabled_overhead_ratio'] - 1) * 100:.1f}%"
+    )
+    if overhead["disabled_overhead_ratio"] > 0.02:
+        print("FAIL: disabled tracing costs more than 2%", file=sys.stderr)
+        ok = False
     print(f"\nwrote {OUTPUT}")
     if not ok:
         print("FAIL: warm cache replay under the 2x speedup bar", file=sys.stderr)

@@ -17,7 +17,15 @@ Four subcommands mirror the library's workflow:
   (``--shard-timeout`` / ``--max-retries`` / ``--no-degrade``) and
   full telemetry;
 * ``report``   — regenerate every experiment into a markdown report
-  (see :mod:`repro.experiments`).
+  (see :mod:`repro.experiments`);
+* ``obs``      — validate a JSONL trace or render its per-phase
+  wall-time breakdown (see :mod:`repro.obs`).
+
+Every subcommand accepts ``--trace FILE`` (export a structured JSONL
+trace of the run) and ``--log-level LEVEL`` (wire the ``repro`` logger
+hierarchy to stderr).  ``--mu`` takes one value or a comma-separated
+tuple where the algorithm has several size parameters (e.g.
+``--algorithm convolution --mu 8,32``); entries must be positive.
 
 Examples
 --------
@@ -29,8 +37,9 @@ Examples
         --space "1,1,-1" --schedule 1,4,1 --render
     python -m repro design --algorithm matmul --mu 4 --schedule 1,4,1
     python -m repro explore --algorithm matmul --mu 4 --space "1,1,-1" \
-        --jobs 4
+        --jobs 4 --trace run.jsonl
     python -m repro explore --algorithm matmul --mu 4 --jobs 4  # joint
+    python -m repro obs report run.jsonl
 """
 
 from __future__ import annotations
@@ -75,16 +84,62 @@ def _parse_matrix(text: str) -> tuple[tuple[int, ...], ...]:
     return rows
 
 
-def _make_algorithm(name: str, mu: int, word_bits: int) -> UniformDependenceAlgorithm:
+def _parse_mu(text: str) -> tuple[int, ...]:
+    """``--mu``: a positive int or comma-separated tuple of positive ints.
+
+    One parser for every subcommand — ``map``/``simulate``/... and
+    ``check`` used to disagree (scalar int vs vector), and none rejected
+    non-positive sizes until deep library code crashed on them.
+    """
+    values = _parse_vector(text)
+    if not values:
+        raise argparse.ArgumentTypeError(
+            f"--mu needs at least one integer, got {text!r}"
+        )
+    if any(v <= 0 for v in values):
+        raise argparse.ArgumentTypeError(
+            f"--mu entries must be positive integers, got {text!r}"
+        )
+    return values
+
+
+def _mu_arity(name: str, mu: tuple[int, ...], arities: tuple[int, ...]) -> None:
+    if len(mu) not in arities:
+        expected = " or ".join(str(a) for a in arities)
+        raise SystemExit(
+            f"--mu for {name!r} takes {expected} value(s), "
+            f"got {len(mu)}: {','.join(str(m) for m in mu)}"
+        )
+
+
+def _make_algorithm(
+    name: str, mu: tuple[int, ...], word_bits: int
+) -> UniformDependenceAlgorithm:
+    def one() -> int:
+        _mu_arity(name, mu, (1,))
+        return mu[0]
+
+    def pair() -> tuple[int, int]:
+        # (taps, samples); a single value sets both.
+        _mu_arity(name, mu, (1, 2))
+        return (mu[0], mu[0]) if len(mu) == 1 else (mu[0], mu[1])
+
+    def quad() -> tuple[int, int, int, int]:
+        _mu_arity(name, mu, (1, 4))
+        if len(mu) == 4:
+            return mu[0], mu[1], mu[2], mu[3]
+        m = mu[0]
+        return m, m, max(1, m // 2), max(1, m // 2)
+
     registry = {
-        "matmul": lambda: matrix_multiplication(mu),
-        "transitive-closure": lambda: transitive_closure(mu),
-        "convolution": lambda: convolution_1d(mu, mu),
-        "convolution2d": lambda: convolution_2d(mu, mu, max(1, mu // 2), max(1, mu // 2)),
-        "lu": lambda: lu_decomposition(mu),
-        "bit-matmul": lambda: bit_level_matrix_multiplication(mu, word_bits),
-        "bit-convolution": lambda: bit_level_convolution(mu, mu, word_bits),
-        "bit-lu": lambda: bit_level_lu_decomposition(mu, word_bits),
+        "matmul": lambda: matrix_multiplication(one()),
+        "transitive-closure": lambda: transitive_closure(one()),
+        "convolution": lambda: convolution_1d(*pair()),
+        "convolution2d": lambda: convolution_2d(*quad()),
+        "lu": lambda: lu_decomposition(one()),
+        "bit-matmul": lambda: bit_level_matrix_multiplication(one(), word_bits),
+        "bit-convolution": lambda: bit_level_convolution(*pair(), word_bits),
+        "bit-lu": lambda: bit_level_lu_decomposition(one(), word_bits),
     }
     if name not in registry:
         raise SystemExit(
@@ -104,12 +159,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_obs_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--trace", metavar="FILE", default=None,
+                       help="export a structured JSONL trace of this run "
+                            "(inspect with 'repro obs report FILE')")
+        p.add_argument("--log-level", default=None,
+                       metavar="LEVEL",
+                       help="stderr logging for the repro.* loggers "
+                            "(DEBUG, INFO, WARNING, ...)")
+
     def add_algo_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--algorithm", "-a", default="matmul",
                        help="algorithm name (matmul, transitive-closure, ...)")
-        p.add_argument("--mu", type=int, default=4, help="problem size")
+        p.add_argument("--mu", type=_parse_mu, default=(4,),
+                       help="problem size(s): one positive int, or a "
+                            "comma-separated tuple for multi-parameter "
+                            "algorithms (convolution: taps,samples; "
+                            "convolution2d: 1 or 4 values)")
         p.add_argument("--word-bits", type=int, default=2,
                        help="word size for bit-level algorithms")
+        add_obs_args(p)
 
     p_map = sub.add_parser("map", help="find the time-optimal conflict-free schedule")
     add_algo_args(p_map)
@@ -121,10 +190,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_check = sub.add_parser("check", help="conflict-freedom of an explicit T")
     p_check.add_argument("--rows", type=_parse_matrix, required=True,
                          help='T rows, e.g. "1,7,1,1;1,7,1,0" (last row = Pi)')
-    p_check.add_argument("--mu", type=_parse_vector, required=True,
-                         help="problem-size bounds, e.g. 6,6,6,6")
+    p_check.add_argument("--mu", type=_parse_mu, required=True,
+                         help="problem-size bounds, e.g. 6,6,6,6 (a single "
+                              "value broadcasts to every dimension)")
     p_check.add_argument("--method", default="auto",
                          choices=["auto", "paper", "exact"])
+    add_obs_args(p_check)
 
     p_sim = sub.add_parser("simulate", help="cycle-accurate execution audit")
     add_algo_args(p_sim)
@@ -186,11 +257,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--output", "-o", default="experiment_report.md")
     p_report.add_argument("--full", action="store_true",
                           help="full sweeps (slower)")
+    add_obs_args(p_report)
+
+    p_obs = sub.add_parser(
+        "obs",
+        help="inspect JSONL traces written with --trace",
+        description=(
+            "Work with structured traces (repro.obs).  'report' renders "
+            "a per-phase wall-time breakdown; 'validate' checks every "
+            "record against the trace schema and exits non-zero on any "
+            "problem."
+        ),
+    )
+    p_obs.add_argument("action", choices=["report", "validate"])
+    p_obs.add_argument("trace_file", help="JSONL trace written with --trace")
+    p_obs.add_argument("--top", type=int, default=None,
+                       help="show only the N most expensive phases")
+    add_obs_args(p_obs)
     return parser
+
+
+def _require_width(algo: UniformDependenceAlgorithm, rows, what: str) -> None:
+    if rows and len(rows[0]) != algo.n:
+        raise SystemExit(
+            f"{what} has {len(rows[0])} columns but {algo.name} has "
+            f"n={algo.n} index dimensions"
+        )
 
 
 def _cmd_map(args: argparse.Namespace) -> int:
     algo = _make_algorithm(args.algorithm, args.mu, args.word_bits)
+    _require_width(algo, args.space, "--space")
     result = find_time_optimal_mapping(algo, args.space, solver=args.solver)
     print(f"algorithm      : {algo.name}")
     print(f"space mapping  : {[list(r) for r in args.space]}")
@@ -203,16 +300,22 @@ def _cmd_map(args: argparse.Namespace) -> int:
 
 def _cmd_check(args: argparse.Namespace) -> int:
     t = MappingMatrix.from_rows(args.rows)
-    if len(args.mu) != t.n:
-        raise SystemExit(f"mu has {len(args.mu)} entries, T has {t.n} columns")
-    verdict = check_conflict_free(t, args.mu, method=args.method)
+    mu = args.mu
+    if len(mu) == 1:
+        mu = mu * t.n  # scalar --mu broadcasts to every dimension
+    if len(mu) != t.n:
+        raise SystemExit(
+            f"--mu has {len(mu)} entries, T has {t.n} columns "
+            f"(give one value or {t.n})"
+        )
+    verdict = check_conflict_free(t, mu, method=args.method)
     print(f"T ({t.k} x {t.n}, co-rank {t.corank}) rank = {t.rank()}")
     print(f"checker        : {verdict.theorem} ({verdict.kind})")
     print(f"conflict-free  : {verdict.holds}")
     if not verdict.holds:
         from .model import ConstantBoundedIndexSet
 
-        analysis = analyze_conflicts(t, ConstantBoundedIndexSet(tuple(args.mu)))
+        analysis = analyze_conflicts(t, ConstantBoundedIndexSet(tuple(mu)))
         if analysis.witness:
             j1, j2 = analysis.witness
             print(f"witness        : tau{j1} == tau{j2} == {t.tau(j1)}")
@@ -223,6 +326,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from .systolic import render_space_time, simulate_mapping
 
     algo = _make_algorithm(args.algorithm, args.mu, args.word_bits)
+    _require_width(algo, args.space, "--space")
+    _require_width(algo, (args.schedule,), "--schedule")
     t = MappingMatrix(space=args.space, schedule=args.schedule)
     report = simulate_mapping(algo, t)
     print(f"algorithm      : {algo.name}")
@@ -342,6 +447,28 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from .obs import report_file, validate_trace_file
+
+    if args.action == "validate":
+        records, errors = validate_trace_file(args.trace_file)
+        if errors:
+            for problem in errors[:20]:
+                print(problem)
+            if len(errors) > 20:
+                print(f"... and {len(errors) - 20} more")
+            print(f"INVALID: {len(errors)} problem(s) in {len(records)} "
+                  "valid record(s)")
+            return 1
+        print(f"OK: {len(records)} schema-valid record(s)")
+        return 0
+    try:
+        print(report_file(args.trace_file, top=args.top))
+    except (OSError, ValueError) as exc:
+        raise SystemExit(str(exc)) from exc
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -351,8 +478,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         "design": _cmd_design,
         "explore": _cmd_explore,
         "report": _cmd_report,
+        "obs": _cmd_obs,
     }
-    return handlers[args.command](args)
+    handler = handlers[args.command]
+    from .obs import configure_logging, trace_session
+
+    try:
+        configure_logging(getattr(args, "log_level", None))
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        with trace_session(trace_path):
+            code = handler(args)
+        print(f"trace written: {trace_path}", file=sys.stderr)
+        return code
+    return handler(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

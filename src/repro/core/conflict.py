@@ -241,6 +241,36 @@ def _exact_beta_bounds(
     return bounds
 
 
+def _kernel_box_violation(
+    generators: Sequence[Sequence[int]], mu: Sequence[int]
+) -> list[int] | None:
+    """The first non-zero lattice point ``U_2 beta`` inside ``[-mu, mu]^n``.
+
+    The single enumeration shared by the exact decider and the witness
+    finder: both answer "does the kernel lattice meet the box away from
+    the origin?", and sharing the sweep makes the two answers
+    structurally consistent — whenever the decider says *not*
+    conflict-free, this function hands the witness finder the very
+    in-box conflict vector that proved it.
+    """
+    bounds = _exact_beta_bounds(generators, mu)
+    n = len(generators[0])
+    for beta in itertools.product(*(range(-b, b + 1) for b in bounds)):
+        if all(x == 0 for x in beta):
+            continue
+        gamma = []
+        ok = True
+        for r in range(n):
+            entry = sum(beta[l] * generators[l][r] for l in range(len(beta)))
+            if abs(entry) > mu[r]:
+                ok = False
+                break
+            gamma.append(entry)
+        if ok:
+            return gamma
+    return None
+
+
 def is_conflict_free_kernel_box(
     t: MappingMatrix, mu: Sequence[int] | None = None,
     *,
@@ -266,20 +296,7 @@ def is_conflict_free_kernel_box(
     generators = conflict_generators(t)
     if not generators:
         return True  # square full-rank T: kernel is trivial
-    bounds = _exact_beta_bounds(generators, mu)
-    n = t.n
-    for beta in itertools.product(*(range(-b, b + 1) for b in bounds)):
-        if all(x == 0 for x in beta):
-            continue
-        ok = True
-        for r in range(n):
-            entry = sum(beta[l] * generators[l][r] for l in range(len(beta)))
-            if abs(entry) > mu[r]:
-                ok = False
-                break
-        if ok:
-            return False
-    return True
+    return _kernel_box_violation(generators, mu) is None
 
 
 def find_conflict_witness(
@@ -287,26 +304,24 @@ def find_conflict_witness(
 ) -> tuple[tuple[int, ...], tuple[int, ...]] | None:
     """Two distinct index points with ``tau(j1) == tau(j2)``, or ``None``.
 
-    Uses the kernel-box enumeration to find a non-feasible conflict
-    vector, then Theorem 2.2's constructive witness point.
+    Runs the same kernel-box enumeration as
+    :func:`is_conflict_free_kernel_box` (the shared
+    :func:`_kernel_box_violation` sweep) to find a non-feasible conflict
+    vector, then applies Theorem 2.2's constructive witness point.
+    Sharing the sweep guarantees ``not conflict_free`` always comes with
+    a witness: the in-box ``gamma`` that failed the decider translates
+    by construction.
     """
-    mu = index_set.mu
     generators = conflict_generators(t)
     if not generators:
         return None
-    bounds = _exact_beta_bounds(generators, mu)
-    for beta in itertools.product(*(range(-b, b + 1) for b in bounds)):
-        if all(x == 0 for x in beta):
-            continue
-        gamma = [
-            sum(beta[l] * generators[l][r] for l in range(len(beta)))
-            for r in range(t.n)
-        ]
-        j = index_set.translate_witness(gamma)
-        if j is not None:
-            j2 = tuple(a + g for a, g in zip(j, gamma))
-            return j, j2
-    return None
+    gamma = _kernel_box_violation(generators, index_set.mu)
+    if gamma is None:
+        return None
+    j = index_set.translate_witness(gamma)
+    assert j is not None  # |gamma_i| <= mu_i by construction
+    j2 = tuple(a + g for a, g in zip(j, gamma))
+    return j, j2
 
 
 def conflict_margin(t: MappingMatrix, mu: Sequence[int]) -> Fraction:
@@ -327,6 +342,12 @@ def conflict_margin(t: MappingMatrix, mu: Sequence[int]) -> Fraction:
     from ..intlin.reduction import lll_reduce
 
     mu = [int(x) for x in mu]
+    if any(m <= 0 for m in mu):
+        # The measure divides by each mu_i; a zero entry would raise a
+        # bare ZeroDivisionError from Fraction deep in the sweep.
+        raise ValueError(
+            f"conflict_margin requires every mu entry to be positive, got {mu}"
+        )
     generators = conflict_generators(t)
     if not generators:
         raise ValueError("square full-rank mappings have no conflict lattice")

@@ -19,12 +19,12 @@ paper's Steps 1-7 with the candidate set ``C_l = {Pi : sum |pi_i| mu_i
 
 from __future__ import annotations
 
-import time
 from collections.abc import Callable, Iterator, Sequence
 from dataclasses import dataclass, field, replace
 
 from ..dse.progress import SearchStats
 from ..intlin import as_intvec
+from ..obs import get_tracer
 from ..model import UniformDependenceAlgorithm
 from .conditions import ConditionVerdict, check_conflict_free
 from .mapping import MappingMatrix
@@ -202,61 +202,86 @@ def procedure_5_1(
         algorithm, alpha=alpha, initial_bound=initial_bound, max_bound=max_bound
     )
 
-    started = time.perf_counter()
+    tracer = get_tracer()
     stats = SearchStats()
     examined = 0
     rings = 0
     x_prev = -1
     x = initial_bound
-    while x_prev < max_bound:
-        ring: list[LinearSchedule] = [
-            LinearSchedule(pi=pi, index_set=algorithm.index_set)
-            for pi in enumerate_schedule_vectors(mu, min(x, max_bound), f_min=x_prev + 1)
-        ]
-        stats.candidates_enumerated += len(ring)
-        ring.sort(key=LinearSchedule.sort_key)
-        for cand in ring:
-            if not cand.respects(algorithm):
-                stats.candidates_pruned += 1
-                continue
-            t = MappingMatrix(space=space_rows, schedule=cand.pi)
-            examined += 1
-            if t.rank() != k:
-                stats.candidates_pruned += 1
-                continue
-            stats.candidates_checked += 1
-            verdict = check_conflict_free(t, mu, method=method)
-            if not verdict.holds:
-                stats.conflicts_rejected += 1
-                continue
-            if extra_constraint is not None and not extra_constraint(t):
-                continue
-            stats.rings_expanded = rings
-            stats.wall_time = time.perf_counter() - started
-            stats.shard_wall_times = (stats.wall_time,)
-            return SearchResult(
-                schedule=cand,
-                mapping=t,
-                verdict=verdict,
-                candidates_examined=examined,
-                rings_expanded=rings,
-                stats=stats,
-            )
-        rings += 1
-        x_prev = min(x, max_bound)
-        x += alpha
-
-    stats.rings_expanded = rings
-    stats.wall_time = time.perf_counter() - started
-    stats.shard_wall_times = (stats.wall_time,)
-    return SearchResult(
-        schedule=None,
-        mapping=None,
-        verdict=None,
-        candidates_examined=examined,
-        rings_expanded=rings,
-        stats=stats,
+    result: SearchResult | None = None
+    # The root span is the single timing source: SearchStats.wall_time
+    # is read back from its monotonic duration after it closes.
+    root = tracer.span(
+        "core.procedure_5_1",
+        algorithm=algorithm.name,
+        method=method,
+        alpha=alpha,
+        initial_bound=initial_bound,
+        max_bound=max_bound,
     )
+    with root:
+        while x_prev < max_bound and result is None:
+            ring_span = tracer.span(
+                "core.ring", ring=rings, f_min=x_prev + 1, f_max=min(x, max_bound)
+            )
+            with ring_span:
+                ring: list[LinearSchedule] = [
+                    LinearSchedule(pi=pi, index_set=algorithm.index_set)
+                    for pi in enumerate_schedule_vectors(
+                        mu, min(x, max_bound), f_min=x_prev + 1
+                    )
+                ]
+                stats.candidates_enumerated += len(ring)
+                ring.sort(key=LinearSchedule.sort_key)
+                ring_span.set(candidates=len(ring))
+                for cand in ring:
+                    if not cand.respects(algorithm):
+                        stats.candidates_pruned += 1
+                        continue
+                    t = MappingMatrix(space=space_rows, schedule=cand.pi)
+                    examined += 1
+                    if t.rank() != k:
+                        stats.candidates_pruned += 1
+                        continue
+                    stats.candidates_checked += 1
+                    verdict = check_conflict_free(t, mu, method=method)
+                    if not verdict.holds:
+                        stats.conflicts_rejected += 1
+                        continue
+                    if extra_constraint is not None and not extra_constraint(t):
+                        continue
+                    stats.rings_expanded = rings
+                    ring_span.set(winner=list(cand.pi))
+                    result = SearchResult(
+                        schedule=cand,
+                        mapping=t,
+                        verdict=verdict,
+                        candidates_examined=examined,
+                        rings_expanded=rings,
+                        stats=stats,
+                    )
+                    break
+            if result is None:
+                rings += 1
+                x_prev = min(x, max_bound)
+                x += alpha
+
+    if result is None:
+        stats.rings_expanded = rings
+        result = SearchResult(
+            schedule=None,
+            mapping=None,
+            verdict=None,
+            candidates_examined=examined,
+            rings_expanded=rings,
+            stats=stats,
+        )
+    # stats is shared with the result; the frozen dataclass holds the
+    # reference, so deriving wall_time from the span after construction
+    # is visible to callers.
+    stats.wall_time = root.duration
+    stats.shard_wall_times = (stats.wall_time,)
+    return result
 
 
 def find_all_optima(

@@ -14,6 +14,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from ..model import UniformDependenceAlgorithm
+from ..obs import get_tracer
 from .conflict import ConflictAnalysis, analyze_conflicts
 from .ilp_formulation import solve_corank1_optimal
 from .mapping import MappingMatrix
@@ -124,6 +125,25 @@ def find_time_optimal_mapping(
     if solver == "auto":
         solver = "ilp" if corank == 1 else "procedure-5.1"
 
+    with get_tracer().span(
+        "core.find_time_optimal_mapping",
+        algorithm=algorithm.name,
+        solver=solver,
+        corank=corank,
+    ) as root:
+        result = _dispatch_solver(
+            algorithm, space_rows, solver, method, jobs, cache, resilience,
+            solver_kwargs,
+        )
+        root.set(total_time=result.total_time)
+    return result
+
+
+def _dispatch_solver(
+    algorithm, space_rows, solver, method, jobs, cache, resilience,
+    solver_kwargs,
+) -> MappingResult:
+    corank = algorithm.n - (len(space_rows) + 1)
     if solver == "ilp":
         if corank != 1:
             raise ValueError(

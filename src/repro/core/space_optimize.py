@@ -22,12 +22,12 @@ the exact ``auto`` checker, so reported optima are certified.
 from __future__ import annotations
 
 import itertools
-import time
 from collections.abc import Callable, Iterator, Sequence
 from dataclasses import dataclass, field
 
 from ..dse.progress import SearchStats
 from ..intlin import normalize_primitive, rank
+from ..obs import get_tracer
 from ..model import UniformDependenceAlgorithm
 from ..systolic.cost import ArrayCost, evaluate_cost
 from ..systolic.interconnect import RoutingError
@@ -236,25 +236,33 @@ def solve_space_optimal(
     if not sched.respects(algorithm):
         raise ValueError("the given Pi violates the dependence condition Pi D > 0")
 
-    started = time.perf_counter()
+    tracer = get_tracer()
     stats = SearchStats()
     designs: list[SpaceDesign] = []
-    for space in enumerate_space_mappings(algorithm.n, array_dim, magnitude):
-        stats.candidates_enumerated += 1
-        status, design = evaluate_design(algorithm, space, pi_t, objective)
-        if status == "rank":
-            stats.candidates_pruned += 1
-            continue
-        stats.candidates_checked += 1
-        if status == "conflict":
-            stats.conflicts_rejected += 1
-        elif status == "routing":
-            stats.routing_rejected += 1
-        else:
-            designs.append(design)
+    root = tracer.span(
+        "core.solve_space_optimal",
+        algorithm=algorithm.name,
+        array_dim=array_dim,
+        magnitude=magnitude,
+    )
+    with root:
+        for space in enumerate_space_mappings(algorithm.n, array_dim, magnitude):
+            stats.candidates_enumerated += 1
+            status, design = evaluate_design(algorithm, space, pi_t, objective)
+            if status == "rank":
+                stats.candidates_pruned += 1
+                continue
+            stats.candidates_checked += 1
+            if status == "conflict":
+                stats.conflicts_rejected += 1
+            elif status == "routing":
+                stats.routing_rejected += 1
+            else:
+                designs.append(design)
+        designs = rank_designs(designs)
+        root.set(candidates=stats.candidates_enumerated, surviving=len(designs))
 
-    designs = rank_designs(designs)
-    stats.wall_time = time.perf_counter() - started
+    stats.wall_time = root.duration
     stats.shard_wall_times = (stats.wall_time,)
     return SpaceOptimizationResult(
         best=designs[0] if designs else None,
@@ -343,24 +351,32 @@ def solve_joint_optimal(
     "combination of the total execution time and the VLSI area"
     criterion Section 2 mentions.
     """
-    started = time.perf_counter()
+    tracer = get_tracer()
     stats = SearchStats()
     designs: list[SpaceDesign] = []
-    for space in enumerate_space_mappings(algorithm.n, array_dim, magnitude):
-        stats.candidates_enumerated += 1
-        stats.candidates_checked += 1
-        status, design = evaluate_joint_candidate(
-            algorithm, space, time_weight, space_weight, schedule_kwargs
-        )
-        if status == "conflict":
-            stats.conflicts_rejected += 1
-        elif status == "routing":
-            stats.routing_rejected += 1
-        else:
-            designs.append(design)
+    root = tracer.span(
+        "core.solve_joint_optimal",
+        algorithm=algorithm.name,
+        array_dim=array_dim,
+        magnitude=magnitude,
+    )
+    with root:
+        for space in enumerate_space_mappings(algorithm.n, array_dim, magnitude):
+            stats.candidates_enumerated += 1
+            stats.candidates_checked += 1
+            status, design = evaluate_joint_candidate(
+                algorithm, space, time_weight, space_weight, schedule_kwargs
+            )
+            if status == "conflict":
+                stats.conflicts_rejected += 1
+            elif status == "routing":
+                stats.routing_rejected += 1
+            else:
+                designs.append(design)
+        designs = rank_designs(designs)
+        root.set(candidates=stats.candidates_enumerated, surviving=len(designs))
 
-    designs = rank_designs(designs)
-    stats.wall_time = time.perf_counter() - started
+    stats.wall_time = root.duration
     stats.shard_wall_times = (stats.wall_time,)
     return SpaceOptimizationResult(
         best=designs[0] if designs else None,

@@ -22,12 +22,16 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 import time
 from pathlib import Path
 
 from ..intlin import IntMat
+from ..obs import get_tracer
+
+logger = logging.getLogger("repro.dse.cache")
 
 __all__ = ["ResultCache", "canonical_key", "default_cache_dir"]
 
@@ -133,12 +137,20 @@ class ResultCache:
                 if entry.get("schema") == CACHE_SCHEMA_VERSION:
                     if isinstance(entry.get("value"), dict):
                         self.hits += 1
+                        tracer = get_tracer()
+                        tracer.event("cache.hit", key=key)
+                        tracer.add("cache.hits")
+                        logger.debug("cache hit: %s", key)
                         return entry["value"]
                     self._quarantine(path)
                 # other schema versions: inert, plain miss
             elif entry is not absent:
                 self._quarantine(path)
         self.misses += 1
+        tracer = get_tracer()
+        tracer.event("cache.miss", key=key)
+        tracer.add("cache.misses")
+        logger.debug("cache miss: %s", key)
         return None
 
     def _quarantine(self, path: Path) -> None:
@@ -146,6 +158,10 @@ class ResultCache:
         try:
             path.replace(path.with_name(path.name + ".corrupt"))
             self.quarantined += 1
+            tracer = get_tracer()
+            tracer.event("cache.quarantine", path=path.name)
+            tracer.add("cache.quarantined")
+            logger.warning("quarantined malformed cache entry: %s", path)
         except OSError:  # pragma: no cover - raced deletion
             pass
 

@@ -32,8 +32,8 @@ exactly instead of re-searching.
 
 from __future__ import annotations
 
+import logging
 import os
-import time
 from collections.abc import Callable, Sequence
 
 from ..core.conditions import check_conflict_free
@@ -55,6 +55,7 @@ from ..core.space_optimize import (
     rank_designs,
 )
 from ..model import ConstantBoundedIndexSet, UniformDependenceAlgorithm
+from ..obs import Span, get_tracer
 from ..systolic.cost import evaluate_cost
 from .cache import ResultCache, canonical_key
 from .partition import effective_shards, ring_bounds, round_robin
@@ -67,6 +68,8 @@ __all__ = [
     "explore_joint",
     "resolve_jobs",
 ]
+
+logger = logging.getLogger("repro.dse.executor")
 
 # Per-candidate scan outcomes, in serial rejection order.
 _DEPS = "deps"          # Pi D <= 0 — pruned before the mapping is built
@@ -124,6 +127,24 @@ def _algorithm_from_spec(spec: dict) -> UniformDependenceAlgorithm:
 # -- shard workers (module level: must pickle under ProcessPoolExecutor) ----
 
 
+def _shard_span(payload: dict, kind: str, candidates: int) -> Span:
+    """The worker-side span timing one whole shard.
+
+    Standalone (no tracer): its monotonic duration *is* the shard's
+    reported ``wall_time``, and when the parent asked for tracing
+    (``payload["trace"]``) its record travels back in the output for
+    :meth:`~repro.obs.Tracer.absorb` to merge under the parent trace.
+    """
+    return Span("dse.shard", attrs={"kind": kind, "candidates": candidates})
+
+
+def _shard_output(span: Span, payload: dict, data_key: str, data: list) -> dict:
+    out = {data_key: data, "wall_time": span.duration}
+    if payload.get("trace"):
+        out["spans"] = [span.to_record()]
+    return out
+
+
 def _scan_schedule_shard(payload: dict) -> dict:
     """Judge one shard of a schedule ring; returns per-candidate records.
 
@@ -136,50 +157,53 @@ def _scan_schedule_shard(payload: dict) -> dict:
     method = payload["method"]
     k = len(space) + 1
     records: list[tuple[tuple[int, tuple[int, ...]], str]] = []
-    started = time.perf_counter()
-    for pi in payload["candidates"]:
-        cand = LinearSchedule(pi=pi, index_set=algo.index_set)
-        key = cand.sort_key()
-        if not cand.respects(algo):
-            records.append((key, _DEPS))
-            continue
-        t = MappingMatrix(space=space, schedule=pi)
-        if t.rank() != k:
-            records.append((key, _RANK))
-            continue
-        if not check_conflict_free(t, algo.mu, method=method).holds:
-            records.append((key, _CONFLICT))
-            continue
-        records.append((key, _OK))
-    return {"records": records, "wall_time": time.perf_counter() - started}
+    span = _shard_span(payload, "schedule", len(payload["candidates"]))
+    with span:
+        for pi in payload["candidates"]:
+            cand = LinearSchedule(pi=pi, index_set=algo.index_set)
+            key = cand.sort_key()
+            if not cand.respects(algo):
+                records.append((key, _DEPS))
+                continue
+            t = MappingMatrix(space=space, schedule=pi)
+            if t.rank() != k:
+                records.append((key, _RANK))
+                continue
+            if not check_conflict_free(t, algo.mu, method=method).holds:
+                records.append((key, _CONFLICT))
+                continue
+            records.append((key, _OK))
+    return _shard_output(span, payload, "records", records)
 
 
 def _evaluate_space_shard(payload: dict) -> dict:
     """Judge one shard of Problem 6.1's design space."""
     algo = _algorithm_from_spec(payload["algorithm"])
     pi = payload["pi"]
-    started = time.perf_counter()
-    evaluated = [
-        evaluate_design(algo, space, pi) for space in payload["spaces"]
-    ]
-    return {"evaluated": evaluated, "wall_time": time.perf_counter() - started}
+    span = _shard_span(payload, "space", len(payload["spaces"]))
+    with span:
+        evaluated = [
+            evaluate_design(algo, space, pi) for space in payload["spaces"]
+        ]
+    return _shard_output(span, payload, "evaluated", evaluated)
 
 
 def _evaluate_joint_shard(payload: dict) -> dict:
     """Judge one shard of Problem 6.2's design space."""
     algo = _algorithm_from_spec(payload["algorithm"])
-    started = time.perf_counter()
-    evaluated = [
-        evaluate_joint_candidate(
-            algo,
-            space,
-            payload["time_weight"],
-            payload["space_weight"],
-            payload["schedule_kwargs"],
-        )
-        for space in payload["spaces"]
-    ]
-    return {"evaluated": evaluated, "wall_time": time.perf_counter() - started}
+    span = _shard_span(payload, "joint", len(payload["spaces"]))
+    with span:
+        evaluated = [
+            evaluate_joint_candidate(
+                algo,
+                space,
+                payload["time_weight"],
+                payload["space_weight"],
+                payload["schedule_kwargs"],
+            )
+            for space in payload["spaces"]
+        ]
+    return _shard_output(span, payload, "evaluated", evaluated)
 
 
 # -- fan-out helper ---------------------------------------------------------
@@ -235,8 +259,40 @@ def explore_schedule(
     alpha, initial_bound, max_bound = search_bounds(
         algorithm, alpha=alpha, initial_bound=initial_bound, max_bound=max_bound
     )
-    started = time.perf_counter()
+    tracer = get_tracer()
+    root = tracer.span(
+        "dse.explore_schedule",
+        algorithm=algorithm.name,
+        jobs=jobs,
+        method=method,
+    )
+    with root:
+        result = _explore_schedule_traced(
+            algorithm, space_rows, jobs=jobs, method=method, alpha=alpha,
+            initial_bound=initial_bound, max_bound=max_bound,
+            extra_constraint=extra_constraint, cache=cache,
+            resilience=resilience, tracer=tracer,
+        )
+    # One timing source: the search's wall time is the root span.
+    result.stats.wall_time = root.duration
+    return result
 
+
+def _explore_schedule_traced(
+    algorithm: UniformDependenceAlgorithm,
+    space_rows: tuple,
+    *,
+    jobs: int,
+    method: str,
+    alpha: int,
+    initial_bound: int,
+    max_bound: int,
+    extra_constraint: Callable[[MappingMatrix], bool] | None,
+    cache: ResultCache | None,
+    resilience: ResiliencePolicy | None,
+    tracer,
+) -> SearchResult:
+    mu = algorithm.mu
     cache_key = None
     if cache is not None and extra_constraint is None:
         cache_key = canonical_key(
@@ -253,9 +309,9 @@ def explore_schedule(
         )
         entry = cache.get(cache_key)
         if entry is not None:
+            logger.debug("explore_schedule: warm cache hit, skipping search")
             return _schedule_result_from_entry(
-                algorithm, space_rows, method, entry,
-                wall_time=time.perf_counter() - started,
+                algorithm, space_rows, method, entry
             )
 
     spec = _algorithm_spec(algorithm)
@@ -264,65 +320,74 @@ def explore_schedule(
     rings = 0
     winner_pi: tuple[int, ...] | None = None
     max_shards = 1
+    trace = tracer.enabled
 
     with ResilientShardRunner(
         jobs, in_process=extra_constraint is not None, policy=resilience
     ) as runner:
         for f_min, f_max in ring_bounds(initial_bound, alpha, max_bound):
-            ring = [
-                LinearSchedule(pi=pi, index_set=algorithm.index_set)
-                for pi in enumerate_schedule_vectors(mu, f_max, f_min=f_min)
-            ]
-            stats.candidates_enumerated += len(ring)
-            ring.sort(key=LinearSchedule.sort_key)
-            candidates = [cand.pi for cand in ring]
-            shards = effective_shards(len(candidates), jobs)
-            max_shards = max(max_shards, shards)
-            payloads = [
-                {
-                    "algorithm": spec,
-                    "space": space_rows,
-                    "method": method,
-                    "candidates": part,
-                }
-                for part in round_robin(candidates, shards)
-            ]
-            if extra_constraint is None:
-                outs = runner.run(_scan_schedule_shard, payloads)
-            else:
-                outs = [
-                    _scan_constrained_shard(p, extra_constraint)
-                    for p in payloads
+            ring_span = tracer.span("dse.ring", ring=rings, f_min=f_min, f_max=f_max)
+            with ring_span:
+                ring = [
+                    LinearSchedule(pi=pi, index_set=algorithm.index_set)
+                    for pi in enumerate_schedule_vectors(mu, f_max, f_min=f_min)
                 ]
-            records = [rec for out in outs for rec in out["records"]]
-            stats.shard_wall_times = stats.shard_wall_times + tuple(
-                out["wall_time"] for out in outs
-            )
+                stats.candidates_enumerated += len(ring)
+                ring.sort(key=LinearSchedule.sort_key)
+                candidates = [cand.pi for cand in ring]
+                shards = effective_shards(len(candidates), jobs)
+                max_shards = max(max_shards, shards)
+                ring_span.set(candidates=len(candidates), shards=shards)
+                payloads = [
+                    {
+                        "algorithm": spec,
+                        "space": space_rows,
+                        "method": method,
+                        "candidates": part,
+                        "trace": trace,
+                    }
+                    for part in round_robin(candidates, shards)
+                ]
+                if extra_constraint is None:
+                    outs = runner.run(_scan_schedule_shard, payloads)
+                else:
+                    outs = [
+                        _scan_constrained_shard(p, extra_constraint)
+                        for p in payloads
+                    ]
+                records = [rec for out in outs for rec in out["records"]]
+                stats.shard_wall_times = stats.shard_wall_times + tuple(
+                    out["wall_time"] for out in outs
+                )
+                for shard_idx, out in enumerate(outs):
+                    tracer.absorb(out.get("spans"), shard=shard_idx, ring=rings)
 
-            # Deterministic merge: replay the serial visit order.
-            for key, stage in sorted(records):
-                if stage == _DEPS:
-                    stats.candidates_pruned += 1
-                    continue
-                examined += 1
-                if stage == _RANK:
-                    stats.candidates_pruned += 1
-                    continue
-                stats.candidates_checked += 1
-                if stage == _CONFLICT:
-                    stats.conflicts_rejected += 1
-                    continue
-                if stage == _EXTRA:
-                    continue
-                winner_pi = tuple(key[1])
-                break
+                # Deterministic merge: replay the serial visit order.
+                for key, stage in sorted(records):
+                    if stage == _DEPS:
+                        stats.candidates_pruned += 1
+                        continue
+                    examined += 1
+                    if stage == _RANK:
+                        stats.candidates_pruned += 1
+                        continue
+                    stats.candidates_checked += 1
+                    if stage == _CONFLICT:
+                        stats.conflicts_rejected += 1
+                        continue
+                    if stage == _EXTRA:
+                        continue
+                    winner_pi = tuple(key[1])
+                    break
             if winner_pi is not None:
+                logger.debug(
+                    "explore_schedule: ring %d produced winner %s", rings, winner_pi
+                )
                 break  # later rings are never submitted
             rings += 1
 
     stats.rings_expanded = rings
     stats.shards = max_shards
-    stats.wall_time = time.perf_counter() - started
     runner.apply_telemetry(stats)
 
     if winner_pi is None:
@@ -383,18 +448,16 @@ def _schedule_result_from_entry(
     space_rows: tuple[tuple[int, ...], ...],
     method: str,
     entry: dict,
-    *,
-    wall_time: float,
 ) -> SearchResult:
     """Rebuild a :class:`SearchResult` from a cache hit.
 
     The entry stores only the decision; the verdict is re-derived with
     the same checker call the search would have made, so the rebuilt
-    result equals the cold one.
+    result equals the cold one.  ``stats.wall_time`` is left for the
+    caller's root span to fill in.
     """
     stats = SearchStats.from_dict(entry["counters"])
     stats.cache_hits = 1
-    stats.wall_time = wall_time
     if not entry["found"]:
         return SearchResult(
             schedule=None,
@@ -442,59 +505,72 @@ def explore_space(
     if not sched.respects(algorithm):
         raise ValueError("the given Pi violates the dependence condition Pi D > 0")
     jobs = resolve_jobs(jobs)
-    started = time.perf_counter()
-
-    cache_key = None
-    if cache is not None and objective is None:
-        cache_key = canonical_key(
-            {
-                "task": "space-optimal",
-                "mu": list(algorithm.mu),
-                "dependence": algorithm.dependence_matrix,
-                "pi": list(pi_t),
-                "array_dim": array_dim,
-                "magnitude": magnitude,
-                "keep_ranking": keep_ranking,
-            }
-        )
-        entry = cache.get(cache_key)
-        if entry is not None:
-            return _space_result_from_entry(
-                algorithm, entry,
-                rebuild=lambda space: evaluate_design(algorithm, space, pi_t)[1],
-                wall_time=time.perf_counter() - started,
-            )
-
-    candidates = list(enumerate_space_mappings(algorithm.n, array_dim, magnitude))
-    payload_extra = {"pi": pi_t}
-    runner = None
-    if objective is None:
-        outs, runner = _fan_out_designs(
-            algorithm, candidates, jobs, _evaluate_space_shard, payload_extra,
-            resilience,
-        )
-    else:
-        outs = [
-            {
-                "evaluated": [
-                    evaluate_design(algorithm, space, pi_t, objective)
-                    for space in part
-                ],
-                "wall_time": 0.0,
-            }
-            for part in round_robin(
-                candidates, effective_shards(len(candidates), jobs)
-            )
-        ]
-
-    result = _merge_design_outs(
-        candidates, outs, keep_ranking, jobs, time.perf_counter() - started,
-        cache_misses=1 if cache_key is not None else 0,
+    tracer = get_tracer()
+    root = tracer.span(
+        "dse.explore_space",
+        algorithm=algorithm.name,
+        jobs=jobs,
+        array_dim=array_dim,
+        magnitude=magnitude,
     )
-    if runner is not None:
-        runner.apply_telemetry(result.stats)
-    if cache_key is not None:
-        cache.put(cache_key, _space_entry_from_result(result))
+    result: SpaceOptimizationResult | None = None
+    with root:
+        cache_key = None
+        if cache is not None and objective is None:
+            cache_key = canonical_key(
+                {
+                    "task": "space-optimal",
+                    "mu": list(algorithm.mu),
+                    "dependence": algorithm.dependence_matrix,
+                    "pi": list(pi_t),
+                    "array_dim": array_dim,
+                    "magnitude": magnitude,
+                    "keep_ranking": keep_ranking,
+                }
+            )
+            entry = cache.get(cache_key)
+            if entry is not None:
+                logger.debug("explore_space: warm cache hit, skipping search")
+                result = _space_result_from_entry(
+                    algorithm, entry,
+                    rebuild=lambda space: evaluate_design(algorithm, space, pi_t)[1],
+                )
+
+        if result is None:
+            candidates = list(
+                enumerate_space_mappings(algorithm.n, array_dim, magnitude)
+            )
+            root.set(candidates=len(candidates))
+            payload_extra = {"pi": pi_t}
+            runner = None
+            if objective is None:
+                outs, runner = _fan_out_designs(
+                    algorithm, candidates, jobs, _evaluate_space_shard,
+                    payload_extra, resilience,
+                )
+            else:
+                outs = [
+                    {
+                        "evaluated": [
+                            evaluate_design(algorithm, space, pi_t, objective)
+                            for space in part
+                        ],
+                        "wall_time": 0.0,
+                    }
+                    for part in round_robin(
+                        candidates, effective_shards(len(candidates), jobs)
+                    )
+                ]
+
+            result = _merge_design_outs(
+                candidates, outs, keep_ranking,
+                cache_misses=1 if cache_key is not None else 0,
+            )
+            if runner is not None:
+                runner.apply_telemetry(result.stats)
+            if cache_key is not None:
+                cache.put(cache_key, _space_entry_from_result(result))
+    result.stats.wall_time = root.duration
     return result
 
 
@@ -519,75 +595,91 @@ def explore_joint(
     jobs = resolve_jobs(jobs)
     kwargs = dict(schedule_kwargs or {})
     has_callback = any(callable(v) for v in kwargs.values())
-    started = time.perf_counter()
+    tracer = get_tracer()
+    root = tracer.span(
+        "dse.explore_joint",
+        algorithm=algorithm.name,
+        jobs=jobs,
+        array_dim=array_dim,
+        magnitude=magnitude,
+    )
+    result: SpaceOptimizationResult | None = None
+    with root:
+        cache_key = None
+        if cache is not None and not has_callback:
+            cache_key = canonical_key(
+                {
+                    "task": "joint-optimal",
+                    "mu": list(algorithm.mu),
+                    "dependence": algorithm.dependence_matrix,
+                    "array_dim": array_dim,
+                    "magnitude": magnitude,
+                    "time_weight": time_weight,
+                    "space_weight": space_weight,
+                    "keep_ranking": keep_ranking,
+                    "schedule_kwargs": {k: kwargs[k] for k in sorted(kwargs)},
+                }
+            )
+            entry = cache.get(cache_key)
+            if entry is not None:
+                def rebuild(space, pi=None):
+                    # Shares joint_objective with evaluate_joint_candidate,
+                    # so a warm rebuild can never drift from the cold path's
+                    # cost model.
+                    mapping = MappingMatrix(space=space, schedule=pi)
+                    cost = evaluate_cost(algorithm, mapping)
+                    objective = joint_objective(cost, time_weight, space_weight)
+                    return SpaceDesign(
+                        mapping=mapping, cost=cost, objective=objective
+                    )
 
-    cache_key = None
-    if cache is not None and not has_callback:
-        cache_key = canonical_key(
-            {
-                "task": "joint-optimal",
-                "mu": list(algorithm.mu),
-                "dependence": algorithm.dependence_matrix,
-                "array_dim": array_dim,
-                "magnitude": magnitude,
+                logger.debug("explore_joint: warm cache hit, skipping search")
+                result = _space_result_from_entry(
+                    algorithm, entry, rebuild=rebuild
+                )
+
+        if result is None:
+            candidates = list(
+                enumerate_space_mappings(algorithm.n, array_dim, magnitude)
+            )
+            root.set(candidates=len(candidates))
+            payload_extra = {
                 "time_weight": time_weight,
                 "space_weight": space_weight,
-                "keep_ranking": keep_ranking,
-                "schedule_kwargs": {k: kwargs[k] for k in sorted(kwargs)},
+                "schedule_kwargs": kwargs,
             }
-        )
-        entry = cache.get(cache_key)
-        if entry is not None:
-            def rebuild(space, pi=None):
-                # Shares joint_objective with evaluate_joint_candidate,
-                # so a warm rebuild can never drift from the cold path's
-                # cost model.
-                mapping = MappingMatrix(space=space, schedule=pi)
-                cost = evaluate_cost(algorithm, mapping)
-                objective = joint_objective(cost, time_weight, space_weight)
-                return SpaceDesign(mapping=mapping, cost=cost, objective=objective)
-
-            return _space_result_from_entry(
-                algorithm, entry, rebuild=rebuild,
-                wall_time=time.perf_counter() - started,
-            )
-
-    candidates = list(enumerate_space_mappings(algorithm.n, array_dim, magnitude))
-    payload_extra = {
-        "time_weight": time_weight,
-        "space_weight": space_weight,
-        "schedule_kwargs": kwargs,
-    }
-    runner = None
-    if has_callback:
-        outs = [
-            {
-                "evaluated": [
-                    evaluate_joint_candidate(
-                        algorithm, space, time_weight, space_weight, kwargs
+            runner = None
+            if has_callback:
+                outs = [
+                    {
+                        "evaluated": [
+                            evaluate_joint_candidate(
+                                algorithm, space, time_weight, space_weight,
+                                kwargs,
+                            )
+                            for space in part
+                        ],
+                        "wall_time": 0.0,
+                    }
+                    for part in round_robin(
+                        candidates, effective_shards(len(candidates), jobs)
                     )
-                    for space in part
-                ],
-                "wall_time": 0.0,
-            }
-            for part in round_robin(
-                candidates, effective_shards(len(candidates), jobs)
-            )
-        ]
-    else:
-        outs, runner = _fan_out_designs(
-            algorithm, candidates, jobs, _evaluate_joint_shard, payload_extra,
-            resilience,
-        )
+                ]
+            else:
+                outs, runner = _fan_out_designs(
+                    algorithm, candidates, jobs, _evaluate_joint_shard,
+                    payload_extra, resilience,
+                )
 
-    result = _merge_design_outs(
-        candidates, outs, keep_ranking, jobs, time.perf_counter() - started,
-        cache_misses=1 if cache_key is not None else 0,
-    )
-    if runner is not None:
-        runner.apply_telemetry(result.stats)
-    if cache_key is not None:
-        cache.put(cache_key, _space_entry_from_result(result, with_pi=True))
+            result = _merge_design_outs(
+                candidates, outs, keep_ranking,
+                cache_misses=1 if cache_key is not None else 0,
+            )
+            if runner is not None:
+                runner.apply_telemetry(result.stats)
+            if cache_key is not None:
+                cache.put(cache_key, _space_entry_from_result(result, with_pi=True))
+    result.stats.wall_time = root.duration
     return result
 
 
@@ -600,29 +692,36 @@ def _fan_out_designs(
     resilience: ResiliencePolicy | None,
 ) -> tuple[list[dict], ResilientShardRunner]:
     spec = _algorithm_spec(algorithm)
+    tracer = get_tracer()
     shards = effective_shards(len(candidates), jobs)
     payloads = [
-        {"algorithm": spec, "spaces": part, **payload_extra}
+        {
+            "algorithm": spec,
+            "spaces": part,
+            "trace": tracer.enabled,
+            **payload_extra,
+        }
         for part in round_robin(candidates, shards)
     ]
     with ResilientShardRunner(jobs, policy=resilience) as runner:
-        return runner.run(worker, payloads), runner
+        outs = runner.run(worker, payloads)
+    for shard_idx, out in enumerate(outs):
+        tracer.absorb(out.get("spans"), shard=shard_idx)
+    return outs, runner
 
 
 def _merge_design_outs(
     candidates: list,
     outs: list[dict],
     keep_ranking: int,
-    jobs: int,
-    wall_time: float,
     *,
     cache_misses: int,
 ) -> SpaceOptimizationResult:
+    # stats.wall_time stays 0.0 here: the caller's root span fills it in.
     stats = SearchStats(
         candidates_enumerated=len(candidates),
         shards=max(1, len(outs)),
         cache_misses=cache_misses,
-        wall_time=wall_time,
         shard_wall_times=tuple(out["wall_time"] for out in outs),
     )
     designs: list[SpaceDesign] = []
@@ -672,11 +771,9 @@ def _space_result_from_entry(
     entry: dict,
     *,
     rebuild: Callable[..., SpaceDesign | None],
-    wall_time: float,
 ) -> SpaceOptimizationResult:
     stats = SearchStats.from_dict(entry["counters"])
     stats.cache_hits = 1
-    stats.wall_time = wall_time
     designs: list[SpaceDesign] = []
     for item in entry["ranking"]:
         space = tuple(tuple(int(x) for x in row) for row in item["space"])

@@ -27,6 +27,7 @@ excluded from result equality.
 
 from __future__ import annotations
 
+import logging
 import os
 import time
 from collections.abc import Callable
@@ -34,6 +35,10 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+
+from ..obs import get_tracer
+
+logger = logging.getLogger("repro.dse.resilience")
 
 __all__ = [
     "ResiliencePolicy",
@@ -276,6 +281,13 @@ class ResilientShardRunner:
                 attempts[i] += 1
                 if attempts[i] <= self.policy.max_retries:
                     self.shard_retries += 1
+                    get_tracer().event(
+                        "dse.shard_retry", shard=i, attempt=attempts[i]
+                    )
+                    logger.warning(
+                        "shard %d failed; retrying (attempt %d/%d)",
+                        i, attempts[i], self.policy.max_retries,
+                    )
                     pending.append(i)
                 else:
                     self._degrade_shard(worker, payloads, results, i)
@@ -320,6 +332,15 @@ class ResilientShardRunner:
                     out = fut.result(timeout=max(0.0, deadline - time.monotonic()))
             except _FuturesTimeout:
                 self.shard_timeouts += 1
+                get_tracer().event(
+                    "dse.shard_timeout",
+                    shard=i,
+                    timeout=self.policy.shard_timeout,
+                )
+                logger.warning(
+                    "shard %d exceeded the %gs deadline; worker presumed hung",
+                    i, self.policy.shard_timeout,
+                )
                 failed.append(i)
                 pool_dead = True  # the worker may be hung; reclaim it
                 continue
@@ -337,6 +358,11 @@ class ResilientShardRunner:
         if pool_dead:
             self._abandon_pool()
             self.pool_restarts += 1
+            get_tracer().event("dse.pool_restart", restarts=self.pool_restarts)
+            logger.warning(
+                "process pool abandoned and replaced (restart %d/%d)",
+                self.pool_restarts, self.policy.max_pool_restarts,
+            )
             if self.pool_restarts > self.policy.max_pool_restarts:
                 if not self.policy.degrade:
                     raise ResilienceError(
@@ -346,6 +372,11 @@ class ResilientShardRunner:
                     )
                 self._degraded = True
                 self.degraded = True
+                get_tracer().event("dse.degraded", cause="pool_restarts")
+                logger.warning(
+                    "pool restart budget exhausted; degrading to in-process "
+                    "execution for the rest of the search"
+                )
         return failed
 
     def _degrade_shard(
@@ -361,6 +392,11 @@ class ResilientShardRunner:
                 f"shard {i} failed {self.policy.max_retries + 1} attempts "
                 "and degradation is disabled"
             )
+        get_tracer().event("dse.degraded", cause="retries_exhausted", shard=i)
+        logger.warning(
+            "shard %d exhausted its %d retries; re-judging in-process",
+            i, self.policy.max_retries,
+        )
         results[i] = worker(payloads[i])
         self.degraded = True
 

@@ -1,0 +1,172 @@
+"""JSONL trace schema: record shapes and a stdlib-only validator.
+
+A trace file is a sequence of JSON objects, one per line.  Every record
+has a ``type`` discriminator; the shapes are:
+
+``meta``
+    ``{"type": "meta", "schema": int, "service": str, "pid": int,
+    "created_unix": float}`` — written first by every exporting
+    process.  A file holding several appended traces holds several
+    meta lines; each introduces a new process's records.
+``span``
+    ``{"type": "span", "name": str, "span_id": int, "parent_id":
+    int | null, "start_unix": float | null, "duration": float,
+    "pid": int, "attrs": object}`` — a finished timed operation.
+    ``parent_id`` is ``null`` for root spans.
+``event``
+    ``{"type": "event", "name": str, "time_unix": float, "span_id":
+    int | null, "pid": int, "attrs": object}`` — instantaneous.
+``counter`` / ``gauge``
+    ``{"type": "counter" | "gauge", "name": str, "value": number}``
+    — aggregated totals / last-set values, flushed at export.
+
+The validator is deliberately dependency-free (no ``jsonschema``): it
+reports *all* problems it finds, each as a human-readable string
+prefixed with the 1-based line number.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections.abc import Iterable
+
+from .tracer import TRACE_SCHEMA_VERSION
+
+__all__ = [
+    "validate_record",
+    "validate_lines",
+    "validate_trace_file",
+    "load_trace",
+]
+
+_NUMBER = (int, float)
+
+#: field name -> (types, required); ``None`` in types permits JSON null.
+_SHAPES: dict[str, dict[str, tuple[tuple, bool]]] = {
+    "meta": {
+        "schema": ((int,), True),
+        "service": ((str,), True),
+        "pid": ((int,), True),
+        "created_unix": (_NUMBER, True),
+    },
+    "span": {
+        "name": ((str,), True),
+        "span_id": ((int,), True),
+        "parent_id": ((int, type(None)), True),
+        "start_unix": (_NUMBER + (type(None),), True),
+        "duration": (_NUMBER, True),
+        "pid": ((int,), True),
+        "attrs": ((dict,), True),
+    },
+    "event": {
+        "name": ((str,), True),
+        "time_unix": (_NUMBER, True),
+        "span_id": ((int, type(None)), True),
+        "pid": ((int,), True),
+        "attrs": ((dict,), True),
+    },
+    "counter": {
+        "name": ((str,), True),
+        "value": (_NUMBER, True),
+    },
+    "gauge": {
+        "name": ((str,), True),
+        "value": (_NUMBER, True),
+    },
+}
+
+
+def validate_record(record: object) -> list[str]:
+    """All schema problems of one decoded record (empty when valid)."""
+    if not isinstance(record, dict):
+        return [f"record is {type(record).__name__}, expected object"]
+    rtype = record.get("type")
+    if rtype not in _SHAPES:
+        return [f"unknown record type {rtype!r}"]
+    problems = []
+    shape = _SHAPES[rtype]
+    for field, (types, required) in shape.items():
+        if field not in record:
+            if required:
+                problems.append(f"{rtype} record missing field {field!r}")
+            continue
+        value = record[field]
+        if not isinstance(value, types):
+            # bool is an int subclass; never a valid numeric field.
+            problems.append(
+                f"{rtype}.{field} is {type(value).__name__}, "
+                f"expected {'/'.join(t.__name__ for t in types)}"
+            )
+        elif isinstance(value, bool) and bool not in types:
+            problems.append(f"{rtype}.{field} is bool, expected number")
+    if rtype == "span" and isinstance(record.get("duration"), _NUMBER):
+        if not isinstance(record["duration"], bool) and record["duration"] < 0:
+            problems.append("span.duration is negative")
+    if rtype == "meta" and record.get("schema") != TRACE_SCHEMA_VERSION:
+        problems.append(
+            f"meta.schema is {record.get('schema')!r}, "
+            f"this reader understands {TRACE_SCHEMA_VERSION}"
+        )
+    return problems
+
+
+def validate_lines(lines: Iterable[str]) -> tuple[list[dict], list[str]]:
+    """Decode and validate JSONL content.
+
+    Returns ``(records, errors)``: every decodable, schema-valid record
+    plus a list of human-readable problems.  Cross-record checks: the
+    stream must open with a ``meta`` line, and every span's
+    ``parent_id`` must reference a span defined in the stream.
+    """
+    records: list[dict] = []
+    errors: list[str] = []
+    span_ids: set[int] = set()
+    parent_refs: list[tuple[int, int]] = []
+    first_type: str | None = None
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {lineno}: not JSON ({exc.msg})")
+            continue
+        problems = validate_record(obj)
+        if problems:
+            errors.extend(f"line {lineno}: {p}" for p in problems)
+            continue
+        if first_type is None:
+            first_type = obj["type"]
+        if obj["type"] == "span":
+            span_ids.add(obj["span_id"])
+            if obj["parent_id"] is not None:
+                parent_refs.append((lineno, obj["parent_id"]))
+        records.append(obj)
+    if first_type is not None and first_type != "meta":
+        errors.append("line 1: trace does not start with a meta record")
+    for lineno, parent in parent_refs:
+        if parent not in span_ids:
+            errors.append(
+                f"line {lineno}: span parent_id {parent} "
+                "references no span in this trace"
+            )
+    return records, errors
+
+
+def validate_trace_file(path: str | os.PathLike) -> tuple[list[dict], list[str]]:
+    """:func:`validate_lines` over a file on disk."""
+    with open(path, encoding="utf-8") as fh:
+        return validate_lines(fh)
+
+
+def load_trace(path: str | os.PathLike) -> list[dict]:
+    """Records of a schema-valid trace file; raises on any problem."""
+    records, errors = validate_trace_file(path)
+    if errors:
+        raise ValueError(
+            f"invalid trace {os.fspath(path)!r}: " + "; ".join(errors[:5])
+            + (f" (+{len(errors) - 5} more)" if len(errors) > 5 else "")
+        )
+    return records

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 
 from ..model import UniformDependenceAlgorithm
 from ..core.mapping import MappingMatrix
+from ..obs import get_tracer
 from .array import ProcessorArray, build_array
 from .interconnect import InterconnectionPlan, plan_interconnection
 
@@ -89,7 +90,14 @@ class SimulationReport:
     max_buffer_occupancy:
         Per dependence channel, the peak number of in-flight-but-
         unconsumed tokens waiting at any single PE — compare against
-        the planned FIFO depth.
+        the planned FIFO depth.  Under ``hop_policy="eager"`` tokens
+        wait at the *destination* FIFO; under ``"lazy"`` they wait at
+        the *source*, so the same traffic shows up against different
+        PEs.
+    fifo_peaks:
+        The per-PE breakdown behind ``max_buffer_occupancy``: one
+        ``(channel, pe, peak)`` triple for every FIFO that ever held a
+        waiting token, sorted by channel then PE.
     values:
         Functional results per index point (``None`` without
         semantics).
@@ -108,6 +116,7 @@ class SimulationReport:
     link_collisions: tuple[LinkCollision, ...]
     latency_violations: tuple[LatencyViolation, ...]
     max_buffer_occupancy: tuple[int, ...]
+    fifo_peaks: tuple[tuple[int, tuple[int, ...], int], ...]
     values: dict | None
     array: ProcessorArray
     plan: InterconnectionPlan
@@ -143,9 +152,10 @@ def simulate_mapping(
         the token immediately after production (waiting at the
         destination FIFO — Figure 2's buffer placement), while
         ``"lazy"`` holds it at the source and moves it just in time
-        (waiting at the source).  The two policies stress different
-        links at different cycles, so a multi-hop design clean under
-        one may collide under the other; both satisfy Equation 2.3.
+        (waiting at the source PE, where ``max_buffer_occupancy`` then
+        accounts for it).  The two policies stress different links at
+        different cycles, so a multi-hop design clean under one may
+        collide under the other; both satisfy Equation 2.3.
 
     Notes
     -----
@@ -159,127 +169,173 @@ def simulate_mapping(
     """
     if hop_policy not in ("eager", "lazy"):
         raise ValueError(f"unknown hop_policy {hop_policy!r}")
-    if plan is None:
-        plan = plan_interconnection(algorithm, mapping, primitives)
-    array = build_array(algorithm, mapping, plan)
-    if functional is None:
-        functional = algorithm.compute is not None
-    if functional and algorithm.compute is None:
-        raise ValueError("functional simulation requires algorithm.compute")
-
-    smat = mapping.space_matrix
-    deps = algorithm.dependence_vectors()
-    m = len(deps)
-
-    placement: dict[tuple, list[tuple[int, ...]]] = defaultdict(list)
-    times: list[int] = []
-    schedule_of: dict[tuple[int, ...], int] = {}
-    pe_of: dict[tuple[int, ...], tuple[int, ...]] = {}
-
-    for j in algorithm.index_set:
-        t = mapping.time(j)
-        pe = tuple(smat.matvec(j)) if smat.nrows else ()
-        placement[(pe, t)].append(j)
-        times.append(t)
-        schedule_of[j] = t
-        pe_of[j] = pe
-
-    conflicts = tuple(
-        ComputationalConflict(processor=pe, time=t, points=tuple(points))
-        for (pe, t), points in sorted(placement.items())
-        if len(points) > 1
+    tracer = get_tracer()
+    root = tracer.span(
+        "systolic.simulate",
+        algorithm=algorithm.name,
+        hop_policy=hop_policy,
     )
+    with root:
+        if plan is None:
+            with tracer.span("sim.plan"):
+                plan = plan_interconnection(algorithm, mapping, primitives)
+        array = build_array(algorithm, mapping, plan)
+        if functional is None:
+            functional = algorithm.compute is not None
+        if functional and algorithm.compute is None:
+            raise ValueError("functional simulation requires algorithm.compute")
 
-    # -- token routing ---------------------------------------------------
-    link_use: dict[tuple, list[tuple[int, ...]]] = defaultdict(list)
-    latency: list[LatencyViolation] = []
-    # (channel, dest_pe) -> list of (arrive, consume) intervals
-    fifo_intervals: dict[tuple, list[tuple[int, int]]] = defaultdict(list)
+        smat = mapping.space_matrix
+        deps = algorithm.dependence_vectors()
+        m = len(deps)
 
-    for j in algorithm.index_set:
-        for i, d in enumerate(deps):
-            src = tuple(a - b for a, b in zip(j, d))
-            if src not in schedule_of:
-                continue  # boundary input, injected from outside the array
-            depart = schedule_of[src]
-            route = plan.routes[i]
-            consume = schedule_of[j]
-            hop_base = (
-                depart if hop_policy == "eager" else consume - len(route)
-            )
-            pos = list(pe_of[src])
-            for l, prim_col in enumerate(route, start=1):
-                step = [
-                    plan.primitives[row][prim_col]
-                    for row in range(len(plan.primitives))
-                ]
-                nxt = [a + b for a, b in zip(pos, step)]
-                link_use[(i, tuple(pos), tuple(nxt), hop_base + l)].append(j)
-                pos = nxt
-            arrive = (
-                depart + len(route) if hop_policy == "eager" else consume
-            )
-            if tuple(pos) != pe_of[j]:
-                raise RuntimeError(
-                    f"route for dependence {i} ends at {tuple(pos)}, consumer "
-                    f"is at {pe_of[j]} — interconnection plan inconsistent"
-                )
-            # Equation 2.3's audit: eager tokens must not arrive late;
-            # lazy tokens must not need to leave before being produced.
-            if depart + len(route) > consume:
-                latency.append(
-                    LatencyViolation(
-                        channel=i,
-                        consumer=j,
-                        needed_at=consume,
-                        arrives_at=depart + len(route),
-                    )
-                )
-            fifo_intervals[(i, pe_of[j])].append((arrive, consume))
+        placement: dict[tuple, list[tuple[int, ...]]] = defaultdict(list)
+        times: list[int] = []
+        schedule_of: dict[tuple[int, ...], int] = {}
+        pe_of: dict[tuple[int, ...], tuple[int, ...]] = {}
 
-    collisions = tuple(
-        LinkCollision(
-            channel=key[0], source=key[1], target=key[2], time=key[3],
-            tokens=tuple(consumers),
+        with tracer.span("sim.place"):
+            for j in algorithm.index_set:
+                t = mapping.time(j)
+                pe = tuple(smat.matvec(j)) if smat.nrows else ()
+                placement[(pe, t)].append(j)
+                times.append(t)
+                schedule_of[j] = t
+                pe_of[j] = pe
+
+        conflicts = tuple(
+            ComputationalConflict(processor=pe, time=t, points=tuple(points))
+            for (pe, t), points in sorted(placement.items())
+            if len(points) > 1
         )
-        for key, consumers in sorted(link_use.items())
-        if len(consumers) > 1
-    )
 
-    # -- peak FIFO occupancy per channel ----------------------------------
-    max_occupancy = [0] * m
-    for (channel, _pe), intervals in fifo_intervals.items():
-        events: dict[int, int] = defaultdict(int)
-        for arrive, consume in intervals:
-            if consume > arrive:  # waits [arrive, consume)
-                events[arrive] += 1
-                events[consume] -= 1
-        depth = 0
-        for t in sorted(events):
-            depth += events[t]
-            max_occupancy[channel] = max(max_occupancy[channel], depth)
+        # -- token routing -------------------------------------------------
+        link_use: dict[tuple, list[tuple[int, ...]]] = defaultdict(list)
+        latency: list[LatencyViolation] = []
+        # (channel, pe) -> list of (enter, leave) waiting intervals for the
+        # FIFO at that PE: under "eager" a token waits at its destination
+        # between arrival and consumption; under "lazy" it waits at its
+        # source between production and departure.
+        fifo_intervals: dict[tuple, list[tuple[int, int]]] = defaultdict(list)
 
-    # -- functional execution ----------------------------------------------
-    values: dict | None = None
-    if functional:
-        values = {}
-        for j in sorted(schedule_of, key=lambda p: (schedule_of[p], p)):
-            operands = []
-            for i, d in enumerate(deps):
-                src = tuple(a - b for a, b in zip(j, d))
-                if src in values:
-                    operands.append(values[src])
-                elif algorithm.inputs is not None:
-                    operands.append(algorithm.inputs(j, i))
-                else:
-                    operands.append(None)
-            values[j] = algorithm.compute(j, operands)
+        with tracer.span("sim.route"):
+            for j in algorithm.index_set:
+                for i, d in enumerate(deps):
+                    src = tuple(a - b for a, b in zip(j, d))
+                    if src not in schedule_of:
+                        continue  # boundary input, injected from outside
+                    depart = schedule_of[src]
+                    route = plan.routes[i]
+                    consume = schedule_of[j]
+                    hop_base = (
+                        depart if hop_policy == "eager" else consume - len(route)
+                    )
+                    pos = list(pe_of[src])
+                    for l, prim_col in enumerate(route, start=1):
+                        step = [
+                            plan.primitives[row][prim_col]
+                            for row in range(len(plan.primitives))
+                        ]
+                        nxt = [a + b for a, b in zip(pos, step)]
+                        link_use[(i, tuple(pos), tuple(nxt), hop_base + l)].append(j)
+                        pos = nxt
+                    if tuple(pos) != pe_of[j]:
+                        raise RuntimeError(
+                            f"route for dependence {i} ends at {tuple(pos)}, "
+                            f"consumer is at {pe_of[j]} — interconnection plan "
+                            "inconsistent"
+                        )
+                    # Equation 2.3's audit: eager tokens must not arrive late;
+                    # lazy tokens must not need to leave before being produced.
+                    if depart + len(route) > consume:
+                        latency.append(
+                            LatencyViolation(
+                                channel=i,
+                                consumer=j,
+                                needed_at=consume,
+                                arrives_at=depart + len(route),
+                            )
+                        )
+                    if hop_policy == "eager":
+                        fifo_intervals[(i, pe_of[j])].append(
+                            (depart + len(route), consume)
+                        )
+                    else:
+                        fifo_intervals[(i, pe_of[src])].append(
+                            (depart, consume - len(route))
+                        )
 
-    start = min(times)
-    finish = max(times)
-    makespan = finish - start + 1
-    busy = sum(1 for points in placement.values() if points)
-    utilization = busy / (array.num_processors * makespan)
+        collisions = tuple(
+            LinkCollision(
+                channel=key[0], source=key[1], target=key[2], time=key[3],
+                tokens=tuple(consumers),
+            )
+            for key, consumers in sorted(link_use.items())
+            if len(consumers) > 1
+        )
+
+        # -- peak FIFO occupancy per channel and per PE --------------------
+        max_occupancy = [0] * m
+        fifo_peaks: list[tuple[int, tuple[int, ...], int]] = []
+        with tracer.span("sim.fifo"):
+            for (channel, pe), intervals in sorted(fifo_intervals.items()):
+                events: dict[int, int] = defaultdict(int)
+                for enter, leave in intervals:
+                    if leave > enter:  # waits [enter, leave)
+                        events[enter] += 1
+                        events[leave] -= 1
+                depth = 0
+                peak = 0
+                for t in sorted(events):
+                    depth += events[t]
+                    peak = max(peak, depth)
+                if peak > 0:
+                    fifo_peaks.append((channel, pe, peak))
+                max_occupancy[channel] = max(max_occupancy[channel], peak)
+
+        if tracer.enabled:
+            # Link-utilization histogram: tokens-per-link distribution,
+            # aggregated over time (how hot is the hottest wire?).
+            per_link: dict[tuple, int] = defaultdict(int)
+            for (i, src_pe, dst_pe, _t), consumers in link_use.items():
+                per_link[(i, src_pe, dst_pe)] += len(consumers)
+            histogram: dict[str, int] = defaultdict(int)
+            for tokens in per_link.values():
+                histogram[str(tokens)] += 1
+            tracer.event(
+                "sim.link_utilization",
+                links=len(per_link),
+                max_tokens_per_link=max(per_link.values(), default=0),
+                histogram=dict(histogram),
+            )
+
+        # -- functional execution ------------------------------------------
+        values: dict | None = None
+        if functional:
+            with tracer.span("sim.execute"):
+                values = {}
+                for j in sorted(schedule_of, key=lambda p: (schedule_of[p], p)):
+                    operands = []
+                    for i, d in enumerate(deps):
+                        src = tuple(a - b for a, b in zip(j, d))
+                        if src in values:
+                            operands.append(values[src])
+                        elif algorithm.inputs is not None:
+                            operands.append(algorithm.inputs(j, i))
+                        else:
+                            operands.append(None)
+                    values[j] = algorithm.compute(j, operands)
+
+        start = min(times)
+        finish = max(times)
+        makespan = finish - start + 1
+        busy = sum(1 for points in placement.values() if points)
+        utilization = busy / (array.num_processors * makespan)
+        root.set(
+            makespan=makespan,
+            processors=array.num_processors,
+            ok=not (conflicts or collisions or latency),
+        )
 
     return SimulationReport(
         start_time=start,
@@ -291,6 +347,7 @@ def simulate_mapping(
         link_collisions=collisions,
         latency_violations=tuple(latency),
         max_buffer_occupancy=tuple(max_occupancy),
+        fifo_peaks=tuple(fifo_peaks),
         values=values,
         array=array,
         plan=plan,

@@ -127,3 +127,88 @@ class TestDesignCommand:
         # A schedule violating Pi D > 0 raises before searching.
         with pytest.raises(ValueError):
             main(["design", "-a", "matmul", "--mu", "2", "-p", "1,0,1"])
+
+
+class TestMuParsing:
+    def test_scalar_and_vector_accepted(self):
+        from repro.cli import _parse_mu
+
+        assert _parse_mu("4") == (4,)
+        assert _parse_mu("3,8,2,2") == (3, 8, 2, 2)
+
+    def test_non_positive_rejected(self):
+        import argparse
+
+        from repro.cli import _parse_mu
+
+        for bad in ("0", "4,0,4", "-3", ""):
+            with pytest.raises(argparse.ArgumentTypeError, match="--mu"):
+                _parse_mu(bad)
+
+    def test_wrong_arity_for_algorithm_is_readable(self):
+        # matmul takes exactly one size.
+        with pytest.raises(SystemExit, match="matmul"):
+            main(["map", "-a", "matmul", "--mu", "4,4", "-s", "1,1,-1"])
+
+    def test_convolution_accepts_pair(self, capsys):
+        rc = main(["map", "-a", "convolution", "--mu", "3,8", "-s", "1,0"])
+        assert rc == 0
+        assert "Pi" in capsys.readouterr().out
+
+    def test_check_broadcasts_scalar_mu(self, capsys):
+        rc = main(["check", "--rows", "1,1,-1;1,4,1", "--mu", "4"])
+        assert rc == 0
+        assert "conflict-free" in capsys.readouterr().out
+
+    def test_space_width_mismatch_is_readable(self):
+        with pytest.raises(SystemExit, match="--space"):
+            main(["map", "-a", "convolution", "--mu", "3,8", "-s", "1,1,-1"])
+
+
+class TestObsCommand:
+    def test_trace_flag_writes_valid_jsonl(self, tmp_path, capsys):
+        from repro.obs import load_trace
+
+        trace = tmp_path / "t.jsonl"
+        rc = main(["map", "-a", "matmul", "--mu", "2", "-s", "1,1,-1",
+                   "--trace", str(trace)])
+        assert rc == 0
+        assert "trace written" in capsys.readouterr().err
+        records = load_trace(trace)
+        assert any(
+            r["type"] == "span"
+            and r["name"] == "core.find_time_optimal_mapping"
+            for r in records
+        )
+
+    def test_obs_report_renders(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        main(["map", "-a", "matmul", "--mu", "2", "-s", "1,1,-1",
+              "--trace", str(trace)])
+        capsys.readouterr()
+        rc = main(["obs", "report", str(trace)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "wall time" in out
+        assert "core.find_time_optimal_mapping" in out
+
+    def test_obs_validate_accepts_good_trace(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        main(["map", "-a", "matmul", "--mu", "2", "-s", "1,1,-1",
+              "--trace", str(trace)])
+        capsys.readouterr()
+        rc = main(["obs", "validate", str(trace)])
+        assert rc == 0
+        assert "OK:" in capsys.readouterr().out
+
+    def test_obs_validate_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "span", "name": "x"}\n')
+        rc = main(["obs", "validate", str(bad)])
+        assert rc == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_bad_log_level_is_readable(self):
+        with pytest.raises(SystemExit, match="log"):
+            main(["map", "-a", "matmul", "--mu", "2", "-s", "1,1,-1",
+                  "--log-level", "LOUD"])

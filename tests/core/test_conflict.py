@@ -6,6 +6,7 @@ from repro.core import (
     MappingMatrix,
     analyze_conflicts,
     conflict_generators,
+    conflict_margin,
     conflict_vector_corank1,
     conflict_vector_via_adjugate,
     find_conflict_witness,
@@ -205,6 +206,44 @@ class TestWitness:
     def test_no_witness_square(self):
         t = MappingMatrix(space=((1, 0),), schedule=(0, 1))
         assert find_conflict_witness(t, ConstantBoundedIndexSet((3, 3))) is None
+
+    def test_witness_whenever_decider_says_conflicted(self):
+        """Regression: the witness search enumerates exactly the set the
+        kernel-box decider checks, so ``not free`` always yields a pair."""
+        cases = [
+            (((1, 1, -1),), (1, 1, 4), (4, 4, 4)),
+            (((1, 1, -1),), (1, 1, 3), (3, 3, 3)),
+            (((0, 0, 1),), (2, 2, 1), (4, 4, 4)),
+            (((1, 2, 0),), (0, 0, 1), (2, 2, 2)),
+        ]
+        for space, pi, mu in cases:
+            t = MappingMatrix(space=space, schedule=pi)
+            j = ConstantBoundedIndexSet(mu)
+            free = is_conflict_free_kernel_box(t, mu)
+            w = find_conflict_witness(t, j)
+            assert free == (w is None), (space, pi, mu)
+            if w is not None:
+                j1, j2 = w
+                assert j1 != j2 and j1 in j and j2 in j
+                assert t.tau(j1) == t.tau(j2)
+
+
+class TestConflictMargin:
+    def test_rejects_zero_mu_entry(self):
+        t = MappingMatrix(space=((1, 1, -1),), schedule=(1, 4, 1))
+        with pytest.raises(ValueError, match="positive"):
+            conflict_margin(t, (4, 0, 4))
+
+    def test_rejects_negative_mu_entry(self):
+        t = MappingMatrix(space=((1, 1, -1),), schedule=(1, 4, 1))
+        with pytest.raises(ValueError, match="positive"):
+            conflict_margin(t, (4, -1, 4))
+
+    def test_positive_mu_still_works(self):
+        from fractions import Fraction
+
+        t = MappingMatrix(space=((1, 1, -1),), schedule=(1, 4, 1))
+        assert conflict_margin(t, (4, 4, 4)) == Fraction(5, 4)
 
 
 class TestAnalyze:

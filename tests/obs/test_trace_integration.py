@@ -1,0 +1,142 @@
+"""End-to-end tracing through the searches and the simulator.
+
+The acceptance contract of the observability layer:
+
+* a traced parallel search returns a result equal to the serial one
+  (tracing is telemetry, never a semantic);
+* the exported JSONL is schema-valid;
+* the timing is one source of truth — the shard spans in the trace sum
+  exactly to ``SearchStats.shard_wall_times`` and the root span *is*
+  ``SearchStats.wall_time``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MappingMatrix
+from repro.core.optimize import procedure_5_1
+from repro.dse import ResultCache, explore_schedule, explore_space
+from repro.model import matrix_multiplication
+from repro.obs import load_trace, trace_session
+from repro.systolic import simulate_mapping
+
+SPACE_51 = ((1, 1, -1),)  # Example 5.1's space mapping
+
+
+@pytest.fixture
+def matmul4():
+    return matrix_multiplication(4)
+
+
+class TestTracedScheduleSearch:
+    def test_traced_parallel_equals_serial(self, matmul4, tmp_path):
+        serial = procedure_5_1(matmul4, SPACE_51)
+        with trace_session(tmp_path / "t.jsonl"):
+            parallel = explore_schedule(matmul4, SPACE_51, jobs=4)
+        assert parallel == serial
+
+    def test_trace_is_schema_valid_and_timing_consistent(
+        self, matmul4, tmp_path
+    ):
+        path = tmp_path / "t.jsonl"
+        with trace_session(path):
+            result = explore_schedule(matmul4, SPACE_51, jobs=4)
+        records = load_trace(path)  # raises on any schema problem
+        spans = [r for r in records if r["type"] == "span"]
+
+        shard_spans = [s for s in spans if s["name"] == "dse.shard"]
+        assert shard_spans, "worker spans were not absorbed into the trace"
+        assert sum(s["duration"] for s in shard_spans) == pytest.approx(
+            sum(result.stats.shard_wall_times), rel=1e-9
+        )
+
+        [root] = [
+            s for s in spans
+            if s["name"] == "dse.explore_schedule" and s["parent_id"] is None
+        ]
+        assert root["duration"] == pytest.approx(
+            result.stats.wall_time, rel=1e-9
+        )
+
+    def test_spans_form_one_tree_with_shard_tags(self, matmul4, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with trace_session(path):
+            explore_schedule(matmul4, SPACE_51, jobs=4)
+        spans = [r for r in load_trace(path) if r["type"] == "span"]
+        by_id = {s["span_id"]: s for s in spans}
+        rings = [s for s in spans if s["name"] == "dse.ring"]
+        assert rings
+        for shard in (s for s in spans if s["name"] == "dse.shard"):
+            assert "shard" in shard["attrs"]
+            parent = by_id[shard["parent_id"]]
+            assert parent["name"] == "dse.ring"
+
+    def test_cache_events_reach_the_trace(self, matmul4, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        with trace_session(tmp_path / "cold.jsonl"):
+            cold = explore_schedule(matmul4, SPACE_51, jobs=1, cache=cache)
+        with trace_session(tmp_path / "warm.jsonl"):
+            warm = explore_schedule(matmul4, SPACE_51, jobs=1, cache=cache)
+        assert warm == cold
+        cold_events = [
+            r["name"] for r in load_trace(tmp_path / "cold.jsonl")
+            if r["type"] == "event"
+        ]
+        warm_events = [
+            r["name"] for r in load_trace(tmp_path / "warm.jsonl")
+            if r["type"] == "event"
+        ]
+        assert "cache.miss" in cold_events
+        assert "cache.hit" in warm_events
+
+    def test_untraced_run_unchanged(self, matmul4):
+        # The disabled path: no tracer configured, result still equal
+        # and wall_time still populated (spans time themselves).
+        result = explore_schedule(matmul4, SPACE_51, jobs=2)
+        assert result == procedure_5_1(matmul4, SPACE_51)
+        assert result.stats.wall_time > 0.0
+        assert all(w > 0.0 for w in result.stats.shard_wall_times)
+
+
+class TestTracedSpaceSearch:
+    def test_traced_space_search_writes_root_span(self, matmul4, tmp_path):
+        path = tmp_path / "s.jsonl"
+        with trace_session(path):
+            result = explore_space(matmul4, (1, 4, 1), jobs=2)
+        spans = [r for r in load_trace(path) if r["type"] == "span"]
+        [root] = [s for s in spans if s["name"] == "dse.explore_space"]
+        assert root["duration"] == pytest.approx(
+            result.stats.wall_time, rel=1e-9
+        )
+        assert any(s["name"] == "dse.shard" for s in spans)
+
+
+class TestTracedSimulation:
+    def test_simulation_phases_and_link_histogram(self, matmul4, tmp_path):
+        t = MappingMatrix(space=SPACE_51, schedule=(1, 4, 1))
+        path = tmp_path / "sim.jsonl"
+        with trace_session(path):
+            report = simulate_mapping(matmul4, t)
+        assert report.ok
+        records = load_trace(path)
+        names = {r["name"] for r in records if r["type"] == "span"}
+        assert {"systolic.simulate", "sim.place", "sim.route",
+                "sim.fifo"} <= names
+        [ev] = [
+            r for r in records
+            if r["type"] == "event" and r["name"] == "sim.link_utilization"
+        ]
+        assert ev["attrs"]["links"] > 0
+        assert ev["attrs"]["max_tokens_per_link"] >= 1
+
+    def test_procedure_5_1_root_span_is_wall_time(self, matmul4, tmp_path):
+        path = tmp_path / "p.jsonl"
+        with trace_session(path):
+            result = procedure_5_1(matmul4, SPACE_51)
+        spans = [r for r in load_trace(path) if r["type"] == "span"]
+        [root] = [s for s in spans if s["name"] == "core.procedure_5_1"]
+        assert root["duration"] == pytest.approx(
+            result.stats.wall_time, rel=1e-9
+        )
+        assert any(s["name"] == "core.ring" for s in spans)

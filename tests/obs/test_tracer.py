@@ -1,0 +1,195 @@
+"""Unit tests of the Span/Tracer mechanics (repro.obs.tracer)."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.obs import (
+    Span,
+    Tracer,
+    get_tracer,
+    load_trace,
+    set_tracer,
+    trace_session,
+)
+
+
+class TestSpan:
+    def test_span_times_even_without_tracer(self):
+        with Span("standalone") as s:
+            pass
+        assert s.duration is not None and s.duration >= 0.0
+        assert s.start_unix is not None
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("work") as s:
+            with tracer.span("inner"):
+                pass
+        assert s.duration is not None  # timing still happens
+        assert s.span_id is None       # ...but no id was allocated
+        tracer.event("boom")
+        tracer.add("n")
+        tracer.gauge("g", 1.0)
+        assert tracer.records() == []
+
+    def test_nesting_sets_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        names = [r["name"] for r in tracer.records() if r["type"] == "span"]
+        assert names == ["inner", "outer"]  # recorded at close, inner first
+
+    def test_set_attaches_attributes(self):
+        tracer = Tracer()
+        with tracer.span("s", fixed=1) as s:
+            s.set(late=2)
+        [rec] = [r for r in tracer.records() if r["type"] == "span"]
+        assert rec["attrs"] == {"fixed": 1, "late": 2}
+
+    def test_exception_marks_span(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("fails"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        [rec] = [r for r in tracer.records() if r["type"] == "span"]
+        assert rec["attrs"]["error"] == "RuntimeError"
+
+    def test_thread_local_stacks_nest_independently(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+        seen = {}
+
+        def run(tag):
+            with tracer.span(f"root-{tag}") as root:
+                barrier.wait()
+                with tracer.span(f"child-{tag}") as child:
+                    seen[tag] = (root, child)
+
+        threads = [threading.Thread(target=run, args=(i,)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for tag, (root, child) in seen.items():
+            assert root.parent_id is None
+            assert child.parent_id == root.span_id
+
+
+class TestCountersEvents:
+    def test_counters_aggregate(self):
+        tracer = Tracer()
+        tracer.add("hits")
+        tracer.add("hits", 2)
+        tracer.gauge("depth", 3)
+        tracer.gauge("depth", 5)
+        recs = tracer.records()
+        [counter] = [r for r in recs if r["type"] == "counter"]
+        [gauge] = [r for r in recs if r["type"] == "gauge"]
+        assert counter == {"type": "counter", "name": "hits", "value": 3}
+        assert gauge == {"type": "gauge", "name": "depth", "value": 5}
+
+    def test_event_binds_to_active_span(self):
+        tracer = Tracer()
+        with tracer.span("op") as s:
+            tracer.event("hit", key="k")
+        [ev] = [r for r in tracer.records() if r["type"] == "event"]
+        assert ev["span_id"] == s.span_id
+        assert ev["attrs"] == {"key": "k"}
+
+
+class TestAbsorb:
+    def test_absorb_remaps_and_reparents(self):
+        # A "worker" produces a standalone span tree with its own ids.
+        with Span("shard", attrs={"kind": "x"}) as w:
+            pass
+        w.span_id = 1  # simulate a foreign id space colliding with ours
+        foreign = [w.to_record()]
+
+        tracer = Tracer()
+        with tracer.span("parent") as p:
+            tracer.absorb(foreign, shard=3)
+        spans = {r["name"]: r for r in tracer.records() if r["type"] == "span"}
+        absorbed = spans["shard"]
+        assert absorbed["span_id"] != 1       # remapped into our id space
+        assert absorbed["parent_id"] == p.span_id
+        assert absorbed["attrs"] == {"kind": "x", "shard": 3}
+
+    def test_absorb_preserves_foreign_structure(self):
+        foreign = [
+            {"type": "span", "name": "a", "span_id": 1, "parent_id": None,
+             "start_unix": 0.0, "duration": 0.5, "pid": 1, "attrs": {}},
+            {"type": "span", "name": "b", "span_id": 2, "parent_id": 1,
+             "start_unix": 0.0, "duration": 0.25, "pid": 1, "attrs": {}},
+        ]
+        tracer = Tracer()
+        with tracer.span("parent"):
+            tracer.absorb(foreign, shard=0)
+        spans = {r["name"]: r for r in tracer.records() if r["type"] == "span"}
+        assert spans["b"]["parent_id"] == spans["a"]["span_id"]
+
+    def test_absorb_noop_when_disabled_or_empty(self):
+        tracer = Tracer(enabled=False)
+        tracer.absorb([{"type": "span", "name": "x", "span_id": 1}])
+        assert tracer.records() == []
+        tracer2 = Tracer()
+        tracer2.absorb(None)
+        tracer2.absorb([])
+        assert tracer2.records() == []
+
+
+class TestExport:
+    def test_write_jsonl_roundtrips_through_validator(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer()
+        with tracer.span("root"):
+            tracer.event("e")
+            tracer.add("c")
+        written = tracer.write_jsonl(path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == written
+        assert json.loads(lines[0])["type"] == "meta"
+        records = load_trace(path)  # raises if schema-invalid
+        assert {r["type"] for r in records} == {"meta", "span", "event", "counter"}
+
+    def test_appending_two_traces_stays_valid(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        for _ in range(2):
+            tracer = Tracer()
+            with tracer.span("root"):
+                pass
+            tracer.write_jsonl(path)
+        records = load_trace(path)
+        assert sum(1 for r in records if r["type"] == "meta") == 2
+
+
+class TestGlobalTracer:
+    def test_default_global_tracer_is_disabled(self):
+        assert get_tracer().enabled is False
+
+    def test_trace_session_restores_previous(self, tmp_path):
+        before = get_tracer()
+        path = tmp_path / "s.jsonl"
+        with trace_session(path) as t:
+            assert get_tracer() is t
+            with t.span("inside"):
+                pass
+        assert get_tracer() is before
+        assert any(r["name"] == "inside" for r in load_trace(path)
+                   if r["type"] == "span")
+
+    def test_set_tracer_returns_old(self):
+        old = get_tracer()
+        mine = Tracer()
+        prev = set_tracer(mine)
+        try:
+            assert prev is old
+            assert get_tracer() is mine
+        finally:
+            set_tracer(old)

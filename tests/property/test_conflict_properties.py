@@ -168,3 +168,18 @@ class TestWitnessSoundness:
             assert j1 != j2
             assert t.tau(j1) == t.tau(j2)
             assert j1 in j and j2 in j
+
+    @given(mapping_and_mu(k=1, n=3, mu_max=2))
+    @settings(max_examples=40)
+    def test_witness_exists_iff_conflicted_corank2(self, tm):
+        from repro.core import find_conflict_witness
+
+        t, mu = tm
+        j = ConstantBoundedIndexSet(mu)
+        w = find_conflict_witness(t, j)
+        assert (w is None) == is_conflict_free_kernel_box(t, mu)
+        if w is not None:
+            j1, j2 = w
+            assert j1 != j2
+            assert t.tau(j1) == t.tau(j2)
+            assert j1 in j and j2 in j
