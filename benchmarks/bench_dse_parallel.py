@@ -157,16 +157,54 @@ def bench_trace_overhead() -> dict:
     }
 
 
+def bench_checkpoint_overhead() -> dict:
+    """The crash-safety tax: journaling every completed shard.
+
+    Same search, same ``jobs=1`` engine route, with and without a
+    write-ahead journal attached.  Journal cost is per shipped byte
+    (one checksummed, fsynced line per completed shard), so the ratio
+    depends entirely on how much work each shard represents.  The
+    measured case is the joint Problem 6.2 search — chunky shards,
+    hundreds of milliseconds of exact-arithmetic work each — which is
+    the shape of run checkpointing exists for; there the journal is a
+    handful of lines against real work and the bar is < 3% overhead.
+    (A tiny schedule search over a large candidate ring can spend
+    microseconds per candidate, where any per-candidate serialization
+    is proportionally visible — those runs finish in milliseconds and
+    have nothing worth resuming.)  The journaled result must, as
+    everywhere, equal the plain one.
+    """
+    algo = matrix_multiplication(4)
+
+    base_t, base = _timed(lambda: explore_joint(algo, jobs=1), repeats=3)
+    with tempfile.TemporaryDirectory() as d:
+        path = Path(d) / "bench.ckpt"
+        # non-resume opens overwrite, so each repeat journals afresh
+        ckpt_t, ckpt = _timed(
+            lambda: explore_joint(algo, jobs=1, checkpoint=path),
+            repeats=3,
+        )
+    assert ckpt == base, "checkpointing changed the search result"
+    return {
+        "case": "checkpoint-overhead-joint-matmul-mu4",
+        "plain_s": base_t,
+        "checkpointed_s": ckpt_t,
+        "overhead_ratio": (ckpt_t / base_t - 1.0) if base_t else 0.0,
+    }
+
+
 def main() -> int:
     records = [bench_schedule_case(*case) for case in SCHEDULE_CASES]
     records += [bench_joint_case(*case) for case in JOINT_CASES]
     overhead = bench_trace_overhead()
+    ckpt_overhead = bench_checkpoint_overhead()
 
     payload = {
         "benchmark": "dse-parallel-cache",
         "cpu_count": os.cpu_count(),
         "records": records,
         "trace_overhead": overhead,
+        "checkpoint_overhead": ckpt_overhead,
     }
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
 
@@ -195,6 +233,14 @@ def main() -> int:
     )
     if overhead["disabled_overhead_ratio"] > 0.02:
         print("FAIL: disabled tracing costs more than 2%", file=sys.stderr)
+        ok = False
+    print(
+        f"checkpoint overhead: {ckpt_overhead['overhead_ratio'] * 100:.2f}% "
+        f"({ckpt_overhead['plain_s']:.3f}s -> "
+        f"{ckpt_overhead['checkpointed_s']:.3f}s)"
+    )
+    if ckpt_overhead["overhead_ratio"] > 0.03:
+        print("FAIL: checkpoint journaling costs more than 3%", file=sys.stderr)
         ok = False
     print(f"\nwrote {OUTPUT}")
     if not ok:

@@ -14,8 +14,10 @@ Four subcommands mirror the library's workflow:
 * ``explore``  — the same searches through the parallel, cached
   work-queue engine (:mod:`repro.dse`), with ``--jobs`` /
   ``--cache-dir`` / ``--no-cache``, fault-tolerance knobs
-  (``--shard-timeout`` / ``--max-retries`` / ``--no-degrade``) and
-  full telemetry;
+  (``--shard-timeout`` / ``--max-retries`` / ``--no-degrade``),
+  crash-safe checkpoint/resume (``--checkpoint`` / ``--resume``),
+  run budgets (``--max-seconds`` / ``--max-shards`` / ``--max-bits``),
+  ``--strict`` and full telemetry;
 * ``report``   — regenerate every experiment into a markdown report
   (see :mod:`repro.experiments`);
 * ``obs``      — validate a JSONL trace or render its per-phase
@@ -67,7 +69,15 @@ from .model import (
     transitive_closure,
 )
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "EXIT_INTERRUPTED", "EXIT_STRICT"]
+
+#: ``explore`` exit code for a clean, resumable stop (signal or budget);
+#: modeled on BSD's EX_TEMPFAIL — "try again later" is the right reading.
+EXIT_INTERRUPTED = 75
+
+#: ``explore --strict`` exit code when the run completed only through
+#: degradation (pool restarts, exhausted retries, in-process fallback).
+EXIT_STRICT = 3
 
 
 def _parse_vector(text: str) -> tuple[int, ...]:
@@ -250,6 +260,26 @@ def build_parser() -> argparse.ArgumentParser:
                            help="conflict-check mode for schedule search")
     p_explore.add_argument("--array-dim", type=int, default=1)
     p_explore.add_argument("--magnitude", type=int, default=1)
+    p_explore.add_argument("--checkpoint", metavar="PATH", default=None,
+                           help="write-ahead journal of completed shards; "
+                                "SIGINT/SIGTERM and budget stops become "
+                                f"clean resumable exits (code {EXIT_INTERRUPTED})")
+    p_explore.add_argument("--resume", action="store_true",
+                           help="replay --checkpoint first and skip every "
+                                "shard it already holds")
+    p_explore.add_argument("--max-seconds", type=float, default=None,
+                           help="wall-clock budget; exceeding it stops "
+                                "cleanly and resumably")
+    p_explore.add_argument("--max-shards", type=int, default=None,
+                           help="budget on dispatched shards (resumed "
+                                "shards are free)")
+    p_explore.add_argument("--max-bits", type=int, default=None,
+                           help="cap on the schedule ring bound's bit "
+                                "length (bounds exact-arithmetic growth)")
+    p_explore.add_argument("--strict", action="store_true",
+                           help=f"exit {EXIT_STRICT} when the run needed "
+                                "fallbacks (shard retries, pool restarts, "
+                                "or degraded execution) to complete")
 
     p_report = sub.add_parser(
         "report", help="regenerate all experiments into a markdown report"
@@ -364,15 +394,40 @@ def _cmd_design(args: argparse.Namespace) -> int:
     return 0
 
 
+def _strict_violation(stats) -> str | None:
+    """Why a ``--strict`` run should fail, or ``None`` when it is clean.
+
+    The result is still exactly correct in these cases (degradation
+    re-judges shards deterministically) — strict mode exists for users
+    who treat needing the fallback machinery as an environment failure.
+    """
+    reasons = []
+    if stats.degraded:
+        reasons.append("degraded to in-process execution")
+    if stats.pool_restarts:
+        reasons.append(f"{stats.pool_restarts} pool restart(s)")
+    if stats.shard_retries:
+        reasons.append(f"{stats.shard_retries} shard retry(s)")
+    return "; ".join(reasons) if reasons else None
+
+
+def _finish_explore(result, args, code: int) -> int:
+    if args.strict and code == 0:
+        problem = _strict_violation(result.stats)
+        if problem is not None:
+            print(f"strict: completed only via fallbacks: {problem}",
+                  file=sys.stderr)
+            return EXIT_STRICT
+    return code
+
+
 def _cmd_explore(args: argparse.Namespace) -> int:
     from .dse import (
         ResiliencePolicy,
         ResultCache,
-        explore_joint,
-        explore_schedule,
-        explore_space,
+        RunBudget,
+        RunInterrupted,
     )
-    from .dse.progress import format_stats
 
     if args.space is not None and args.schedule is not None:
         raise SystemExit(
@@ -381,6 +436,8 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         )
     if args.jobs is not None and args.jobs < 1:
         raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+    if args.resume and args.checkpoint is None:
+        raise SystemExit("--resume requires --checkpoint PATH")
     algo = _make_algorithm(args.algorithm, args.mu, args.word_bits)
     cache = ResultCache(args.cache_dir, enabled=not args.no_cache)
     try:
@@ -389,46 +446,73 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             max_retries=args.max_retries,
             degrade=not args.no_degrade,
         )
+        budget = None
+        if (args.max_seconds is not None or args.max_shards is not None
+                or args.max_bits is not None):
+            budget = RunBudget(
+                max_seconds=args.max_seconds,
+                max_shards=args.max_shards,
+                max_bits=args.max_bits,
+            )
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc
     print(f"algorithm      : {algo.name}")
+    try:
+        return _run_explore(args, algo, cache, policy, budget)
+    except RunInterrupted as exc:
+        print(f"interrupted: {exc.reason}", file=sys.stderr)
+        if args.checkpoint is not None:
+            print(
+                f"resumable: rerun with --checkpoint {args.checkpoint} --resume",
+                file=sys.stderr,
+            )
+        return EXIT_INTERRUPTED
+
+
+def _run_explore(args, algo, cache, policy, budget) -> int:
+    from .dse import explore_joint, explore_schedule, explore_space
+    from .dse.progress import format_stats
+
+    engine_kwargs = dict(
+        jobs=args.jobs, cache=cache, resilience=policy,
+        checkpoint=args.checkpoint, resume=args.resume, budget=budget,
+    )
 
     if args.space is not None:
         result = explore_schedule(
-            algo, args.space, jobs=args.jobs, method=args.method, cache=cache,
-            resilience=policy,
+            algo, args.space, method=args.method, **engine_kwargs
         )
         print(f"mode           : schedule search (Problem 2.2)")
         print(f"space mapping  : {[list(r) for r in args.space]}")
         if not result.found:
             print("no conflict-free schedule within the search bound")
             print(format_stats(result.stats))
-            return 1
+            return _finish_explore(result, args, 1)
         print(f"optimal Pi     : {list(result.schedule.pi)}")
         print(f"total time     : {result.total_time}")
         print(format_stats(result.stats))
-        return 0
+        return _finish_explore(result, args, 0)
 
     if args.schedule is not None:
         result = explore_space(
-            algo, args.schedule, jobs=args.jobs,
-            array_dim=args.array_dim, magnitude=args.magnitude, cache=cache,
-            resilience=policy,
+            algo, args.schedule,
+            array_dim=args.array_dim, magnitude=args.magnitude,
+            **engine_kwargs,
         )
         print(f"mode           : space search (Problem 6.1)")
         print(f"schedule Pi    : {list(args.schedule)}")
     else:
         result = explore_joint(
-            algo, jobs=args.jobs,
-            array_dim=args.array_dim, magnitude=args.magnitude, cache=cache,
-            resilience=policy,
+            algo,
+            array_dim=args.array_dim, magnitude=args.magnitude,
+            **engine_kwargs,
         )
         print(f"mode           : joint search (Problem 6.2)")
 
     if not result.found:
         print("no conflict-free design within the search bound")
         print(format_stats(result.stats))
-        return 1
+        return _finish_explore(result, args, 1)
     for rank_idx, design in enumerate(result.ranking, start=1):
         c = design.cost
         print(f"  #{rank_idx}: S = {[list(r) for r in design.mapping.space]}  "
@@ -436,7 +520,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
               f"PEs={c.processors} wire={c.wire_length} t={c.total_time}  "
               f"objective={design.objective:g}")
     print(format_stats(result.stats))
-    return 0
+    return _finish_explore(result, args, 0)
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -487,13 +571,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         configure_logging(getattr(args, "log_level", None))
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc
-    trace_path = getattr(args, "trace", None)
-    if trace_path:
-        with trace_session(trace_path):
-            code = handler(args)
-        print(f"trace written: {trace_path}", file=sys.stderr)
-        return code
-    return handler(args)
+    from .model import SpecError
+
+    try:
+        trace_path = getattr(args, "trace", None)
+        if trace_path:
+            with trace_session(trace_path):
+                code = handler(args)
+            print(f"trace written: {trace_path}", file=sys.stderr)
+            return code
+        return handler(args)
+    except SpecError as exc:
+        # Untrusted-input validation (repro.model.validate): reject with
+        # the typed diagnostic instead of a traceback.
+        raise SystemExit(f"invalid specification: {exc}") from exc
 
 
 if __name__ == "__main__":  # pragma: no cover

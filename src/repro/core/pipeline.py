@@ -13,7 +13,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
-from ..model import UniformDependenceAlgorithm
+from ..model import UniformDependenceAlgorithm, validate_algorithm, validate_space
 from ..obs import get_tracer
 from .conflict import ConflictAnalysis, analyze_conflicts
 from .ilp_formulation import solve_corank1_optimal
@@ -78,6 +78,9 @@ def find_time_optimal_mapping(
     jobs: int | None = None,
     cache=None,
     resilience=None,
+    checkpoint=None,
+    resume: bool = False,
+    budget=None,
     **solver_kwargs,
 ) -> MappingResult:
     """Solve Problem 2.2 end to end for a given space mapping.
@@ -110,15 +113,26 @@ def find_time_optimal_mapping(
         engine route — per-shard timeouts, bounded retries, and
         degradation behavior.  Supplying one routes the search through
         the engine even without ``jobs``/``cache``.
+    checkpoint, resume, budget:
+        Crash-safe checkpoint/resume and run-level resource ceilings
+        for the search route — see
+        :func:`repro.dse.executor.explore_schedule`.  Any of them
+        routes the search through the engine; the ILP route, whose
+        closed-form subproblems finish in milliseconds, ignores them.
 
     Raises
     ------
     ValueError
         When no conflict-free schedule exists within the search bound,
         or when ``solver="ilp"`` is requested for co-rank != 1.
+    repro.model.SpecError
+        When the algorithm or space mapping fails the untrusted-input
+        structural validation (:mod:`repro.model.validate`).
     """
+    validate_algorithm(algorithm)
     n = algorithm.n
     space_rows = tuple(tuple(int(x) for x in row) for row in space)
+    validate_space(space_rows, n)
     k = len(space_rows) + 1
     corank = n - k
 
@@ -133,7 +147,7 @@ def find_time_optimal_mapping(
     ) as root:
         result = _dispatch_solver(
             algorithm, space_rows, solver, method, jobs, cache, resilience,
-            solver_kwargs,
+            checkpoint, resume, budget, solver_kwargs,
         )
         root.set(total_time=result.total_time)
     return result
@@ -141,7 +155,7 @@ def find_time_optimal_mapping(
 
 def _dispatch_solver(
     algorithm, space_rows, solver, method, jobs, cache, resilience,
-    solver_kwargs,
+    checkpoint, resume, budget, solver_kwargs,
 ) -> MappingResult:
     corank = algorithm.n - (len(space_rows) + 1)
     if solver == "ilp":
@@ -160,7 +174,10 @@ def _dispatch_solver(
         mapping = res.mapping
         schedule = res.schedule
     elif solver == "procedure-5.1":
-        if jobs is not None or cache is not None or resilience is not None:
+        if (
+            jobs is not None or cache is not None or resilience is not None
+            or checkpoint is not None or budget is not None
+        ):
             # Lazy import: repro.dse.executor imports repro.core back.
             from ..dse.executor import explore_schedule
 
@@ -171,6 +188,9 @@ def _dispatch_solver(
                 method=method,
                 cache=cache,
                 resilience=resilience,
+                checkpoint=checkpoint,
+                resume=resume,
+                budget=budget,
                 **solver_kwargs,
             )
         else:

@@ -15,6 +15,10 @@ Public surface:
   tolerance for the parallel path (:mod:`repro.dse.resilience`):
   shard timeouts, bounded retries, pool replacement and graceful
   degradation, all preserving serial-result equality.
+* :class:`CheckpointJournal`, :class:`RunBudget`,
+  :class:`RunInterrupted`, :class:`BudgetExceeded`,
+  :class:`CheckpointError` — crash-safe checkpoint/resume, graceful
+  shutdown and run budgets (:mod:`repro.dse.checkpoint`).
 * :func:`round_robin`, :func:`ring_bounds`, :func:`effective_shards` —
   deterministic sharding primitives (:mod:`repro.dse.partition`).
 
@@ -40,6 +44,11 @@ __all__ = [
     "default_cache_dir",
     "ResiliencePolicy",
     "ResilienceError",
+    "CheckpointJournal",
+    "RunBudget",
+    "RunInterrupted",
+    "BudgetExceeded",
+    "CheckpointError",
     "round_robin",
     "ring_bounds",
     "effective_shards",
@@ -55,6 +64,11 @@ _LAZY = {
     "default_cache_dir": "cache",
     "ResiliencePolicy": "resilience",
     "ResilienceError": "resilience",
+    "CheckpointJournal": "checkpoint",
+    "RunBudget": "checkpoint",
+    "RunInterrupted": "checkpoint",
+    "BudgetExceeded": "checkpoint",
+    "CheckpointError": "checkpoint",
     "round_robin": "partition",
     "ring_bounds": "partition",
     "effective_shards": "partition",

@@ -11,7 +11,8 @@ changing ``mu``, ``D``, the method, or any bound does.
 Entries are stored one JSON file per key under a cache directory
 (``$REPRO_DSE_CACHE_DIR``, else ``~/.cache/repro-dse``).  Writes go
 through a temp file + :func:`os.replace`, so concurrent processes never
-observe a torn entry.  What is stored is the *decision* of the search
+observe a torn entry; each entry carries a content checksum, so
+corruption that still parses as JSON is quarantined instead of served.  What is stored is the *decision* of the search
 (the winning schedule vector, the ranked design list, the deterministic
 counters) — never derived objects like verdicts or cost structures,
 which the engine re-derives exactly on a hit.  That keeps entries tiny,
@@ -38,7 +39,13 @@ __all__ = ["ResultCache", "canonical_key", "default_cache_dir"]
 # Bump when the stored-entry layout or the key canonicalization changes;
 # old entries are then simply never looked up again.  v2: matrix-valued
 # key components are rendered as IntMat digests instead of nested lists.
-CACHE_SCHEMA_VERSION = 2
+# v3: entries carry a content checksum (``"crc"``) so silent on-disk
+# corruption that still parses as JSON is detected and quarantined.
+CACHE_SCHEMA_VERSION = 3
+
+# v2 entries differ from v3 only by the absence of the checksum, so they
+# stay readable (no checksum to verify) instead of forcing a cold cache.
+_READABLE_SCHEMAS = (2, CACHE_SCHEMA_VERSION)
 
 
 def default_cache_dir() -> Path:
@@ -86,6 +93,19 @@ def _jsonify(obj):
     raise TypeError(f"non-canonical cache-key component: {obj!r}")
 
 
+def _content_checksum(value: dict) -> str:
+    """SHA-256 of the canonical JSON form of an entry's ``value``.
+
+    Tuples canonicalize to lists, so the digest computed at ``put`` time
+    (over in-memory tuples) equals the digest recomputed at ``get`` time
+    (over the lists ``json.load`` hands back).
+    """
+    blob = json.dumps(
+        value, sort_keys=True, separators=(",", ":"), default=_jsonify
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
 class ResultCache:
     """On-disk JSON store mapping canonical keys to search decisions.
 
@@ -106,6 +126,15 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.quarantined = 0
+        # Opening the cache reclaims temp files leaked by writers that
+        # crashed mid-put; recent ones may belong to a live writer and
+        # are left alone (sweep_temp's default age threshold).
+        self.swept = self.sweep_temp() if enabled else 0
+        if self.swept:
+            tracer = get_tracer()
+            tracer.event("cache.sweep", removed=self.swept)
+            tracer.add("cache.swept", self.swept)
+            logger.info("swept %d stale writer temp file(s)", self.swept)
 
     # -- lookup ----------------------------------------------------------
 
@@ -115,12 +144,15 @@ class ResultCache:
     def get(self, key: str) -> dict | None:
         """The stored entry for ``key``, or ``None`` (counted as a miss).
 
-        A malformed entry — unparsable JSON, a non-object document, or a
-        schema-valid object missing its ``"value"`` — is a miss too:
-        the file is quarantined aside (renamed ``*.json.corrupt``) so
-        the search re-runs and overwrites it, instead of crashing on a
-        truncated or hand-edited file.  A well-formed entry of another
-        schema version is an ordinary miss (version skew, not damage).
+        A malformed entry — unparsable JSON, a non-object document, a
+        schema-valid object missing its ``"value"``, or a v3 entry whose
+        content checksum no longer matches — is a miss too: the file is
+        quarantined aside (renamed ``*.json.corrupt``) so the search
+        re-runs and overwrites it, instead of crashing on (or silently
+        trusting) a truncated, bit-rotted, or hand-edited file.  A
+        well-formed entry of an unknown schema version is an ordinary
+        miss (version skew, not damage); v2 entries predate the
+        checksum and are read without one.
         """
         if self.enabled:
             path = self._path(key)
@@ -134,16 +166,21 @@ class ResultCache:
             except json.JSONDecodeError:
                 entry = None  # file exists but is damaged
             if isinstance(entry, dict):
-                if entry.get("schema") == CACHE_SCHEMA_VERSION:
-                    if isinstance(entry.get("value"), dict):
+                schema = entry.get("schema")
+                if schema in _READABLE_SCHEMAS:
+                    value = entry.get("value")
+                    if isinstance(value, dict) and (
+                        schema == 2
+                        or entry.get("crc") == _content_checksum(value)
+                    ):
                         self.hits += 1
                         tracer = get_tracer()
                         tracer.event("cache.hit", key=key)
                         tracer.add("cache.hits")
                         logger.debug("cache hit: %s", key)
-                        return entry["value"]
+                        return value
                     self._quarantine(path)
-                # other schema versions: inert, plain miss
+                # unknown schema versions: inert, plain miss
             elif entry is not absent:
                 self._quarantine(path)
         self.misses += 1
@@ -170,7 +207,11 @@ class ResultCache:
         if not self.enabled:
             return
         self.cache_dir.mkdir(parents=True, exist_ok=True)
-        entry = {"schema": CACHE_SCHEMA_VERSION, "value": value}
+        entry = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "crc": _content_checksum(value),
+            "value": value,
+        }
         fd, tmp = tempfile.mkstemp(
             dir=self.cache_dir, prefix=".tmp-", suffix=".json"
         )
@@ -250,5 +291,6 @@ class ResultCache:
         state = "on" if self.enabled else "off"
         return (
             f"ResultCache({str(self.cache_dir)!r}, {state}, "
-            f"hits={self.hits}, misses={self.misses})"
+            f"hits={self.hits}, misses={self.misses}, "
+            f"quarantined={self.quarantined}, swept={self.swept})"
         )

@@ -35,6 +35,7 @@ from __future__ import annotations
 import logging
 import os
 from collections.abc import Callable, Sequence
+from contextlib import nullcontext
 
 from ..core.conditions import check_conflict_free
 from ..core.mapping import MappingMatrix
@@ -54,13 +55,21 @@ from ..core.space_optimize import (
     joint_objective,
     rank_designs,
 )
-from ..model import ConstantBoundedIndexSet, UniformDependenceAlgorithm
+from ..model import (
+    ConstantBoundedIndexSet,
+    UniformDependenceAlgorithm,
+    validate_algorithm,
+    validate_algorithm_spec,
+    validate_space,
+    validate_vector,
+)
 from ..obs import Span, get_tracer
-from ..systolic.cost import evaluate_cost
+from ..systolic.cost import ArrayCost, evaluate_cost
 from .cache import ResultCache, canonical_key
+from .checkpoint import CheckpointJournal, RunBudget, RunControl
 from .partition import effective_shards, ring_bounds, round_robin
 from .progress import SearchStats
-from .resilience import ResiliencePolicy, ResilientShardRunner
+from .resilience import ResiliencePolicy, ResilientShardRunner, maybe_slow
 
 __all__ = [
     "explore_schedule",
@@ -117,6 +126,14 @@ def _algorithm_spec(algorithm: UniformDependenceAlgorithm) -> dict:
 
 
 def _algorithm_from_spec(spec: dict) -> UniformDependenceAlgorithm:
+    """Rebuild ``(J, D)`` from a transport spec, worker side.
+
+    The payload crossed a process boundary, so its structure is proven
+    (:func:`repro.model.validate_algorithm_spec`) before an algorithm
+    object is built from it — a corrupted pickle surfaces as a typed
+    :class:`~repro.model.SpecError`, not an arbitrary crash downstream.
+    """
+    validate_algorithm_spec(spec)
     return UniformDependenceAlgorithm(
         index_set=ConstantBoundedIndexSet(tuple(spec["mu"])),
         dependence_matrix=spec["dependence"],
@@ -152,6 +169,7 @@ def _scan_schedule_shard(payload: dict) -> dict:
     pi)`` — the same total order the serial scan sorts by — so the
     parent can merge shards back into the exact serial visit sequence.
     """
+    maybe_slow()
     algo = _algorithm_from_spec(payload["algorithm"])
     space = payload["space"]  # tuple of IntVec rows, reused as-is
     method = payload["method"]
@@ -178,6 +196,7 @@ def _scan_schedule_shard(payload: dict) -> dict:
 
 def _evaluate_space_shard(payload: dict) -> dict:
     """Judge one shard of Problem 6.1's design space."""
+    maybe_slow()
     algo = _algorithm_from_spec(payload["algorithm"])
     pi = payload["pi"]
     span = _shard_span(payload, "space", len(payload["spaces"]))
@@ -190,6 +209,7 @@ def _evaluate_space_shard(payload: dict) -> dict:
 
 def _evaluate_joint_shard(payload: dict) -> dict:
     """Judge one shard of Problem 6.2's design space."""
+    maybe_slow()
     algo = _algorithm_from_spec(payload["algorithm"])
     span = _shard_span(payload, "joint", len(payload["spaces"]))
     with span:
@@ -214,6 +234,130 @@ def _evaluate_joint_shard(payload: dict) -> dict:
 # hangs and corrupted outputs.
 
 
+# -- journal transport ------------------------------------------------------
+
+# Shard outputs must round-trip through the checkpoint journal as plain
+# JSON.  Both encodings are exact — sort keys and costs are ints, the
+# objective float survives JSON unchanged — so a replayed shard merges
+# identically to a recomputed one.  Worker-side trace spans are dropped:
+# they belong to the run that produced them, not to the journal.
+
+
+def _encode_schedule_out(out: dict) -> dict:
+    # Records are ((t, pi), stage) tuples of ints; json renders tuples
+    # as arrays natively, so no per-record rebuild is needed (this is
+    # on the per-candidate checkpointing hot path).  Spans stay out of
+    # the journal either way.
+    return {"records": out["records"], "wall_time": out["wall_time"]}
+
+
+def _decode_schedule_out(data: dict) -> dict:
+    return {
+        "records": [
+            ((int(key[0]), tuple(int(x) for x in key[1])), str(stage))
+            for key, stage in data["records"]
+        ],
+        "wall_time": data["wall_time"],
+    }
+
+
+def _encode_design_out(out: dict) -> dict:
+    evaluated = []
+    for status, design in out["evaluated"]:
+        if design is None:
+            evaluated.append([status, None])
+            continue
+        evaluated.append([
+            status,
+            {
+                "space": [list(row) for row in design.mapping.space],
+                "pi": list(design.mapping.schedule),
+                "cost": [
+                    design.cost.processors,
+                    design.cost.wire_length,
+                    design.cost.buffers,
+                    design.cost.total_time,
+                ],
+                "objective": design.objective,
+            },
+        ])
+    return {"evaluated": evaluated, "wall_time": out["wall_time"]}
+
+
+def _decode_design_out(data: dict) -> dict:
+    evaluated = []
+    for status, item in data["evaluated"]:
+        if item is None:
+            evaluated.append((status, None))
+            continue
+        mapping = MappingMatrix(
+            space=tuple(tuple(int(x) for x in row) for row in item["space"]),
+            schedule=tuple(int(x) for x in item["pi"]),
+        )
+        cost = ArrayCost(*(int(c) for c in item["cost"]))
+        evaluated.append(
+            (status, SpaceDesign(mapping=mapping, cost=cost,
+                                 objective=item["objective"]))
+        )
+    return {"evaluated": evaluated, "wall_time": data["wall_time"]}
+
+
+def _run_shards(
+    runner: ResilientShardRunner,
+    worker: Callable[[dict], dict],
+    payloads: list[dict],
+    control: RunControl | None,
+    *,
+    kind: str,
+    ring: int,
+    content_key: str,
+    encode: Callable[[dict], dict],
+    decode: Callable[[dict], dict],
+) -> list[dict]:
+    """Run shard payloads under the (optional) run control.
+
+    With a journal: journaled shards are replayed instead of dispatched,
+    and every fresh shard is journaled the moment it completes (the
+    runner's ``on_result`` hook fires before later shards are awaited,
+    so a kill can lose at most in-flight work).  With a budget: the
+    stop conditions are polled between shards.  With neither: a plain
+    ``runner.run``.
+    """
+    if control is None:
+        return runner.run(worker, payloads)
+    outs: list[dict | None] = [None] * len(payloads)
+    keys: list[str] | None = None
+    if control.journal is not None:
+        keys = [
+            control.shard_key(kind, ring, i, payload[content_key])
+            for i, payload in enumerate(payloads)
+        ]
+        for i, key in enumerate(keys):
+            recorded = control.lookup(key)
+            if recorded is not None:
+                outs[i] = decode(recorded)
+                control.shards_resumed += 1
+    todo = [i for i, out in enumerate(outs) if out is None]
+    if not todo:
+        control.poll()  # fully replayed rings still honor signals/budget
+        return outs  # type: ignore[return-value]
+    control.before_dispatch(len(todo))
+
+    def on_result(j: int, out: dict) -> None:
+        if keys is not None:
+            control.record_shard(keys[todo[j]], encode(out))
+
+    fresh = runner.run(
+        worker,
+        [payloads[i] for i in todo],
+        on_result=on_result,
+        should_stop=control.poll,
+    )
+    for j, i in enumerate(todo):
+        outs[i] = fresh[j]
+    return outs  # type: ignore[return-value]
+
+
 # -- Problem 2.2: schedule search ------------------------------------------
 
 
@@ -229,13 +373,17 @@ def explore_schedule(
     extra_constraint: Callable[[MappingMatrix], bool] | None = None,
     cache: ResultCache | None = None,
     resilience: ResiliencePolicy | None = None,
+    checkpoint: str | os.PathLike | None = None,
+    resume: bool = False,
+    budget: RunBudget | None = None,
 ) -> SearchResult:
     """Procedure 5.1 through the work-queue engine.
 
     Equal (dataclass ``==``) to ``procedure_5_1(algorithm, space, ...)``
-    for every ``jobs`` value and for warm-cache replays; only the
-    telemetry fields of :class:`~repro.dse.progress.SearchStats`
-    (shards, wall times, cache counters) reflect the execution strategy.
+    for every ``jobs`` value, for warm-cache replays and for
+    interrupted-then-resumed runs; only the telemetry fields of
+    :class:`~repro.dse.progress.SearchStats` (shards, wall times, cache
+    counters) reflect the execution strategy.
 
     Parameters mirror :func:`repro.core.optimize.procedure_5_1`, plus:
 
@@ -250,12 +398,34 @@ def explore_schedule(
         Optional :class:`~repro.dse.resilience.ResiliencePolicy`
         governing shard timeouts, retries and degradation on the
         parallel path (``None``: the default policy).
+    checkpoint:
+        Path of a :class:`~repro.dse.checkpoint.CheckpointJournal`.
+        Every completed shard is journaled (fsync'd) the moment it
+        finishes, and ``SIGINT``/``SIGTERM`` become a clean
+        :class:`~repro.dse.checkpoint.RunInterrupted` stop instead of a
+        lost run.  Incompatible with ``extra_constraint`` (a callback
+        cannot be canonicalized into the journal's run key).
+    resume:
+        With ``checkpoint``: replay the journal first and skip every
+        shard it already holds.  The journal's run key must match this
+        search's parameters exactly.
+    budget:
+        Optional :class:`~repro.dse.checkpoint.RunBudget`; exceeding a
+        ceiling raises :class:`~repro.dse.checkpoint.BudgetExceeded`,
+        the same clean resumable stop a signal produces.
     """
+    validate_algorithm(algorithm)
     jobs = resolve_jobs(jobs)
     mu = algorithm.mu
     # Pre-normalized IntVec rows: every MappingMatrix built from them —
     # in shards and in the final result — reuses them without validation.
     space_rows = tuple(as_intvec(row) for row in space)
+    validate_space(space_rows, algorithm.n)
+    if checkpoint is not None and extra_constraint is not None:
+        raise ValueError(
+            "checkpoint is incompatible with extra_constraint: a live "
+            "callback cannot be canonicalized into the journal's run key"
+        )
     alpha, initial_bound, max_bound = search_bounds(
         algorithm, alpha=alpha, initial_bound=initial_bound, max_bound=max_bound
     )
@@ -272,6 +442,7 @@ def explore_schedule(
             initial_bound=initial_bound, max_bound=max_bound,
             extra_constraint=extra_constraint, cache=cache,
             resilience=resilience, tracer=tracer,
+            checkpoint=checkpoint, resume=resume, budget=budget,
         )
     # One timing source: the search's wall time is the root span.
     result.stats.wall_time = root.duration
@@ -291,22 +462,24 @@ def _explore_schedule_traced(
     cache: ResultCache | None,
     resilience: ResiliencePolicy | None,
     tracer,
+    checkpoint: str | os.PathLike | None = None,
+    resume: bool = False,
+    budget: RunBudget | None = None,
 ) -> SearchResult:
     mu = algorithm.mu
+    run_params = {
+        "task": "procedure-5.1",
+        "mu": list(mu),
+        "dependence": algorithm.dependence_matrix,
+        "space": space_rows,
+        "method": method,
+        "alpha": alpha,
+        "initial_bound": initial_bound,
+        "max_bound": max_bound,
+    }
     cache_key = None
     if cache is not None and extra_constraint is None:
-        cache_key = canonical_key(
-            {
-                "task": "procedure-5.1",
-                "mu": list(mu),
-                "dependence": algorithm.dependence_matrix,
-                "space": space_rows,
-                "method": method,
-                "alpha": alpha,
-                "initial_bound": initial_bound,
-                "max_bound": max_bound,
-            }
-        )
+        cache_key = canonical_key(run_params)
         entry = cache.get(cache_key)
         if entry is not None:
             logger.debug("explore_schedule: warm cache hit, skipping search")
@@ -314,84 +487,139 @@ def _explore_schedule_traced(
                 algorithm, space_rows, method, entry
             )
 
+    control = _run_control(run_params, "procedure-5.1", checkpoint, resume, budget)
+
     spec = _algorithm_spec(algorithm)
     stats = SearchStats(cache_misses=1 if cache_key is not None else 0)
+
+    with control if control is not None else nullcontext():
+        if control is not None and control.resume_entry is not None:
+            # The journal already holds the final decision: short-circuit
+            # exactly like a warm cache hit (and warm the cache, if any).
+            logger.debug("explore_schedule: journal holds a completed run")
+            if cache_key is not None:
+                cache.put(cache_key, control.resume_entry)
+            result = _schedule_result_from_entry(
+                algorithm, space_rows, method, control.resume_entry
+            )
+            result.stats.cache_hits = 0
+            result.stats.cache_misses = 1 if cache_key is not None else 0
+            result.stats.shards_resumed = control.journal.resumed_shards
+            return result
+
+        with ResilientShardRunner(
+            jobs, in_process=extra_constraint is not None, policy=resilience
+        ) as runner:
+            result = _scan_rings(
+                algorithm, space_rows, spec, stats, runner, control,
+                jobs=jobs, method=method, alpha=alpha,
+                initial_bound=initial_bound, max_bound=max_bound,
+                extra_constraint=extra_constraint, tracer=tracer,
+            )
+        if control is not None:
+            stats.shards_resumed = control.shards_resumed
+            control.record_result(_schedule_entry_from_result(result))
+    if cache_key is not None:
+        cache.put(cache_key, _schedule_entry_from_result(result))
+    return result
+
+
+def _scan_rings(
+    algorithm: UniformDependenceAlgorithm,
+    space_rows: tuple,
+    spec: dict,
+    stats: SearchStats,
+    runner: ResilientShardRunner,
+    control: RunControl | None,
+    *,
+    jobs: int,
+    method: str,
+    alpha: int,
+    initial_bound: int,
+    max_bound: int,
+    extra_constraint: Callable[[MappingMatrix], bool] | None,
+    tracer,
+) -> SearchResult:
+    """The ring loop of Procedure 5.1, sharded; fills ``stats`` in place."""
+    mu = algorithm.mu
     examined = 0
     rings = 0
     winner_pi: tuple[int, ...] | None = None
     max_shards = 1
     trace = tracer.enabled
-
-    with ResilientShardRunner(
-        jobs, in_process=extra_constraint is not None, policy=resilience
-    ) as runner:
-        for f_min, f_max in ring_bounds(initial_bound, alpha, max_bound):
-            ring_span = tracer.span("dse.ring", ring=rings, f_min=f_min, f_max=f_max)
-            with ring_span:
-                ring = [
-                    LinearSchedule(pi=pi, index_set=algorithm.index_set)
-                    for pi in enumerate_schedule_vectors(mu, f_max, f_min=f_min)
-                ]
-                stats.candidates_enumerated += len(ring)
-                ring.sort(key=LinearSchedule.sort_key)
-                candidates = [cand.pi for cand in ring]
-                shards = effective_shards(len(candidates), jobs)
-                max_shards = max(max_shards, shards)
-                ring_span.set(candidates=len(candidates), shards=shards)
-                payloads = [
-                    {
-                        "algorithm": spec,
-                        "space": space_rows,
-                        "method": method,
-                        "candidates": part,
-                        "trace": trace,
-                    }
-                    for part in round_robin(candidates, shards)
-                ]
-                if extra_constraint is None:
-                    outs = runner.run(_scan_schedule_shard, payloads)
-                else:
-                    outs = [
-                        _scan_constrained_shard(p, extra_constraint)
-                        for p in payloads
-                    ]
-                records = [rec for out in outs for rec in out["records"]]
-                stats.shard_wall_times = stats.shard_wall_times + tuple(
-                    out["wall_time"] for out in outs
+    for f_min, f_max in ring_bounds(initial_bound, alpha, max_bound):
+        if control is not None:
+            control.check_ring(f_max)
+        ring_span = tracer.span("dse.ring", ring=rings, f_min=f_min, f_max=f_max)
+        with ring_span:
+            ring = [
+                LinearSchedule(pi=pi, index_set=algorithm.index_set)
+                for pi in enumerate_schedule_vectors(mu, f_max, f_min=f_min)
+            ]
+            stats.candidates_enumerated += len(ring)
+            ring.sort(key=LinearSchedule.sort_key)
+            candidates = [cand.pi for cand in ring]
+            shards = effective_shards(len(candidates), jobs)
+            max_shards = max(max_shards, shards)
+            ring_span.set(candidates=len(candidates), shards=shards)
+            payloads = [
+                {
+                    "algorithm": spec,
+                    "space": space_rows,
+                    "method": method,
+                    "candidates": part,
+                    "trace": trace,
+                }
+                for part in round_robin(candidates, shards)
+            ]
+            if extra_constraint is None:
+                outs = _run_shards(
+                    runner, _scan_schedule_shard, payloads, control,
+                    kind="schedule", ring=rings, content_key="candidates",
+                    encode=_encode_schedule_out, decode=_decode_schedule_out,
                 )
-                for shard_idx, out in enumerate(outs):
-                    tracer.absorb(out.get("spans"), shard=shard_idx, ring=rings)
+            else:
+                outs = [
+                    _scan_constrained_shard(p, extra_constraint)
+                    for p in payloads
+                ]
+            records = [rec for out in outs for rec in out["records"]]
+            stats.shard_wall_times = stats.shard_wall_times + tuple(
+                out["wall_time"] for out in outs
+            )
+            for shard_idx, out in enumerate(outs):
+                tracer.absorb(out.get("spans"), shard=shard_idx, ring=rings)
 
-                # Deterministic merge: replay the serial visit order.
-                for key, stage in sorted(records):
-                    if stage == _DEPS:
-                        stats.candidates_pruned += 1
-                        continue
-                    examined += 1
-                    if stage == _RANK:
-                        stats.candidates_pruned += 1
-                        continue
-                    stats.candidates_checked += 1
-                    if stage == _CONFLICT:
-                        stats.conflicts_rejected += 1
-                        continue
-                    if stage == _EXTRA:
-                        continue
-                    winner_pi = tuple(key[1])
-                    break
-            if winner_pi is not None:
-                logger.debug(
-                    "explore_schedule: ring %d produced winner %s", rings, winner_pi
-                )
-                break  # later rings are never submitted
-            rings += 1
+            # Deterministic merge: replay the serial visit order.
+            for key, stage in sorted(records):
+                if stage == _DEPS:
+                    stats.candidates_pruned += 1
+                    continue
+                examined += 1
+                if stage == _RANK:
+                    stats.candidates_pruned += 1
+                    continue
+                stats.candidates_checked += 1
+                if stage == _CONFLICT:
+                    stats.conflicts_rejected += 1
+                    continue
+                if stage == _EXTRA:
+                    continue
+                winner_pi = tuple(key[1])
+                break
+        if winner_pi is not None:
+            logger.debug(
+                "explore_schedule: ring %d produced winner %s", rings, winner_pi
+            )
+            break  # later rings are never submitted
+        rings += 1
 
     stats.rings_expanded = rings
     stats.shards = max_shards
     runner.apply_telemetry(stats)
 
     if winner_pi is None:
-        result = SearchResult(
+        return SearchResult(
             schedule=None,
             mapping=None,
             verdict=None,
@@ -399,29 +627,27 @@ def _explore_schedule_traced(
             rings_expanded=rings,
             stats=stats,
         )
-    else:
-        mapping = MappingMatrix(space=space_rows, schedule=winner_pi)
-        result = SearchResult(
-            schedule=LinearSchedule(pi=winner_pi, index_set=algorithm.index_set),
-            mapping=mapping,
-            verdict=check_conflict_free(mapping, mu, method=method),
-            candidates_examined=examined,
-            rings_expanded=rings,
-            stats=stats,
-        )
+    mapping = MappingMatrix(space=space_rows, schedule=winner_pi)
+    return SearchResult(
+        schedule=LinearSchedule(pi=winner_pi, index_set=algorithm.index_set),
+        mapping=mapping,
+        verdict=check_conflict_free(mapping, mu, method=method),
+        candidates_examined=examined,
+        rings_expanded=rings,
+        stats=stats,
+    )
 
-    if cache_key is not None:
-        cache.put(
-            cache_key,
-            {
-                "found": result.found,
-                "pi": list(winner_pi) if winner_pi is not None else None,
-                "candidates_examined": examined,
-                "rings_expanded": rings,
-                "counters": stats.counter_dict(),
-            },
-        )
-    return result
+
+def _schedule_entry_from_result(result: SearchResult) -> dict:
+    """The persistent decision record — shared by the result cache and
+    the checkpoint journal, so either can rebuild the result exactly."""
+    return {
+        "found": result.found,
+        "pi": list(result.schedule.pi) if result.found else None,
+        "candidates_examined": result.candidates_examined,
+        "rings_expanded": result.rings_expanded,
+        "counters": result.stats.counter_dict(),
+    }
 
 
 def _scan_constrained_shard(
@@ -493,17 +719,29 @@ def explore_space(
     keep_ranking: int = 10,
     cache: ResultCache | None = None,
     resilience: ResiliencePolicy | None = None,
+    checkpoint: str | os.PathLike | None = None,
+    resume: bool = False,
+    budget: RunBudget | None = None,
 ) -> SpaceOptimizationResult:
     """Problem 6.1 through the engine; equal to ``solve_space_optimal``.
 
     A custom ``objective`` callable forces the in-process fallback and
     bypasses the cache (it is part of the answer but not of any
-    canonical key).
+    canonical key); for the same reason it is incompatible with
+    ``checkpoint``.  ``checkpoint`` / ``resume`` / ``budget`` behave as
+    in :func:`explore_schedule`.
     """
+    validate_algorithm(algorithm)
     pi_t = as_intvec(pi)
+    validate_vector(pi_t, algorithm.n, "pi")
     sched = LinearSchedule(pi=pi_t, index_set=algorithm.index_set)
     if not sched.respects(algorithm):
         raise ValueError("the given Pi violates the dependence condition Pi D > 0")
+    if checkpoint is not None and objective is not None:
+        raise ValueError(
+            "checkpoint is incompatible with a custom objective: a live "
+            "callback cannot be canonicalized into the journal's run key"
+        )
     jobs = resolve_jobs(jobs)
     tracer = get_tracer()
     root = tracer.span(
@@ -515,62 +753,112 @@ def explore_space(
     )
     result: SpaceOptimizationResult | None = None
     with root:
+        run_params = {
+            "task": "space-optimal",
+            "mu": list(algorithm.mu),
+            "dependence": algorithm.dependence_matrix,
+            "pi": list(pi_t),
+            "array_dim": array_dim,
+            "magnitude": magnitude,
+            "keep_ranking": keep_ranking,
+        }
+
+        def rebuild(space):
+            return evaluate_design(algorithm, space, pi_t)[1]
+
         cache_key = None
         if cache is not None and objective is None:
-            cache_key = canonical_key(
-                {
-                    "task": "space-optimal",
-                    "mu": list(algorithm.mu),
-                    "dependence": algorithm.dependence_matrix,
-                    "pi": list(pi_t),
-                    "array_dim": array_dim,
-                    "magnitude": magnitude,
-                    "keep_ranking": keep_ranking,
-                }
-            )
+            cache_key = canonical_key(run_params)
             entry = cache.get(cache_key)
             if entry is not None:
                 logger.debug("explore_space: warm cache hit, skipping search")
-                result = _space_result_from_entry(
-                    algorithm, entry,
-                    rebuild=lambda space: evaluate_design(algorithm, space, pi_t)[1],
-                )
+                result = _space_result_from_entry(algorithm, entry, rebuild=rebuild)
 
         if result is None:
-            candidates = list(
-                enumerate_space_mappings(algorithm.n, array_dim, magnitude)
+            control = _run_control(
+                run_params, "space-optimal", checkpoint, resume, budget
             )
-            root.set(candidates=len(candidates))
-            payload_extra = {"pi": pi_t}
-            runner = None
-            if objective is None:
-                outs, runner = _fan_out_designs(
-                    algorithm, candidates, jobs, _evaluate_space_shard,
-                    payload_extra, resilience,
-                )
-            else:
-                outs = [
-                    {
-                        "evaluated": [
-                            evaluate_design(algorithm, space, pi_t, objective)
-                            for space in part
-                        ],
-                        "wall_time": 0.0,
-                    }
-                    for part in round_robin(
-                        candidates, effective_shards(len(candidates), jobs)
+            with control if control is not None else nullcontext():
+                if control is not None and control.resume_entry is not None:
+                    logger.debug("explore_space: journal holds a completed run")
+                    result = _resumed_design_result(
+                        algorithm, control, cache, cache_key, rebuild
                     )
-                ]
+                else:
+                    candidates = list(
+                        enumerate_space_mappings(algorithm.n, array_dim, magnitude)
+                    )
+                    root.set(candidates=len(candidates))
+                    payload_extra = {"pi": pi_t}
+                    runner = None
+                    if objective is None:
+                        outs, runner = _fan_out_designs(
+                            algorithm, candidates, jobs, _evaluate_space_shard,
+                            payload_extra, resilience,
+                            control=control, kind="space",
+                        )
+                    else:
+                        outs = [
+                            {
+                                "evaluated": [
+                                    evaluate_design(algorithm, space, pi_t, objective)
+                                    for space in part
+                                ],
+                                "wall_time": 0.0,
+                            }
+                            for part in round_robin(
+                                candidates, effective_shards(len(candidates), jobs)
+                            )
+                        ]
 
-            result = _merge_design_outs(
-                candidates, outs, keep_ranking,
-                cache_misses=1 if cache_key is not None else 0,
-            )
-            if runner is not None:
-                runner.apply_telemetry(result.stats)
-            if cache_key is not None:
-                cache.put(cache_key, _space_entry_from_result(result))
+                    result = _merge_design_outs(
+                        candidates, outs, keep_ranking,
+                        cache_misses=1 if cache_key is not None else 0,
+                    )
+                    if runner is not None:
+                        runner.apply_telemetry(result.stats)
+                    if control is not None:
+                        result.stats.shards_resumed = control.shards_resumed
+                        control.record_result(_space_entry_from_result(result))
+                    if cache_key is not None:
+                        cache.put(cache_key, _space_entry_from_result(result))
     result.stats.wall_time = root.duration
+    return result
+
+
+def _run_control(
+    run_params: dict,
+    task: str,
+    checkpoint: str | os.PathLike | None,
+    resume: bool,
+    budget: RunBudget | None,
+) -> RunControl | None:
+    """Build the (optional) run control for one search invocation."""
+    if checkpoint is None and budget is None:
+        return None
+    journal = None
+    if checkpoint is not None:
+        journal = CheckpointJournal(checkpoint)
+        journal.open(canonical_key(run_params), task=task, resume=resume)
+    return RunControl(journal=journal, budget=budget)
+
+
+def _resumed_design_result(
+    algorithm: UniformDependenceAlgorithm,
+    control: RunControl,
+    cache: ResultCache | None,
+    cache_key: str | None,
+    rebuild: Callable[..., SpaceDesign | None],
+) -> SpaceOptimizationResult:
+    """Short-circuit a design search whose journal holds the decision —
+    exactly like a warm cache hit (and warm the cache, if any)."""
+    entry = control.resume_entry
+    if cache_key is not None:
+        cache.put(cache_key, entry)
+    result = _space_result_from_entry(algorithm, entry, rebuild=rebuild)
+    result.stats.cache_hits = 0
+    result.stats.cache_misses = 1 if cache_key is not None else 0
+    result.stats.shards_resumed = control.journal.resumed_shards
     return result
 
 
@@ -586,15 +874,26 @@ def explore_joint(
     schedule_kwargs: dict | None = None,
     cache: ResultCache | None = None,
     resilience: ResiliencePolicy | None = None,
+    checkpoint: str | os.PathLike | None = None,
+    resume: bool = False,
+    budget: RunBudget | None = None,
 ) -> SpaceOptimizationResult:
     """Problem 6.2 through the engine; equal to ``solve_joint_optimal``.
 
     ``schedule_kwargs`` containing callbacks (``extra_constraint``)
-    forces the in-process fallback and bypasses the cache.
+    forces the in-process fallback, bypasses the cache and is
+    incompatible with ``checkpoint``.  ``checkpoint`` / ``resume`` /
+    ``budget`` behave as in :func:`explore_schedule`.
     """
+    validate_algorithm(algorithm)
     jobs = resolve_jobs(jobs)
     kwargs = dict(schedule_kwargs or {})
     has_callback = any(callable(v) for v in kwargs.values())
+    if checkpoint is not None and has_callback:
+        raise ValueError(
+            "checkpoint is incompatible with callback schedule_kwargs: a "
+            "live callback cannot be canonicalized into the journal's run key"
+        )
     tracer = get_tracer()
     root = tracer.span(
         "dse.explore_joint",
@@ -605,80 +904,95 @@ def explore_joint(
     )
     result: SpaceOptimizationResult | None = None
     with root:
+        run_params = {
+            "task": "joint-optimal",
+            "mu": list(algorithm.mu),
+            "dependence": algorithm.dependence_matrix,
+            "array_dim": array_dim,
+            "magnitude": magnitude,
+            "time_weight": time_weight,
+            "space_weight": space_weight,
+            "keep_ranking": keep_ranking,
+            "schedule_kwargs": {k: kwargs[k] for k in sorted(kwargs)},
+        }
+
+        def rebuild(space, pi=None):
+            # Shares joint_objective with evaluate_joint_candidate, so a
+            # warm rebuild can never drift from the cold path's cost model.
+            mapping = MappingMatrix(space=space, schedule=pi)
+            cost = evaluate_cost(algorithm, mapping)
+            objective = joint_objective(cost, time_weight, space_weight)
+            return SpaceDesign(mapping=mapping, cost=cost, objective=objective)
+
         cache_key = None
         if cache is not None and not has_callback:
-            cache_key = canonical_key(
-                {
-                    "task": "joint-optimal",
-                    "mu": list(algorithm.mu),
-                    "dependence": algorithm.dependence_matrix,
-                    "array_dim": array_dim,
-                    "magnitude": magnitude,
-                    "time_weight": time_weight,
-                    "space_weight": space_weight,
-                    "keep_ranking": keep_ranking,
-                    "schedule_kwargs": {k: kwargs[k] for k in sorted(kwargs)},
-                }
-            )
+            cache_key = canonical_key(run_params)
             entry = cache.get(cache_key)
             if entry is not None:
-                def rebuild(space, pi=None):
-                    # Shares joint_objective with evaluate_joint_candidate,
-                    # so a warm rebuild can never drift from the cold path's
-                    # cost model.
-                    mapping = MappingMatrix(space=space, schedule=pi)
-                    cost = evaluate_cost(algorithm, mapping)
-                    objective = joint_objective(cost, time_weight, space_weight)
-                    return SpaceDesign(
-                        mapping=mapping, cost=cost, objective=objective
-                    )
-
                 logger.debug("explore_joint: warm cache hit, skipping search")
                 result = _space_result_from_entry(
                     algorithm, entry, rebuild=rebuild
                 )
 
         if result is None:
-            candidates = list(
-                enumerate_space_mappings(algorithm.n, array_dim, magnitude)
+            control = _run_control(
+                run_params, "joint-optimal", checkpoint, resume, budget
             )
-            root.set(candidates=len(candidates))
-            payload_extra = {
-                "time_weight": time_weight,
-                "space_weight": space_weight,
-                "schedule_kwargs": kwargs,
-            }
-            runner = None
-            if has_callback:
-                outs = [
-                    {
-                        "evaluated": [
-                            evaluate_joint_candidate(
-                                algorithm, space, time_weight, space_weight,
-                                kwargs,
-                            )
-                            for space in part
-                        ],
-                        "wall_time": 0.0,
-                    }
-                    for part in round_robin(
-                        candidates, effective_shards(len(candidates), jobs)
+            with control if control is not None else nullcontext():
+                if control is not None and control.resume_entry is not None:
+                    logger.debug("explore_joint: journal holds a completed run")
+                    result = _resumed_design_result(
+                        algorithm, control, cache, cache_key, rebuild
                     )
-                ]
-            else:
-                outs, runner = _fan_out_designs(
-                    algorithm, candidates, jobs, _evaluate_joint_shard,
-                    payload_extra, resilience,
-                )
+                else:
+                    candidates = list(
+                        enumerate_space_mappings(algorithm.n, array_dim, magnitude)
+                    )
+                    root.set(candidates=len(candidates))
+                    payload_extra = {
+                        "time_weight": time_weight,
+                        "space_weight": space_weight,
+                        "schedule_kwargs": kwargs,
+                    }
+                    runner = None
+                    if has_callback:
+                        outs = [
+                            {
+                                "evaluated": [
+                                    evaluate_joint_candidate(
+                                        algorithm, space, time_weight,
+                                        space_weight, kwargs,
+                                    )
+                                    for space in part
+                                ],
+                                "wall_time": 0.0,
+                            }
+                            for part in round_robin(
+                                candidates, effective_shards(len(candidates), jobs)
+                            )
+                        ]
+                    else:
+                        outs, runner = _fan_out_designs(
+                            algorithm, candidates, jobs, _evaluate_joint_shard,
+                            payload_extra, resilience,
+                            control=control, kind="joint",
+                        )
 
-            result = _merge_design_outs(
-                candidates, outs, keep_ranking,
-                cache_misses=1 if cache_key is not None else 0,
-            )
-            if runner is not None:
-                runner.apply_telemetry(result.stats)
-            if cache_key is not None:
-                cache.put(cache_key, _space_entry_from_result(result, with_pi=True))
+                    result = _merge_design_outs(
+                        candidates, outs, keep_ranking,
+                        cache_misses=1 if cache_key is not None else 0,
+                    )
+                    if runner is not None:
+                        runner.apply_telemetry(result.stats)
+                    if control is not None:
+                        result.stats.shards_resumed = control.shards_resumed
+                        control.record_result(
+                            _space_entry_from_result(result, with_pi=True)
+                        )
+                    if cache_key is not None:
+                        cache.put(
+                            cache_key, _space_entry_from_result(result, with_pi=True)
+                        )
     result.stats.wall_time = root.duration
     return result
 
@@ -690,6 +1004,8 @@ def _fan_out_designs(
     worker: Callable[[dict], dict],
     payload_extra: dict,
     resilience: ResiliencePolicy | None,
+    control: RunControl | None = None,
+    kind: str = "space",
 ) -> tuple[list[dict], ResilientShardRunner]:
     spec = _algorithm_spec(algorithm)
     tracer = get_tracer()
@@ -704,7 +1020,11 @@ def _fan_out_designs(
         for part in round_robin(candidates, shards)
     ]
     with ResilientShardRunner(jobs, policy=resilience) as runner:
-        outs = runner.run(worker, payloads)
+        outs = _run_shards(
+            runner, worker, payloads, control,
+            kind=kind, ring=0, content_key="spaces",
+            encode=_encode_design_out, decode=_decode_design_out,
+        )
     for shard_idx, out in enumerate(outs):
         tracer.absorb(out.get("spans"), shard=shard_idx)
     return outs, runner

@@ -46,6 +46,8 @@ __all__ = [
     "ResilientShardRunner",
     "FAULT_ENV_VAR",
     "FAULT_HANG_ENV_VAR",
+    "SLOW_ENV_VAR",
+    "maybe_slow",
 ]
 
 # -- fault injection --------------------------------------------------------
@@ -60,7 +62,22 @@ FAULT_ENV_VAR = "REPRO_DSE_FAULT"
 #: sleep only bounds cleanup if termination itself fails).
 FAULT_HANG_ENV_VAR = "REPRO_DSE_FAULT_HANG"
 
+#: Seconds every shard sleeps before doing real work (default: none).
+#: A test/CI knob like ``$REPRO_DSE_FAULT``: it stretches a search that
+#: would finish in milliseconds into one long enough to deliver a
+#: signal to, so the checkpoint/shutdown paths are exercised for real.
+#: Honored on both the pool and the in-process execution paths.
+SLOW_ENV_VAR = "REPRO_DSE_SLOW"
+
 _FAULT_MODES = ("crash", "hang", "corrupt")
+
+
+def maybe_slow() -> None:
+    """Sleep ``$REPRO_DSE_SLOW`` seconds, if set (shard workers call
+    this first thing, whichever process they run in)."""
+    raw = os.environ.get(SLOW_ENV_VAR)
+    if raw:
+        time.sleep(float(raw))
 
 
 def _parse_fault_spec(raw: str | None) -> tuple[str, int, bool] | None:
@@ -218,6 +235,7 @@ class ResilientShardRunner:
         self._pool: ProcessPoolExecutor | None = None
         self._batch = 0
         self._degraded = False
+        self._pool_dead = False
         self.shard_retries = 0
         self.shard_timeouts = 0
         self.pool_restarts = 0
@@ -258,24 +276,64 @@ class ResilientShardRunner:
 
     # -- execution -------------------------------------------------------
 
-    def run(self, worker: Callable[[dict], dict], payloads: list[dict]) -> list[dict]:
+    def run(
+        self,
+        worker: Callable[[dict], dict],
+        payloads: list[dict],
+        *,
+        on_result: Callable[[int, dict], None] | None = None,
+        should_stop: Callable[[], None] | None = None,
+    ) -> list[dict]:
+        """Run every payload; returns outputs in payload order.
+
+        on_result:
+            Called as ``on_result(i, out)`` the moment shard ``i``'s
+            final good output is known — exactly once per shard, before
+            later shards are awaited.  The checkpoint journal hangs off
+            this hook: a shard is durable before the run moves on.
+        should_stop:
+            Polled between shards; it *raises* (``RunInterrupted``) to
+            stop the run.  Pending work is cancelled, in-flight workers
+            are terminated, and the exception propagates — completed
+            shards have already been delivered through ``on_result``.
+        """
+        def emit(i: int, out: dict) -> None:
+            if on_result is not None:
+                on_result(i, out)
+
+        def poll() -> None:
+            if should_stop is not None:
+                should_stop()
+
         if self.in_process or self._degraded or len(payloads) <= 1:
-            return [worker(p) for p in payloads]
+            results_ip: list[dict] = []
+            for i, p in enumerate(payloads):
+                poll()
+                out = worker(p)
+                emit(i, out)
+                results_ip.append(out)
+            return results_ip
 
         results: list[dict | None] = [None] * len(payloads)
         attempts = [0] * len(payloads)
         pending = list(range(len(payloads)))
         retry_round = 0
         while pending:
+            poll()
             if self._degraded:
                 for i in pending:
+                    poll()
                     results[i] = worker(payloads[i])
+                    emit(i, results[i])
                 break
             if retry_round:
                 delay = self.policy.backoff_delay(retry_round)
                 if delay > 0:
                     time.sleep(delay)
-            failed = self._run_batch(worker, payloads, pending, attempts, results)
+            failed = self._run_batch(
+                worker, payloads, pending, attempts, results,
+                emit=emit, poll=poll,
+            )
             pending = []
             for i in failed:
                 attempts[i] += 1
@@ -290,7 +348,9 @@ class ResilientShardRunner:
                     )
                     pending.append(i)
                 else:
+                    poll()
                     self._degrade_shard(worker, payloads, results, i)
+                    emit(i, results[i])
             retry_round += 1
         return results  # type: ignore[return-value]  # every slot is filled
 
@@ -301,6 +361,8 @@ class ResilientShardRunner:
         pending: list[int],
         attempts: list[int],
         results: list[dict | None],
+        emit: Callable[[int, dict], None] = lambda i, out: None,
+        poll: Callable[[], None] = lambda: None,
     ) -> list[int]:
         """Submit ``pending`` shards once; returns the indices that failed."""
         pool = self._ensure_pool()
@@ -323,38 +385,19 @@ class ResilientShardRunner:
             else time.monotonic() + self.policy.shard_timeout
         )
         failed: list[int] = []
-        pool_dead = False
-        for i, fut in submitted:
-            try:
-                if deadline is None:
-                    out = fut.result()
-                else:
-                    out = fut.result(timeout=max(0.0, deadline - time.monotonic()))
-            except _FuturesTimeout:
-                self.shard_timeouts += 1
-                get_tracer().event(
-                    "dse.shard_timeout",
-                    shard=i,
-                    timeout=self.policy.shard_timeout,
-                )
-                logger.warning(
-                    "shard %d exceeded the %gs deadline; worker presumed hung",
-                    i, self.policy.shard_timeout,
-                )
-                failed.append(i)
-                pool_dead = True  # the worker may be hung; reclaim it
-                continue
-            except BrokenProcessPool:
-                failed.append(i)
-                pool_dead = True
-                continue
-            except Exception:
-                failed.append(i)  # worker raised; pool itself survives
-                continue
-            if _output_ok(out):
-                results[i] = out  # type: ignore[assignment]
-            else:
-                failed.append(i)
+        try:
+            self._collect_batch(
+                submitted, deadline, results, failed, emit, poll,
+            )
+        except BaseException:
+            # A stop request (or a journal write failing) mid-batch:
+            # cancel what has not started, terminate what has — the
+            # run is over, in-flight work would be thrown away anyway.
+            for _i, fut in submitted:
+                fut.cancel()
+            self._abandon_pool()
+            raise
+        pool_dead, self._pool_dead = self._pool_dead, False
         if pool_dead:
             self._abandon_pool()
             self.pool_restarts += 1
@@ -378,6 +421,51 @@ class ResilientShardRunner:
                     "execution for the rest of the search"
                 )
         return failed
+
+    def _collect_batch(
+        self,
+        submitted: list,
+        deadline: float | None,
+        results: list[dict | None],
+        failed: list[int],
+        emit: Callable[[int, dict], None],
+        poll: Callable[[], None],
+    ) -> None:
+        """Await each submitted future, sorting outputs from failures."""
+        self._pool_dead = False
+        for i, fut in submitted:
+            try:
+                if deadline is None:
+                    out = fut.result()
+                else:
+                    out = fut.result(timeout=max(0.0, deadline - time.monotonic()))
+            except _FuturesTimeout:
+                self.shard_timeouts += 1
+                get_tracer().event(
+                    "dse.shard_timeout",
+                    shard=i,
+                    timeout=self.policy.shard_timeout,
+                )
+                logger.warning(
+                    "shard %d exceeded the %gs deadline; worker presumed hung",
+                    i, self.policy.shard_timeout,
+                )
+                failed.append(i)
+                self._pool_dead = True  # the worker may be hung; reclaim it
+                continue
+            except BrokenProcessPool:
+                failed.append(i)
+                self._pool_dead = True
+                continue
+            except Exception:
+                failed.append(i)  # worker raised; pool itself survives
+                continue
+            if _output_ok(out):
+                results[i] = out  # type: ignore[assignment]
+                emit(i, out)
+                poll()
+            else:
+                failed.append(i)
 
     def _degrade_shard(
         self,

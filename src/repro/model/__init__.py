@@ -24,15 +24,43 @@ from .library import (
     transitive_closure,
 )
 from .loopnest import Access, LoopNest, SubscriptError, parse_affine
+from .validate import (
+    DEFAULT_LIMITS,
+    SpecBoundsError,
+    SpecDimensionError,
+    SpecError,
+    SpecLimits,
+    SpecShapeError,
+    SpecSizeError,
+    validate_algorithm,
+    validate_algorithm_spec,
+    validate_dependence_matrix,
+    validate_mu,
+    validate_space,
+    validate_vector,
+)
 
 __all__ = [
     "Access",
     "AlignmentResult",
     "ConstantBoundedIndexSet",
     "DependenceError",
+    "DEFAULT_LIMITS",
     "LoopNest",
+    "SpecBoundsError",
+    "SpecDimensionError",
+    "SpecError",
+    "SpecLimits",
+    "SpecShapeError",
+    "SpecSizeError",
     "StatementDependence",
     "SubscriptError",
+    "validate_algorithm",
+    "validate_algorithm_spec",
+    "validate_dependence_matrix",
+    "validate_mu",
+    "validate_space",
+    "validate_vector",
     "parse_affine",
     "random_algorithm",
     "random_schedulable_algorithm",

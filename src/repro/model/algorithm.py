@@ -126,9 +126,18 @@ class UniformDependenceAlgorithm:
             sum(a * b for a, b in zip(p, d)) > 0 for d in self.dependence_vectors()
         )
 
-    def validate(self) -> None:
-        """Re-run structural validation (no-op if construction succeeded)."""
+    def validate(self, limits=None) -> None:
+        """Re-run structural validation (no-op if construction succeeded).
+
+        With ``limits`` (a :class:`repro.model.validate.SpecLimits`),
+        additionally enforce the untrusted-input size caps — the check
+        the search entry points apply to specs from outside callers.
+        """
         self.__post_init__()
+        if limits is not None:
+            from .validate import validate_algorithm
+
+            validate_algorithm(self, limits)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -237,7 +237,14 @@ class LoopNest:
         contributes when its subscripts carry a constant offset (a
         write at ``v[j3-1]`` means iteration ``j`` produces the value
         consumed at ``j + offset``).
+
+        Loop nests are untrusted front-door input, so the bounds pass
+        the :mod:`repro.model.validate` caps (:class:`SpecError` on
+        violation) before any dependence extraction runs.
         """
+        from .validate import validate_mu
+
+        validate_mu(self.bounds)
         columns: list[tuple[int, ...]] = []
         for read in reads:
             if read.variable == output.variable:

@@ -1,0 +1,301 @@
+"""Strict structural validation of untrusted algorithm specs.
+
+The searches sit behind a service boundary in the ROADMAP's north-star
+deployment: algorithm specs arrive from callers we do not control — a
+CLI user, a JSON payload, a worker decoding a shard.  This module is
+the front door.  It checks everything *before* any search starts or
+any worker is spawned, raising typed :class:`SpecError`\\ s with
+actionable messages instead of letting malformed input surface as a
+confusing crash three layers down — or worse, as an absurd resource
+bill inside the exact-arithmetic kernels (a ``mu`` of ``10**18`` is a
+denial of service, not a problem size).
+
+Three layers of checking, each with its own error type:
+
+* **arity/shape** (:class:`SpecShapeError`, :class:`SpecDimensionError`)
+  — the dependence matrix has ``n`` rows and rectangular integer
+  columns, vectors have ``n`` entries, no zero dependence columns;
+* **bounds sanity** (:class:`SpecBoundsError`) — index-set bounds are
+  positive integers (``bool`` is not an integer here);
+* **size caps** (:class:`SpecSizeError`) — dimensions, dependence
+  count, ``mu`` magnitude, index-set cardinality and matrix entries
+  all stay under the configurable :class:`SpecLimits` ceilings.
+
+All limits live on one frozen dataclass so a service can widen (or
+tighten) them per caller; :data:`DEFAULT_LIMITS` comfortably covers
+every algorithm in the paper and the library zoo.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+__all__ = [
+    "SpecError",
+    "SpecDimensionError",
+    "SpecShapeError",
+    "SpecBoundsError",
+    "SpecSizeError",
+    "SpecLimits",
+    "DEFAULT_LIMITS",
+    "validate_mu",
+    "validate_dependence_matrix",
+    "validate_vector",
+    "validate_space",
+    "validate_algorithm",
+    "validate_algorithm_spec",
+]
+
+
+class SpecError(ValueError):
+    """Base class: an untrusted algorithm/mapping spec is invalid."""
+
+
+class SpecDimensionError(SpecError):
+    """Dimension arity mismatch (wrong vector length / row count)."""
+
+
+class SpecShapeError(SpecError):
+    """Structurally malformed component (ragged matrix, non-integer
+    entry, zero dependence column, wrong container type)."""
+
+
+class SpecBoundsError(SpecError):
+    """Index-set bounds fail the paper's sanity requirements
+    (``mu_i in N^+``, Assumption 2.1)."""
+
+
+class SpecSizeError(SpecError):
+    """A size cap in :class:`SpecLimits` was exceeded."""
+
+
+@dataclass(frozen=True)
+class SpecLimits:
+    """Resource ceilings applied to untrusted specs.
+
+    Attributes
+    ----------
+    max_dimensions:
+        Loop-nest depth ``n`` (the paper's examples use 3-5; bit-level
+        variants add one).
+    max_dependences:
+        Columns of ``D``.
+    max_mu:
+        Any single problem-size bound ``mu_i``.
+    max_points:
+        Index-set cardinality ``prod(mu_i + 1)`` — the real memory /
+        time driver for conflict analysis and simulation.
+    max_abs_entry:
+        Magnitude of any entry of ``D``, a space mapping or a schedule
+        vector supplied from outside.
+    """
+
+    max_dimensions: int = 16
+    max_dependences: int = 256
+    max_mu: int = 10**6
+    max_points: int = 10**12
+    max_abs_entry: int = 10**9
+
+    def __post_init__(self) -> None:
+        for name in (
+            "max_dimensions", "max_dependences", "max_mu",
+            "max_points", "max_abs_entry",
+        ):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1, got {getattr(self, name)}")
+
+
+DEFAULT_LIMITS = SpecLimits()
+
+
+def _as_int(value, what: str):
+    """A plain ``int`` from a trusted-to-be-integer entry, or raise.
+
+    ``bool`` is rejected explicitly — ``True`` quietly passing as ``1``
+    is exactly the kind of type confusion a hardened front door exists
+    to stop.
+    """
+    if isinstance(value, int) and not isinstance(value, bool):
+        return value
+    if not isinstance(value, bool):  # bool has __index__ too; never admit it
+        try:
+            return value.__index__()  # numpy integers etc.
+        except (AttributeError, TypeError):
+            pass
+    raise SpecShapeError(
+        f"{what} must be an integer, got {type(value).__name__} ({value!r})"
+    )
+
+
+def _as_rows(value, what: str) -> list:
+    if isinstance(value, (str, bytes)) or not isinstance(value, Sequence):
+        raise SpecShapeError(
+            f"{what} must be a sequence of rows, got {type(value).__name__}"
+        )
+    return list(value)
+
+
+def validate_mu(mu, limits: SpecLimits = DEFAULT_LIMITS) -> tuple[int, ...]:
+    """Index-set bounds: a non-empty tuple of positive, capped ints."""
+    if isinstance(mu, (str, bytes)) or not isinstance(mu, Sequence):
+        raise SpecShapeError(
+            f"mu must be a sequence of integers, got {type(mu).__name__}"
+        )
+    values = tuple(_as_int(m, "mu entry") for m in mu)
+    if not values:
+        raise SpecDimensionError("mu is empty: an index set needs >= 1 dimension")
+    if len(values) > limits.max_dimensions:
+        raise SpecSizeError(
+            f"mu has {len(values)} dimensions (> max_dimensions="
+            f"{limits.max_dimensions}); raise SpecLimits.max_dimensions if "
+            "this is intended"
+        )
+    for i, m in enumerate(values):
+        if m < 1:
+            raise SpecBoundsError(
+                f"mu[{i}] = {m}: problem-size bounds must be positive "
+                "integers (Assumption 2.1)"
+            )
+        if m > limits.max_mu:
+            raise SpecSizeError(
+                f"mu[{i}] = {m} exceeds max_mu={limits.max_mu}; raise "
+                "SpecLimits.max_mu if this is intended"
+            )
+    points = math.prod(m + 1 for m in values)
+    if points > limits.max_points:
+        raise SpecSizeError(
+            f"index set has {points} points (> max_points="
+            f"{limits.max_points}); shrink mu or raise SpecLimits.max_points"
+        )
+    return values
+
+
+def validate_dependence_matrix(
+    dependence, n: int, limits: SpecLimits = DEFAULT_LIMITS
+) -> tuple[tuple[int, ...], ...]:
+    """``D`` as an ``n x m`` integer matrix within the caps.
+
+    ``m = 0`` (no dependencies) is legal; a zero *column* is not (it
+    would claim a computation depends on itself).
+    """
+    rows = [_as_rows(r, "dependence-matrix row") for r in
+            _as_rows(dependence, "dependence matrix")]
+    if not rows:
+        return ()
+    if len(rows) != n:
+        raise SpecDimensionError(
+            f"dependence matrix has {len(rows)} rows but the index set has "
+            f"{n} dimensions; D must be n x m with one row per dimension"
+        )
+    m = len(rows[0])
+    out = []
+    for r, row in enumerate(rows):
+        if len(row) != m:
+            raise SpecShapeError(
+                f"dependence matrix is ragged: row {r} has {len(row)} "
+                f"entries, row 0 has {m}"
+            )
+        out.append(tuple(_as_int(x, f"D[{r}]") for x in row))
+    if m > limits.max_dependences:
+        raise SpecSizeError(
+            f"dependence matrix has {m} columns (> max_dependences="
+            f"{limits.max_dependences})"
+        )
+    for r, row in enumerate(out):
+        for c, x in enumerate(row):
+            if abs(x) > limits.max_abs_entry:
+                raise SpecSizeError(
+                    f"D[{r}][{c}] = {x} exceeds max_abs_entry="
+                    f"{limits.max_abs_entry}"
+                )
+    for c in range(m):
+        if all(row[c] == 0 for row in out):
+            raise SpecShapeError(
+                f"dependence vector {c} is the zero vector: a computation "
+                "cannot depend on itself"
+            )
+    return tuple(out)
+
+
+def validate_vector(
+    vector, n: int, what: str = "vector",
+    limits: SpecLimits = DEFAULT_LIMITS,
+) -> tuple[int, ...]:
+    """An ``n``-entry integer vector (schedule ``Pi``, a space row, ...)."""
+    values = tuple(
+        _as_int(x, f"{what} entry") for x in _as_rows(vector, what)
+    )
+    if len(values) != n:
+        raise SpecDimensionError(
+            f"{what} has {len(values)} entries but the algorithm has n={n} "
+            "index dimensions"
+        )
+    for i, x in enumerate(values):
+        if abs(x) > limits.max_abs_entry:
+            raise SpecSizeError(
+                f"{what}[{i}] = {x} exceeds max_abs_entry={limits.max_abs_entry}"
+            )
+    return values
+
+
+def validate_space(
+    space, n: int, limits: SpecLimits = DEFAULT_LIMITS
+) -> tuple[tuple[int, ...], ...]:
+    """A space mapping ``S``: 1..n-1 rows of ``n`` capped integers."""
+    rows = _as_rows(space, "space mapping")
+    if not rows:
+        raise SpecDimensionError(
+            "space mapping has no rows; S must be (k-1) x n with k >= 2"
+        )
+    if len(rows) >= n:
+        raise SpecDimensionError(
+            f"space mapping has {len(rows)} rows for an n={n} algorithm; "
+            "T = [S; Pi] must have at most n rows, so S has at most n-1"
+        )
+    return tuple(
+        validate_vector(row, n, f"space row {r}", limits)
+        for r, row in enumerate(rows)
+    )
+
+
+def validate_algorithm(algorithm, limits: SpecLimits = DEFAULT_LIMITS):
+    """Validate a constructed :class:`UniformDependenceAlgorithm`.
+
+    Returns the algorithm unchanged so call sites can validate inline.
+    """
+    validate_mu(algorithm.mu, limits)
+    dm = algorithm.dependence_matrix
+    rows = dm if (dm is not None and len(dm)) else ()
+    validate_dependence_matrix(rows, algorithm.n, limits)
+    return algorithm
+
+
+def validate_algorithm_spec(
+    spec, limits: SpecLimits = DEFAULT_LIMITS
+) -> dict:
+    """Validate a transport-level ``{mu, dependence, name}`` payload.
+
+    This is what DSE workers decode: the payload crossed a process
+    boundary and may have been corrupted in transit, so its structure
+    is proven before an algorithm object is built from it.
+    """
+    if not isinstance(spec, dict):
+        raise SpecShapeError(
+            f"algorithm spec must be a dict, got {type(spec).__name__}"
+        )
+    missing = [k for k in ("mu", "dependence") if k not in spec]
+    if missing:
+        raise SpecShapeError(
+            f"algorithm spec is missing key(s) {missing}; expected "
+            "{'mu', 'dependence', 'name'}"
+        )
+    name = spec.get("name", "algorithm")
+    if not isinstance(name, str):
+        raise SpecShapeError(
+            f"algorithm name must be a string, got {type(name).__name__}"
+        )
+    mu = validate_mu(spec["mu"], limits)
+    validate_dependence_matrix(spec["dependence"], len(mu), limits)
+    return spec

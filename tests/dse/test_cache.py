@@ -158,6 +158,99 @@ class TestMalformedEntries:
         assert cache.get(key) == {"fresh": True}
 
 
+class TestContentChecksum:
+    """v3 entries carry a checksum; bit-rot that parses is still caught."""
+
+    def test_entries_are_written_with_checksum(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = canonical_key({"q": 30})
+        cache.put(key, {"found": True, "pi": [1, 2, 3]})
+        entry = json.loads((tmp_path / f"{key}.json").read_text())
+        assert entry["schema"] == CACHE_SCHEMA_VERSION
+        assert isinstance(entry["crc"], str) and len(entry["crc"]) == 64
+
+    def test_tampered_value_is_quarantined(self, tmp_path):
+        # The dangerous case: valid JSON, right schema, wrong content.
+        cache = ResultCache(tmp_path)
+        key = canonical_key({"q": 31})
+        cache.put(key, {"found": True, "pi": [1, 2, 3]})
+        path = tmp_path / f"{key}.json"
+        entry = json.loads(path.read_text())
+        entry["value"]["pi"] = [9, 9, 9]
+        path.write_text(json.dumps(entry))
+        assert cache.get(key) is None
+        assert cache.quarantined == 1
+        assert (tmp_path / f"{key}.json.corrupt").exists()
+
+    def test_missing_crc_on_v3_entry_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = canonical_key({"q": 32})
+        (tmp_path / f"{key}.json").write_text(
+            json.dumps({"schema": CACHE_SCHEMA_VERSION, "value": {"x": 1}})
+        )
+        assert cache.get(key) is None
+        assert cache.quarantined == 1
+
+    def test_v2_entry_without_checksum_still_reads(self, tmp_path):
+        # Read compatibility: v2 predates the checksum and stays valid.
+        cache = ResultCache(tmp_path)
+        key = canonical_key({"q": 33})
+        (tmp_path / f"{key}.json").write_text(
+            json.dumps({"schema": 2, "value": {"found": False, "pi": None}})
+        )
+        assert cache.get(key) == {"found": False, "pi": None}
+        assert cache.hits == 1 and cache.quarantined == 0
+
+    def test_checksum_survives_key_reordering(self, tmp_path):
+        # sort_keys canonicalization: rewriting the file with different
+        # key order (e.g. a pretty-printer) must not look like damage.
+        cache = ResultCache(tmp_path)
+        key = canonical_key({"q": 34})
+        cache.put(key, {"a": 1, "b": [2, 3]})
+        path = tmp_path / f"{key}.json"
+        entry = json.loads(path.read_text())
+        reordered = {"value": {"b": entry["value"]["b"], "a": 1},
+                     "crc": entry["crc"], "schema": entry["schema"]}
+        path.write_text(json.dumps(reordered, indent=2))
+        assert cache.get(key) == {"a": 1, "b": [2, 3]}
+        assert cache.quarantined == 0
+
+
+class TestAutoSweep:
+    """Opening a cache reclaims temp files leaked by crashed writers."""
+
+    def test_open_sweeps_stale_temp_files(self, tmp_path):
+        import os as _os
+        import time as _time
+
+        old = tmp_path / ".tmp-dead.json"
+        old.write_text("{}")
+        stale = _time.time() - 7200
+        _os.utime(old, (stale, stale))
+        cache = ResultCache(tmp_path)
+        assert cache.swept == 1
+        assert not old.exists()
+
+    def test_open_leaves_fresh_temp_files(self, tmp_path):
+        young = tmp_path / ".tmp-live.json"
+        young.write_text("{}")
+        cache = ResultCache(tmp_path)
+        assert cache.swept == 0
+        assert young.exists()
+
+    def test_disabled_cache_does_not_sweep(self, tmp_path):
+        import os as _os
+        import time as _time
+
+        old = tmp_path / ".tmp-dead.json"
+        old.write_text("{}")
+        stale = _time.time() - 7200
+        _os.utime(old, (stale, stale))
+        cache = ResultCache(tmp_path, enabled=False)
+        assert cache.swept == 0
+        assert old.exists()
+
+
 class TestTempFiles:
     """Crashed writers leak ``.tmp-*.json``; they must never read as entries."""
 
