@@ -280,6 +280,65 @@ def build_parser() -> argparse.ArgumentParser:
                            help=f"exit {EXIT_STRICT} when the run needed "
                                 "fallbacks (shard retries, pool restarts, "
                                 "or degraded execution) to complete")
+    p_explore.add_argument("maintenance", nargs="?", choices=["cache"],
+                           help="'cache': report the result cache "
+                                "(counters, entry/corrupt/temp files, "
+                                "disk usage) instead of searching")
+    p_explore.add_argument("--sweep", action="store_true",
+                           help="with 'cache': remove leftover writer "
+                                "temp files (run only when no explore "
+                                "is active)")
+    p_explore.add_argument("--clear", action="store_true",
+                           help="with 'cache': delete every cache entry, "
+                                "temp file and quarantined file")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="mapping-as-a-service job server (repro.serve)",
+        description=(
+            "Run the asyncio job-queue server over the exploration "
+            "engine.  POST /jobs accepts validated job specs, identical "
+            "requests deduplicate onto one job, every search is "
+            "journaled so killing and restarting the server resumes "
+            "in-flight jobs with results equal to uninterrupted runs. "
+            "See docs/serving.md."
+        ),
+    )
+    p_serve.add_argument("--state-dir", required=True,
+                         help="directory for job records, per-job "
+                              "checkpoint journals and event logs")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8642,
+                         help="listen port (0 picks an ephemeral port; "
+                              "see --port-file)")
+    p_serve.add_argument("--port-file", default=None, metavar="PATH",
+                         help="write the bound port here once listening")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="concurrent searches (worker threads)")
+    p_serve.add_argument("--search-jobs", type=int, default=1,
+                         help="worker processes per search; a spec's own "
+                              "'jobs' field is capped at this value")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="result cache directory "
+                              "(default: ~/.cache/repro-dse)")
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="disable the persistent result cache")
+    p_serve.add_argument("--shard-timeout", type=float, default=None)
+    p_serve.add_argument("--max-retries", type=int, default=2)
+    p_serve.add_argument("--no-degrade", action="store_true")
+    p_serve.add_argument("--max-active", type=int, default=None,
+                         help="default per-tenant cap on in-flight jobs")
+    p_serve.add_argument("--max-seconds", type=float, default=None,
+                         help="default per-job wall-clock budget")
+    p_serve.add_argument("--max-shards", type=int, default=None,
+                         help="default per-job dispatched-shard budget")
+    p_serve.add_argument("--max-bits", type=int, default=None,
+                         help="default per-job ring-bound bit cap")
+    p_serve.add_argument("--tenants-file", default=None, metavar="PATH",
+                         help="JSON {tenant: {max_active, max_seconds, "
+                              "max_shards, max_bits}} overriding the "
+                              "default policy per tenant")
+    add_obs_args(p_serve)
 
     p_report = sub.add_parser(
         "report", help="regenerate all experiments into a markdown report"
@@ -421,14 +480,44 @@ def _finish_explore(result, args, code: int) -> int:
     return code
 
 
+def _cmd_explore_cache(args: argparse.Namespace) -> int:
+    """``repro explore cache``: report and maintain the result cache."""
+    from .dse import ResultCache
+
+    cache = ResultCache(args.cache_dir, enabled=not args.no_cache)
+    if args.clear:
+        removed = cache.clear()
+        print(f"cleared        : {removed} entr{'y' if removed == 1 else 'ies'}")
+    elif args.sweep:
+        removed = cache.sweep_temp(max_age_seconds=0.0)
+        print(f"swept          : {removed} temp file(s)")
+    stats = cache.stats()
+    print(f"cache dir      : {stats['dir']}")
+    print(f"enabled        : {stats['enabled']}")
+    print(f"schema         : v{stats['schema']}")
+    print(f"entries        : {stats['entries']}")
+    print(f"corrupt files  : {stats['corrupt_files']}")
+    print(f"temp files     : {stats['temp_files']}")
+    print(f"disk bytes     : {stats['disk_bytes']}")
+    print(f"session        : {stats['hits']} hits / {stats['misses']} misses / "
+          f"{stats['quarantined']} quarantined / {stats['swept']} swept on open")
+    return 0
+
+
 def _cmd_explore(args: argparse.Namespace) -> int:
     from .dse import (
         ResiliencePolicy,
         ResultCache,
         RunBudget,
         RunInterrupted,
+        resolve_jobs,
     )
 
+    if args.maintenance == "cache":
+        return _cmd_explore_cache(args)
+    if args.sweep or args.clear:
+        raise SystemExit("--sweep/--clear need the 'cache' subcommand: "
+                         "repro explore cache [--sweep|--clear]")
     if args.space is not None and args.schedule is not None:
         raise SystemExit(
             "give --space (schedule search) OR --schedule (space search) "
@@ -436,6 +525,10 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         )
     if args.jobs is not None and args.jobs < 1:
         raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+    try:
+        resolve_jobs(args.jobs)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
     if args.resume and args.checkpoint is None:
         raise SystemExit("--resume requires --checkpoint PATH")
     algo = _make_algorithm(args.algorithm, args.mu, args.word_bits)
@@ -523,6 +616,57 @@ def _run_explore(args, algo, cache, policy, budget) -> int:
     return _finish_explore(result, args, 0)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .dse import ResiliencePolicy
+    from .serve import ServerConfig, TenantPolicy, run_server
+
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    if args.search_jobs is not None and args.search_jobs < 1:
+        raise SystemExit(f"--search-jobs must be >= 1, got {args.search_jobs}")
+    try:
+        default_policy = TenantPolicy(
+            max_active=args.max_active,
+            max_seconds=args.max_seconds,
+            max_shards=args.max_shards,
+            max_bits=args.max_bits,
+        )
+        # Mint a budget once to surface bad ceilings at startup, not
+        # at first job admission.
+        default_policy.budget()
+        tenants = {"default": default_policy}
+        if args.tenants_file:
+            with open(args.tenants_file, encoding="utf-8") as fh:
+                overrides = _json.load(fh)
+            if not isinstance(overrides, dict):
+                raise ValueError("tenants file must be a JSON object")
+            for tenant, policy in overrides.items():
+                tenants[tenant] = TenantPolicy.from_dict(policy)
+                tenants[tenant].budget()
+        resilience = ResiliencePolicy(
+            shard_timeout=args.shard_timeout,
+            max_retries=args.max_retries,
+            degrade=not args.no_degrade,
+        )
+    except (OSError, ValueError, TypeError, _json.JSONDecodeError) as exc:
+        raise SystemExit(str(exc)) from exc
+    config = ServerConfig(
+        state_dir=args.state_dir,
+        host=args.host,
+        port=args.port,
+        port_file=args.port_file,
+        workers=args.workers,
+        search_jobs=args.search_jobs,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
+        tenants=tenants,
+        resilience=resilience,
+    )
+    return run_server(config)
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .experiments import write_markdown_report
 
@@ -561,6 +705,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "design": _cmd_design,
         "explore": _cmd_explore,
+        "serve": _cmd_serve,
         "report": _cmd_report,
         "obs": _cmd_obs,
     }

@@ -39,6 +39,9 @@ __all__ = [
     "explore_space",
     "explore_joint",
     "resolve_jobs",
+    "schedule_run_params",
+    "space_run_params",
+    "joint_run_params",
     "ResultCache",
     "canonical_key",
     "default_cache_dir",
@@ -59,6 +62,9 @@ _LAZY = {
     "explore_space": "executor",
     "explore_joint": "executor",
     "resolve_jobs": "executor",
+    "schedule_run_params": "executor",
+    "space_run_params": "executor",
+    "joint_run_params": "executor",
     "ResultCache": "cache",
     "canonical_key": "cache",
     "default_cache_dir": "cache",

@@ -284,6 +284,47 @@ class ResultCache:
                 pass
         return removed
 
+    def stats(self) -> dict:
+        """Operator-facing snapshot: this instance's counters plus the
+        directory's on-disk state (entry/corrupt/temp counts, bytes).
+
+        Hit/miss/quarantine/sweep counters are per-instance — a long-
+        lived holder (the :mod:`repro.serve` server) accumulates them
+        across requests; a fresh CLI instance reports the disk state
+        plus whatever its own opening swept.
+        """
+        entries = corrupt = temp = 0
+        disk_bytes = 0
+        if self.cache_dir.is_dir():
+            for path in self.cache_dir.iterdir():
+                try:
+                    size = path.stat().st_size
+                except OSError:  # pragma: no cover - raced deletion
+                    continue
+                name = path.name
+                if name.endswith(".json.corrupt"):
+                    corrupt += 1
+                elif name.startswith(".tmp-") and name.endswith(".json"):
+                    temp += 1
+                elif name.endswith(".json") and not name.startswith("."):
+                    entries += 1
+                else:
+                    continue
+                disk_bytes += size
+        return {
+            "dir": str(self.cache_dir),
+            "enabled": self.enabled,
+            "schema": CACHE_SCHEMA_VERSION,
+            "hits": self.hits,
+            "misses": self.misses,
+            "quarantined": self.quarantined,
+            "swept": self.swept,
+            "entries": entries,
+            "corrupt_files": corrupt,
+            "temp_files": temp,
+            "disk_bytes": disk_bytes,
+        }
+
     def __len__(self) -> int:
         return sum(1 for _ in self._entry_paths())
 

@@ -488,6 +488,20 @@ class RunControl:
     its :class:`BudgetExceeded` subtype) — by the time they do, every
     completed shard has already been journaled, so the stop is
     resumable by construction.
+
+    Two embedding hooks let a long-lived host (the :mod:`repro.serve`
+    job server) drive a search it does not own the process of:
+
+    * ``stop`` — a :class:`threading.Event`; once set, the next poll
+      point raises :class:`RunInterrupted` exactly like a signal would.
+      Signals only reach the main thread, so a search running on a
+      worker thread needs this cooperative equivalent.
+    * ``on_progress`` — a callable receiving small progress-event
+      dicts (ring completed, shard done, shards resumed) as the run
+      crosses its natural boundaries.  Events derived from spans go
+      through :func:`repro.obs.progress.span_progress`, so what a
+      subscriber sees is the same data a trace would record.  A hook
+      that raises is disarmed, never the run.
     """
 
     def __init__(
@@ -495,9 +509,13 @@ class RunControl:
         *,
         journal: CheckpointJournal | None = None,
         budget: RunBudget | None = None,
+        stop: threading.Event | None = None,
+        on_progress=None,
     ) -> None:
         self.journal = journal
         self.budget = budget
+        self.stop = stop
+        self.on_progress = on_progress
         self.shards_dispatched = 0
         self.shards_resumed = 0  # journal lookups that hit this run
         self._guard = ShutdownGuard() if journal is not None else None
@@ -523,7 +541,15 @@ class RunControl:
         return exc
 
     def poll(self) -> None:
-        """Signal + wall-clock check; called between shards and rings."""
+        """Signal + stop-event + wall-clock check; called between
+        shards and rings."""
+        if self.stop is not None and self.stop.is_set():
+            raise self._interrupt(
+                RunInterrupted(
+                    "stop requested; completed shards are journaled — "
+                    "rerun with resume to continue"
+                )
+            )
         if self._guard is not None and self._guard.stop_reason is not None:
             raise self._interrupt(
                 RunInterrupted(
@@ -577,6 +603,31 @@ class RunControl:
                 )
             )
         self.shards_dispatched += count
+
+    # -- progress hooks --------------------------------------------------
+
+    def emit(self, event: str, **attrs) -> None:
+        """Deliver one progress event to the (optional) subscriber.
+
+        A raising hook is disarmed instead of killing the search: the
+        hook is an observer, and a broken observer must never cost a
+        correct answer.
+        """
+        if self.on_progress is None:
+            return
+        try:
+            self.on_progress({"event": event, **attrs})
+        except Exception:
+            logger.exception("progress hook failed; disabling it")
+            self.on_progress = None
+
+    def emit_span(self, span, **extra) -> None:
+        """Emit a closed span as a progress event (obs adapter)."""
+        if self.on_progress is None:
+            return
+        from ..obs.progress import span_progress
+
+        self.emit("phase", **span_progress(span, **extra))
 
     # -- journal pass-throughs -------------------------------------------
 

@@ -76,9 +76,17 @@ __all__ = [
     "explore_space",
     "explore_joint",
     "resolve_jobs",
+    "schedule_run_params",
+    "space_run_params",
+    "joint_run_params",
 ]
 
 logger = logging.getLogger("repro.dse.executor")
+
+#: Environment override for ``resolve_jobs(None)``: lets a deployment
+#: (the job server, CI, a cron wrapper) cap worker parallelism without
+#: threading a flag through every call site.
+JOBS_ENV_VAR = "REPRO_JOBS"
 
 # Per-candidate scan outcomes, in serial rejection order.
 _DEPS = "deps"          # Pi D <= 0 — pruned before the mapping is built
@@ -92,11 +100,30 @@ def resolve_jobs(jobs: int | None) -> int:
     """``None`` means one worker per *available* CPU; explicit values
     must be >= 1.
 
+    With ``jobs=None``, a ``$REPRO_JOBS`` environment variable (a
+    validated positive integer) takes precedence over CPU detection —
+    the deployment-wide cap for environments that cannot pass a flag
+    through every call site.  An explicit ``jobs`` argument always
+    wins over the environment.
+
     "Available" honors cgroup/affinity limits where the platform
     exposes them (``os.sched_getaffinity``), so a container pinned to 2
     cores gets 2 workers, not one per physical core of the host.
     """
     if jobs is None:
+        env = os.environ.get(JOBS_ENV_VAR)
+        if env is not None and env.strip():
+            try:
+                value = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"${JOBS_ENV_VAR} must be a positive integer, got {env!r}"
+                ) from None
+            if value < 1:
+                raise ValueError(
+                    f"${JOBS_ENV_VAR} must be >= 1, got {value}"
+                )
+            return value
         if hasattr(os, "sched_getaffinity"):
             try:
                 return len(os.sched_getaffinity(0)) or 1
@@ -139,6 +166,91 @@ def _algorithm_from_spec(spec: dict) -> UniformDependenceAlgorithm:
         dependence_matrix=spec["dependence"],
         name=spec["name"],
     )
+
+
+# -- canonical run parameters -----------------------------------------------
+
+# These dicts are the *identity* of a query: ``canonical_key`` of one is
+# the result-cache key, the checkpoint journal's run key, and the job
+# digest :mod:`repro.serve` deduplicates identical requests on.  They
+# are public so a front end can compute the digest before anything runs
+# and be certain it equals the one the engine derives internally.
+
+
+def schedule_run_params(
+    algorithm: UniformDependenceAlgorithm,
+    space: Sequence[Sequence[int]],
+    *,
+    method: str = "auto",
+    alpha: int | None = None,
+    initial_bound: int | None = None,
+    max_bound: int | None = None,
+) -> dict:
+    """Canonical run parameters of a Problem 2.2 (schedule) search.
+
+    Defaults resolve exactly as :func:`explore_schedule` resolves them
+    (one shared :func:`~repro.core.optimize.search_bounds`), so a
+    digest computed at submission time equals the engine's.
+    """
+    space_rows = tuple(as_intvec(row) for row in space)
+    alpha, initial_bound, max_bound = search_bounds(
+        algorithm, alpha=alpha, initial_bound=initial_bound, max_bound=max_bound
+    )
+    return {
+        "task": "procedure-5.1",
+        "mu": list(algorithm.mu),
+        "dependence": algorithm.dependence_matrix,
+        "space": space_rows,
+        "method": method,
+        "alpha": alpha,
+        "initial_bound": initial_bound,
+        "max_bound": max_bound,
+    }
+
+
+def space_run_params(
+    algorithm: UniformDependenceAlgorithm,
+    pi: Sequence[int],
+    *,
+    array_dim: int = 1,
+    magnitude: int = 1,
+    keep_ranking: int = 10,
+) -> dict:
+    """Canonical run parameters of a Problem 6.1 (space) search."""
+    return {
+        "task": "space-optimal",
+        "mu": list(algorithm.mu),
+        "dependence": algorithm.dependence_matrix,
+        "pi": list(as_intvec(pi)),
+        "array_dim": array_dim,
+        "magnitude": magnitude,
+        "keep_ranking": keep_ranking,
+    }
+
+
+def joint_run_params(
+    algorithm: UniformDependenceAlgorithm,
+    *,
+    array_dim: int = 1,
+    magnitude: int = 1,
+    time_weight: float = 1.0,
+    space_weight: float = 1.0,
+    keep_ranking: int = 10,
+    schedule_kwargs: dict | None = None,
+) -> dict:
+    """Canonical run parameters of a Problem 6.2 (joint) search."""
+    kwargs = dict(schedule_kwargs or {})
+    return {
+        "task": "joint-optimal",
+        "mu": list(algorithm.mu),
+        "dependence": algorithm.dependence_matrix,
+        "array_dim": array_dim,
+        "magnitude": magnitude,
+        "time_weight": time_weight,
+        "space_weight": space_weight,
+        "keep_ranking": keep_ranking,
+        "schedule_kwargs": {k: kwargs[k] for k in sorted(kwargs)},
+    }
 
 
 # -- shard workers (module level: must pickle under ProcessPoolExecutor) ----
@@ -338,14 +450,26 @@ def _run_shards(
                 outs[i] = decode(recorded)
                 control.shards_resumed += 1
     todo = [i for i, out in enumerate(outs) if out is None]
+    if len(todo) < len(payloads):
+        control.emit(
+            "shards_resumed", kind=kind, ring=ring,
+            count=len(payloads) - len(todo), total=len(payloads),
+        )
     if not todo:
         control.poll()  # fully replayed rings still honor signals/budget
         return outs  # type: ignore[return-value]
     control.before_dispatch(len(todo))
+    done = 0
 
     def on_result(j: int, out: dict) -> None:
+        nonlocal done
         if keys is not None:
             control.record_shard(keys[todo[j]], encode(out))
+        done += 1
+        control.emit(
+            "shard_done", kind=kind, ring=ring, completed=done,
+            total=len(todo), wall_time=out.get("wall_time"),
+        )
 
     fresh = runner.run(
         worker,
@@ -376,6 +500,8 @@ def explore_schedule(
     checkpoint: str | os.PathLike | None = None,
     resume: bool = False,
     budget: RunBudget | None = None,
+    stop=None,
+    on_progress: Callable[[dict], None] | None = None,
 ) -> SearchResult:
     """Procedure 5.1 through the work-queue engine.
 
@@ -413,6 +539,17 @@ def explore_schedule(
         Optional :class:`~repro.dse.checkpoint.RunBudget`; exceeding a
         ceiling raises :class:`~repro.dse.checkpoint.BudgetExceeded`,
         the same clean resumable stop a signal produces.
+    stop:
+        Optional :class:`threading.Event`; once set, the run stops at
+        the next shard boundary with the same clean, resumable
+        :class:`~repro.dse.checkpoint.RunInterrupted` a signal
+        produces.  This is how a host that runs searches on worker
+        threads (the :mod:`repro.serve` job server) cancels or drains
+        them — signals only reach the main thread.
+    on_progress:
+        Optional callable receiving progress-event dicts (rings
+        completed, shards done/resumed) at the engine's natural
+        boundaries; see :meth:`~repro.dse.checkpoint.RunControl.emit`.
     """
     validate_algorithm(algorithm)
     jobs = resolve_jobs(jobs)
@@ -443,6 +580,7 @@ def explore_schedule(
             extra_constraint=extra_constraint, cache=cache,
             resilience=resilience, tracer=tracer,
             checkpoint=checkpoint, resume=resume, budget=budget,
+            stop=stop, on_progress=on_progress,
         )
     # One timing source: the search's wall time is the root span.
     result.stats.wall_time = root.duration
@@ -465,18 +603,13 @@ def _explore_schedule_traced(
     checkpoint: str | os.PathLike | None = None,
     resume: bool = False,
     budget: RunBudget | None = None,
+    stop=None,
+    on_progress: Callable[[dict], None] | None = None,
 ) -> SearchResult:
-    mu = algorithm.mu
-    run_params = {
-        "task": "procedure-5.1",
-        "mu": list(mu),
-        "dependence": algorithm.dependence_matrix,
-        "space": space_rows,
-        "method": method,
-        "alpha": alpha,
-        "initial_bound": initial_bound,
-        "max_bound": max_bound,
-    }
+    run_params = schedule_run_params(
+        algorithm, space_rows, method=method, alpha=alpha,
+        initial_bound=initial_bound, max_bound=max_bound,
+    )
     cache_key = None
     if cache is not None and extra_constraint is None:
         cache_key = canonical_key(run_params)
@@ -487,7 +620,10 @@ def _explore_schedule_traced(
                 algorithm, space_rows, method, entry
             )
 
-    control = _run_control(run_params, "procedure-5.1", checkpoint, resume, budget)
+    control = _run_control(
+        run_params, "procedure-5.1", checkpoint, resume, budget,
+        stop=stop, on_progress=on_progress,
+    )
 
     spec = _algorithm_spec(algorithm)
     stats = SearchStats(cache_misses=1 if cache_key is not None else 0)
@@ -607,6 +743,15 @@ def _scan_rings(
                     continue
                 winner_pi = tuple(key[1])
                 break
+        if control is not None:
+            # Materialize the closed ring span as a progress event: a
+            # subscriber sees the same data a --trace file would hold.
+            # candidates/shards travel explicitly — Span.set() drops
+            # attrs when the tracer is disabled.
+            control.emit_span(
+                ring_span, winner=winner_pi is not None,
+                candidates=len(candidates), shards=shards,
+            )
         if winner_pi is not None:
             logger.debug(
                 "explore_schedule: ring %d produced winner %s", rings, winner_pi
@@ -722,14 +867,16 @@ def explore_space(
     checkpoint: str | os.PathLike | None = None,
     resume: bool = False,
     budget: RunBudget | None = None,
+    stop=None,
+    on_progress: Callable[[dict], None] | None = None,
 ) -> SpaceOptimizationResult:
     """Problem 6.1 through the engine; equal to ``solve_space_optimal``.
 
     A custom ``objective`` callable forces the in-process fallback and
     bypasses the cache (it is part of the answer but not of any
     canonical key); for the same reason it is incompatible with
-    ``checkpoint``.  ``checkpoint`` / ``resume`` / ``budget`` behave as
-    in :func:`explore_schedule`.
+    ``checkpoint``.  ``checkpoint`` / ``resume`` / ``budget`` /
+    ``stop`` / ``on_progress`` behave as in :func:`explore_schedule`.
     """
     validate_algorithm(algorithm)
     pi_t = as_intvec(pi)
@@ -753,15 +900,10 @@ def explore_space(
     )
     result: SpaceOptimizationResult | None = None
     with root:
-        run_params = {
-            "task": "space-optimal",
-            "mu": list(algorithm.mu),
-            "dependence": algorithm.dependence_matrix,
-            "pi": list(pi_t),
-            "array_dim": array_dim,
-            "magnitude": magnitude,
-            "keep_ranking": keep_ranking,
-        }
+        run_params = space_run_params(
+            algorithm, pi_t, array_dim=array_dim, magnitude=magnitude,
+            keep_ranking=keep_ranking,
+        )
 
         def rebuild(space):
             return evaluate_design(algorithm, space, pi_t)[1]
@@ -776,7 +918,8 @@ def explore_space(
 
         if result is None:
             control = _run_control(
-                run_params, "space-optimal", checkpoint, resume, budget
+                run_params, "space-optimal", checkpoint, resume, budget,
+                stop=stop, on_progress=on_progress,
             )
             with control if control is not None else nullcontext():
                 if control is not None and control.resume_entry is not None:
@@ -832,15 +975,20 @@ def _run_control(
     checkpoint: str | os.PathLike | None,
     resume: bool,
     budget: RunBudget | None,
+    stop=None,
+    on_progress: Callable[[dict], None] | None = None,
 ) -> RunControl | None:
     """Build the (optional) run control for one search invocation."""
-    if checkpoint is None and budget is None:
+    if (checkpoint is None and budget is None and stop is None
+            and on_progress is None):
         return None
     journal = None
     if checkpoint is not None:
         journal = CheckpointJournal(checkpoint)
         journal.open(canonical_key(run_params), task=task, resume=resume)
-    return RunControl(journal=journal, budget=budget)
+    return RunControl(
+        journal=journal, budget=budget, stop=stop, on_progress=on_progress
+    )
 
 
 def _resumed_design_result(
@@ -877,13 +1025,16 @@ def explore_joint(
     checkpoint: str | os.PathLike | None = None,
     resume: bool = False,
     budget: RunBudget | None = None,
+    stop=None,
+    on_progress: Callable[[dict], None] | None = None,
 ) -> SpaceOptimizationResult:
     """Problem 6.2 through the engine; equal to ``solve_joint_optimal``.
 
     ``schedule_kwargs`` containing callbacks (``extra_constraint``)
     forces the in-process fallback, bypasses the cache and is
     incompatible with ``checkpoint``.  ``checkpoint`` / ``resume`` /
-    ``budget`` behave as in :func:`explore_schedule`.
+    ``budget`` / ``stop`` / ``on_progress`` behave as in
+    :func:`explore_schedule`.
     """
     validate_algorithm(algorithm)
     jobs = resolve_jobs(jobs)
@@ -904,17 +1055,11 @@ def explore_joint(
     )
     result: SpaceOptimizationResult | None = None
     with root:
-        run_params = {
-            "task": "joint-optimal",
-            "mu": list(algorithm.mu),
-            "dependence": algorithm.dependence_matrix,
-            "array_dim": array_dim,
-            "magnitude": magnitude,
-            "time_weight": time_weight,
-            "space_weight": space_weight,
-            "keep_ranking": keep_ranking,
-            "schedule_kwargs": {k: kwargs[k] for k in sorted(kwargs)},
-        }
+        run_params = joint_run_params(
+            algorithm, array_dim=array_dim, magnitude=magnitude,
+            time_weight=time_weight, space_weight=space_weight,
+            keep_ranking=keep_ranking, schedule_kwargs=kwargs,
+        )
 
         def rebuild(space, pi=None):
             # Shares joint_objective with evaluate_joint_candidate, so a
@@ -936,7 +1081,8 @@ def explore_joint(
 
         if result is None:
             control = _run_control(
-                run_params, "joint-optimal", checkpoint, resume, budget
+                run_params, "joint-optimal", checkpoint, resume, budget,
+                stop=stop, on_progress=on_progress,
             )
             with control if control is not None else nullcontext():
                 if control is not None and control.resume_entry is not None:

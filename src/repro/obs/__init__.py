@@ -24,6 +24,7 @@ single consistent tree.
 
 from __future__ import annotations
 
+from .progress import record_progress, span_progress
 from .report import PhaseSummary, format_report, phase_breakdown, report_file
 from .schema import load_trace, validate_lines, validate_record, validate_trace_file
 from .tracer import (
@@ -54,4 +55,6 @@ __all__ = [
     "phase_breakdown",
     "format_report",
     "report_file",
+    "span_progress",
+    "record_progress",
 ]

@@ -1,0 +1,65 @@
+"""Span → progress-event adapter.
+
+The job server (:mod:`repro.serve`) streams live progress for running
+searches.  Rather than inventing a second instrumentation vocabulary,
+progress events are *materialized from the same spans the tracer
+records*: a closed :class:`~repro.obs.tracer.Span` (a ring of
+Procedure 5.1, a shard batch, a search root) is flattened into a small
+JSON-safe dict carrying the span's name, duration and attributes.  A
+subscriber therefore sees exactly the data a ``--trace`` file would
+hold for the same run — one instrumentation source, two consumers.
+
+The adapter is deliberately tolerant: spans may be open (no duration
+yet) or tracerless worker-side spans; attributes that are not
+JSON-representable are stringified rather than dropped, because a
+progress stream must never raise into the search that feeds it.
+"""
+
+from __future__ import annotations
+
+__all__ = ["span_progress", "record_progress"]
+
+_SAFE_SCALARS = (str, int, float, bool, type(None))
+
+
+def _json_safe(value):
+    """``value`` coerced to something ``json.dumps`` accepts."""
+    if isinstance(value, _SAFE_SCALARS):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return str(value)
+
+
+def span_progress(span, **extra) -> dict:
+    """A progress-event dict materialized from a :class:`Span`.
+
+    The span's name becomes ``phase``, its monotonic duration (when the
+    span has closed) becomes ``wall_time``, and its attributes are
+    inlined after JSON coercion.  ``extra`` keys are applied last, so a
+    caller can annotate (e.g. ``winner=True`` on the ring that ended a
+    search).
+    """
+    event = {"phase": span.name}
+    for key, value in span.attrs.items():
+        event[str(key)] = _json_safe(value)
+    if span.duration is not None:
+        event["wall_time"] = span.duration
+    for key, value in extra.items():
+        event[key] = _json_safe(value)
+    return event
+
+
+def record_progress(record: dict, **extra) -> dict:
+    """Like :func:`span_progress`, for an already-serialized span record
+    (the ``to_record`` dicts workers ship home in shard outputs)."""
+    event = {"phase": record.get("name", "span")}
+    for key, value in (record.get("attrs") or {}).items():
+        event[str(key)] = _json_safe(value)
+    if record.get("duration") is not None:
+        event["wall_time"] = record["duration"]
+    for key, value in extra.items():
+        event[key] = _json_safe(value)
+    return event

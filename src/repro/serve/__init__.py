@@ -1,0 +1,73 @@
+"""repro.serve — mapping-as-a-service over the DSE engine.
+
+An asyncio job-queue server (stdlib only) that turns the package's
+exploration entry points into a long-running service:
+
+* :mod:`~repro.serve.protocol` — job specs, validation, content
+  digests (identical to the engine's cache/journal keys), result
+  encoding.
+* :mod:`~repro.serve.store` — durable job records, per-job checkpoint
+  journals and append-only event logs.
+* :mod:`~repro.serve.queue` — admission (per-tenant caps and budgets),
+  digest-based deduplication, the run queue.
+* :mod:`~repro.serve.bridge` — the worker-thread call into
+  ``explore_*`` (always journaled, always resumable).
+* :mod:`~repro.serve.server` — the HTTP front end and worker pool;
+  ``repro serve`` on the CLI.
+* :mod:`~repro.serve.client` — a thin blocking client.
+
+Everything is lazy here: importing :mod:`repro` must not pay for the
+server stack.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "JobSpec",
+    "parse_job_spec",
+    "encode_result",
+    "JobRecord",
+    "JobStore",
+    "JobManager",
+    "TenantPolicy",
+    "TenantBusy",
+    "execute_job",
+    "ServerConfig",
+    "MappingServer",
+    "run_server",
+    "ServeClient",
+    "ServeError",
+]
+
+_LAZY = {
+    "JobSpec": "protocol",
+    "parse_job_spec": "protocol",
+    "encode_result": "protocol",
+    "JobRecord": "store",
+    "JobStore": "store",
+    "JobManager": "queue",
+    "TenantPolicy": "queue",
+    "TenantBusy": "queue",
+    "execute_job": "bridge",
+    "ServerConfig": "server",
+    "MappingServer": "server",
+    "run_server": "server",
+    "ServeClient": "client",
+    "ServeError": "client",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,0 +1,108 @@
+"""The worker-thread bridge from job records to the DSE engine.
+
+:func:`execute_job` is the only code in :mod:`repro.serve` that calls
+the engine.  It runs inside ``asyncio.to_thread`` — *off* the main
+thread — which is safe by construction: the engine's
+``ShutdownGuard`` degrades to a no-op off the main thread, and the
+server-level SIGTERM handler reaches running jobs through the
+``threading.Event`` stop hook instead.
+
+Every execution is journaled and resumable: jobs always run with
+``checkpoint=<per-job journal>, resume=True``.  A fresh job simply has
+no journal yet (an absent file is a fresh start), while a job the
+server picked back up after a crash or restart replays its completed
+shards for free.  This is what makes the service's crash story one
+sentence long: kill the server whenever, restart it, and every
+in-flight job resumes where its journal ends with a result equal to an
+uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
+from ..dse.cache import ResultCache
+from ..dse.checkpoint import BudgetExceeded, RunBudget, RunInterrupted
+from ..dse.executor import explore_joint, explore_schedule, explore_space
+from ..dse.resilience import ResiliencePolicy
+from .protocol import JobSpec, encode_result
+
+logger = logging.getLogger("repro.serve.bridge")
+
+__all__ = ["JobOutcome", "execute_job"]
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """What a finished (or stopped) execution hands back to the loop."""
+
+    #: "done" | "interrupted" | "failed"
+    state: str
+    result: dict | None = None
+    telemetry: dict | None = None
+    cache_hit: bool = False
+    error: str | None = None
+
+
+def execute_job(
+    spec: JobSpec,
+    *,
+    journal_path,
+    cache: ResultCache | None,
+    resilience: ResiliencePolicy | None = None,
+    budget: RunBudget | None = None,
+    stop: threading.Event | None = None,
+    on_progress: Callable[[dict], None] | None = None,
+    jobs: int | None = None,
+) -> JobOutcome:
+    """Run one job to completion, interruption, or failure.
+
+    Blocking — call from a worker thread.  Never raises: every outcome
+    (including engine bugs) is folded into a :class:`JobOutcome` so the
+    event loop's job bookkeeping cannot be skipped by an exception.
+    """
+    algorithm = spec.build_algorithm()
+    opts = spec.options
+    common = dict(
+        jobs=jobs, cache=cache, resilience=resilience,
+        checkpoint=journal_path, resume=True, budget=budget,
+        stop=stop, on_progress=on_progress,
+    )
+    try:
+        if spec.task == "schedule":
+            result = explore_schedule(
+                algorithm, opts["space"], method=opts["method"], **common
+            )
+        elif spec.task == "space":
+            result = explore_space(
+                algorithm, opts["pi"], array_dim=opts["array_dim"],
+                magnitude=opts["magnitude"],
+                keep_ranking=opts["keep_ranking"], **common,
+            )
+        else:
+            result = explore_joint(
+                algorithm, array_dim=opts["array_dim"],
+                magnitude=opts["magnitude"],
+                time_weight=opts["time_weight"],
+                space_weight=opts["space_weight"],
+                keep_ranking=opts["keep_ranking"], **common,
+            )
+    except RunInterrupted as exc:
+        logger.info("job interrupted: %s", exc)
+        return JobOutcome(state="interrupted", error=str(exc))
+    except BudgetExceeded as exc:
+        logger.warning("job budget exhausted: %s", exc)
+        return JobOutcome(state="failed", error=f"budget exhausted: {exc}")
+    except Exception as exc:
+        logger.exception("job execution failed")
+        return JobOutcome(state="failed",
+                          error=f"{type(exc).__name__}: {exc}")
+    return JobOutcome(
+        state="done",
+        result=encode_result(spec.task, result),
+        telemetry=result.stats.to_dict(),
+        cache_hit=result.stats.cache_hits > 0,
+    )

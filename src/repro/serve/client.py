@@ -1,0 +1,123 @@
+"""Thin blocking client for the mapping service.
+
+Stdlib :mod:`http.client` only — mirrors the server's one-request-per-
+connection discipline, so every call opens a fresh connection.  Used by
+the test suite, the benchmark harness and the CI smoke script; small
+enough to be the reference for writing clients in any language.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.client import HTTPConnection
+from typing import Iterator
+
+from .protocol import TERMINAL_STATES
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(Exception):
+    """Non-2xx response; carries the HTTP status and server diagnosis."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServeClient:
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642,
+                 *, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing --------------------------------------------------------
+
+    def _request(self, method: str, path: str, payload: dict | None = None):
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = (json.dumps(payload).encode()
+                    if payload is not None else None)
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+            try:
+                decoded = json.loads(data) if data else {}
+            except json.JSONDecodeError:
+                decoded = {"error": data.decode("utf-8", "replace")}
+            if response.status >= 400:
+                raise ServeError(response.status,
+                                 decoded.get("error", "unknown error"))
+            return response.status, decoded
+        finally:
+            conn.close()
+
+    # -- API -------------------------------------------------------------
+
+    def submit(self, spec: dict) -> dict:
+        """Submit a job spec; the returned record's ``created`` field
+        tells whether it enqueued new work or deduplicated."""
+        _status, record = self._request("POST", "/jobs", spec)
+        return record
+
+    def job(self, job_id: str) -> dict:
+        _status, record = self._request("GET", f"/jobs/{job_id}")
+        return record
+
+    def jobs(self) -> list[dict]:
+        _status, body = self._request("GET", "/jobs")
+        return body["jobs"]
+
+    def cancel(self, job_id: str) -> dict:
+        _status, record = self._request("POST", f"/jobs/{job_id}/cancel")
+        return record
+
+    def health(self) -> dict:
+        _status, body = self._request("GET", "/healthz")
+        return body
+
+    def cache_stats(self) -> dict:
+        _status, body = self._request("GET", "/cache")
+        return body
+
+    def wait(self, job_id: str, *, timeout: float = 120.0,
+             poll: float = 0.1) -> dict:
+        """Poll until the job leaves the queue for good; returns the
+        final record.  ``interrupted`` also ends the wait — the job is
+        paused, not progressing, until a server restart resumes it."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["state"] in TERMINAL_STATES + ("interrupted",):
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record['state']!r} "
+                    f"after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def events(self, job_id: str, *, follow: bool = False) -> Iterator[dict]:
+        """Progress events; with ``follow=True`` streams until the job
+        finishes (the server closes the stream)."""
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            suffix = "?follow=1" if follow else ""
+            conn.request("GET", f"/jobs/{job_id}/events{suffix}")
+            response = conn.getresponse()
+            if response.status >= 400:
+                data = response.read()
+                try:
+                    message = json.loads(data).get("error", "")
+                except json.JSONDecodeError:
+                    message = data.decode("utf-8", "replace")
+                raise ServeError(response.status, message)
+            for raw in response:
+                line = raw.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            conn.close()

@@ -1,0 +1,224 @@
+"""Admission, deduplication and scheduling of jobs.
+
+:class:`JobManager` is the single-writer brain of the server.  It lives
+on the asyncio event loop; worker threads reach it only through
+``loop.call_soon_threadsafe`` hops, so job state never needs a lock.
+
+Deduplication is by content digest: two ``POST /jobs`` bodies that
+canonicalize to the same engine run key are the *same search*, so the
+second request attaches to the first job (or is answered instantly if
+it already finished) instead of enqueueing duplicate work.  A failed or
+cancelled job is re-armed by a new identical request — resubmitting is
+the retry button.
+
+Admission is per tenant: a :class:`TenantPolicy` caps how many jobs a
+tenant may have in flight and hands each of its jobs a fresh
+:class:`~repro.dse.checkpoint.RunBudget` (budgets are stateful timers,
+so they are minted per run, never shared).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from dataclasses import dataclass
+
+from ..dse.checkpoint import RunBudget
+from .protocol import RESUMABLE_STATES, TERMINAL_STATES, JobSpec
+from .store import ID_LENGTH, JobRecord, JobStore
+
+logger = logging.getLogger("repro.serve.queue")
+
+__all__ = ["TenantPolicy", "TenantBusy", "JobManager"]
+
+
+class TenantBusy(Exception):
+    """Tenant is at its in-flight job cap (HTTP 429)."""
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Per-tenant admission cap and resource ceilings.
+
+    ``max_active`` bounds queued+running jobs; the rest mint the
+    :class:`RunBudget` each of the tenant's jobs runs under.
+    """
+
+    max_active: int | None = None
+    max_seconds: float | None = None
+    max_shards: int | None = None
+    max_bits: int | None = None
+
+    def budget(self) -> RunBudget | None:
+        """A fresh budget for one run (``None`` if unlimited).
+
+        Fresh per run on purpose: ``RunBudget`` starts its wall clock
+        when the run starts, and a resumed run gets a full budget again
+        — the journal already guarantees resumed work is never re-paid.
+        """
+        if (self.max_seconds is None and self.max_shards is None
+                and self.max_bits is None):
+            return None
+        return RunBudget(max_seconds=self.max_seconds,
+                         max_shards=self.max_shards,
+                         max_bits=self.max_bits)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> TenantPolicy:
+        known = {"max_active", "max_seconds", "max_shards", "max_bits"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown tenant policy field(s) {unknown}; "
+                f"allowed: {sorted(known)}"
+            )
+        return cls(**data)
+
+
+class JobManager:
+    """Owns job records, the run queue, and progress-event fan-out.
+
+    Every method (except the ``*_threadsafe`` hops) must run on the
+    event loop thread.
+    """
+
+    def __init__(self, store: JobStore, *,
+                 tenants: dict[str, TenantPolicy] | None = None) -> None:
+        self.store = store
+        self.tenants = dict(tenants or {})
+        self.jobs: dict[str, JobRecord] = {}
+        self.queue: asyncio.Queue[str] = asyncio.Queue()
+        #: Per-job wakeup for event-stream followers; broadcast via
+        #: replacing the event so every waiter sees each edge.
+        self._event_waiters: dict[str, asyncio.Event] = {}
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    def bind_loop(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._loop = loop
+
+    def policy_for(self, tenant: str) -> TenantPolicy:
+        return self.tenants.get(tenant) or self.tenants.get("default") \
+            or TenantPolicy()
+
+    # -- startup ---------------------------------------------------------
+
+    def recover(self) -> int:
+        """Reload persisted jobs and re-enqueue every non-terminal one.
+
+        A job found ``running`` was in flight when the previous server
+        died — its journal holds the completed shards, so it goes back
+        on the queue with ``resume`` semantics, same as ``interrupted``
+        and ``queued`` ones.  Returns how many jobs were re-enqueued.
+        """
+        requeued = 0
+        for record in self.store.load_all():
+            self.jobs[record.id] = record
+            if record.state in RESUMABLE_STATES:
+                if record.state != "queued":
+                    record.state = "queued"
+                    record.resumes += 1
+                    self.store.save(record)
+                self.queue.put_nowait(record.id)
+                requeued += 1
+                logger.info("recovered job %s (resume #%d)",
+                            record.id, record.resumes)
+        return requeued
+
+    # -- admission -------------------------------------------------------
+
+    def _active_for(self, tenant: str) -> int:
+        return sum(
+            1 for r in self.jobs.values()
+            if r.tenant == tenant and r.state in ("queued", "running")
+        )
+
+    def submit(self, spec: JobSpec) -> tuple[JobRecord, bool]:
+        """Admit a validated spec; returns ``(record, created)``.
+
+        ``created`` is False when the request deduplicated onto an
+        existing queued/running/done job.  Raises :class:`TenantBusy`
+        when the tenant is at its cap (dedup hits are exempt — they
+        add no work).
+        """
+        digest = spec.digest
+        job_id = digest[:ID_LENGTH]
+        record = self.jobs.get(job_id)
+        if record is not None and record.state not in ("failed", "cancelled"):
+            if record.state not in TERMINAL_STATES:
+                record.deduped += 1
+                self.store.save(record)
+                logger.info("deduplicated request onto job %s (%d so far)",
+                            job_id, record.deduped)
+            return record, False
+
+        policy = self.policy_for(spec.tenant)
+        if (policy.max_active is not None
+                and self._active_for(spec.tenant) >= policy.max_active):
+            raise TenantBusy(
+                f"tenant {spec.tenant!r} already has "
+                f"{policy.max_active} job(s) in flight"
+            )
+
+        if record is None:
+            record = JobRecord(
+                id=job_id, digest=digest, spec=spec.to_dict(),
+                task=spec.task, tenant=spec.tenant,
+            )
+            self.jobs[job_id] = record
+            created = True
+        else:
+            # failed/cancelled: identical resubmission re-arms the job.
+            record.state = "queued"
+            record.error = None
+            record.finished = None
+            created = False
+        self.store.save(record)
+        self.queue.put_nowait(job_id)
+        return record, created
+
+    # -- state transitions (event-loop thread) ---------------------------
+
+    def transition(self, job_id: str, state: str, **fields) -> JobRecord:
+        record = self.jobs[job_id]
+        record.state = state
+        for key, value in fields.items():
+            setattr(record, key, value)
+        self.store.save(record)
+        self.post_event(job_id, {"event": "state", "state": state})
+        return record
+
+    # -- progress events -------------------------------------------------
+
+    def post_event(self, job_id: str, event: dict) -> None:
+        self.store.append_event(job_id, event)
+        waiter = self._event_waiters.pop(job_id, None)
+        if waiter is not None:
+            waiter.set()
+
+    def post_event_threadsafe(self, job_id: str, event: dict) -> None:
+        """The worker-thread entry point for progress hooks."""
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        try:
+            loop.call_soon_threadsafe(self.post_event, job_id, event)
+        except RuntimeError:  # loop shut down between check and call
+            pass
+
+    async def wait_for_events(self, job_id: str, start: int,
+                              timeout: float = 10.0) -> list[dict]:
+        """Events from ``start`` on, waiting up to ``timeout`` for new
+        ones; an empty list means the follower should poll again (or
+        the job reached a terminal state — caller checks)."""
+        events = self.store.read_events(job_id, start)
+        if events:
+            return events
+        waiter = self._event_waiters.get(job_id)
+        if waiter is None:
+            waiter = asyncio.Event()
+            self._event_waiters[job_id] = waiter
+        try:
+            await asyncio.wait_for(waiter.wait(), timeout)
+        except asyncio.TimeoutError:
+            return []
+        return self.store.read_events(job_id, start)

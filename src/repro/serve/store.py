@@ -1,0 +1,213 @@
+"""Durable state of the mapping service: job records and event logs.
+
+Layout under the server's state directory::
+
+    state/
+      jobs/<id>.json        one record per job, atomic tmp + os.replace
+      journals/<id>.ckpt    the job's CheckpointJournal (engine-owned)
+      events/<id>.jsonl     append-only progress events, torn-tail tolerant
+
+The job id **is** a prefix of the job's content digest, which in turn
+is the engine's cache/journal key — one identity from HTTP request to
+on-disk shard checkpoint.  Records are rewritten in full on every state
+transition (they are small); the event log is append-only so followers
+can stream it.  Both use the same durability discipline as the rest of
+the repo: records go through a temp file and :func:`os.replace` so a
+crash never leaves a torn record, and a record that fails to parse on
+startup is quarantined aside (``*.json.corrupt``) rather than taking
+the whole server down.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import tempfile
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from .protocol import JOB_STATES
+
+logger = logging.getLogger("repro.serve.store")
+
+__all__ = ["JobRecord", "JobStore", "ID_LENGTH"]
+
+#: Job ids are digest prefixes: long enough that collisions would need
+#: ~2^32 distinct specs, short enough to read aloud.
+ID_LENGTH = 16
+
+
+@dataclass
+class JobRecord:
+    """Everything the service knows about one job.
+
+    ``result`` holds the :func:`~repro.serve.protocol.encode_result`
+    encoding (deterministic, comparable); ``telemetry`` holds the
+    non-deterministic ``SearchStats`` sidecar (wall time, shard/resume
+    counts) that must never participate in equality.
+    """
+
+    id: str
+    digest: str
+    spec: dict
+    task: str
+    tenant: str = "default"
+    state: str = "queued"
+    created: float = field(default_factory=time.time)
+    started: float | None = None
+    finished: float | None = None
+    result: dict | None = None
+    error: str | None = None
+    telemetry: dict | None = None
+    #: How many times the server (re)started this search with
+    #: ``resume=True`` after the first attempt — restarts survived.
+    resumes: int = 0
+    #: How many identical requests were coalesced onto this job.
+    deduped: int = 0
+    cache_hit: bool = False
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> JobRecord:
+        known = {f for f in cls.__dataclass_fields__}
+        record = cls(**{k: v for k, v in data.items() if k in known})
+        if record.state not in JOB_STATES:
+            raise ValueError(f"unknown job state {record.state!r}")
+        return record
+
+    def public(self) -> dict:
+        """The ``GET /jobs/{id}`` view (wire names, no internals)."""
+        out = {
+            "id": self.id,
+            "digest": self.digest,
+            "task": self.task,
+            "tenant": self.tenant,
+            "state": self.state,
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+            "resumes": self.resumes,
+            "deduped": self.deduped,
+            "cache_hit": self.cache_hit,
+            "spec": self.spec,
+        }
+        if self.result is not None:
+            out["result"] = self.result
+        if self.error is not None:
+            out["error"] = self.error
+        if self.telemetry is not None:
+            out["telemetry"] = self.telemetry
+        return out
+
+
+class JobStore:
+    """Filesystem-backed job state under one root directory."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+        self.journals_dir = self.root / "journals"
+        self.events_dir = self.root / "events"
+        for d in (self.jobs_dir, self.journals_dir, self.events_dir):
+            d.mkdir(parents=True, exist_ok=True)
+
+    # -- job records -----------------------------------------------------
+
+    def _record_path(self, job_id: str) -> Path:
+        return self.jobs_dir / f"{job_id}.json"
+
+    def save(self, record: JobRecord) -> None:
+        """Persist ``record`` atomically and durably.
+
+        fsync before the rename: a job that claims ``done`` after a
+        power cut must actually hold its result.
+        """
+        path = self._record_path(record.id)
+        fd, tmp = tempfile.mkstemp(dir=self.jobs_dir, prefix=".tmp-",
+                                   suffix=".json")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(record.to_dict(), fh, separators=(",", ":"))
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def load(self, job_id: str) -> JobRecord | None:
+        """The stored record, or ``None``; damaged records are moved
+        aside (``*.json.corrupt``) so they can be inspected but never
+        wedge the server."""
+        path = self._record_path(job_id)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                data = json.load(fh)
+            return JobRecord.from_dict(data)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, TypeError) as exc:
+            logger.warning("quarantining damaged job record %s: %s", path, exc)
+            try:
+                path.replace(path.with_name(path.name + ".corrupt"))
+            except OSError:
+                pass
+            return None
+
+    def load_all(self) -> list[JobRecord]:
+        """Every readable job record, oldest first."""
+        records = []
+        for path in sorted(self.jobs_dir.glob("*.json")):
+            if path.name.startswith("."):
+                continue
+            record = self.load(path.stem)
+            if record is not None:
+                records.append(record)
+        records.sort(key=lambda r: r.created)
+        return records
+
+    # -- engine artifacts ------------------------------------------------
+
+    def journal_path(self, job_id: str) -> Path:
+        """Where the job's :class:`CheckpointJournal` lives.  The
+        engine owns the format; the store only names the file."""
+        return self.journals_dir / f"{job_id}.ckpt"
+
+    # -- event log -------------------------------------------------------
+
+    def events_path(self, job_id: str) -> Path:
+        return self.events_dir / f"{job_id}.jsonl"
+
+    def append_event(self, job_id: str, event: dict) -> None:
+        """Append one progress event.  Flushed but not fsynced — events
+        are a telemetry stream, not the source of truth; losing the
+        tail on a crash is acceptable where losing a result is not."""
+        stamped = {"ts": time.time(), **event}
+        with open(self.events_path(job_id), "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(stamped, separators=(",", ":")) + "\n")
+
+    def read_events(self, job_id: str, start: int = 0) -> list[dict]:
+        """Events from index ``start`` on.  A torn final line (writer
+        died mid-append) is silently dropped, mirroring the journal's
+        torn-tail tolerance."""
+        path = self.events_path(job_id)
+        events: list[dict] = []
+        try:
+            with open(path, encoding="utf-8") as fh:
+                for line in fh:
+                    if not line.endswith("\n"):
+                        break
+                    try:
+                        events.append(json.loads(line))
+                    except json.JSONDecodeError:
+                        break
+        except FileNotFoundError:
+            pass
+        return events[start:]

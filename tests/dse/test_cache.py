@@ -290,3 +290,106 @@ class TestTempFiles:
     def test_sweep_temp_on_missing_dir(self, tmp_path):
         cache = ResultCache(tmp_path / "never-created")
         assert cache.sweep_temp() == 0
+
+
+# -- concurrent access -------------------------------------------------------
+
+_WRITER_SCRIPT = """
+import sys, time
+sys.path.insert(0, sys.argv[1])
+from repro.dse.cache import ResultCache
+
+cache = ResultCache(sys.argv[2])
+key, tag, fill = sys.argv[3], sys.argv[4], int(sys.argv[5])
+deadline = time.monotonic() + float(sys.argv[6])
+writes = 0
+while time.monotonic() < deadline:
+    cache.put(key, {"who": tag, "seq": writes, "payload": [fill] * 200})
+    writes += 1
+print(writes)
+"""
+
+_READER_SCRIPT = """
+import sys, time
+sys.path.insert(0, sys.argv[1])
+from repro.dse.cache import ResultCache
+
+cache = ResultCache(sys.argv[2])
+key = sys.argv[3]
+deadline = time.monotonic() + float(sys.argv[4])
+fills = {"a": 1, "b": 2}
+reads = 0
+while time.monotonic() < deadline:
+    value = cache.get(key)
+    if value is not None:
+        assert value["who"] in fills, value
+        assert value["payload"] == [fills[value["who"]]] * 200, "torn read"
+    reads += 1
+assert cache.quarantined == 0, f"reader quarantined {cache.quarantined}"
+print(reads)
+"""
+
+
+class TestConcurrentAccess:
+    """Two processes sharing one cache directory must never corrupt it.
+
+    The atomic temp-file + ``os.replace`` protocol is the whole story:
+    a reader sees either the old complete entry or the new complete
+    entry, never a mixture, and therefore never quarantines a healthy
+    file.  These tests drive real concurrent processes at it.
+    """
+
+    @staticmethod
+    def _spawn(script, *argv):
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        return subprocess.Popen(
+            [sys.executable, "-c", script, src, *map(str, argv)],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+
+    def _finish(self, proc):
+        out, err = proc.communicate(timeout=60)
+        assert proc.returncode == 0, err
+        return int(out.strip())
+
+    def test_simultaneous_same_key_writers(self, tmp_path):
+        key = canonical_key({"contended": True})
+        w1 = self._spawn(_WRITER_SCRIPT, tmp_path, key, "a", 1, 1.0)
+        w2 = self._spawn(_WRITER_SCRIPT, tmp_path, key, "b", 2, 1.0)
+        writes = self._finish(w1) + self._finish(w2)
+        assert writes > 2  # both actually overlapped in the window
+
+        # Whoever won the last race, the surviving entry is complete
+        # and internally consistent — and nothing got quarantined.
+        cache = ResultCache(tmp_path)
+        value = cache.get(key)
+        assert value is not None
+        assert value["payload"] == [{"a": 1, "b": 2}[value["who"]]] * 200
+        assert cache.quarantined == 0
+        assert not list(tmp_path.glob("*.json.corrupt"))
+
+    def test_read_during_write(self, tmp_path):
+        key = canonical_key({"streamed": True})
+        writer = self._spawn(_WRITER_SCRIPT, tmp_path, key, "a", 1, 1.5)
+        reader = self._spawn(_READER_SCRIPT, tmp_path, key, 1.5)
+        writes = self._finish(writer)
+        reads = self._finish(reader)
+        assert writes > 0 and reads > 0
+        assert not list(tmp_path.glob("*.json.corrupt"))
+
+    def test_no_double_quarantine_of_corrupt_entry(self, tmp_path):
+        # Two caches racing to quarantine the same damaged file must
+        # produce exactly one .corrupt file and no crash.
+        key = canonical_key({"damaged": True})
+        (tmp_path / f"{key}.json").write_text("{not json")
+        first = ResultCache(tmp_path)
+        second = ResultCache(tmp_path)
+        assert first.get(key) is None
+        assert second.get(key) is None
+        corpses = list(tmp_path.glob("*.json.corrupt"))
+        assert len(corpses) == 1
+        assert first.quarantined + second.quarantined == 1

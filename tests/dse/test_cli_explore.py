@@ -65,3 +65,50 @@ class TestExploreSpaceAndJoint:
                 "-s", "1,1,-1", "-p", "1,3,1",
                 "--cache-dir", str(tmp_path),
             ])
+
+
+class TestExploreCacheMaintenance:
+    def _populate(self, tmp_path):
+        assert main([
+            "explore", "-a", "matmul", "--mu", "3", "-s", "1,1,-1",
+            "--jobs", "1", "--cache-dir", str(tmp_path),
+        ]) == 0
+
+    def test_reports_counters_and_disk_state(self, capsys, tmp_path):
+        self._populate(tmp_path)
+        capsys.readouterr()
+        rc = main(["explore", "cache", "--cache-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert f"cache dir      : {tmp_path}" in out
+        assert "entries        : 1" in out
+        assert "corrupt files  : 0" in out
+        assert "hits / " in out and "misses" in out
+
+    def test_sweep_removes_temp_files(self, capsys, tmp_path):
+        self._populate(tmp_path)
+        (tmp_path / ".tmp-leak.json").write_text("{}")
+        capsys.readouterr()
+        rc = main(["explore", "cache", "--cache-dir", str(tmp_path),
+                   "--sweep"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "swept          : 1 temp file(s)" in out
+        assert "temp files     : 0" in out
+        assert not (tmp_path / ".tmp-leak.json").exists()
+
+    def test_clear_empties_the_cache(self, capsys, tmp_path):
+        self._populate(tmp_path)
+        capsys.readouterr()
+        rc = main(["explore", "cache", "--cache-dir", str(tmp_path),
+                   "--clear"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "cleared        : 1 entry" in out
+        assert "entries        : 0" in out
+        assert not list(tmp_path.glob("*.json"))
+
+    def test_sweep_without_cache_subcommand_is_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="cache"):
+            main(["explore", "-a", "matmul", "--mu", "3", "-s", "1,1,-1",
+                  "--cache-dir", str(tmp_path), "--sweep"])

@@ -251,3 +251,30 @@ class TestResolveJobs:
     def test_rejects_nonpositive(self):
         with pytest.raises(ValueError):
             resolve_jobs(0)
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs(None) == 3
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs(2) == 2
+
+    def test_env_beats_cpu_detection(self, monkeypatch):
+        import os
+
+        monkeypatch.setattr(
+            os, "sched_getaffinity", lambda pid: {0, 1, 2, 3}, raising=False
+        )
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        assert resolve_jobs(None) == 2
+
+    def test_empty_env_is_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "")
+        assert resolve_jobs(None) >= 1
+
+    @pytest.mark.parametrize("value", ["bogus", "0", "-2", "1.5"])
+    def test_bad_env_is_rejected(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_JOBS", value)
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            resolve_jobs(None)

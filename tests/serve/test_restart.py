@@ -1,0 +1,101 @@
+"""The service's crash story: kill the server mid-run, restart, resume.
+
+Mirrors ``tests/dse/test_signals.py`` at the service level.  A slowed
+search is interrupted by SIGTERM after at least two shards are
+journaled; the restarted server must pick the job up on its own (no
+resubmission), replay the journaled shards, and finish with a result
+*equal* to an uninterrupted serial run — the engine's serial-equality
+contract surviving a process boundary and a server generation.
+"""
+
+import sys
+import time
+
+import pytest
+
+from repro.dse.executor import explore_schedule
+from repro.model.library import matrix_multiplication
+from repro.serve.protocol import encode_result
+
+from .conftest import MATMUL6_SPEC, ServerProc
+
+pytestmark = pytest.mark.skipif(
+    sys.platform == "win32", reason="POSIX signal handling required"
+)
+
+
+def wait_for_journal_lines(path, wanted: int, timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if path.exists():
+            with open(path, "rb") as fh:
+                if sum(1 for line in fh if line.endswith(b"\n")) >= wanted:
+                    return
+        time.sleep(0.05)
+    raise AssertionError(f"journal never reached {wanted} lines")
+
+
+class TestKillAndRestart:
+    def test_sigterm_then_restart_resumes_to_equal_result(self, tmp_path):
+        state = tmp_path / "state"
+
+        # Generation 1: slowed shards, killed mid-run.
+        gen1 = ServerProc(state, env={"REPRO_DSE_SLOW": "0.4"})
+        try:
+            client = gen1.client()
+            record = client.submit(MATMUL6_SPEC)
+            job_id = record["id"]
+            journal = state / "journals" / f"{job_id}.ckpt"
+            wait_for_journal_lines(journal, 2)
+            assert gen1.sigterm() == 0
+        finally:
+            gen1.stop()
+
+        # The interruption is durable: the record says so on disk.
+        from repro.serve.store import JobStore
+
+        interrupted = JobStore(state).load(job_id)
+        assert interrupted is not None
+        assert interrupted.state == "interrupted"
+
+        # Generation 2: full speed.  No resubmission — recovery alone
+        # must re-enqueue and resume the job.
+        gen2 = ServerProc(state)
+        try:
+            client = gen2.client()
+            final = client.wait(job_id, timeout=120)
+            assert final["state"] == "done"
+            assert final["resumes"] >= 1
+            assert final["telemetry"]["shards_resumed"] >= 1
+
+            serial = explore_schedule(
+                matrix_multiplication(6), [[1, 1, -1]], jobs=1
+            )
+            assert final["result"] == encode_result("schedule", serial)
+        finally:
+            gen2.stop()
+
+    def test_clean_restart_with_no_pending_jobs(self, tmp_path):
+        state = tmp_path / "state"
+        gen1 = ServerProc(state)
+        try:
+            client = gen1.client()
+            record = client.submit(MATMUL6_SPEC)
+            client.wait(record["id"])
+            assert gen1.sigterm() == 0
+        finally:
+            gen1.stop()
+
+        gen2 = ServerProc(state)
+        try:
+            client = gen2.client()
+            # The finished job survived the restart, result intact...
+            final = client.job(record["id"])
+            assert final["state"] == "done"
+            assert final["result"]["total_time"] == 49
+            # ...and an identical request still deduplicates onto it.
+            again = client.submit(MATMUL6_SPEC)
+            assert again["created"] is False
+            assert again["id"] == record["id"]
+        finally:
+            gen2.stop()

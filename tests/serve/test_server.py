@@ -1,0 +1,146 @@
+"""End-to-end tests against a real ``repro serve`` subprocess."""
+
+import sys
+
+import pytest
+
+from repro.dse.executor import explore_schedule
+from repro.model.library import matrix_multiplication
+from repro.serve.client import ServeError
+from repro.serve.protocol import encode_result
+
+from .conftest import MATMUL4_SPEC, ServerProc
+
+pytestmark = pytest.mark.skipif(
+    sys.platform == "win32", reason="POSIX signal handling required"
+)
+
+
+class TestJobLifecycle:
+    def test_served_result_equals_direct_library_call(self, server):
+        client = server.client()
+        record = client.submit(MATMUL4_SPEC)
+        assert record["created"] is True
+        final = client.wait(record["id"])
+        assert final["state"] == "done"
+
+        serial = explore_schedule(
+            matrix_multiplication(4), [[1, 1, -1]], jobs=1
+        )
+        assert final["result"] == encode_result("schedule", serial)
+        assert final["telemetry"]["wall_time"] > 0
+
+    def test_identical_spec_answers_without_new_work(self, server):
+        client = server.client()
+        first = client.submit(MATMUL4_SPEC)
+        client.wait(first["id"])
+        again = client.submit(MATMUL4_SPEC)
+        assert again["created"] is False
+        assert again["id"] == first["id"]
+        assert again["state"] == "done"
+        assert "result" in again  # answered in the submit response itself
+
+    def test_listing_and_health(self, server):
+        client = server.client()
+        record = client.submit(MATMUL4_SPEC)
+        client.wait(record["id"])
+        jobs = client.jobs()
+        assert [j["id"] for j in jobs] == [record["id"]]
+        assert "result" not in jobs[0]  # summaries stay light
+        assert client.health()["jobs"].get("done") == 1
+
+    def test_events_materialize_progress(self, server):
+        client = server.client()
+        record = client.submit(MATMUL4_SPEC)
+        client.wait(record["id"])
+        events = list(client.events(record["id"]))
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "state"
+        assert "shard_done" in kinds
+        assert "phase" in kinds          # ring spans, via repro.obs
+        assert kinds[-1] == "state"      # terminal transition
+        ring = next(e for e in events if e["event"] == "phase")
+        assert ring["phase"] == "dse.ring"
+        assert "wall_time" in ring
+
+    def test_follow_streams_until_done(self, server):
+        client = server.client()
+        record = client.submit(MATMUL4_SPEC)
+        seen = [e["event"] for e in client.events(record["id"], follow=True)]
+        assert seen and seen[-1] == "state"
+        assert client.job(record["id"])["state"] == "done"
+
+
+class TestErrors:
+    def test_invalid_spec_is_400_with_diagnosis(self, server):
+        client = server.client()
+        with pytest.raises(ServeError) as excinfo:
+            client.submit({"task": "schedule", "algorithm": "matmul",
+                           "mu": [4]})
+        assert excinfo.value.status == 400
+        assert "space" in str(excinfo.value)
+
+    def test_non_json_body_is_400(self, server):
+        import http.client
+
+        conn = http.client.HTTPConnection("127.0.0.1", server.port)
+        try:
+            conn.request("POST", "/jobs", body=b"not json{")
+            response = conn.getresponse()
+            assert response.status == 400
+        finally:
+            conn.close()
+
+    def test_unknown_job_is_404(self, server):
+        with pytest.raises(ServeError) as excinfo:
+            server.client().job("doesnotexist")
+        assert excinfo.value.status == 404
+
+    def test_unknown_route_is_404(self, server):
+        with pytest.raises(ServeError) as excinfo:
+            server.client()._request("GET", "/nope")
+        assert excinfo.value.status == 404
+
+    def test_validation_happens_before_enqueueing(self, server):
+        client = server.client()
+        with pytest.raises(ServeError):
+            client.submit({"task": "schedule", "algorithm": "matmul",
+                           "mu": [4], "space": [[1, 1, -1]],
+                           "surprise": True})
+        assert client.jobs() == []  # nothing was admitted
+
+
+class TestCancelAndAdmission:
+    def test_cancel_running_job(self, slow_server):
+        client = slow_server.client()
+        record = client.submit(MATMUL4_SPEC)
+        # Let it start, then stop it mid-search.
+        for _ in range(100):
+            if client.job(record["id"])["state"] == "running":
+                break
+            import time
+            time.sleep(0.05)
+        client.cancel(record["id"])
+        final = client.wait(record["id"], timeout=30)
+        assert final["state"] == "cancelled"
+
+    def test_tenant_cap_yields_429(self, tmp_path):
+        proc = ServerProc(
+            tmp_path / "state",
+            env={"REPRO_DSE_SLOW": "0.4"},
+            extra_args=["--max-active", "1"],
+        )
+        try:
+            client = proc.client()
+            first = client.submit(MATMUL4_SPEC)
+            other = dict(MATMUL4_SPEC, mu=[5])
+            with pytest.raises(ServeError) as excinfo:
+                client.submit(other)
+            assert excinfo.value.status == 429
+            # Deduplicating onto the running job stays allowed: it adds
+            # no work.
+            again = client.submit(MATMUL4_SPEC)
+            assert again["id"] == first["id"]
+            assert again["created"] is False
+        finally:
+            proc.stop()

@@ -1,0 +1,91 @@
+"""Unit tests for the durable job store."""
+
+import json
+
+from repro.serve.store import JobRecord, JobStore
+
+
+def record(job_id="abc123", **kw):
+    return JobRecord(
+        id=job_id, digest=job_id * 4, task="schedule",
+        spec={"task": "schedule"}, **kw,
+    )
+
+
+class TestRecords:
+    def test_save_load_round_trip(self, tmp_path):
+        store = JobStore(tmp_path)
+        original = record(state="running", deduped=3, resumes=1)
+        store.save(original)
+        loaded = store.load("abc123")
+        assert loaded == original
+
+    def test_load_missing_is_none(self, tmp_path):
+        assert JobStore(tmp_path).load("nope") is None
+
+    def test_damaged_record_is_quarantined(self, tmp_path):
+        store = JobStore(tmp_path)
+        path = store.jobs_dir / "bad.json"
+        path.write_text("{torn")
+        assert store.load("bad") is None
+        assert not path.exists()
+        assert (store.jobs_dir / "bad.json.corrupt").exists()
+
+    def test_unknown_state_is_rejected(self, tmp_path):
+        store = JobStore(tmp_path)
+        path = store.jobs_dir / "weird.json"
+        data = record("weird").to_dict()
+        data["state"] = "levitating"
+        path.write_text(json.dumps(data))
+        assert store.load("weird") is None
+        assert (store.jobs_dir / "weird.json.corrupt").exists()
+
+    def test_load_all_sorts_by_creation(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.save(record("later", created=200.0))
+        store.save(record("early", created=100.0))
+        assert [r.id for r in store.load_all()] == ["early", "later"]
+
+    def test_save_is_atomic_no_temp_residue(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.save(record())
+        assert not list(store.jobs_dir.glob(".tmp-*"))
+
+    def test_public_view_hides_absent_fields(self, tmp_path):
+        view = record().public()
+        assert "result" not in view
+        assert "error" not in view
+        done = record(result={"found": True}, error=None).public()
+        assert done["result"] == {"found": True}
+
+
+class TestEvents:
+    def test_append_and_read(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.append_event("j1", {"event": "state", "state": "queued"})
+        store.append_event("j1", {"event": "shard_done", "completed": 1})
+        events = store.read_events("j1")
+        assert [e["event"] for e in events] == ["state", "shard_done"]
+        assert all("ts" in e for e in events)
+
+    def test_read_from_offset(self, tmp_path):
+        store = JobStore(tmp_path)
+        for i in range(5):
+            store.append_event("j1", {"event": "tick", "i": i})
+        assert [e["i"] for e in store.read_events("j1", start=3)] == [3, 4]
+
+    def test_missing_log_is_empty(self, tmp_path):
+        assert JobStore(tmp_path).read_events("ghost") == []
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.append_event("j1", {"event": "ok"})
+        with open(store.events_path("j1"), "a", encoding="utf-8") as fh:
+            fh.write('{"event": "torn", "no_newline"')
+        events = store.read_events("j1")
+        assert [e["event"] for e in events] == ["ok"]
+
+    def test_journal_path_is_per_job(self, tmp_path):
+        store = JobStore(tmp_path)
+        assert store.journal_path("a") != store.journal_path("b")
+        assert store.journal_path("a").parent == store.journals_dir
