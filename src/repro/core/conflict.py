@@ -47,6 +47,7 @@ __all__ = [
     "conflict_vector_corank1",
     "conflict_vector_via_adjugate",
     "conflict_generators",
+    "batch_distinct_image_counts",
     "distinct_image_count",
     "is_conflict_free_bruteforce",
     "is_conflict_free_bruteforce_vectorized",
@@ -197,6 +198,101 @@ def distinct_image_count(images: np.ndarray) -> int:
     rows = images[order]
     changed = np.any(rows[1:] != rows[:-1], axis=1)
     return 1 + int(np.count_nonzero(changed))
+
+
+def batch_distinct_image_counts(
+    fixed: np.ndarray, varying: np.ndarray
+) -> np.ndarray:
+    """Distinct-row counts for a *batch* of image matrices sharing columns.
+
+    ``fixed`` is a ``(P, m)`` image block common to every candidate
+    (e.g. the points' images under the shared space mapping ``S``);
+    ``varying[:, c, :]`` is candidate ``c``'s own ``(P, v)`` image
+    block.  Entry ``c`` of the returned ``(C,)`` array is
+    ``distinct_image_count`` of the stacked ``(P, m + v)`` matrix
+    ``[fixed | varying[:, c]]`` — i.e. candidate ``c``'s mapping is
+    injective on the ``P`` points iff ``counts[c] == P``.
+
+    The whole batch runs on the mixed-radix scalar-key path of
+    :func:`distinct_image_count`: per-candidate value spans are computed
+    in Python-int arithmetic, and a candidate is vectorized only when
+    its total key range provably fits int64.  Candidates that cannot be
+    certified — and all candidates whenever either input is the
+    object-dtype overflow-promoted route — get the sentinel ``-1`` so
+    the caller can promote exactly those to the scalar exact path.
+    """
+    if fixed.ndim != 2 or varying.ndim != 3 or fixed.shape[0] != varying.shape[0]:
+        raise ValueError(
+            f"shape mismatch: fixed {fixed.shape} vs varying {varying.shape}"
+        )
+    n_pts, n_cand = varying.shape[0], varying.shape[1]
+    counts = np.full(n_cand, -1, dtype=np.int64)
+    if n_cand == 0:
+        return counts
+    if n_pts <= 1:
+        counts[:] = n_pts
+        return counts
+    if fixed.dtype == object or varying.dtype == object:
+        return counts
+    int64_max = np.iinfo(np.int64).max
+    # Base keys for the shared block, certified in Python ints.
+    if fixed.shape[1] == 0:
+        base = np.zeros(n_pts, dtype=np.int64)
+        total_fixed = 1
+    else:
+        lo_f = fixed.min(axis=0)
+        spans_f = [int(h) - int(l) + 1 for l, h in zip(lo_f, fixed.max(axis=0))]
+        total_fixed = 1
+        for s in spans_f:
+            total_fixed *= s
+        if total_fixed > int64_max:
+            return counts
+        strides_f = np.empty(fixed.shape[1], dtype=np.int64)
+        acc = 1
+        for j in range(fixed.shape[1] - 1, -1, -1):
+            strides_f[j] = acc
+            acc *= spans_f[j]
+        base = (fixed - lo_f) @ strides_f
+    width = varying.shape[2]
+    if width == 0:
+        sorted_base = np.sort(base)
+        counts[:] = 1 + int(np.count_nonzero(sorted_base[1:] != sorted_base[:-1]))
+        return counts
+    # Per-candidate spans over the varying block, again in Python ints
+    # (int64 subtraction of extreme values could itself wrap).
+    lo = varying.min(axis=0)
+    hi = varying.max(axis=0)
+    lo_list = lo.tolist()
+    hi_list = hi.tolist()
+    ok_idx: list[int] = []
+    strides_rows: list[list[int]] = []
+    mults: list[int] = []
+    for c in range(n_cand):
+        spans = [hi_list[c][j] - lo_list[c][j] + 1 for j in range(width)]
+        total = total_fixed
+        for s in spans:
+            total *= s
+        if total > int64_max:
+            continue
+        strides = [0] * width
+        acc = 1
+        for j in range(width - 1, -1, -1):
+            strides[j] = acc
+            acc *= spans[j]
+        ok_idx.append(c)
+        strides_rows.append(strides)
+        mults.append(acc)
+    if not ok_idx:
+        return counts
+    idx = np.array(ok_idx, dtype=np.intp)
+    rel = varying[:, idx, :] - lo[idx][None, :, :]
+    keys = (rel * np.array(strides_rows, dtype=np.int64)[None, :, :]).sum(
+        axis=2, dtype=np.int64
+    )
+    keys += base[:, None] * np.array(mults, dtype=np.int64)[None, :]
+    keys.sort(axis=0)
+    counts[idx] = 1 + np.count_nonzero(keys[1:] != keys[:-1], axis=0)
+    return counts
 
 
 def _exact_beta_bounds(

@@ -21,22 +21,71 @@ from __future__ import annotations
 
 from collections.abc import Callable, Iterator, Sequence
 from dataclasses import dataclass, field, replace
+from functools import lru_cache
+
+import numpy as np
 
 from ..dse.progress import SearchStats
-from ..intlin import as_intvec
+from ..intlin import INT64_MAX, IntMat, as_intmat, as_intvec, kernel_basis
+from ..intlin.batch import (
+    batch_dependence_mask,
+    batch_nonzero_mask,
+    batch_point_images,
+)
 from ..obs import get_tracer
 from ..model import UniformDependenceAlgorithm
 from .conditions import ConditionVerdict, check_conflict_free
+from .conflict import batch_distinct_image_counts
 from .mapping import MappingMatrix
 from .schedule import LinearSchedule
 
 __all__ = [
+    "BatchCandidateScanner",
+    "DEFAULT_BATCH_SIZE",
+    "STAGE_CONFLICT",
+    "STAGE_DEPS",
+    "STAGE_OK",
+    "STAGE_RANK",
     "SearchResult",
+    "batch_supported",
     "enumerate_schedule_vectors",
     "find_all_optima",
     "procedure_5_1",
+    "ring_candidate_array",
     "search_bounds",
 ]
+
+# Stage codes of the candidate filter funnel, in rejection order; the
+# sharded engine (repro.dse.executor) transports the same codes in its
+# shard records.
+STAGE_DEPS = "deps"
+STAGE_RANK = "rank"
+STAGE_CONFLICT = "conflict"
+STAGE_OK = "ok"
+
+#: Candidates evaluated per vectorized batch (before the memory cap).
+DEFAULT_BATCH_SIZE = 512
+# Cap on points x candidates cells materialized per conflict-image
+# chunk (~32 MB of int64), and on the box size the vectorized ring
+# generator will materialize before falling back to the lazy walker.
+_BATCH_CELL_LIMIT = 4_194_304
+_BOX_ENUM_LIMIT = 2_000_000
+# Rings with budgets beyond this stay on the scalar path: the int64
+# sort keys and |pi_i| entries are only certified below it.
+_BATCH_MAX_BOUND = 2**31
+
+
+def batch_supported(method: str, max_bound: int) -> bool:
+    """Whether the batched funnel preserves bit-exact results.
+
+    The vectorized conflict screen decides injectivity of ``tau`` on
+    ``J`` exactly — which matches :func:`check_conflict_free` for
+    ``method="auto"``/``"exact"`` but not for ``method="paper"``, whose
+    Theorem 4.7/4.8 sufficient conditions deliberately keep the paper's
+    necessity gap.  Oversized ring budgets also fall back to the scalar
+    walker so candidate entries stay certified int64.
+    """
+    return method in ("auto", "exact") and max_bound <= _BATCH_MAX_BOUND
 
 
 @dataclass(frozen=True)
@@ -125,6 +174,217 @@ def enumerate_schedule_vectors(
     yield from walker([], 0, 0)
 
 
+@lru_cache(maxsize=8)
+def _ring_candidate_array_cached(
+    mu: tuple[int, ...], f_max: int, f_min: int
+) -> np.ndarray:
+    n = len(mu)
+    mu_arr = np.array(mu, dtype=np.int64)
+    tops = [f_max // m for m in mu] if f_max >= 0 else [0] * n
+    box = 1
+    for t in tops:
+        box *= 2 * t + 1
+    if 0 < box <= _BOX_ENUM_LIMIT and n > 0:
+        # Vectorized generation: materialize the bounding box and mask
+        # the ring out of it — the same candidate set the lazy walker
+        # produces, an order of magnitude faster on large rings.
+        axes = [np.arange(-t, t + 1, dtype=np.int64) for t in tops]
+        grid = np.meshgrid(*axes, indexing="ij")
+        pis = np.stack([g.ravel() for g in grid], axis=1)
+        f = np.abs(pis) @ mu_arr
+        mask = (f >= f_min) & (f <= f_max) & (pis != 0).any(axis=1)
+        pis = pis[mask]
+        f = f[mask]
+    else:
+        listed = list(enumerate_schedule_vectors(mu, f_max, f_min=f_min))
+        pis = np.array(listed, dtype=np.int64).reshape(len(listed), n)
+        f = np.abs(pis) @ mu_arr
+    if len(pis):
+        # np.lexsort sorts by its *last* key first: primary key f
+        # (total time), then the vector entries lexicographically —
+        # exactly LinearSchedule.sort_key order.
+        keys = tuple(pis[:, j] for j in range(n - 1, -1, -1)) + (f,)
+        pis = np.ascontiguousarray(pis[np.lexsort(keys)])
+    pis.setflags(write=False)
+    return pis
+
+
+def ring_candidate_array(
+    mu: Sequence[int], f_max: int, *, f_min: int = 0
+) -> np.ndarray:
+    """The ring's candidates as a sorted, read-only ``(N, n)`` array.
+
+    Same candidate set as :func:`enumerate_schedule_vectors`, already in
+    Procedure 5.1's documented scan order — primary key total execution
+    time, ties broken lexicographically on the vector.  Cached (the
+    sharded engine re-derives a ring inside every worker that holds one
+    of its slices); callers must treat the array as immutable.
+    """
+    return _ring_candidate_array_cached(
+        tuple(int(m) for m in mu), int(f_max), int(f_min)
+    )
+
+
+class BatchCandidateScanner:
+    """Staged vectorized filter funnel over sorted candidate arrays.
+
+    Evaluates ring slices chunk-by-chunk: a vectorized ``Pi D > 0``
+    dependence mask, then a vectorized rank screen (``Pi`` against the
+    kernel basis of ``S``), then the exact vectorized conflict-image
+    screen (mixed-radix distinct-row counts of ``[S j | Pi j]`` over the
+    whole index box), with only the candidates whose int64 bounds cannot
+    be certified promoted to the scalar exact
+    :func:`~repro.core.conditions.check_conflict_free` path.  Produces
+    the same per-candidate stage code the scalar loop would, in the same
+    order — callers rebuild identical counters and pick the identical
+    winner.
+
+    Only valid where :func:`batch_supported` holds; the screen *is* the
+    exact conflict decider there.
+    """
+
+    def __init__(
+        self,
+        algorithm: UniformDependenceAlgorithm,
+        space: Sequence[Sequence[int]],
+        *,
+        method: str = "auto",
+        batch_size: int | None = None,
+    ) -> None:
+        self.algorithm = algorithm
+        self.space_rows = tuple(as_intvec(row) for row in space)
+        self.method = method
+        size = DEFAULT_BATCH_SIZE if batch_size is None else int(batch_size)
+        if size < 1:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.batch_size = size
+        self.batches_evaluated = 0
+        self.fastpath_promotions = 0
+        self.n = algorithm.n
+        self.k = len(self.space_rows) + 1
+        points = 1
+        for m in algorithm.mu:
+            points *= int(m) + 1
+        self._chunk = max(1, min(size, _BATCH_CELL_LIMIT // max(1, points)))
+        deps = [tuple(int(x) for x in d) for d in algorithm.dependence_vectors()]
+        self._dep_mat: IntMat | None = (
+            as_intmat([list(row) for row in zip(*deps)]) if deps else None
+        )
+        self._s_mat: IntMat | None = None
+        self._kernel: IntMat | None = None
+        if self.k == 1:
+            # No space rows: rank([Pi]) == 1 for every (non-zero) candidate.
+            self._rank_mode = "all-pass"
+        else:
+            self._s_mat = as_intmat([list(row) for row in self.space_rows])
+            kernel_cols = (
+                kernel_basis(self._s_mat)
+                if self._s_mat.rank() == self.k - 1
+                else []
+            )
+            if kernel_cols:
+                self._rank_mode = "kernel"
+                self._kernel = as_intmat(
+                    [list(row) for row in zip(*[list(c) for c in kernel_cols])]
+                )
+            else:
+                # Row-deficient S (or S already spanning Q^n): no Pi can
+                # lift [S; Pi] to rank k.
+                self._rank_mode = "all-fail"
+        self._conflict_ready = False
+        self._pts: np.ndarray | None = None
+        self._n_pts = 0
+        self._fixed: np.ndarray | None = None
+        self._col_thr = INT64_MAX
+
+    def _prepare_conflict(self) -> None:
+        pts = self.algorithm.index_set.points_array()
+        self._pts = pts
+        self._n_pts = pts.shape[0]
+        if self.k == 1:
+            self._fixed = np.empty((pts.shape[0], 0), dtype=np.int64)
+        else:
+            assert self._s_mat is not None
+            self._fixed = self._s_mat.image_of_points(pts)
+        pts_max = int(np.abs(pts).max(initial=0))
+        bound = pts_max * max(1, self.n)
+        self._col_thr = INT64_MAX if bound == 0 else INT64_MAX // bound
+        self._conflict_ready = True
+
+    def _scalar_conflict(self, pi_row: np.ndarray) -> str:
+        self.fastpath_promotions += 1
+        t = MappingMatrix(
+            space=self.space_rows,
+            schedule=tuple(int(v) for v in pi_row),
+        )
+        verdict = check_conflict_free(t, self.algorithm.mu, method=self.method)
+        return STAGE_OK if verdict.holds else STAGE_CONFLICT
+
+    def _stages_for_chunk(self, chunk: np.ndarray) -> list[str]:
+        self.batches_evaluated += 1
+        m = len(chunk)
+        stages = [STAGE_DEPS] * m
+        if self._dep_mat is None:
+            dep_mask = np.ones(m, dtype=bool)
+        else:
+            dep_mask, promoted = batch_dependence_mask(chunk, self._dep_mat)
+            self.fastpath_promotions += promoted
+        if self._rank_mode == "all-fail":
+            for i in np.nonzero(dep_mask)[0]:
+                stages[i] = STAGE_RANK
+            return stages
+        if self._rank_mode == "kernel":
+            assert self._kernel is not None
+            rank_mask, promoted = batch_nonzero_mask(chunk, self._kernel)
+            self.fastpath_promotions += promoted
+        else:
+            rank_mask = np.ones(m, dtype=bool)
+        for i in np.nonzero(dep_mask & ~rank_mask)[0]:
+            stages[i] = STAGE_RANK
+        survivors = np.nonzero(dep_mask & rank_mask)[0]
+        if survivors.size == 0:
+            return stages
+        if self.k == self.n:
+            # Co-rank 0: a full-rank square mapping is injective on Z^n.
+            for i in survivors:
+                stages[i] = STAGE_OK
+            return stages
+        if not self._conflict_ready:
+            self._prepare_conflict()
+        assert self._pts is not None and self._fixed is not None
+        sub = chunk[survivors]
+        vec_max = np.abs(sub).max(axis=1, initial=0)
+        certified = vec_max <= self._col_thr
+        if self._fixed.dtype == object:
+            certified[:] = False
+        fast_idx = survivors[certified]
+        scalar_idx = list(survivors[~certified])
+        if fast_idx.size:
+            t_cols, _ = batch_point_images(self._pts, chunk[fast_idx])
+            counts = batch_distinct_image_counts(self._fixed, t_cols[:, :, None])
+            for pos, i in enumerate(fast_idx):
+                if counts[pos] < 0:
+                    scalar_idx.append(i)
+                elif counts[pos] == self._n_pts:
+                    stages[i] = STAGE_OK
+                else:
+                    stages[i] = STAGE_CONFLICT
+        for i in scalar_idx:
+            stages[i] = self._scalar_conflict(chunk[i])
+        return stages
+
+    def iter_stages(
+        self, pis: np.ndarray
+    ) -> Iterator[tuple[int, list[str]]]:
+        """Yield ``(offset, stage_codes)`` per chunk, lazily in order.
+
+        Laziness lets the serial search stop evaluating a ring the
+        moment the winner's chunk is consumed.
+        """
+        for start in range(0, len(pis), self._chunk):
+            yield start, self._stages_for_chunk(pis[start : start + self._chunk])
+
+
 def search_bounds(
     algorithm: UniformDependenceAlgorithm,
     *,
@@ -158,6 +418,8 @@ def procedure_5_1(
     initial_bound: int | None = None,
     max_bound: int | None = None,
     extra_constraint: Callable[[MappingMatrix], bool] | None = None,
+    batch: bool = True,
+    batch_size: int | None = None,
 ) -> SearchResult:
     """Find the time-optimal conflict-free schedule for a fixed ``S``.
 
@@ -185,6 +447,17 @@ def procedure_5_1(
     extra_constraint:
         Optional predicate on the assembled mapping (used for
         Definition 2.2 condition 2 by :mod:`repro.core.pipeline`).
+    batch:
+        Evaluate rings through the vectorized
+        :class:`BatchCandidateScanner` funnel where
+        :func:`batch_supported` holds (the default); ``False`` forces
+        the one-candidate-at-a-time scalar loop.  Both produce the same
+        winner, tie order, counters and verdict — the escape hatch
+        exists for cross-checking and diagnosis, not for different
+        answers.
+    batch_size:
+        Candidates per vectorized batch (default
+        :data:`DEFAULT_BATCH_SIZE`, memory-capped per chunk).
 
     Notes
     -----
@@ -200,6 +473,14 @@ def procedure_5_1(
     k = len(space_rows) + 1
     alpha, initial_bound, max_bound = search_bounds(
         algorithm, alpha=alpha, initial_bound=initial_bound, max_bound=max_bound
+    )
+    use_batch = batch and batch_supported(method, max_bound)
+    scanner = (
+        BatchCandidateScanner(
+            algorithm, space_rows, method=method, batch_size=batch_size
+        )
+        if use_batch
+        else None
     )
 
     tracer = get_tracer()
@@ -218,6 +499,7 @@ def procedure_5_1(
         alpha=alpha,
         initial_bound=initial_bound,
         max_bound=max_bound,
+        batch=use_batch,
     )
     with root:
         while x_prev < max_bound and result is None:
@@ -225,31 +507,36 @@ def procedure_5_1(
                 "core.ring", ring=rings, f_min=x_prev + 1, f_max=min(x, max_bound)
             )
             with ring_span:
-                ring: list[LinearSchedule] = [
-                    LinearSchedule(pi=pi, index_set=algorithm.index_set)
-                    for pi in enumerate_schedule_vectors(
-                        mu, min(x, max_bound), f_min=x_prev + 1
+                if scanner is not None:
+                    winner = _scan_ring_batched(
+                        scanner,
+                        algorithm,
+                        space_rows,
+                        mu,
+                        method,
+                        extra_constraint,
+                        f_min=x_prev + 1,
+                        f_max=min(x, max_bound),
+                        stats=stats,
+                        examined=examined,
                     )
-                ]
-                stats.candidates_enumerated += len(ring)
-                ring.sort(key=LinearSchedule.sort_key)
-                ring_span.set(candidates=len(ring))
-                for cand in ring:
-                    if not cand.respects(algorithm):
-                        stats.candidates_pruned += 1
-                        continue
-                    t = MappingMatrix(space=space_rows, schedule=cand.pi)
-                    examined += 1
-                    if t.rank() != k:
-                        stats.candidates_pruned += 1
-                        continue
-                    stats.candidates_checked += 1
-                    verdict = check_conflict_free(t, mu, method=method)
-                    if not verdict.holds:
-                        stats.conflicts_rejected += 1
-                        continue
-                    if extra_constraint is not None and not extra_constraint(t):
-                        continue
+                else:
+                    winner = _scan_ring_scalar(
+                        algorithm,
+                        space_rows,
+                        k,
+                        mu,
+                        method,
+                        extra_constraint,
+                        f_min=x_prev + 1,
+                        f_max=min(x, max_bound),
+                        stats=stats,
+                        examined=examined,
+                    )
+                examined, ring_size, found = winner
+                ring_span.set(candidates=ring_size)
+                if found is not None:
+                    cand, t, verdict = found
                     stats.rings_expanded = rings
                     ring_span.set(winner=list(cand.pi))
                     result = SearchResult(
@@ -260,7 +547,6 @@ def procedure_5_1(
                         rings_expanded=rings,
                         stats=stats,
                     )
-                    break
             if result is None:
                 rings += 1
                 x_prev = min(x, max_bound)
@@ -276,12 +562,108 @@ def procedure_5_1(
             rings_expanded=rings,
             stats=stats,
         )
+    if scanner is not None:
+        stats.batches_evaluated = scanner.batches_evaluated
+        stats.fastpath_promotions = scanner.fastpath_promotions
     # stats is shared with the result; the frozen dataclass holds the
     # reference, so deriving wall_time from the span after construction
     # is visible to callers.
     stats.wall_time = root.duration
     stats.shard_wall_times = (stats.wall_time,)
     return result
+
+
+_RingWinner = tuple[LinearSchedule, MappingMatrix, ConditionVerdict]
+
+
+def _scan_ring_scalar(
+    algorithm: UniformDependenceAlgorithm,
+    space_rows: tuple,
+    k: int,
+    mu: Sequence[int],
+    method: str,
+    extra_constraint: Callable[[MappingMatrix], bool] | None,
+    *,
+    f_min: int,
+    f_max: int,
+    stats: SearchStats,
+    examined: int,
+) -> tuple[int, int, _RingWinner | None]:
+    """One-ring scalar scan; returns (examined, ring size, winner)."""
+    ring: list[LinearSchedule] = [
+        LinearSchedule(pi=pi, index_set=algorithm.index_set)
+        for pi in enumerate_schedule_vectors(mu, f_max, f_min=f_min)
+    ]
+    stats.candidates_enumerated += len(ring)
+    ring.sort(key=LinearSchedule.sort_key)
+    for cand in ring:
+        if not cand.respects(algorithm):
+            stats.candidates_pruned += 1
+            continue
+        t = MappingMatrix(space=space_rows, schedule=cand.pi)
+        examined += 1
+        if t.rank() != k:
+            stats.candidates_pruned += 1
+            continue
+        stats.candidates_checked += 1
+        verdict = check_conflict_free(t, mu, method=method)
+        if not verdict.holds:
+            stats.conflicts_rejected += 1
+            continue
+        if extra_constraint is not None and not extra_constraint(t):
+            continue
+        return examined, len(ring), (cand, t, verdict)
+    return examined, len(ring), None
+
+
+def _scan_ring_batched(
+    scanner: BatchCandidateScanner,
+    algorithm: UniformDependenceAlgorithm,
+    space_rows: tuple,
+    mu: Sequence[int],
+    method: str,
+    extra_constraint: Callable[[MappingMatrix], bool] | None,
+    *,
+    f_min: int,
+    f_max: int,
+    stats: SearchStats,
+    examined: int,
+) -> tuple[int, int, _RingWinner | None]:
+    """One-ring batched scan, counter-compatible with the scalar scan.
+
+    Stage codes come from the vectorized funnel, but counters follow
+    the scalar loop's prefix semantics exactly: they accumulate only up
+    to (and including) the winning candidate, and the winner's verdict
+    is recomputed by the scalar :func:`check_conflict_free` so the
+    returned :class:`ConditionVerdict` is the very object the scalar
+    path would produce.
+    """
+    pis = ring_candidate_array(mu, f_max, f_min=f_min)
+    stats.candidates_enumerated += len(pis)
+    for start, stage_codes in scanner.iter_stages(pis):
+        for offset, stage in enumerate(stage_codes):
+            if stage == STAGE_DEPS:
+                stats.candidates_pruned += 1
+                continue
+            examined += 1
+            if stage == STAGE_RANK:
+                stats.candidates_pruned += 1
+                continue
+            stats.candidates_checked += 1
+            if stage == STAGE_CONFLICT:
+                stats.conflicts_rejected += 1
+                continue
+            pi = tuple(int(v) for v in pis[start + offset])
+            cand = LinearSchedule(pi=pi, index_set=algorithm.index_set)
+            t = MappingMatrix(space=space_rows, schedule=cand.pi)
+            verdict = check_conflict_free(t, mu, method=method)
+            if not verdict.holds:  # pragma: no cover - screen is exact
+                stats.conflicts_rejected += 1
+                continue
+            if extra_constraint is not None and not extra_constraint(t):
+                continue
+            return examined, len(pis), (cand, t, verdict)
+    return examined, len(pis), None
 
 
 def find_all_optima(

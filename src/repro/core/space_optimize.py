@@ -25,15 +25,19 @@ import itertools
 from collections.abc import Callable, Iterator, Sequence
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..dse.progress import SearchStats
-from ..intlin import normalize_primitive, rank
+from ..intlin import INT64_MAX, as_intmat, normalize_primitive, rank
+from ..intlin.batch import batch_point_images, batch_rows
 from ..obs import get_tracer
 from ..model import UniformDependenceAlgorithm
 from ..systolic.cost import ArrayCost, evaluate_cost
 from ..systolic.interconnect import RoutingError
 from .conditions import check_conflict_free
+from .conflict import batch_distinct_image_counts
 from .mapping import MappingMatrix
-from .optimize import procedure_5_1
+from .optimize import _BATCH_CELL_LIMIT, DEFAULT_BATCH_SIZE, procedure_5_1
 from .schedule import LinearSchedule
 
 __all__ = [
@@ -41,6 +45,7 @@ __all__ = [
     "SpaceOptimizationResult",
     "enumerate_space_rows",
     "evaluate_design",
+    "evaluate_designs_batched",
     "evaluate_joint_candidate",
     "joint_objective",
     "pareto_frontier",
@@ -174,6 +179,113 @@ def evaluate_design(
     return "ok", SpaceDesign(mapping=t, cost=cost, objective=obj(cost))
 
 
+def evaluate_designs_batched(
+    algorithm: UniformDependenceAlgorithm,
+    spaces: Sequence[Sequence[Sequence[int]]],
+    pi: Sequence[int],
+    objective: Callable[[ArrayCost], float] | None = None,
+    *,
+    batch_size: int | None = None,
+) -> tuple[list[tuple[str, SpaceDesign | None]], int, int]:
+    """Judge a stack of Problem-6.1 candidates with the vectorized screen.
+
+    Returns ``(outcomes, batches_evaluated, fastpath_promotions)`` where
+    ``outcomes[i]`` is exactly what ``evaluate_design(algorithm,
+    spaces[i], pi, objective)`` returns: the rank check stays scalar
+    (tiny exact eliminations), the conflict decision runs as one
+    mixed-radix distinct-image count per vectorized batch — candidate
+    ``S`` is conflict-free with ``Pi`` iff the stacked point images
+    ``[Pi j | S j]`` are pairwise distinct over the whole index box —
+    and only candidates whose int64 bounds cannot be certified fall
+    back to the scalar exact checker.  Cost/routing evaluation of the
+    survivors is scalar either way.
+    """
+    pi_t = tuple(int(x) for x in pi)
+    obj = objective or _default_objective
+    norm_spaces = [
+        tuple(tuple(int(x) for x in row) for row in space) for space in spaces
+    ]
+    outcomes: list[tuple[str, SpaceDesign | None] | None] = [None] * len(
+        norm_spaces
+    )
+    batches = 0
+    promotions = 0
+    mappings: dict[int, MappingMatrix] = {}
+    survivors: list[int] = []
+    for i, space_rows in enumerate(norm_spaces):
+        t = MappingMatrix(space=space_rows, schedule=pi_t)
+        if t.rank() != len(space_rows) + 1:
+            outcomes[i] = ("rank", None)
+        else:
+            mappings[i] = t
+            survivors.append(i)
+    free: dict[int, bool] = {}
+    if survivors:
+        pts = algorithm.index_set.points_array()
+        n_pts = pts.shape[0]
+        pts_max = int(np.abs(pts).max(initial=0))
+        bound = pts_max * max(1, algorithm.n)
+        thr = INT64_MAX if bound == 0 else INT64_MAX // bound
+        fixed = as_intmat([list(pi_t)]).image_of_points(pts)
+        # Group by row count so each batch reshapes to (P, C, width).
+        by_width: dict[int, list[int]] = {}
+        for i in survivors:
+            by_width.setdefault(len(norm_spaces[i]), []).append(i)
+        size = DEFAULT_BATCH_SIZE if batch_size is None else int(batch_size)
+        if size < 1:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        for width, members in by_width.items():
+            chunk = max(
+                1, min(size, _BATCH_CELL_LIMIT // max(1, n_pts * max(1, width)))
+            )
+            for lo in range(0, len(members), chunk):
+                group = members[lo : lo + chunk]
+                rows = batch_rows(
+                    [row for i in group for row in norm_spaces[i]]
+                )
+                scalar: list[int] = []
+                fast: list[int] = []
+                if rows.dtype == object or fixed.dtype == object:
+                    scalar = list(group)
+                else:
+                    for pos, i in enumerate(group):
+                        own = rows[pos * width : (pos + 1) * width]
+                        if int(np.abs(own).max(initial=0)) <= thr:
+                            fast.append(i)
+                        else:
+                            scalar.append(i)
+                if fast:
+                    batches += 1
+                    fast_rows = batch_rows(
+                        [row for i in fast for row in norm_spaces[i]]
+                    )
+                    images, _ = batch_point_images(pts, fast_rows)
+                    varying = images.reshape(n_pts, len(fast), width)
+                    counts = batch_distinct_image_counts(fixed, varying)
+                    for pos, i in enumerate(fast):
+                        if counts[pos] < 0:
+                            scalar.append(i)
+                        else:
+                            free[i] = counts[pos] == n_pts
+                for i in scalar:
+                    promotions += 1
+                    free[i] = check_conflict_free(
+                        mappings[i], algorithm.mu, method="auto"
+                    ).holds
+    for i in survivors:
+        if not free[i]:
+            outcomes[i] = ("conflict", None)
+            continue
+        t = mappings[i]
+        try:
+            cost = evaluate_cost(algorithm, t)
+        except RoutingError:
+            outcomes[i] = ("routing", None)
+            continue
+        outcomes[i] = ("ok", SpaceDesign(mapping=t, cost=cost, objective=obj(cost)))
+    return [out for out in outcomes if out is not None], batches, promotions
+
+
 def evaluate_joint_candidate(
     algorithm: UniformDependenceAlgorithm,
     space: Sequence[Sequence[int]],
@@ -213,6 +325,8 @@ def solve_space_optimal(
     magnitude: int = 1,
     objective: Callable[[ArrayCost], float] | None = None,
     keep_ranking: int = 10,
+    batch: bool = True,
+    batch_size: int | None = None,
 ) -> SpaceOptimizationResult:
     """Problem 6.1: given ``Pi``, find the cheapest conflict-free ``S``.
 
@@ -230,6 +344,12 @@ def solve_space_optimal(
         Cost aggregation; defaults to processors + wire length.
     keep_ranking:
         How many runner-up designs to retain.
+    batch:
+        Judge candidates through :func:`evaluate_designs_batched` (the
+        default); ``False`` keeps the one-at-a-time
+        :func:`evaluate_design` loop.  Identical outcome either way.
+    batch_size:
+        Candidates per vectorized batch.
     """
     pi_t = tuple(int(x) for x in pi)
     sched = LinearSchedule(pi=pi_t, index_set=algorithm.index_set)
@@ -244,11 +364,23 @@ def solve_space_optimal(
         algorithm=algorithm.name,
         array_dim=array_dim,
         magnitude=magnitude,
+        batch=batch,
     )
     with root:
-        for space in enumerate_space_mappings(algorithm.n, array_dim, magnitude):
+        spaces = list(enumerate_space_mappings(algorithm.n, array_dim, magnitude))
+        if batch:
+            outcomes, stats.batches_evaluated, stats.fastpath_promotions = (
+                evaluate_designs_batched(
+                    algorithm, spaces, pi_t, objective, batch_size=batch_size
+                )
+            )
+        else:
+            outcomes = [
+                evaluate_design(algorithm, space, pi_t, objective)
+                for space in spaces
+            ]
+        for status, design in outcomes:
             stats.candidates_enumerated += 1
-            status, design = evaluate_design(algorithm, space, pi_t, objective)
             if status == "rank":
                 stats.candidates_pruned += 1
                 continue

@@ -4,11 +4,20 @@ The engine wraps the serial enumerators of :mod:`repro.core` behind a
 work-queue architecture:
 
 * :func:`explore_schedule` — Procedure 5.1 (Problem 2.2).  Each
-  expanding ring ``C_l`` is materialized in the serial scan order,
-  dealt round-robin across worker processes, and the per-candidate
-  verdicts are merged back in that order, so the winner, the verdict
-  *and every stats counter* equal the serial search's exactly.  Rings
-  are processed strictly in sequence, which doubles as the
+  expanding ring ``C_l`` is described to workers as contiguous *ranges*
+  over the canonical sorted ring array
+  (:func:`~repro.core.optimize.ring_candidate_array`): a shard payload
+  carries ``(ring bounds, start, stop)`` and the worker re-derives its
+  slice locally, judging it through the vectorized
+  :class:`~repro.core.optimize.BatchCandidateScanner` funnel (or the
+  scalar loop, for ``batch=False`` / ``method="paper"``).  Per-candidate
+  verdicts are merged back in the serial scan order, so the winner, the
+  verdict *and every stats counter* equal the serial search's exactly.
+  Shard granularity is cost-adaptive by default: a
+  :class:`~repro.dse.partition.ShardAutotuner` feeds observed shard
+  wall-times back into the fan-out decision, so cheap rings stay serial
+  and only genuinely expensive rings pay process-dispatch overhead.
+  Rings are processed strictly in sequence, which doubles as the
   early-termination broadcast: the moment one ring proves an optimum,
   no candidate of any later ring is ever submitted.
 * :func:`explore_space` / :func:`explore_joint` — Problems 6.1 / 6.2.
@@ -36,12 +45,17 @@ import logging
 import os
 from collections.abc import Callable, Sequence
 from contextlib import nullcontext
+from itertools import islice
+
+import numpy as np
 
 from ..core.conditions import check_conflict_free
 from ..core.mapping import MappingMatrix
 from ..core.optimize import (
+    BatchCandidateScanner,
     SearchResult,
-    enumerate_schedule_vectors,
+    batch_supported,
+    ring_candidate_array,
     search_bounds,
 )
 from ..core.schedule import LinearSchedule
@@ -51,6 +65,7 @@ from ..core.space_optimize import (
     SpaceOptimizationResult,
     enumerate_space_mappings,
     evaluate_design,
+    evaluate_designs_batched,
     evaluate_joint_candidate,
     joint_objective,
     rank_designs,
@@ -67,7 +82,13 @@ from ..obs import Span, get_tracer
 from ..systolic.cost import ArrayCost, evaluate_cost
 from .cache import ResultCache, canonical_key
 from .checkpoint import CheckpointJournal, RunBudget, RunControl
-from .partition import effective_shards, ring_bounds, round_robin
+from .partition import (
+    ShardAutotuner,
+    effective_shards,
+    ring_bounds,
+    ring_ranges,
+    round_robin,
+)
 from .progress import SearchStats
 from .resilience import ResiliencePolicy, ResilientShardRunner, maybe_slow
 
@@ -96,7 +117,7 @@ _EXTRA = "extra"        # user extra_constraint rejected
 _OK = "ok"              # fully valid candidate
 
 
-def resolve_jobs(jobs: int | None) -> int:
+def resolve_jobs(jobs: int | None, max_useful: int | None = None) -> int:
     """``None`` means one worker per *available* CPU; explicit values
     must be >= 1.
 
@@ -109,8 +130,15 @@ def resolve_jobs(jobs: int | None) -> int:
     "Available" honors cgroup/affinity limits where the platform
     exposes them (``os.sched_getaffinity``), so a container pinned to 2
     cores gets 2 workers, not one per physical core of the host.
+
+    ``max_useful`` caps the resolved value at the number of work units
+    that actually exist (pending shards or rings): asking for 32 workers
+    to scan 3 shards resolves to 3, never spawning processes that could
+    only idle.  The cap applies after validation and never drops the
+    result below 1.
     """
     if jobs is None:
+        resolved: int | None = None
         env = os.environ.get(JOBS_ENV_VAR)
         if env is not None and env.strip():
             try:
@@ -123,16 +151,21 @@ def resolve_jobs(jobs: int | None) -> int:
                 raise ValueError(
                     f"${JOBS_ENV_VAR} must be >= 1, got {value}"
                 )
-            return value
-        if hasattr(os, "sched_getaffinity"):
+            resolved = value
+        if resolved is None and hasattr(os, "sched_getaffinity"):
             try:
-                return len(os.sched_getaffinity(0)) or 1
+                resolved = len(os.sched_getaffinity(0)) or 1
             except OSError:  # pragma: no cover - affinity query denied
-                pass
-        return os.cpu_count() or 1
-    if jobs < 1:
-        raise ValueError(f"jobs must be >= 1, got {jobs}")
-    return jobs
+                resolved = None
+        if resolved is None:
+            resolved = os.cpu_count() or 1
+    else:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        resolved = jobs
+    if max_useful is not None:
+        resolved = max(1, min(resolved, max_useful))
+    return resolved
 
 
 # -- algorithm transport ----------------------------------------------------
@@ -274,36 +307,91 @@ def _shard_output(span: Span, payload: dict, data_key: str, data: list) -> dict:
     return out
 
 
+def _candidate_keys(
+    chunk: np.ndarray, mu: Sequence[int]
+) -> list[tuple[int, tuple[int, ...]]]:
+    """Serial sort keys ``(total_time, pi)`` for a slice of a ring array."""
+    if len(chunk) == 0:
+        return []
+    mu_arr = np.array([int(m) for m in mu], dtype=np.int64)
+    f = np.abs(chunk) @ mu_arr
+    return [
+        (int(f[i]) + 1, tuple(int(v) for v in chunk[i]))
+        for i in range(len(chunk))
+    ]
+
+
 def _scan_schedule_shard(payload: dict) -> dict:
     """Judge one shard of a schedule ring; returns per-candidate records.
 
-    A record is ``(sort_key, outcome)`` with ``sort_key = (total_time,
-    pi)`` — the same total order the serial scan sorts by — so the
-    parent can merge shards back into the exact serial visit sequence.
+    The payload names the ring (``(f_min, f_max)`` bounds) and a
+    contiguous ``(start, stop)`` range of the canonical sorted ring
+    array; the worker re-derives its slice locally via the cached
+    :func:`~repro.core.optimize.ring_candidate_array` instead of
+    receiving candidates over the wire.  A record is ``(sort_key,
+    outcome)`` with ``sort_key = (total_time, pi)`` — the same total
+    order the serial scan sorts by — so the parent can merge shards
+    back into the exact serial visit sequence.
     """
     maybe_slow()
     algo = _algorithm_from_spec(payload["algorithm"])
     space = payload["space"]  # tuple of IntVec rows, reused as-is
     method = payload["method"]
-    k = len(space) + 1
+    f_min, f_max = payload["ring"]
+    start, stop = payload["span"]
+    chunk = ring_candidate_array(algo.mu, f_max, f_min=f_min)[start:stop]
     records: list[tuple[tuple[int, tuple[int, ...]], str]] = []
-    span = _shard_span(payload, "schedule", len(payload["candidates"]))
+    batches = promotions = 0
+    span = _shard_span(payload, "schedule", len(chunk))
     with span:
-        for pi in payload["candidates"]:
-            cand = LinearSchedule(pi=pi, index_set=algo.index_set)
-            key = cand.sort_key()
-            if not cand.respects(algo):
-                records.append((key, _DEPS))
-                continue
-            t = MappingMatrix(space=space, schedule=pi)
-            if t.rank() != k:
-                records.append((key, _RANK))
-                continue
-            if not check_conflict_free(t, algo.mu, method=method).holds:
-                records.append((key, _CONFLICT))
-                continue
-            records.append((key, _OK))
-    return _shard_output(span, payload, "records", records)
+        if payload.get("batch"):
+            scanner = BatchCandidateScanner(
+                algo, space, method=method,
+                batch_size=payload.get("batch_size"),
+            )
+            keys = _candidate_keys(chunk, algo.mu)
+            for offset, stages in scanner.iter_stages(chunk):
+                for i, stage in enumerate(stages):
+                    records.append((keys[offset + i], stage))
+            batches = scanner.batches_evaluated
+            promotions = scanner.fastpath_promotions
+        else:
+            k = len(space) + 1
+            for row in chunk:
+                pi = tuple(int(v) for v in row)
+                cand = LinearSchedule(pi=pi, index_set=algo.index_set)
+                key = cand.sort_key()
+                if not cand.respects(algo):
+                    records.append((key, _DEPS))
+                    continue
+                t = MappingMatrix(space=space, schedule=pi)
+                if t.rank() != k:
+                    records.append((key, _RANK))
+                    continue
+                if not check_conflict_free(t, algo.mu, method=method).holds:
+                    records.append((key, _CONFLICT))
+                    continue
+                records.append((key, _OK))
+    out = _shard_output(span, payload, "records", records)
+    out["batches"] = batches
+    out["promotions"] = promotions
+    return out
+
+
+def _shard_spaces(
+    algo: UniformDependenceAlgorithm, payload: dict
+) -> list[tuple[tuple[int, ...], ...]]:
+    """Re-derive a design-space shard's slice from its range payload."""
+    start, stop = payload["span"]
+    return list(
+        islice(
+            enumerate_space_mappings(
+                algo.n, payload["array_dim"], payload["magnitude"]
+            ),
+            start,
+            stop,
+        )
+    )
 
 
 def _evaluate_space_shard(payload: dict) -> dict:
@@ -311,19 +399,37 @@ def _evaluate_space_shard(payload: dict) -> dict:
     maybe_slow()
     algo = _algorithm_from_spec(payload["algorithm"])
     pi = payload["pi"]
-    span = _shard_span(payload, "space", len(payload["spaces"]))
+    spaces = _shard_spaces(algo, payload)
+    batches = promotions = 0
+    span = _shard_span(payload, "space", len(spaces))
     with span:
-        evaluated = [
-            evaluate_design(algo, space, pi) for space in payload["spaces"]
-        ]
-    return _shard_output(span, payload, "evaluated", evaluated)
+        if payload.get("batch"):
+            evaluated, batches, promotions = evaluate_designs_batched(
+                algo, spaces, pi, batch_size=payload.get("batch_size")
+            )
+        else:
+            evaluated = [
+                evaluate_design(algo, space, pi) for space in spaces
+            ]
+    out = _shard_output(span, payload, "evaluated", evaluated)
+    out["batches"] = batches
+    out["promotions"] = promotions
+    return out
 
 
 def _evaluate_joint_shard(payload: dict) -> dict:
     """Judge one shard of Problem 6.2's design space."""
     maybe_slow()
     algo = _algorithm_from_spec(payload["algorithm"])
-    span = _shard_span(payload, "joint", len(payload["spaces"]))
+    spaces = _shard_spaces(algo, payload)
+    # Batch preferences travel outside schedule_kwargs (they are not
+    # part of the run's identity); explicit user kwargs always win.
+    kwargs = dict(payload["schedule_kwargs"])
+    kwargs.setdefault("batch", payload.get("schedule_batch", True))
+    size = payload.get("schedule_batch_size")
+    if size is not None:
+        kwargs.setdefault("batch_size", size)
+    span = _shard_span(payload, "joint", len(spaces))
     with span:
         evaluated = [
             evaluate_joint_candidate(
@@ -331,9 +437,9 @@ def _evaluate_joint_shard(payload: dict) -> dict:
                 space,
                 payload["time_weight"],
                 payload["space_weight"],
-                payload["schedule_kwargs"],
+                kwargs,
             )
-            for space in payload["spaces"]
+            for space in spaces
         ]
     return _shard_output(span, payload, "evaluated", evaluated)
 
@@ -360,7 +466,12 @@ def _encode_schedule_out(out: dict) -> dict:
     # as arrays natively, so no per-record rebuild is needed (this is
     # on the per-candidate checkpointing hot path).  Spans stay out of
     # the journal either way.
-    return {"records": out["records"], "wall_time": out["wall_time"]}
+    return {
+        "records": out["records"],
+        "wall_time": out["wall_time"],
+        "batches": out.get("batches", 0),
+        "promotions": out.get("promotions", 0),
+    }
 
 
 def _decode_schedule_out(data: dict) -> dict:
@@ -370,6 +481,8 @@ def _decode_schedule_out(data: dict) -> dict:
             for key, stage in data["records"]
         ],
         "wall_time": data["wall_time"],
+        "batches": int(data.get("batches", 0)),
+        "promotions": int(data.get("promotions", 0)),
     }
 
 
@@ -393,7 +506,12 @@ def _encode_design_out(out: dict) -> dict:
                 "objective": design.objective,
             },
         ])
-    return {"evaluated": evaluated, "wall_time": out["wall_time"]}
+    return {
+        "evaluated": evaluated,
+        "wall_time": out["wall_time"],
+        "batches": out.get("batches", 0),
+        "promotions": out.get("promotions", 0),
+    }
 
 
 def _decode_design_out(data: dict) -> dict:
@@ -411,7 +529,12 @@ def _decode_design_out(data: dict) -> dict:
             (status, SpaceDesign(mapping=mapping, cost=cost,
                                  objective=item["objective"]))
         )
-    return {"evaluated": evaluated, "wall_time": data["wall_time"]}
+    return {
+        "evaluated": evaluated,
+        "wall_time": data["wall_time"],
+        "batches": int(data.get("batches", 0)),
+        "promotions": int(data.get("promotions", 0)),
+    }
 
 
 def _run_shards(
@@ -495,6 +618,9 @@ def explore_schedule(
     initial_bound: int | None = None,
     max_bound: int | None = None,
     extra_constraint: Callable[[MappingMatrix], bool] | None = None,
+    batch: bool = True,
+    batch_size: int | None = None,
+    adaptive: bool = True,
     cache: ResultCache | None = None,
     resilience: ResiliencePolicy | None = None,
     checkpoint: str | os.PathLike | None = None,
@@ -517,6 +643,22 @@ def explore_schedule(
         Worker processes (``None``: one per available CPU).
         ``extra_constraint`` forces the in-process fallback — arbitrary
         callbacks do not cross process boundaries.
+    batch, batch_size:
+        Evaluation strategy inside each shard: the vectorized
+        :class:`~repro.core.optimize.BatchCandidateScanner` funnel by
+        default, the scalar loop with ``batch=False`` (and always
+        scalar where :func:`~repro.core.optimize.batch_supported` says
+        batching cannot be bit-exact, e.g. ``method="paper"``).  Never
+        part of the run's cache/journal identity — a cached or
+        journaled decision replays regardless of strategy.
+    adaptive:
+        Cost-adaptive shard granularity (default).  Observed shard
+        wall-times feed a :class:`~repro.dse.partition.ShardAutotuner`
+        so small rings stay serial and only expensive rings fan out to
+        ``jobs`` workers; ``adaptive=False`` restores the fixed
+        ``effective_shards`` policy (every ring cut ``jobs`` ways).
+        Decisions are deterministic given the journal, so resumes
+        re-derive identical shard ranges.
     cache:
         Optional persistent :class:`~repro.dse.cache.ResultCache`; hits
         skip the search and re-derive the verdict exactly.
@@ -572,12 +714,15 @@ def explore_schedule(
         algorithm=algorithm.name,
         jobs=jobs,
         method=method,
+        batch=batch and batch_supported(method, max_bound),
+        adaptive=adaptive,
     )
     with root:
         result = _explore_schedule_traced(
             algorithm, space_rows, jobs=jobs, method=method, alpha=alpha,
             initial_bound=initial_bound, max_bound=max_bound,
-            extra_constraint=extra_constraint, cache=cache,
+            extra_constraint=extra_constraint, batch=batch,
+            batch_size=batch_size, adaptive=adaptive, cache=cache,
             resilience=resilience, tracer=tracer,
             checkpoint=checkpoint, resume=resume, budget=budget,
             stop=stop, on_progress=on_progress,
@@ -597,6 +742,9 @@ def _explore_schedule_traced(
     initial_bound: int,
     max_bound: int,
     extra_constraint: Callable[[MappingMatrix], bool] | None,
+    batch: bool,
+    batch_size: int | None,
+    adaptive: bool,
     cache: ResultCache | None,
     resilience: ResiliencePolicy | None,
     tracer,
@@ -650,7 +798,8 @@ def _explore_schedule_traced(
                 algorithm, space_rows, spec, stats, runner, control,
                 jobs=jobs, method=method, alpha=alpha,
                 initial_bound=initial_bound, max_bound=max_bound,
-                extra_constraint=extra_constraint, tracer=tracer,
+                extra_constraint=extra_constraint, batch=batch,
+                batch_size=batch_size, adaptive=adaptive, tracer=tracer,
             )
         if control is not None:
             stats.shards_resumed = control.shards_resumed
@@ -674,6 +823,9 @@ def _scan_rings(
     initial_bound: int,
     max_bound: int,
     extra_constraint: Callable[[MappingMatrix], bool] | None,
+    batch: bool,
+    batch_size: int | None,
+    adaptive: bool,
     tracer,
 ) -> SearchResult:
     """The ring loop of Procedure 5.1, sharded; fills ``stats`` in place."""
@@ -683,35 +835,38 @@ def _scan_rings(
     winner_pi: tuple[int, ...] | None = None
     max_shards = 1
     trace = tracer.enabled
+    use_batch = batch and batch_supported(method, max_bound)
+    tuner = ShardAutotuner(jobs=jobs) if adaptive else None
     for f_min, f_max in ring_bounds(initial_bound, alpha, max_bound):
         if control is not None:
             control.check_ring(f_max)
         ring_span = tracer.span("dse.ring", ring=rings, f_min=f_min, f_max=f_max)
         with ring_span:
-            ring = [
-                LinearSchedule(pi=pi, index_set=algorithm.index_set)
-                for pi in enumerate_schedule_vectors(mu, f_max, f_min=f_min)
-            ]
-            stats.candidates_enumerated += len(ring)
-            ring.sort(key=LinearSchedule.sort_key)
-            candidates = [cand.pi for cand in ring]
-            shards = effective_shards(len(candidates), jobs)
+            total = len(ring_candidate_array(mu, f_max, f_min=f_min))
+            stats.candidates_enumerated += total
+            if tuner is not None:
+                shards = tuner.shards_for(total)
+            else:
+                shards = effective_shards(total, jobs)
             max_shards = max(max_shards, shards)
-            ring_span.set(candidates=len(candidates), shards=shards)
+            ring_span.set(candidates=total, shards=shards)
             payloads = [
                 {
                     "algorithm": spec,
                     "space": space_rows,
                     "method": method,
-                    "candidates": part,
+                    "ring": (f_min, f_max),
+                    "span": (start, stop),
+                    "batch": use_batch,
+                    "batch_size": batch_size,
                     "trace": trace,
                 }
-                for part in round_robin(candidates, shards)
+                for start, stop in ring_ranges(total, shards)
             ]
             if extra_constraint is None:
                 outs = _run_shards(
                     runner, _scan_schedule_shard, payloads, control,
-                    kind="schedule", ring=rings, content_key="candidates",
+                    kind="schedule", ring=rings, content_key="span",
                     encode=_encode_schedule_out, decode=_decode_schedule_out,
                 )
             else:
@@ -723,6 +878,14 @@ def _scan_rings(
             stats.shard_wall_times = stats.shard_wall_times + tuple(
                 out["wall_time"] for out in outs
             )
+            ring_batches = sum(out.get("batches", 0) for out in outs)
+            ring_promotions = sum(out.get("promotions", 0) for out in outs)
+            stats.batches_evaluated += ring_batches
+            stats.fastpath_promotions += ring_promotions
+            if tuner is not None:
+                # Feed only journal-exact signals (shard wall times) so a
+                # resumed run re-derives identical shard ranges.
+                tuner.observe(total, sum(out["wall_time"] for out in outs))
             for shard_idx, out in enumerate(outs):
                 tracer.absorb(out.get("spans"), shard=shard_idx, ring=rings)
 
@@ -750,7 +913,8 @@ def _scan_rings(
             # attrs when the tracer is disabled.
             control.emit_span(
                 ring_span, winner=winner_pi is not None,
-                candidates=len(candidates), shards=shards,
+                candidates=total, shards=shards,
+                batches=ring_batches, promotions=ring_promotions,
             )
         if winner_pi is not None:
             logger.debug(
@@ -761,6 +925,8 @@ def _scan_rings(
 
     stats.rings_expanded = rings
     stats.shards = max_shards
+    if tuner is not None:
+        stats.shards_autotuned = tuner.autotuned
     runner.apply_telemetry(stats)
 
     if winner_pi is None:
@@ -862,6 +1028,8 @@ def explore_space(
     magnitude: int = 1,
     objective=None,
     keep_ranking: int = 10,
+    batch: bool = True,
+    batch_size: int | None = None,
     cache: ResultCache | None = None,
     resilience: ResiliencePolicy | None = None,
     checkpoint: str | os.PathLike | None = None,
@@ -875,8 +1043,12 @@ def explore_space(
     A custom ``objective`` callable forces the in-process fallback and
     bypasses the cache (it is part of the answer but not of any
     canonical key); for the same reason it is incompatible with
-    ``checkpoint``.  ``checkpoint`` / ``resume`` / ``budget`` /
-    ``stop`` / ``on_progress`` behave as in :func:`explore_schedule`.
+    ``checkpoint``.  ``batch`` / ``batch_size`` select the vectorized
+    conflict screen of
+    :func:`~repro.core.space_optimize.evaluate_designs_batched` inside
+    each shard (never part of the run's identity).  ``checkpoint`` /
+    ``resume`` / ``budget`` / ``stop`` / ``on_progress`` behave as in
+    :func:`explore_schedule`.
     """
     validate_algorithm(algorithm)
     pi_t = as_intvec(pi)
@@ -932,14 +1104,36 @@ def explore_space(
                         enumerate_space_mappings(algorithm.n, array_dim, magnitude)
                     )
                     root.set(candidates=len(candidates))
-                    payload_extra = {"pi": pi_t}
+                    payload_extra = {
+                        "pi": pi_t,
+                        "batch": batch,
+                        "batch_size": batch_size,
+                    }
                     runner = None
                     if objective is None:
                         outs, runner = _fan_out_designs(
                             algorithm, candidates, jobs, _evaluate_space_shard,
                             payload_extra, resilience,
+                            array_dim=array_dim, magnitude=magnitude,
                             control=control, kind="space",
                         )
+                    elif batch:
+                        outs = []
+                        for part in round_robin(
+                            candidates, effective_shards(len(candidates), jobs)
+                        ):
+                            evaluated, n_batches, promoted = (
+                                evaluate_designs_batched(
+                                    algorithm, part, pi_t, objective,
+                                    batch_size=batch_size,
+                                )
+                            )
+                            outs.append({
+                                "evaluated": evaluated,
+                                "wall_time": 0.0,
+                                "batches": n_batches,
+                                "promotions": promoted,
+                            })
                     else:
                         outs = [
                             {
@@ -1020,6 +1214,8 @@ def explore_joint(
     space_weight: float = 1.0,
     keep_ranking: int = 10,
     schedule_kwargs: dict | None = None,
+    batch: bool = True,
+    batch_size: int | None = None,
     cache: ResultCache | None = None,
     resilience: ResiliencePolicy | None = None,
     checkpoint: str | os.PathLike | None = None,
@@ -1032,7 +1228,10 @@ def explore_joint(
 
     ``schedule_kwargs`` containing callbacks (``extra_constraint``)
     forces the in-process fallback, bypasses the cache and is
-    incompatible with ``checkpoint``.  ``checkpoint`` / ``resume`` /
+    incompatible with ``checkpoint``.  ``batch`` / ``batch_size`` set
+    the default evaluation strategy of every per-candidate inner
+    schedule search (explicit ``schedule_kwargs`` entries win, and only
+    those enter the run's identity).  ``checkpoint`` / ``resume`` /
     ``budget`` / ``stop`` / ``on_progress`` behave as in
     :func:`explore_schedule`.
     """
@@ -1099,15 +1298,23 @@ def explore_joint(
                         "time_weight": time_weight,
                         "space_weight": space_weight,
                         "schedule_kwargs": kwargs,
+                        "schedule_batch": batch,
+                        "schedule_batch_size": batch_size,
                     }
                     runner = None
                     if has_callback:
+                        # Same merge the worker applies: batch preferences
+                        # default in without entering the run's identity.
+                        exec_kwargs = dict(kwargs)
+                        exec_kwargs.setdefault("batch", batch)
+                        if batch_size is not None:
+                            exec_kwargs.setdefault("batch_size", batch_size)
                         outs = [
                             {
                                 "evaluated": [
                                     evaluate_joint_candidate(
                                         algorithm, space, time_weight,
-                                        space_weight, kwargs,
+                                        space_weight, exec_kwargs,
                                     )
                                     for space in part
                                 ],
@@ -1121,6 +1328,7 @@ def explore_joint(
                         outs, runner = _fan_out_designs(
                             algorithm, candidates, jobs, _evaluate_joint_shard,
                             payload_extra, resilience,
+                            array_dim=array_dim, magnitude=magnitude,
                             control=control, kind="joint",
                         )
 
@@ -1150,6 +1358,9 @@ def _fan_out_designs(
     worker: Callable[[dict], dict],
     payload_extra: dict,
     resilience: ResiliencePolicy | None,
+    *,
+    array_dim: int,
+    magnitude: int,
     control: RunControl | None = None,
     kind: str = "space",
 ) -> tuple[list[dict], ResilientShardRunner]:
@@ -1159,16 +1370,21 @@ def _fan_out_designs(
     payloads = [
         {
             "algorithm": spec,
-            "spaces": part,
+            "array_dim": array_dim,
+            "magnitude": magnitude,
+            "span": rng,
             "trace": tracer.enabled,
             **payload_extra,
         }
-        for part in round_robin(candidates, shards)
+        for rng in ring_ranges(len(candidates), shards)
     ]
+    # Never spawn workers that could only idle: the pool is capped at
+    # the number of pending shards.
+    jobs = resolve_jobs(jobs, max_useful=len(payloads))
     with ResilientShardRunner(jobs, policy=resilience) as runner:
         outs = _run_shards(
             runner, worker, payloads, control,
-            kind=kind, ring=0, content_key="spaces",
+            kind=kind, ring=0, content_key="span",
             encode=_encode_design_out, decode=_decode_design_out,
         )
     for shard_idx, out in enumerate(outs):
@@ -1189,6 +1405,8 @@ def _merge_design_outs(
         shards=max(1, len(outs)),
         cache_misses=cache_misses,
         shard_wall_times=tuple(out["wall_time"] for out in outs),
+        batches_evaluated=sum(out.get("batches", 0) for out in outs),
+        fastpath_promotions=sum(out.get("promotions", 0) for out in outs),
     )
     designs: list[SpaceDesign] = []
     for out in outs:

@@ -10,11 +10,22 @@ that cheap to guarantee downstream:
   order from :func:`repro.core.space_optimize.enumerate_space_mappings`)
   *before* sharding, so the merge step can reconstruct exactly the
   sequence the serial scan would have visited.
-* **Round-robin assignment.**  Shard ``r`` receives candidates
-  ``r, r + jobs, r + 2*jobs, ...`` of that order.  Schedule rings are
-  sorted by execution time first, so round-robin deals the cheap and
-  expensive candidates evenly across workers instead of handing one
-  worker the whole expensive tail.
+* **Compact work descriptions.**  Schedule rings ship to workers as
+  *ranges* over the canonical sorted ring array
+  (:func:`repro.core.optimize.ring_candidate_array`), not as candidate
+  lists: a shard payload names ``(ring, start, stop)`` and the worker
+  re-derives its contiguous slice locally.  :func:`ring_ranges` cuts
+  those balanced ranges; :func:`round_robin` remains for the in-process
+  paths that still deal materialized items.
+
+Shard *granularity* is adaptive: :class:`ShardAutotuner` feeds the
+``dse.shard`` span wall-times the observability layer already records
+back into the fan-out decision, so rings too small to amortize process
+overhead stay serial and only genuinely expensive rings fan out.  Its
+decisions are a pure function of the observation history — and the
+observations themselves round-trip the checkpoint journal exactly — so
+a resumed run re-derives the same partitioning and hits every journaled
+shard key.
 
 Nothing here depends on the executor; the functions are pure and unit
 tested in isolation.
@@ -23,9 +34,16 @@ tested in isolation.
 from __future__ import annotations
 
 from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
 from typing import TypeVar
 
-__all__ = ["round_robin", "ring_bounds", "effective_shards"]
+__all__ = [
+    "ShardAutotuner",
+    "effective_shards",
+    "ring_bounds",
+    "ring_ranges",
+    "round_robin",
+]
 
 T = TypeVar("T")
 
@@ -54,6 +72,89 @@ def effective_shards(num_items: int, jobs: int) -> int:
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     return max(1, min(jobs, num_items))
+
+
+def ring_ranges(total: int, shards: int) -> list[tuple[int, int]]:
+    """Cut ``[0, total)`` into ``shards`` balanced contiguous ranges.
+
+    Returns ``(start, stop)`` half-open slices covering the interval in
+    order, each of size ``total // shards`` or one more (the remainder
+    goes to the leading ranges).  Empty ranges are never produced: the
+    result has ``min(shards, total)`` entries, and ``[]`` for an empty
+    ring.  Concatenating the slices in order reproduces ``range(total)``
+    exactly, which is what lets the merge step reconstruct the serial
+    visit order from contiguous shard payloads.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    if total == 0:
+        return []
+    shards = min(shards, total)
+    base, extra = divmod(total, shards)
+    ranges: list[tuple[int, int]] = []
+    start = 0
+    for idx in range(shards):
+        stop = start + base + (1 if idx < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+@dataclass
+class ShardAutotuner:
+    """Cost-adaptive shard granularity for the ring fan-out.
+
+    The naive policy (``effective_shards``) cuts every ring into
+    ``jobs`` shards, which loses badly on small rings: dispatching a
+    sub-millisecond scan to a worker process costs orders of magnitude
+    more than running it inline.  The tuner instead predicts each ring's
+    scan cost from the per-candidate rate observed on *previous* rings
+    of the same run and keeps a ring serial unless the predicted cost
+    clears ``min_fanout_seconds``; when it does fan out, it sizes shards
+    to roughly ``target_shard_seconds`` apiece (capped at ``jobs``).
+
+    Determinism contract: decisions depend only on ``jobs``, the
+    thresholds, and the sequence of :meth:`observe` calls.  The executor
+    feeds ``observe`` exclusively from shard-output wall times, which
+    the checkpoint journal round-trips exactly (JSON float round-trip is
+    identity), so a resumed run replays the same observations and
+    re-derives identical shard ranges — a requirement for journal keys
+    to match.
+    """
+
+    jobs: int
+    target_shard_seconds: float = 0.05
+    min_fanout_seconds: float = 0.1
+    observed_candidates: int = 0
+    observed_seconds: float = 0.0
+    autotuned: int = 0
+
+    def observe(self, candidates: int, seconds: float) -> None:
+        """Record a completed ring: ``candidates`` scanned in ``seconds``."""
+        if candidates < 0 or seconds < 0:
+            raise ValueError("observations must be non-negative")
+        self.observed_candidates += candidates
+        self.observed_seconds += seconds
+
+    def shards_for(self, num_candidates: int) -> int:
+        """Shard count for the next ring of ``num_candidates``."""
+        baseline = effective_shards(num_candidates, self.jobs)
+        if self.observed_candidates <= 0:
+            # No cost data yet: scan the first ring serially as a probe.
+            decision = 1
+        else:
+            rate = self.observed_seconds / self.observed_candidates
+            predicted = num_candidates * rate
+            if predicted < self.min_fanout_seconds:
+                decision = 1
+            else:
+                wanted = -(-predicted // max(self.target_shard_seconds, 1e-9))
+                decision = max(1, min(baseline, int(wanted)))
+        if decision != baseline:
+            self.autotuned += 1
+        return decision
 
 
 def ring_bounds(

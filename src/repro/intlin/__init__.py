@@ -15,6 +15,13 @@ memoized normal-form kernels key directly on the matrix.
 
 import warnings
 
+from .batch import (
+    batch_dependence_mask,
+    batch_matmul,
+    batch_nonzero_mask,
+    batch_point_images,
+    batch_rows,
+)
 from .diophantine import DiophantineSolution, solve_diophantine
 from .gcdutil import (
     bezout_row,
@@ -69,6 +76,11 @@ __all__ = [
     "as_int_vector",
     "as_intmat",
     "as_intvec",
+    "batch_dependence_mask",
+    "batch_matmul",
+    "batch_nonzero_mask",
+    "batch_point_images",
+    "batch_rows",
     "bezout_row",
     "cofactor",
     "det_bareiss",

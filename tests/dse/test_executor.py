@@ -77,9 +77,29 @@ class TestScheduleEquivalence:
         assert explore_schedule(matmul4, [[1, 1, -1]], jobs=2, **kwargs) == serial
 
     def test_telemetry_reports_shards(self, matmul4):
-        parallel = explore_schedule(matmul4, [[1, 1, -1]], jobs=2)
+        # Fixed sharding: every ring is cut jobs ways.
+        parallel = explore_schedule(
+            matmul4, [[1, 1, -1]], jobs=2, adaptive=False
+        )
         assert parallel.stats.shards == 2
         assert len(parallel.stats.shard_wall_times) >= 2
+        assert parallel.stats.shards_autotuned == 0
+
+    def test_adaptive_keeps_cheap_rings_serial(self, matmul4):
+        # These rings scan in well under the fan-out threshold, so the
+        # autotuner keeps every one serial — same result, no pool churn.
+        fixed = explore_schedule(matmul4, [[1, 1, -1]], jobs=2, adaptive=False)
+        adaptive = explore_schedule(matmul4, [[1, 1, -1]], jobs=2)
+        assert adaptive == fixed
+        assert adaptive.stats.shards == 1
+        assert adaptive.stats.shards_autotuned > 0
+
+    def test_batch_flag_matches_scalar_engine(self, matmul4):
+        batched = explore_schedule(matmul4, [[1, 1, -1]], jobs=2)
+        scalar = explore_schedule(matmul4, [[1, 1, -1]], jobs=2, batch=False)
+        assert batched == scalar
+        assert batched.stats.batches_evaluated > 0
+        assert scalar.stats.batches_evaluated == 0
 
 
 class TestScheduleCache:
@@ -259,6 +279,19 @@ class TestResolveJobs:
     def test_explicit_beats_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "3")
         assert resolve_jobs(2) == 2
+
+    def test_max_useful_caps_resolved_jobs(self):
+        # 32 workers for 3 pending shards resolves to 3 — never spawn
+        # processes that could only idle.
+        assert resolve_jobs(32, max_useful=3) == 3
+        assert resolve_jobs(2, max_useful=3) == 2
+
+    def test_max_useful_caps_env_and_detection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "16")
+        assert resolve_jobs(None, max_useful=4) == 4
+
+    def test_max_useful_never_drops_below_one(self):
+        assert resolve_jobs(8, max_useful=0) == 1
 
     def test_env_beats_cpu_detection(self, monkeypatch):
         import os

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.dse.partition import effective_shards, ring_bounds, round_robin
+from repro.dse.partition import (
+    ShardAutotuner,
+    effective_shards,
+    ring_bounds,
+    ring_ranges,
+    round_robin,
+)
 
 
 class TestRoundRobin:
@@ -77,3 +83,91 @@ class TestRingBounds:
     def test_rejects_nonpositive_alpha(self):
         with pytest.raises(ValueError):
             next(ring_bounds(5, 0, 10))
+
+
+class TestRingRanges:
+    @pytest.mark.parametrize("total,shards", [
+        (10, 3), (7, 7), (1, 4), (23, 4), (100, 16),
+    ])
+    def test_contiguous_cover_in_order(self, total, shards):
+        ranges = ring_ranges(total, shards)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == total
+        for (_, stop), (start2, _) in zip(ranges, ranges[1:]):
+            assert start2 == stop
+        assert [i for a, b in ranges for i in range(a, b)] == list(range(total))
+
+    def test_balanced_within_one(self):
+        sizes = [b - a for a, b in ring_ranges(23, 4)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_never_produces_empty_ranges(self):
+        assert len(ring_ranges(2, 5)) == 2
+        assert all(b > a for a, b in ring_ranges(2, 5))
+
+    def test_empty_total(self):
+        assert ring_ranges(0, 4) == []
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            ring_ranges(5, 0)
+        with pytest.raises(ValueError):
+            ring_ranges(-1, 2)
+
+
+class TestShardAutotuner:
+    def test_first_ring_is_a_serial_probe(self):
+        tuner = ShardAutotuner(jobs=8)
+        assert tuner.shards_for(1000) == 1
+
+    def test_cheap_rings_stay_serial(self):
+        tuner = ShardAutotuner(jobs=8)
+        tuner.observe(1000, 0.001)  # 1 us per candidate
+        assert tuner.shards_for(2000) == 1  # predicted 2 ms << fan-out bar
+
+    def test_expensive_rings_fan_out(self):
+        tuner = ShardAutotuner(jobs=8)
+        tuner.observe(100, 1.0)  # 10 ms per candidate
+        assert tuner.shards_for(200) == 8  # predicted 2 s >> target/shard
+
+    def test_fanout_sized_to_target_not_always_max(self):
+        tuner = ShardAutotuner(jobs=16)
+        tuner.observe(1000, 0.1)  # 0.1 ms per candidate
+        # Predicted 0.2 s: above the fan-out bar, but only worth
+        # ceil(0.2 / 0.05) = 4 shards, not all 16 workers.
+        assert tuner.shards_for(2000) == 4
+
+    def test_counts_only_decisions_that_differ_from_baseline(self):
+        tuner = ShardAutotuner(jobs=4)
+        tuner.shards_for(100)  # probe: 1 != baseline 4
+        assert tuner.autotuned == 1
+        tuner.observe(100, 10.0)
+        tuner.shards_for(100)  # expensive: 4 == baseline 4
+        assert tuner.autotuned == 1
+
+    def test_jobs_1_is_always_baseline(self):
+        tuner = ShardAutotuner(jobs=1)
+        tuner.shards_for(50)
+        tuner.observe(50, 5.0)
+        tuner.shards_for(50)
+        assert tuner.autotuned == 0
+
+    def test_deterministic_replay(self):
+        # Identical observation sequences yield identical decisions —
+        # the property checkpoint resume depends on.
+        a = ShardAutotuner(jobs=4)
+        b = ShardAutotuner(jobs=4)
+        decisions_a, decisions_b = [], []
+        for total, secs in [(100, 0.5), (200, 0.9), (50, 0.01), (400, 2.0)]:
+            decisions_a.append(a.shards_for(total))
+            a.observe(total, secs)
+            decisions_b.append(b.shards_for(total))
+            b.observe(total, secs)
+        assert decisions_a == decisions_b
+
+    def test_rejects_negative_observations(self):
+        tuner = ShardAutotuner(jobs=2)
+        with pytest.raises(ValueError):
+            tuner.observe(-1, 0.0)
+        with pytest.raises(ValueError):
+            tuner.observe(1, -0.5)

@@ -79,7 +79,7 @@ class TestCrashRecovery:
     def test_shard_killed_mid_ring_recovers(self, matmul4, monkeypatch):
         serial = procedure_5_1(matmul4, SPACE)
         monkeypatch.setenv(FAULT_ENV_VAR, "crash:0")
-        recovered = explore_schedule(matmul4, SPACE, jobs=2, resilience=FAST)
+        recovered = explore_schedule(matmul4, SPACE, jobs=2, adaptive=False, resilience=FAST)
         assert recovered == serial
         assert recovered.schedule.pi == serial.schedule.pi
         # The recovery is visible in the failure telemetry.
@@ -109,7 +109,7 @@ class TestTimeoutRecovery:
         monkeypatch.setenv(FAULT_ENV_VAR, "hang:0")
         monkeypatch.setenv(FAULT_HANG_ENV_VAR, "30")
         policy = ResiliencePolicy(shard_timeout=1.0, backoff_base=0.0)
-        recovered = explore_schedule(matmul4, SPACE, jobs=2, resilience=policy)
+        recovered = explore_schedule(matmul4, SPACE, jobs=2, adaptive=False, resilience=policy)
         assert recovered == serial
         assert recovered.stats.shard_timeouts >= 1
         assert recovered.stats.pool_restarts >= 1
@@ -120,7 +120,7 @@ class TestCorruptOutputRecovery:
     def test_corrupted_shard_output_is_retried(self, matmul4, monkeypatch):
         serial = procedure_5_1(matmul4, SPACE)
         monkeypatch.setenv(FAULT_ENV_VAR, "corrupt:0")
-        recovered = explore_schedule(matmul4, SPACE, jobs=2, resilience=FAST)
+        recovered = explore_schedule(matmul4, SPACE, jobs=2, adaptive=False, resilience=FAST)
         assert recovered == serial
         assert recovered.stats.shard_retries == 1
         # The pool itself survives a garbage result.
@@ -134,7 +134,7 @@ class TestDegradation:
         policy = ResiliencePolicy(
             max_retries=1, backoff_base=0.0, max_pool_restarts=100
         )
-        recovered = explore_schedule(matmul4, SPACE, jobs=2, resilience=policy)
+        recovered = explore_schedule(matmul4, SPACE, jobs=2, adaptive=False, resilience=policy)
         assert recovered == serial
         assert recovered.stats.degraded
         assert recovered.stats.shard_retries >= 1
@@ -145,7 +145,7 @@ class TestDegradation:
         policy = ResiliencePolicy(
             max_retries=5, backoff_base=0.0, max_pool_restarts=0
         )
-        recovered = explore_schedule(matmul4, SPACE, jobs=2, resilience=policy)
+        recovered = explore_schedule(matmul4, SPACE, jobs=2, adaptive=False, resilience=policy)
         assert recovered == serial
         assert recovered.stats.degraded
         assert recovered.stats.pool_restarts == 1
@@ -156,7 +156,7 @@ class TestDegradation:
             max_retries=1, backoff_base=0.0, degrade=False, max_pool_restarts=100
         )
         with pytest.raises(ResilienceError):
-            explore_schedule(matmul4, SPACE, jobs=2, resilience=policy)
+            explore_schedule(matmul4, SPACE, jobs=2, adaptive=False, resilience=policy)
 
     def test_jobs_1_never_touches_a_pool(self, matmul4, monkeypatch):
         # The in-process path is the degradation target; faults only fire
@@ -235,7 +235,7 @@ class TestPipelineAndStats:
         )
         monkeypatch.setenv(FAULT_ENV_VAR, "crash:0")
         engine = find_time_optimal_mapping(
-            matmul4, SPACE, solver="procedure-5.1", jobs=2, resilience=FAST
+            matmul4, SPACE, solver="procedure-5.1", jobs=2, adaptive=False, resilience=FAST
         )
         assert engine.schedule == baseline.schedule
         assert engine.mapping == baseline.mapping
