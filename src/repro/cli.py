@@ -47,6 +47,8 @@ Examples
 from __future__ import annotations
 
 import argparse
+import json
+import re
 import sys
 from collections.abc import Sequence
 
@@ -111,6 +113,26 @@ def _parse_mu(text: str) -> tuple[int, ...]:
             f"--mu entries must be positive integers, got {text!r}"
         )
     return values
+
+
+def _parse_mu_range(text: str) -> tuple[int, int]:
+    """``--mu-range LO:HI`` for the symbolic compiler."""
+    parts = text.split(":")
+    if len(parts) != 2:
+        raise argparse.ArgumentTypeError(
+            f"--mu-range takes LO:HI (e.g. 1:16), got {text!r}"
+        )
+    try:
+        lo, hi = (int(p) for p in parts)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"bad --mu-range {text!r}: bounds must be integers"
+        ) from exc
+    if not 1 <= lo <= hi:
+        raise argparse.ArgumentTypeError(
+            f"--mu-range needs 1 <= LO <= HI, got {text!r}"
+        )
+    return (lo, hi)
 
 
 def _mu_arity(name: str, mu: tuple[int, ...], arities: tuple[int, ...]) -> None:
@@ -371,6 +393,53 @@ def build_parser() -> argparse.ArgumentParser:
     p_obs.add_argument("--top", type=int, default=None,
                        help="show only the N most expensive phases")
     add_obs_args(p_obs)
+
+    p_sym = sub.add_parser(
+        "symbolic",
+        help="compile a parametric design: solve once in mu, serve any size",
+        description=(
+            "The symbolic design compiler (repro.symbolic).  'solve' runs "
+            "the enumerative engine at a few sample sizes and certifies "
+            "piecewise-polynomial optima over a whole mu range; 'eval' "
+            "answers one concrete size in O(1) from the compiled artifact "
+            "(recompiling or falling back to enumeration when needed)."
+        ),
+    )
+    p_sym.add_argument("action", choices=["solve", "eval"])
+    p_sym.add_argument("--algorithm", "-a", default="matmul",
+                       help="algorithm family name (matmul, "
+                            "transitive-closure, ...)")
+    p_sym.add_argument("--word-bits", type=int, default=2,
+                       help="word size for bit-level algorithm families")
+    p_sym.add_argument("--task", default="schedule",
+                       choices=["schedule", "space", "joint"],
+                       help="which search to compile symbolically")
+    p_sym.add_argument("--space", "-s", type=_parse_matrix, default=None,
+                       help='space mapping rows (schedule task), e.g. "1,1,-1"')
+    p_sym.add_argument("--pi", default=None,
+                       help="schedule vector for the space task; entries "
+                            'may be polynomials in mu, e.g. "1,2,mu-1"')
+    p_sym.add_argument("--mu-range", type=_parse_mu_range, default=(1, 16),
+                       metavar="LO:HI",
+                       help="size range to certify (default 1:16)")
+    p_sym.add_argument("--mu", type=int, default=None,
+                       help="concrete size to answer (eval action)")
+    p_sym.add_argument("--max-degree", type=int, default=2,
+                       help="polynomial degree ceiling for the fit")
+    p_sym.add_argument("--array-dim", type=int, default=1,
+                       help="target array dimension (space/joint tasks)")
+    p_sym.add_argument("--magnitude", type=int, default=1,
+                       help="space-mapping entry bound (space/joint tasks)")
+    p_sym.add_argument("--time-weight", type=float, default=1.0,
+                       help="joint objective time weight")
+    p_sym.add_argument("--space-weight", type=float, default=1.0,
+                       help="joint objective space weight")
+    p_sym.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="solution cache directory; eval reuses a "
+                            "solve's compiled artifact through it")
+    p_sym.add_argument("--json", action="store_true",
+                       help="machine-readable output")
+    add_obs_args(p_sym)
     return parser
 
 
@@ -708,6 +777,189 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+_PI_EXPR = re.compile(r"[0-9mu+\-*() ]+\Z")
+
+
+def _parse_pi_exprs(text: str, max_degree: int):
+    """Parse ``--pi "1,2,mu-1"`` into exact :class:`RationalPoly` entries.
+
+    Each comma-separated component is integer arithmetic in ``mu``; the
+    expression is sampled at a few sizes and the polynomial recovered
+    exactly (and cross-checked) by :func:`repro.symbolic.poly_from_samples`.
+    """
+    from .symbolic import poly_from_samples
+
+    polys = []
+    for part in (p.strip() for p in text.split(",")):
+        if not part or not _PI_EXPR.match(part):
+            raise SystemExit(
+                f"bad --pi component {part!r}: use integer arithmetic in "
+                "'mu', e.g. \"1,2,mu-1\""
+            )
+        try:
+            code = compile(part, "<pi>", "eval")
+
+            def evaluate(m, _code=code):
+                return eval(_code, {"__builtins__": {}}, {"mu": m})
+
+            polys.append(poly_from_samples(evaluate, max_degree))
+        except SyntaxError as exc:
+            raise SystemExit(f"bad --pi component {part!r}: {exc}") from exc
+        except ValueError as exc:
+            raise SystemExit(f"bad --pi component {part!r}: {exc}") from exc
+    if not polys:
+        raise SystemExit("--pi needs at least one component")
+    return tuple(polys)
+
+
+def _cmd_symbolic(args: argparse.Namespace) -> int:
+    from .dse.cache import ResultCache
+    from .symbolic import (
+        AlgorithmFamily,
+        CompileError,
+        compile_joint,
+        compile_schedule,
+        compile_space,
+        joint_compile_params,
+        load_or_compile,
+        schedule_compile_params,
+        space_compile_params,
+    )
+
+    name, word_bits = args.algorithm, args.word_bits
+
+    def build(m: int) -> UniformDependenceAlgorithm:
+        return _make_algorithm(name, (m,), word_bits)
+
+    probe = build(max(2, args.mu_range[0]))  # fail fast on unknown names
+    family = AlgorithmFamily(name=name, build=build)
+    dep = probe.dependence_matrix.tolist()
+    common = dict(mu_range=args.mu_range, max_degree=args.max_degree)
+
+    if args.task == "schedule":
+        if args.space is None:
+            raise SystemExit("--task schedule needs --space")
+        _require_width(probe, args.space, "--space")
+        params = schedule_compile_params(dep, args.space, **common)
+        compile_fn = lambda: compile_schedule(family, args.space, **common)
+    elif args.task == "space":
+        if args.pi is None:
+            raise SystemExit("--task space needs --pi")
+        pi = _parse_pi_exprs(args.pi, args.max_degree)
+        if len(pi) != probe.n:
+            raise SystemExit(
+                f"--pi has {len(pi)} components but {probe.name} has "
+                f"n={probe.n} index dimensions"
+            )
+        shape = dict(array_dim=args.array_dim, magnitude=args.magnitude)
+        params = space_compile_params(dep, pi, **shape, **common)
+        compile_fn = lambda: compile_space(family, pi, **shape, **common)
+    else:
+        weights = dict(
+            array_dim=args.array_dim, magnitude=args.magnitude,
+            time_weight=args.time_weight, space_weight=args.space_weight,
+        )
+        params = joint_compile_params(dep, **weights, **common)
+        compile_fn = lambda: compile_joint(family, **weights, **common)
+
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    try:
+        solution, compiled = load_or_compile(compile_fn, params, cache)
+    except CompileError as exc:
+        raise SystemExit(f"symbolic compile failed: {exc}") from exc
+
+    if args.action == "solve":
+        if args.json:
+            print(json.dumps(solution.to_dict(), indent=2))
+            return 0
+        lo, hi = solution.mu_lo, solution.mu_hi
+        origin = "compiled" if compiled else "cached"
+        print(f"family         : {solution.family}  task={solution.task}")
+        print(f"certified range: mu in [{lo}, {hi}]  ({origin}, "
+              f"{solution.samples} enumerative samples, "
+              f"{solution.compile_seconds:.2f}s)")
+        for iv in solution.intervals:
+            print(f"interval [{iv.lo}, {iv.hi}]"
+                  + ("" if iv.found else "  (no design)"))
+            if iv.pi is not None:
+                print(f"  Pi         : [{', '.join(str(p) for p in iv.pi)}]")
+            if iv.space is not None:
+                for row in iv.space:
+                    print(f"  S row      : [{', '.join(str(p) for p in row)}]")
+            if iv.total_time is not None:
+                print(f"  total time : {iv.total_time}")
+            print(f"  verified at: {list(iv.verified)}")
+        return 0
+
+    # -- eval ------------------------------------------------------------
+    if args.mu is None:
+        raise SystemExit("action 'eval' needs --mu")
+    if args.mu < 1:
+        raise SystemExit(f"--mu must be >= 1, got {args.mu}")
+    answer = solution.eval(args.mu)
+    if answer is not None:
+        payload = dict(answer.to_dict(), mode="symbolic")
+    else:
+        payload = _symbolic_eval_fallback(args, build(args.mu))
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"mu             : {args.mu}  ({payload['mode']})")
+    if not payload["found"]:
+        print("result         : no conflict-free design within bounds")
+        return 1
+    if "pi" in payload:
+        print(f"optimal Pi     : {payload['pi']}")
+    if "space" in payload:
+        print(f"space mapping  : {payload['space']}")
+    if "total_time" in payload:
+        print(f"total time     : {payload['total_time']}")
+    if "cost" in payload:
+        print(f"cost           : {payload['cost']}")
+    return 0
+
+
+def _symbolic_eval_fallback(args: argparse.Namespace, algo) -> dict:
+    """Enumerative answer for a size the certificate does not cover."""
+    from .core.optimize import procedure_5_1
+    from .core.space_optimize import solve_joint_optimal, solve_space_optimal
+
+    if args.task == "schedule":
+        result = procedure_5_1(algo, args.space)
+        payload = {"task": "schedule", "mode": "enumerative", "mu": args.mu,
+                   "found": result.found}
+        if result.found:
+            payload["pi"] = list(result.schedule.pi)
+            payload["total_time"] = result.total_time
+        return payload
+    if args.task == "space":
+        pi = [p.eval_int(args.mu)
+              for p in _parse_pi_exprs(args.pi, args.max_degree)]
+        result = solve_space_optimal(
+            algo, pi, array_dim=args.array_dim, magnitude=args.magnitude
+        )
+    else:
+        result = solve_joint_optimal(
+            algo, array_dim=args.array_dim, magnitude=args.magnitude,
+            time_weight=args.time_weight, space_weight=args.space_weight,
+        )
+    payload = {"task": args.task, "mode": "enumerative", "mu": args.mu,
+               "found": result.found}
+    if result.found:
+        best = result.best
+        payload["space"] = [list(r) for r in best.mapping.space]
+        if args.task == "joint":
+            payload["pi"] = list(best.mapping.schedule)
+        cost = best.cost
+        payload["cost"] = {
+            "processors": cost.processors, "wire_length": cost.wire_length,
+            "buffers": cost.buffers, "total_time": cost.total_time,
+        }
+        payload["objective"] = best.objective
+        payload["total_time"] = cost.total_time
+    return payload
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -719,6 +971,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve": _cmd_serve,
         "report": _cmd_report,
         "obs": _cmd_obs,
+        "symbolic": _cmd_symbolic,
     }
     handler = handlers[args.command]
     from .obs import configure_logging, trace_session

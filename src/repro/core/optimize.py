@@ -19,6 +19,7 @@ paper's Steps 1-7 with the candidate set ``C_l = {Pi : sum |pi_i| mu_i
 
 from __future__ import annotations
 
+import logging
 from collections.abc import Callable, Iterator, Sequence
 from dataclasses import dataclass, field, replace
 from functools import lru_cache
@@ -47,6 +48,7 @@ __all__ = [
     "STAGE_OK",
     "STAGE_RANK",
     "SearchResult",
+    "batch_disabled_reason",
     "batch_supported",
     "enumerate_schedule_vectors",
     "find_all_optima",
@@ -75,8 +77,8 @@ _BOX_ENUM_LIMIT = 2_000_000
 _BATCH_MAX_BOUND = 2**31
 
 
-def batch_supported(method: str, max_bound: int) -> bool:
-    """Whether the batched funnel preserves bit-exact results.
+def batch_disabled_reason(method: str, max_bound: int) -> str | None:
+    """Why the batched funnel cannot run, or ``None`` when it can.
 
     The vectorized conflict screen decides injectivity of ``tau`` on
     ``J`` exactly — which matches :func:`check_conflict_free` for
@@ -85,7 +87,42 @@ def batch_supported(method: str, max_bound: int) -> bool:
     necessity gap.  Oversized ring budgets also fall back to the scalar
     walker so candidate entries stay certified int64.
     """
-    return method in ("auto", "exact") and max_bound <= _BATCH_MAX_BOUND
+    if method not in ("auto", "exact"):
+        return (
+            f"method={method!r} has no exact vectorized form (the "
+            "Theorem 4.7/4.8 sufficient conditions are scalar-only)"
+        )
+    if max_bound > _BATCH_MAX_BOUND:
+        return (
+            f"max_bound {max_bound} exceeds 2^31, past the certified "
+            "int64 range of the batched funnel"
+        )
+    return None
+
+
+def batch_supported(method: str, max_bound: int) -> bool:
+    """Whether the batched funnel preserves bit-exact results.
+
+    Equivalent to ``batch_disabled_reason(method, max_bound) is None``;
+    see that function for the rationale behind each disqualifier.
+    """
+    return batch_disabled_reason(method, max_bound) is None
+
+
+_logger = logging.getLogger("repro.core.optimize")
+_warned_batch_reasons: set[str] = set()
+
+
+def _warn_batch_disabled(reason: str) -> None:
+    """One-time (per reason, per process) scalar-fallback warning."""
+    if reason in _warned_batch_reasons:
+        return
+    _warned_batch_reasons.add(reason)
+    _logger.warning(
+        "batched candidate evaluation disabled: %s; falling back to the "
+        "scalar scan (typically 7-14x slower)",
+        reason,
+    )
 
 
 @dataclass(frozen=True)
@@ -474,7 +511,8 @@ def procedure_5_1(
     alpha, initial_bound, max_bound = search_bounds(
         algorithm, alpha=alpha, initial_bound=initial_bound, max_bound=max_bound
     )
-    use_batch = batch and batch_supported(method, max_bound)
+    disabled_reason = batch_disabled_reason(method, max_bound) if batch else None
+    use_batch = batch and disabled_reason is None
     scanner = (
         BatchCandidateScanner(
             algorithm, space_rows, method=method, batch_size=batch_size
@@ -485,6 +523,9 @@ def procedure_5_1(
 
     tracer = get_tracer()
     stats = SearchStats()
+    if disabled_reason is not None:
+        stats.batch_disabled_reason = disabled_reason
+        _warn_batch_disabled(disabled_reason)
     examined = 0
     rings = 0
     x_prev = -1
@@ -501,6 +542,8 @@ def procedure_5_1(
         max_bound=max_bound,
         batch=use_batch,
     )
+    if disabled_reason is not None:
+        root.set(batch_disabled_reason=disabled_reason)
     with root:
         while x_prev < max_bound and result is None:
             ring_span = tracer.span(

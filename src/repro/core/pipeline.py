@@ -75,6 +75,8 @@ def find_time_optimal_mapping(
     *,
     solver: str = "auto",
     method: str = "auto",
+    mu: int | str | None = None,
+    mu_range: Sequence[int] | None = None,
     jobs: int | None = None,
     cache=None,
     resilience=None,
@@ -91,6 +93,20 @@ def find_time_optimal_mapping(
         The uniform dependence algorithm ``(J, D)``.
     space:
         The space mapping matrix ``S`` (``(k-1) x n``).
+    mu:
+        Problem-size control for algorithms with uniform bounds.  An
+        ``int`` re-instantiates the algorithm's family at that size
+        before solving.  The string ``"symbolic"`` routes through the
+        :mod:`repro.symbolic` design compiler: the schedule search is
+        compiled once over ``mu_range`` (cached under ``cache`` when
+        one is supplied), then answered for this algorithm's size by
+        O(1) polynomial evaluation — falling back to the enumerative
+        route whenever the size lies outside the certified range.
+        ``None`` (default) solves the algorithm as given.
+    mu_range:
+        Certified ``(lo, hi)`` size range for the symbolic route;
+        defaults to ``(1, mu)`` for the algorithm's own size.  Ignored
+        unless ``mu="symbolic"``.
     solver:
         ``"procedure-5.1"`` — the enumerative search (works for any
         co-rank); ``"ilp"`` — the integer-programming route (co-rank 1
@@ -130,11 +146,27 @@ def find_time_optimal_mapping(
         structural validation (:mod:`repro.model.validate`).
     """
     validate_algorithm(algorithm)
+    if isinstance(mu, int) and not isinstance(mu, bool):
+        # Lazy import: repro.symbolic imports repro.core back.
+        from ..symbolic import family_from_algorithm
+
+        algorithm = family_from_algorithm(algorithm).algorithm(mu)
+        mu = None
+    elif mu is not None and mu != "symbolic":
+        raise ValueError(f"mu must be an int, 'symbolic' or None, got {mu!r}")
     n = algorithm.n
     space_rows = tuple(tuple(int(x) for x in row) for row in space)
     validate_space(space_rows, n)
     k = len(space_rows) + 1
     corank = n - k
+
+    if mu == "symbolic":
+        result = _symbolic_route(
+            algorithm, space_rows, method, mu_range, cache
+        )
+        if result is not None:
+            return result
+        # Not certified at this size: fall through to enumeration.
 
     if solver == "auto":
         solver = "ilp" if corank == 1 else "procedure-5.1"
@@ -151,6 +183,82 @@ def find_time_optimal_mapping(
         )
         root.set(total_time=result.total_time)
     return result
+
+
+def _symbolic_route(
+    algorithm, space_rows, method, mu_range, cache
+) -> MappingResult | None:
+    """Answer via the symbolic design compiler, or ``None`` to fall back.
+
+    ``None`` means "not certified for this size" — the caller then runs
+    the ordinary enumerative dispatch, so ``mu="symbolic"`` never
+    weakens the result, it only changes how fast it arrives.
+    """
+    from ..dse.cache import ResultCache
+    from ..symbolic import (
+        compile_schedule,
+        family_from_algorithm,
+        load_or_compile,
+        schedule_compile_params,
+    )
+
+    family = family_from_algorithm(algorithm)
+    size = algorithm.index_set.mu[0]
+    span_range = tuple(int(x) for x in mu_range) if mu_range else (1, size)
+    params = schedule_compile_params(
+        algorithm.dependence_matrix.tolist(),
+        space_rows,
+        method=method,
+        mu_range=span_range,
+    )
+    solution_cache = cache if isinstance(cache, ResultCache) else None
+    with get_tracer().span(
+        "core.symbolic_route", algorithm=algorithm.name, mu=size,
+        mu_lo=span_range[0], mu_hi=span_range[1],
+    ) as span:
+        solution, compiled = load_or_compile(
+            lambda: compile_schedule(
+                family, space_rows, method=method, mu_range=span_range
+            ),
+            params,
+            solution_cache,
+        )
+        answer = solution.eval(size)
+        span.set(compiled=compiled, certified=answer is not None)
+        if answer is None:
+            return None
+        if not answer.found:
+            raise ValueError(
+                "Procedure 5.1 exhausted its bound without a conflict-free "
+                f"schedule (symbolic certificate for mu in {list(answer.interval)})"
+            )
+        mapping = MappingMatrix(space=space_rows, schedule=answer.pi)
+        schedule = LinearSchedule(pi=answer.pi, index_set=algorithm.index_set)
+        if schedule.total_time != answer.total_time:
+            raise RuntimeError(
+                "internal error: symbolic total-time expression disagrees "
+                "with Equation 2.7 at the evaluated size"
+            )
+        analysis = analyze_conflicts(mapping, algorithm.index_set)
+        if not analysis.conflict_free:
+            raise RuntimeError(
+                "internal error: symbolic answer fails the exact conflict oracle"
+            )
+        span.set(total_time=answer.total_time)
+    return MappingResult(
+        algorithm=algorithm,
+        mapping=mapping,
+        schedule=schedule,
+        analysis=analysis,
+        solver="symbolic",
+        stats={
+            "compiled": compiled,
+            "samples": solution.samples,
+            "intervals": len(solution.intervals),
+            "interval": list(answer.interval),
+            "mu": size,
+        },
+    )
 
 
 def _dispatch_solver(

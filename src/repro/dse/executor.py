@@ -54,6 +54,8 @@ from ..core.mapping import MappingMatrix
 from ..core.optimize import (
     BatchCandidateScanner,
     SearchResult,
+    _warn_batch_disabled,
+    batch_disabled_reason,
     batch_supported,
     ring_candidate_array,
     search_bounds,
@@ -84,6 +86,7 @@ from .cache import ResultCache, canonical_key
 from .checkpoint import CheckpointJournal, RunBudget, RunControl
 from .partition import (
     ShardAutotuner,
+    calibration_probe,
     effective_shards,
     ring_bounds,
     ring_ranges,
@@ -717,6 +720,10 @@ def explore_schedule(
         batch=batch and batch_supported(method, max_bound),
         adaptive=adaptive,
     )
+    if batch:
+        disabled = batch_disabled_reason(method, max_bound)
+        if disabled is not None:
+            root.set(batch_disabled_reason=disabled)
     with root:
         result = _explore_schedule_traced(
             algorithm, space_rows, jobs=jobs, method=method, alpha=alpha,
@@ -809,6 +816,39 @@ def _explore_schedule_traced(
     return result
 
 
+# One probe per process: explore_* is called in tight loops by tests
+# and benchmarks, and the machine does not change between calls.
+_process_calibration: float | None = None
+
+
+def _calibration_seconds(control: RunControl | None) -> float:
+    """The machine-speed probe feeding the autotuner's thresholds.
+
+    With a checkpoint journal the measurement is recorded under a
+    dedicated ``"calibrate"`` shard key on first use and replayed from
+    the journal ever after, so a resumed run derives exactly the
+    thresholds — and therefore exactly the shard ranges and journal
+    keys — the original run used.  Without a journal the probe runs
+    once per process.
+    """
+    global _process_calibration
+    key = None
+    if control is not None:
+        key = control.shard_key("calibrate", 0, 0, "machine-probe")
+        recorded = control.lookup(key)
+        if recorded is not None:
+            # Replayed, not remeasured — counts as a resumed shard so a
+            # resume that serves everything from the journal reports
+            # exactly as many resumed shards as the journal holds.
+            control.shards_resumed += 1
+            return float(recorded["seconds"])
+    if _process_calibration is None:
+        _process_calibration = calibration_probe()
+    if key is not None:
+        control.record_shard(key, {"seconds": _process_calibration})
+    return _process_calibration
+
+
 def _scan_rings(
     algorithm: UniformDependenceAlgorithm,
     space_rows: tuple,
@@ -836,7 +876,15 @@ def _scan_rings(
     max_shards = 1
     trace = tracer.enabled
     use_batch = batch and batch_supported(method, max_bound)
-    tuner = ShardAutotuner(jobs=jobs) if adaptive else None
+    if batch and not use_batch:
+        reason = batch_disabled_reason(method, max_bound)
+        stats.batch_disabled_reason = reason
+        _warn_batch_disabled(reason)
+    tuner = (
+        ShardAutotuner(jobs=jobs, calibration=_calibration_seconds(control))
+        if adaptive
+        else None
+    )
     for f_min, f_max in ring_bounds(initial_bound, alpha, max_bound):
         if control is not None:
             control.check_ring(f_max)

@@ -22,10 +22,12 @@ Shard *granularity* is adaptive: :class:`ShardAutotuner` feeds the
 ``dse.shard`` span wall-times the observability layer already records
 back into the fan-out decision, so rings too small to amortize process
 overhead stay serial and only genuinely expensive rings fan out.  Its
-decisions are a pure function of the observation history — and the
-observations themselves round-trip the checkpoint journal exactly — so
-a resumed run re-derives the same partitioning and hits every journaled
-shard key.
+thresholds come from a one-shot machine-speed measurement
+(:func:`calibration_probe` → :func:`thresholds_from_probe`) rather than
+constants tuned on one reference box.  Its decisions are a pure
+function of the calibration value and the observation history — and
+both round-trip the checkpoint journal exactly — so a resumed run
+re-derives the same partitioning and hits every journaled shard key.
 
 Nothing here depends on the executor; the functions are pure and unit
 tested in isolation.
@@ -33,16 +35,22 @@ tested in isolation.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
 from typing import TypeVar
 
 __all__ = [
+    "DEFAULT_MIN_FANOUT_SECONDS",
+    "DEFAULT_TARGET_SHARD_SECONDS",
+    "REFERENCE_PROBE_SECONDS",
     "ShardAutotuner",
+    "calibration_probe",
     "effective_shards",
     "ring_bounds",
     "ring_ranges",
     "round_robin",
+    "thresholds_from_probe",
 ]
 
 T = TypeVar("T")
@@ -102,6 +110,68 @@ def ring_ranges(total: int, shards: int) -> list[tuple[int, int]]:
     return ranges
 
 
+#: Fallback thresholds when no calibration measurement is supplied —
+#: the values PR 7 tuned on the reference container.
+DEFAULT_TARGET_SHARD_SECONDS = 0.05
+DEFAULT_MIN_FANOUT_SECONDS = 0.1
+
+#: What :func:`calibration_probe` measures on the machine the default
+#: thresholds were tuned on.  The ratio ``probe / reference`` scales the
+#: thresholds on faster/slower machines.
+REFERENCE_PROBE_SECONDS = 0.01
+
+# Clamp for the calibration scale factor: a wildly slow probe (swapping,
+# cold interpreter) must not push the thresholds into never-fan-out
+# territory, nor a fast one into fanning out sub-millisecond rings.
+_PROBE_SCALE_MIN = 0.25
+_PROBE_SCALE_MAX = 8.0
+
+# Fixed integer workload sized to ~REFERENCE_PROBE_SECONDS on the
+# reference machine.
+_PROBE_ITERATIONS = 120_000
+
+
+def calibration_probe(iterations: int = _PROBE_ITERATIONS) -> float:
+    """Measure this machine's speed on a fixed integer workload.
+
+    Returns the wall-clock seconds one deterministic pure-Python loop
+    takes — the same flavor of work (small-int arithmetic) the scalar
+    candidate scan does, so the measurement transfers.  The *workload*
+    is deterministic; the *measurement* is of course machine- and
+    moment-dependent, which is why the executor journals it: autotune
+    decisions must be a pure function of recorded history.
+    """
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    acc = 0
+    start = time.perf_counter()
+    for i in range(iterations):
+        acc += i * i % 97
+    elapsed = time.perf_counter() - start
+    # A zero measurement (clock granularity) would collapse the scale
+    # clamp; floor it at one microsecond.
+    return max(elapsed, 1e-6)
+
+
+def thresholds_from_probe(probe_seconds: float) -> tuple[float, float]:
+    """Derive ``(target_shard_seconds, min_fanout_seconds)`` from a probe.
+
+    The PR 7 constants encode "process dispatch costs ~X seconds of
+    useful scan work" on the reference machine; on a slower or
+    oversubscribed machine dispatch costs proportionally more wall
+    time, so both thresholds scale linearly with the probe ratio,
+    clamped to one order of magnitude around the reference.
+    """
+    if probe_seconds <= 0:
+        raise ValueError(f"probe_seconds must be > 0, got {probe_seconds}")
+    scale = probe_seconds / REFERENCE_PROBE_SECONDS
+    scale = min(_PROBE_SCALE_MAX, max(_PROBE_SCALE_MIN, scale))
+    return (
+        DEFAULT_TARGET_SHARD_SECONDS * scale,
+        DEFAULT_MIN_FANOUT_SECONDS * scale,
+    )
+
+
 @dataclass
 class ShardAutotuner:
     """Cost-adaptive shard granularity for the ring fan-out.
@@ -115,21 +185,41 @@ class ShardAutotuner:
     clears ``min_fanout_seconds``; when it does fan out, it sizes shards
     to roughly ``target_shard_seconds`` apiece (capped at ``jobs``).
 
+    Thresholds left at ``None`` are derived from ``calibration`` (a
+    :func:`calibration_probe` measurement, normally replayed from the
+    checkpoint journal) via :func:`thresholds_from_probe`, falling back
+    to the reference-machine defaults when no measurement is supplied.
+    Explicit threshold values always win.
+
     Determinism contract: decisions depend only on ``jobs``, the
-    thresholds, and the sequence of :meth:`observe` calls.  The executor
-    feeds ``observe`` exclusively from shard-output wall times, which
-    the checkpoint journal round-trips exactly (JSON float round-trip is
-    identity), so a resumed run replays the same observations and
-    re-derives identical shard ranges — a requirement for journal keys
+    resolved thresholds, and the sequence of :meth:`observe` calls.  The
+    executor feeds ``observe`` exclusively from shard-output wall times
+    and ``calibration`` from a journaled probe record — both of which
+    the checkpoint journal round-trips exactly (JSON float round-trip
+    is identity) — so a resumed run replays the same inputs and
+    re-derives identical shard ranges, a requirement for journal keys
     to match.
     """
 
     jobs: int
-    target_shard_seconds: float = 0.05
-    min_fanout_seconds: float = 0.1
+    target_shard_seconds: float | None = None
+    min_fanout_seconds: float | None = None
+    calibration: float | None = None
     observed_candidates: int = 0
     observed_seconds: float = 0.0
     autotuned: int = 0
+
+    def __post_init__(self) -> None:
+        if self.target_shard_seconds is None or self.min_fanout_seconds is None:
+            if self.calibration is not None:
+                target, fanout = thresholds_from_probe(self.calibration)
+            else:
+                target = DEFAULT_TARGET_SHARD_SECONDS
+                fanout = DEFAULT_MIN_FANOUT_SECONDS
+            if self.target_shard_seconds is None:
+                self.target_shard_seconds = target
+            if self.min_fanout_seconds is None:
+                self.min_fanout_seconds = fanout
 
     def observe(self, candidates: int, seconds: float) -> None:
         """Record a completed ring: ``candidates`` scanned in ``seconds``."""

@@ -72,6 +72,8 @@ def execute_job(
         stop=stop, on_progress=on_progress,
     )
     try:
+        if spec.task == "parametric":
+            return _execute_parametric(spec, algorithm, cache, common)
         if spec.task == "schedule":
             result = explore_schedule(
                 algorithm, opts["space"], method=opts["method"], **common
@@ -105,4 +107,82 @@ def execute_job(
         result=encode_result(spec.task, result),
         telemetry=result.stats.to_dict(),
         cache_hit=result.stats.cache_hits > 0,
+    )
+
+
+def _execute_parametric(spec, algorithm, cache, common) -> JobOutcome:
+    """Answer a parametric job from its compiled symbolic artifact.
+
+    The artifact (a :class:`repro.symbolic.SymbolicSolution`) is fetched
+    from — or compiled once into — the server's result cache, keyed by
+    the compile parameters *without* the answered size; any size inside
+    the certified range is then an O(1) polynomial evaluation with no
+    search shards at all.  A size outside the certificate falls back to
+    the ordinary journaled enumerative search, so the service's answer
+    contract (equal to a direct engine run) holds everywhere.
+    """
+    from ..symbolic import (
+        compile_schedule,
+        family_from_algorithm,
+        load_or_compile,
+        schedule_compile_params,
+    )
+
+    opts = spec.options
+    family = family_from_algorithm(algorithm)
+    size = algorithm.index_set.mu[0]
+    params = schedule_compile_params(
+        algorithm.dependence_matrix.tolist(), opts["space"],
+        method=opts["method"], mu_range=opts["mu_range"],
+    )
+    solution, compiled = load_or_compile(
+        lambda: compile_schedule(
+            family, opts["space"],
+            method=opts["method"], mu_range=opts["mu_range"],
+        ),
+        params,
+        cache,
+    )
+    answer = solution.eval(size)
+    if answer is None:
+        logger.info(
+            "mu=%d outside the certified range %s; falling back to "
+            "enumeration", size, [solution.mu_lo, solution.mu_hi],
+        )
+        result = explore_schedule(
+            algorithm, opts["space"], method=opts["method"], **common
+        )
+        encoded = encode_result("schedule", result)
+        encoded["task"] = "parametric"
+        encoded["mode"] = "enumerative-fallback"
+        return JobOutcome(
+            state="done",
+            result=encoded,
+            telemetry=result.stats.to_dict(),
+            cache_hit=result.stats.cache_hits > 0,
+        )
+    result = {
+        "task": "parametric",
+        "mode": "symbolic",
+        "found": answer.found,
+        "mu": size,
+        "interval": list(answer.interval),
+    }
+    if answer.found:
+        result["pi"] = list(answer.pi)
+        result["total_time"] = answer.total_time
+    telemetry = {
+        "symbolic": True,
+        "compiled": compiled,
+        "compile_samples": solution.samples,
+        "intervals": len(solution.intervals),
+        "shards_dispatched": 0,
+        "cache_hits": 0 if compiled else 1,
+        "cache_misses": 1 if compiled else 0,
+    }
+    return JobOutcome(
+        state="done",
+        result=result,
+        telemetry=telemetry,
+        cache_hit=not compiled,
     )

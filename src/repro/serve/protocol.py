@@ -16,18 +16,26 @@ Spec shape (fields beyond these are rejected — a service front door is
 strict)::
 
     {
-      "task": "schedule" | "space" | "joint",
+      "task": "schedule" | "space" | "joint" | "parametric",
       "algorithm": "matmul" | {"mu": [...], "dependence": [[...]], "name": "..."},
       "mu": [6],                  # named algorithms only
       "word_bits": 2,             # named bit-level algorithms only
-      "space": [[1, 1, -1]],      # schedule task
-      "method": "auto",           # schedule task
+      "space": [[1, 1, -1]],      # schedule + parametric tasks
+      "method": "auto",           # schedule + parametric tasks
+      "mu_range": [1, 16],        # parametric task (certified size range)
       "pi": [1, 6, 1],            # space task
       "array_dim": 1, "magnitude": 1, "keep_ranking": 10,   # space/joint
       "time_weight": 1.0, "space_weight": 1.0,              # joint
       "jobs": 2,                  # worker processes (capped by the server)
       "tenant": "default"
     }
+
+A ``parametric`` job is a schedule search answered through the
+:mod:`repro.symbolic` design compiler: the compiled artifact is keyed
+by the compile parameters *without* the concrete size (so every size
+shares one artifact), while the job digest appends the size being
+answered (so answers stay distinct jobs).  The algorithm's bounds must
+be uniform — one ``mu`` is the whole point.
 
 ``jobs`` and ``tenant`` never enter the digest: execution strategy is
 invisible in the result, so it must be invisible in the identity too.
@@ -64,7 +72,7 @@ __all__ = [
     "encode_result",
 ]
 
-TASKS = ("schedule", "space", "joint")
+TASKS = ("schedule", "space", "joint", "parametric")
 
 #: Lifecycle of a job.  ``interrupted`` is non-terminal on purpose: a
 #: restarting server re-enqueues interrupted jobs and resumes them from
@@ -85,7 +93,13 @@ _TASK_KEYS = {
         "array_dim", "magnitude", "keep_ranking",
         "time_weight", "space_weight",
     },
+    "parametric": {"space", "method", "mu_range"},
 }
+
+#: Front-door ceiling on a parametric job's certified range: compile
+#: cost grows with the largest enumerated size, and a service must not
+#: let one request buy an unbounded amount of compute.
+MAX_SYMBOLIC_MU = 64
 
 
 def _require_int(payload: dict, key: str, default: int, minimum: int) -> int:
@@ -131,6 +145,17 @@ class JobSpec:
     def run_params(self, algorithm: UniformDependenceAlgorithm) -> dict:
         """The engine's canonical run-parameter record for this job."""
         opts = self.options
+        if self.task == "parametric":
+            # Lazy: repro.symbolic pulls in the whole compiler stack.
+            from ..symbolic import schedule_compile_params
+
+            params = schedule_compile_params(
+                algorithm.dependence_matrix.tolist(), opts["space"],
+                method=opts["method"], mu_range=opts["mu_range"],
+            )
+            # The compile artifact is shared across sizes; the *job* is
+            # one answered size, so the digest appends it.
+            return {**params, "eval_mu": algorithm.index_set.mu[0]}
         if self.task == "schedule":
             return schedule_run_params(
                 algorithm, opts["space"], method=opts["method"]
@@ -169,7 +194,7 @@ class JobSpec:
             },
             "options": {
                 k: ([list(r) for r in v] if k == "space"
-                    else list(v) if k == "pi" else v)
+                    else list(v) if k in ("pi", "mu_range") else v)
                 for k, v in self.options.items()
             },
             "tenant": self.tenant,
@@ -190,6 +215,8 @@ class JobSpec:
             options["space"] = tuple(tuple(r) for r in options["space"])
         if "pi" in options:
             options["pi"] = tuple(options["pi"])
+        if "mu_range" in options:
+            options["mu_range"] = tuple(options["mu_range"])
         return cls(
             task=data["task"], algorithm_spec=algo_spec, options=options,
             tenant=data.get("tenant", "default"), jobs=data.get("jobs"),
@@ -227,6 +254,31 @@ def _as_mu_list(mu) -> list:
             f"'mu' must be an integer or a list, got {type(mu).__name__}"
         )
     return mu
+
+
+def _parametric_range(payload: dict) -> tuple[int, int]:
+    """Validate the ``mu_range`` field of a parametric job."""
+    from ..symbolic import DEFAULT_MU_RANGE
+
+    value = payload.get("mu_range", list(DEFAULT_MU_RANGE))
+    if (
+        not isinstance(value, list) or len(value) != 2
+        or any(isinstance(v, bool) or not isinstance(v, int) for v in value)
+    ):
+        raise SpecShapeError(
+            f"'mu_range' must be a [lo, hi] pair of integers, got {value!r}"
+        )
+    lo, hi = value
+    if not 1 <= lo <= hi:
+        raise SpecShapeError(
+            f"'mu_range' needs 1 <= lo <= hi, got [{lo}, {hi}]"
+        )
+    if hi > MAX_SYMBOLIC_MU:
+        raise SpecShapeError(
+            f"'mu_range' upper bound {hi} exceeds the service cap "
+            f"{MAX_SYMBOLIC_MU}"
+        )
+    return (lo, hi)
 
 
 def parse_job_spec(payload) -> JobSpec:
@@ -273,9 +325,9 @@ def parse_job_spec(payload) -> JobSpec:
 
     n = algo.n
     options: dict = {}
-    if task == "schedule":
+    if task in ("schedule", "parametric"):
         if "space" not in payload:
-            raise SpecShapeError("task 'schedule' needs a 'space' field")
+            raise SpecShapeError(f"task {task!r} needs a 'space' field")
         options["space"] = validate_space(payload["space"], n)
         method = payload.get("method", "auto")
         if method not in _METHODS:
@@ -283,6 +335,13 @@ def parse_job_spec(payload) -> JobSpec:
                 f"'method' must be one of {list(_METHODS)}, got {method!r}"
             )
         options["method"] = method
+        if task == "parametric":
+            if len(set(algo.index_set.mu)) != 1:
+                raise SpecShapeError(
+                    "task 'parametric' needs uniform bounds (one size "
+                    f"parameter), got mu={list(algo.index_set.mu)}"
+                )
+            options["mu_range"] = _parametric_range(payload)
     else:
         if task == "space":
             if "pi" not in payload:

@@ -1,0 +1,171 @@
+"""Exact rational polynomials in the size parameter ``mu``.
+
+The symbolic compiler represents every optimal-design quantity (schedule
+components, total time, cost metrics) as a polynomial in ``mu`` with
+``fractions.Fraction`` coefficients.  Everything here is exact: fitting
+is Newton interpolation over rationals, evaluation is Horner over
+rationals, and integer results are demanded to *be* integers — there is
+no floating point anywhere, so a fitted expression can be verified
+bit-for-bit against the enumerative search.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from fractions import Fraction
+
+__all__ = ["RationalPoly", "fit_polynomial", "poly_from_samples"]
+
+
+def _trim(coeffs: Sequence[Fraction]) -> tuple[Fraction, ...]:
+    out = list(coeffs)
+    while out and out[-1] == 0:
+        out.pop()
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class RationalPoly:
+    """A polynomial ``c0 + c1*mu + c2*mu^2 + ...`` over the rationals.
+
+    ``coeffs`` is low-degree-first with no trailing zeros; the zero
+    polynomial has an empty tuple.  Instances are immutable and
+    hashable, and compare by exact coefficient equality.
+    """
+
+    coeffs: tuple[Fraction, ...]
+
+    @classmethod
+    def from_coeffs(cls, coeffs: Sequence) -> "RationalPoly":
+        return cls(_trim([Fraction(c) for c in coeffs]))
+
+    @classmethod
+    def constant(cls, value) -> "RationalPoly":
+        return cls.from_coeffs([value])
+
+    @property
+    def degree(self) -> int:
+        """Degree of the polynomial (``-1`` for the zero polynomial)."""
+        return len(self.coeffs) - 1
+
+    @property
+    def is_constant(self) -> bool:
+        return len(self.coeffs) <= 1
+
+    def __call__(self, mu) -> Fraction:
+        acc = Fraction(0)
+        for c in reversed(self.coeffs):
+            acc = acc * mu + c
+        return acc
+
+    def eval_int(self, mu: int) -> int:
+        """Evaluate at an integer ``mu``, demanding an integer result.
+
+        Raises :class:`ValueError` on a fractional value — the caller
+        (the solution evaluator) treats that as "not certified here"
+        rather than rounding.
+        """
+        value = self(mu)
+        if value.denominator != 1:
+            raise ValueError(
+                f"{self} is not integral at mu={mu} (value {value})"
+            )
+        return int(value)
+
+    # -- serialization ---------------------------------------------------
+
+    def to_list(self) -> list[list[int]]:
+        """JSON form: ``[[numerator, denominator], ...]`` low-degree first."""
+        return [[c.numerator, c.denominator] for c in self.coeffs]
+
+    @classmethod
+    def from_list(cls, data: Sequence[Sequence[int]]) -> "RationalPoly":
+        return cls.from_coeffs([Fraction(int(n), int(d)) for n, d in data])
+
+    def __str__(self) -> str:
+        if not self.coeffs:
+            return "0"
+        terms = []
+        for power in range(len(self.coeffs) - 1, -1, -1):
+            c = self.coeffs[power]
+            if c == 0:
+                continue
+            mag = abs(c)
+            if power == 0:
+                body = str(mag)
+            else:
+                var = "mu" if power == 1 else f"mu^{power}"
+                body = var if mag == 1 else f"{mag}*{var}"
+            if not terms:
+                terms.append(body if c > 0 else f"-{body}")
+            else:
+                terms.append(f"+ {body}" if c > 0 else f"- {body}")
+        return " ".join(terms)
+
+
+def _interpolate(points: Sequence[tuple[int, Fraction]]) -> RationalPoly:
+    """Exact Newton interpolation through all ``points``."""
+    xs = [Fraction(x) for x, _ in points]
+    ys = [Fraction(y) for _, y in points]
+    if len(set(xs)) != len(xs):
+        raise ValueError("interpolation points must have distinct mu values")
+    coef = ys[:]
+    n = len(points)
+    for j in range(1, n):
+        for i in range(n - 1, j - 1, -1):
+            coef[i] = (coef[i] - coef[i - 1]) / (xs[i] - xs[i - j])
+    # Expand the Newton form into monomial coefficients.
+    poly = [Fraction(0)] * n
+    basis = [Fraction(1)]  # (x - x0)(x - x1)... accumulated
+    for j in range(n):
+        for k, c in enumerate(basis):
+            poly[k] += coef[j] * c
+        grown = [Fraction(0)] * (len(basis) + 1)
+        for k, c in enumerate(basis):
+            grown[k] -= c * xs[j]
+            grown[k + 1] += c
+        basis = grown
+    return RationalPoly.from_coeffs(poly)
+
+
+def fit_polynomial(
+    points: Sequence[tuple[int, int]], max_degree: int
+) -> RationalPoly | None:
+    """Fit an exact polynomial of degree <= ``max_degree``, or ``None``.
+
+    Interpolates through the first ``max_degree + 1`` points and demands
+    the result reproduce every remaining point exactly; any mismatch
+    means the data is not polynomial of that degree and ``None`` is
+    returned (the interval compiler then splits the range instead).
+    """
+    if max_degree < 0:
+        raise ValueError(f"max_degree must be >= 0, got {max_degree}")
+    if not points:
+        raise ValueError("at least one sample point is required")
+    window = list(points[: max_degree + 1])
+    poly = _interpolate([(x, Fraction(y)) for x, y in window])
+    for x, y in points[max_degree + 1 :]:
+        if poly(x) != y:
+            return None
+    return poly
+
+
+def poly_from_samples(fn, max_degree: int, *, probe_at: int = 1) -> RationalPoly:
+    """Recover the polynomial a black-box integer function computes.
+
+    Samples ``fn`` at ``max_degree + 2`` consecutive integers starting
+    at ``probe_at`` and fits; the extra point cross-checks that ``fn``
+    really is polynomial of degree <= ``max_degree`` over the probes.
+    Used by the CLI to turn ``--pi "mu+1"`` expressions into exact
+    :class:`RationalPoly` objects.
+    """
+    xs = list(range(probe_at, probe_at + max_degree + 2))
+    points = [(x, int(fn(x))) for x in xs]
+    poly = fit_polynomial(points, max_degree)
+    if poly is None:
+        raise ValueError(
+            f"expression is not a polynomial of degree <= {max_degree} "
+            f"on mu in [{xs[0]}, {xs[-1]}]"
+        )
+    return poly

@@ -1,0 +1,281 @@
+"""Symbolic solution records: piecewise-polynomial optimal designs.
+
+A :class:`SymbolicSolution` is the output of one compiler run: the
+problem-size axis ``[mu_lo, mu_hi]`` cut into :class:`ValidityInterval`
+pieces, each carrying the exact polynomial expressions (in ``mu``) for
+the enumerative optimum on that piece — the winning schedule vector, the
+total execution time and, for space/joint tasks, the space mapping rows
+and the cost sheet.  Evaluating the record at a concrete ``mu`` inside a
+certified interval is O(1) polynomial arithmetic and reproduces the
+enumerative search bit-for-bit (winner, time, tie-break order), because
+the compiler only certifies an interval after the fitted polynomials
+matched real search runs at its endpoints and sampled interior points.
+
+Outside the certified range — or at any point where a polynomial fails
+to evaluate to an integer — :meth:`SymbolicSolution.eval` returns
+``None`` and the caller falls back to plain enumeration.  The record
+never guesses.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from .poly import RationalPoly
+
+__all__ = ["SymbolicAnswer", "SymbolicSolution", "ValidityInterval"]
+
+#: Cost-sheet metric names, in serialization order.
+COST_FIELDS = ("processors", "wire_length", "buffers", "total_time")
+
+
+def _polys_to_json(polys: Sequence[RationalPoly]) -> list[list[list[int]]]:
+    return [p.to_list() for p in polys]
+
+
+def _polys_from_json(data: Sequence) -> tuple[RationalPoly, ...]:
+    return tuple(RationalPoly.from_list(entry) for entry in data)
+
+
+@dataclass(frozen=True)
+class ValidityInterval:
+    """One certified piece ``mu in [lo, hi]`` of a symbolic solution.
+
+    ``found=False`` intervals record that the search provably finds no
+    design there (e.g. degenerate sizes); their expression fields are
+    all ``None``.  ``verified`` lists the concrete ``mu`` values at
+    which the expressions were checked against a real enumerative run —
+    always including both endpoints.
+    """
+
+    lo: int
+    hi: int
+    found: bool
+    pi: tuple[RationalPoly, ...] | None = None
+    total_time: RationalPoly | None = None
+    space: tuple[tuple[RationalPoly, ...], ...] | None = None
+    cost: tuple[RationalPoly, ...] | None = None  # COST_FIELDS order
+    verified: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+        if self.found and self.total_time is None and self.cost is None:
+            raise ValueError("a found interval needs expressions")
+
+    def contains(self, mu: int) -> bool:
+        return self.lo <= mu <= self.hi
+
+    def to_dict(self) -> dict:
+        data: dict = {"lo": self.lo, "hi": self.hi, "found": self.found,
+                      "verified": list(self.verified)}
+        if self.pi is not None:
+            data["pi"] = _polys_to_json(self.pi)
+        if self.total_time is not None:
+            data["total_time"] = self.total_time.to_list()
+        if self.space is not None:
+            data["space"] = [_polys_to_json(row) for row in self.space]
+        if self.cost is not None:
+            data["cost"] = _polys_to_json(self.cost)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ValidityInterval":
+        return cls(
+            lo=int(data["lo"]),
+            hi=int(data["hi"]),
+            found=bool(data["found"]),
+            pi=(_polys_from_json(data["pi"]) if "pi" in data else None),
+            total_time=(
+                RationalPoly.from_list(data["total_time"])
+                if "total_time" in data
+                else None
+            ),
+            space=(
+                tuple(_polys_from_json(row) for row in data["space"])
+                if "space" in data
+                else None
+            ),
+            cost=(_polys_from_json(data["cost"]) if "cost" in data else None),
+            verified=tuple(int(v) for v in data.get("verified", ())),
+        )
+
+
+@dataclass(frozen=True)
+class SymbolicAnswer:
+    """A concrete design obtained by evaluating a symbolic solution.
+
+    The same facts an enumerative run would report, minus the search:
+    ``pi``/``total_time`` for schedule answers, plus ``space``/``cost``/
+    ``objective`` for space and joint answers.  ``interval`` names the
+    certified piece that produced the answer.
+    """
+
+    task: str
+    mu: int
+    interval: tuple[int, int]
+    found: bool
+    pi: tuple[int, ...] | None = None
+    total_time: int | None = None
+    space: tuple[tuple[int, ...], ...] | None = None
+    cost: dict[str, int] | None = None
+    objective: float | None = None
+
+    def to_dict(self) -> dict:
+        data: dict = {
+            "task": self.task,
+            "mu": self.mu,
+            "interval": list(self.interval),
+            "found": self.found,
+        }
+        if self.pi is not None:
+            data["pi"] = list(self.pi)
+        if self.total_time is not None:
+            data["total_time"] = self.total_time
+        if self.space is not None:
+            data["space"] = [list(row) for row in self.space]
+        if self.cost is not None:
+            data["cost"] = dict(self.cost)
+        if self.objective is not None:
+            data["objective"] = self.objective
+        return data
+
+
+@dataclass(frozen=True)
+class SymbolicSolution:
+    """A compiled, certified parametric design: solve once, serve any size.
+
+    ``task`` is ``"schedule"``, ``"space"`` or ``"joint"``; ``family``
+    names the algorithm family; ``params`` is the JSON-able compile
+    input (dependence matrix, space rows or search weights, method) —
+    the same dict whose canonical digest keys the solution cache.
+    ``samples`` counts the enumerative searches the compiler ran, the
+    honest price of the certificate.
+    """
+
+    task: str
+    family: str
+    mu_lo: int
+    mu_hi: int
+    params: dict = field(compare=False)
+    intervals: tuple[ValidityInterval, ...] = ()
+    samples: int = 0
+    compile_seconds: float = 0.0
+
+    def interval_for(self, mu: int) -> ValidityInterval | None:
+        for interval in self.intervals:
+            if interval.contains(mu):
+                return interval
+        return None
+
+    def eval(self, mu: int) -> SymbolicAnswer | None:
+        """O(1) answer at ``mu``, or ``None`` when not certified there.
+
+        ``None`` means "fall back to enumeration": ``mu`` is outside
+        ``[mu_lo, mu_hi]``, in a gap between intervals, or a fitted
+        expression failed to evaluate to an integer (which would
+        contradict the certificate, so the record refuses to answer).
+        """
+        if not isinstance(mu, int) or mu < self.mu_lo or mu > self.mu_hi:
+            return None
+        interval = self.interval_for(mu)
+        if interval is None:
+            return None
+        span = (interval.lo, interval.hi)
+        if not interval.found:
+            return SymbolicAnswer(task=self.task, mu=mu, interval=span,
+                                  found=False)
+        try:
+            pi = (
+                tuple(p.eval_int(mu) for p in interval.pi)
+                if interval.pi is not None
+                else None
+            )
+            total_time = (
+                interval.total_time.eval_int(mu)
+                if interval.total_time is not None
+                else None
+            )
+            space = (
+                tuple(
+                    tuple(p.eval_int(mu) for p in row)
+                    for row in interval.space
+                )
+                if interval.space is not None
+                else None
+            )
+            cost = (
+                dict(zip(
+                    COST_FIELDS,
+                    (p.eval_int(mu) for p in interval.cost),
+                ))
+                if interval.cost is not None
+                else None
+            )
+        except ValueError:
+            return None
+        objective = self._objective(cost)
+        return SymbolicAnswer(
+            task=self.task,
+            mu=mu,
+            interval=span,
+            found=True,
+            pi=pi,
+            total_time=total_time,
+            space=space,
+            cost=cost,
+            objective=objective,
+        )
+
+    def _objective(self, cost: dict[str, int] | None) -> float | None:
+        """Recompute the search's ranking objective from the cost sheet.
+
+        Stored weights, not stored objectives: the objective is a pure
+        function of the cost metrics, so evaluating it at answer time
+        keeps it consistent with the cost polynomials by construction.
+        """
+        if cost is None:
+            return None
+        if self.task == "joint":
+            tw = float(self.params.get("time_weight", 1.0))
+            sw = float(self.params.get("space_weight", 1.0))
+            return tw * cost["total_time"] + sw * (
+                cost["processors"] + cost["wire_length"]
+            )
+        # Space task: Problem 6.1's default criterion (PEs + wire).
+        return float(cost["processors"] + cost["wire_length"])
+
+    @property
+    def coverage(self) -> int:
+        """How many integer sizes in ``[mu_lo, mu_hi]`` are certified."""
+        return sum(iv.hi - iv.lo + 1 for iv in self.intervals)
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "task": self.task,
+            "family": self.family,
+            "mu_lo": self.mu_lo,
+            "mu_hi": self.mu_hi,
+            "params": dict(self.params),
+            "intervals": [iv.to_dict() for iv in self.intervals],
+            "samples": self.samples,
+            "compile_seconds": self.compile_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SymbolicSolution":
+        return cls(
+            task=str(data["task"]),
+            family=str(data["family"]),
+            mu_lo=int(data["mu_lo"]),
+            mu_hi=int(data["mu_hi"]),
+            params=dict(data["params"]),
+            intervals=tuple(
+                ValidityInterval.from_dict(entry)
+                for entry in data["intervals"]
+            ),
+            samples=int(data.get("samples", 0)),
+            compile_seconds=float(data.get("compile_seconds", 0.0)),
+        )

@@ -1,0 +1,179 @@
+"""Calibrated autotuner thresholds and their journal round-trip.
+
+The `ShardAutotuner` no longer hard-codes the 0.05s/0.1s thresholds
+tuned on one reference machine: the executor measures this machine once
+(`calibration_probe`), derives the thresholds (`thresholds_from_probe`)
+and journals the measurement, so autotune decisions stay a pure
+function of recorded history — a resumed run replays the journaled
+probe and re-derives identical shard ranges.
+"""
+
+import json
+
+import pytest
+
+from repro.dse import executor as executor_mod
+from repro.dse.executor import explore_schedule
+from repro.dse.partition import (
+    DEFAULT_MIN_FANOUT_SECONDS,
+    DEFAULT_TARGET_SHARD_SECONDS,
+    REFERENCE_PROBE_SECONDS,
+    ShardAutotuner,
+    calibration_probe,
+    thresholds_from_probe,
+)
+from repro.model import matrix_multiplication
+
+SPACE = [[1, 1, -1]]
+
+
+class TestCalibrationProbe:
+    def test_returns_positive_seconds(self):
+        assert calibration_probe() > 0
+
+    def test_tiny_workload_is_floored_not_zero(self):
+        assert calibration_probe(iterations=1) > 0
+
+    def test_rejects_nonpositive_iterations(self):
+        with pytest.raises(ValueError):
+            calibration_probe(iterations=0)
+
+
+class TestThresholdsFromProbe:
+    def test_reference_probe_reproduces_the_defaults(self):
+        target, fanout = thresholds_from_probe(REFERENCE_PROBE_SECONDS)
+        assert target == DEFAULT_TARGET_SHARD_SECONDS
+        assert fanout == DEFAULT_MIN_FANOUT_SECONDS
+
+    def test_slower_machine_raises_both_thresholds(self):
+        target, fanout = thresholds_from_probe(REFERENCE_PROBE_SECONDS * 4)
+        assert target == DEFAULT_TARGET_SHARD_SECONDS * 4
+        assert fanout == DEFAULT_MIN_FANOUT_SECONDS * 4
+
+    def test_scale_is_clamped_both_ways(self):
+        slow_t, slow_f = thresholds_from_probe(REFERENCE_PROBE_SECONDS * 1000)
+        assert slow_t == DEFAULT_TARGET_SHARD_SECONDS * 8.0
+        assert slow_f == DEFAULT_MIN_FANOUT_SECONDS * 8.0
+        fast_t, fast_f = thresholds_from_probe(REFERENCE_PROBE_SECONDS / 1000)
+        assert fast_t == DEFAULT_TARGET_SHARD_SECONDS * 0.25
+        assert fast_f == DEFAULT_MIN_FANOUT_SECONDS * 0.25
+
+    def test_rejects_nonpositive_probe(self):
+        with pytest.raises(ValueError):
+            thresholds_from_probe(0.0)
+
+    def test_pure_function(self):
+        probe = 0.037
+        assert thresholds_from_probe(probe) == thresholds_from_probe(probe)
+
+
+class TestAutotunerCalibration:
+    def test_calibration_derives_thresholds(self):
+        tuner = ShardAutotuner(jobs=4, calibration=REFERENCE_PROBE_SECONDS * 2)
+        assert tuner.target_shard_seconds == DEFAULT_TARGET_SHARD_SECONDS * 2
+        assert tuner.min_fanout_seconds == DEFAULT_MIN_FANOUT_SECONDS * 2
+
+    def test_no_calibration_keeps_reference_defaults(self):
+        tuner = ShardAutotuner(jobs=4)
+        assert tuner.target_shard_seconds == DEFAULT_TARGET_SHARD_SECONDS
+        assert tuner.min_fanout_seconds == DEFAULT_MIN_FANOUT_SECONDS
+
+    def test_explicit_thresholds_beat_calibration(self):
+        tuner = ShardAutotuner(
+            jobs=4,
+            target_shard_seconds=1.0,
+            min_fanout_seconds=2.0,
+            calibration=REFERENCE_PROBE_SECONDS * 8,
+        )
+        assert tuner.target_shard_seconds == 1.0
+        assert tuner.min_fanout_seconds == 2.0
+
+    def test_same_calibration_same_decisions(self):
+        a = ShardAutotuner(jobs=4, calibration=0.02)
+        b = ShardAutotuner(jobs=4, calibration=0.02)
+        decisions = []
+        for tuner in (a, b):
+            seq = []
+            for total, secs in [(100, 0.5), (400, 2.0), (50, 0.001)]:
+                seq.append(tuner.shards_for(total))
+                tuner.observe(total, secs)
+            decisions.append(seq)
+        assert decisions[0] == decisions[1]
+
+
+def calibration_records(path):
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            rec = json.loads(line).get("rec", {})
+            if rec.get("kind") == "shard" and "seconds" in rec.get("out", {}):
+                records.append(rec)
+    return records
+
+
+class TestJournaledCalibration:
+    def test_checkpointed_run_journals_the_probe_once(self, tmp_path):
+        ckpt = tmp_path / "run.ckpt"
+        explore_schedule(
+            matrix_multiplication(3), SPACE, jobs=1, checkpoint=ckpt
+        )
+        records = calibration_records(ckpt)
+        assert len(records) == 1
+        assert records[0]["out"]["seconds"] > 0
+
+    def test_resume_replays_the_journaled_probe(self, tmp_path, monkeypatch):
+        from repro.dse.checkpoint import BudgetExceeded, RunBudget
+
+        ckpt = tmp_path / "run.ckpt"
+        algo = matrix_multiplication(3)
+        # Interrupt after one ring so the journal holds the probe but no
+        # final result — the resume then actually re-enters the ring loop.
+        with pytest.raises(BudgetExceeded):
+            explore_schedule(
+                algo, SPACE, jobs=1, checkpoint=ckpt,
+                budget=RunBudget(max_shards=1),
+            )
+        recorded = calibration_records(ckpt)[0]["out"]["seconds"]
+        uninterrupted = explore_schedule(algo, SPACE, jobs=1)
+
+        # A resumed run must *use* the journaled measurement, not
+        # remeasure: poison the probe to prove it is never called.
+        def boom():  # pragma: no cover - would fail the test if reached
+            raise AssertionError("resume must not re-run the probe")
+
+        monkeypatch.setattr(executor_mod, "calibration_probe", boom)
+        monkeypatch.setattr(executor_mod, "_process_calibration", None)
+        seen = {}
+        orig = ShardAutotuner.__init__
+
+        def spy(self, *args, **kwargs):
+            seen["calibration"] = kwargs.get("calibration")
+            return orig(self, *args, **kwargs)
+
+        monkeypatch.setattr(ShardAutotuner, "__init__", spy)
+        resumed = explore_schedule(
+            algo, SPACE, jobs=1, checkpoint=ckpt, resume=True
+        )
+        assert resumed == uninterrupted
+        assert seen["calibration"] == recorded
+
+    def test_journal_keeps_one_probe_across_resumes(self, tmp_path):
+        ckpt = tmp_path / "run.ckpt"
+        algo = matrix_multiplication(3)
+        explore_schedule(algo, SPACE, jobs=1, checkpoint=ckpt)
+        explore_schedule(algo, SPACE, jobs=1, checkpoint=ckpt, resume=True)
+        assert len(calibration_records(ckpt)) == 1
+
+    def test_uncheckpointed_runs_probe_once_per_process(self, monkeypatch):
+        calls = {"n": 0}
+
+        def counting_probe():
+            calls["n"] += 1
+            return 0.01
+
+        monkeypatch.setattr(executor_mod, "calibration_probe", counting_probe)
+        monkeypatch.setattr(executor_mod, "_process_calibration", None)
+        algo = matrix_multiplication(2)
+        explore_schedule(algo, SPACE, jobs=1)
+        explore_schedule(algo, SPACE, jobs=1)
+        assert calls["n"] == 1

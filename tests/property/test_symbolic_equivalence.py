@@ -1,0 +1,130 @@
+"""Property tests: symbolic answers are bit-identical to enumeration.
+
+The symbolic compiler's contract is that ``SymbolicSolution.eval(mu)``
+inside a certified interval reproduces the enumerative search exactly —
+the same winner (which *is* the search's documented tie-break
+selection: the head of the sorted tie set), the same total time, the
+same found/not-found verdict.  These properties pin that on the paper's
+two worked examples, Example 5.1 (matrix multiplication mapped by
+``S = [1, 1, -1]``) and Example 5.2 (transitive closure mapped by
+``S = [0, 0, 1]``), with sizes drawn from the certified range.
+"""
+
+from functools import lru_cache
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.optimize import find_all_optima, procedure_5_1
+from repro.core.space_optimize import joint_objective, solve_joint_optimal
+from repro.model import matrix_multiplication, transitive_closure
+from repro.symbolic import (
+    compile_joint,
+    compile_schedule,
+    family_from_algorithm,
+)
+
+MU_LO, MU_HI = 1, 10
+
+#: (family seed, space mapping) of the paper's worked examples.
+EXAMPLES = {
+    "example-5.1": (matrix_multiplication, [[1, 1, -1]]),
+    "example-5.2": (transitive_closure, [[0, 0, 1]]),
+}
+
+
+@lru_cache(maxsize=None)
+def compiled_schedule(example: str):
+    maker, space = EXAMPLES[example]
+    family = family_from_algorithm(maker(4))
+    solution = compile_schedule(family, space, mu_range=(MU_LO, MU_HI))
+    return family, space, solution
+
+
+@lru_cache(maxsize=None)
+def compiled_joint(example: str):
+    maker, _ = EXAMPLES[example]
+    family = family_from_algorithm(maker(4))
+    solution = compile_joint(family, mu_range=(2, 8))
+    return family, solution
+
+
+class TestScheduleEquivalence:
+    @given(st.sampled_from(sorted(EXAMPLES)), st.integers(MU_LO, MU_HI))
+    @settings(max_examples=30, deadline=None)
+    def test_eval_matches_procedure_5_1(self, example, mu):
+        family, space, solution = compiled_schedule(example)
+        answer = solution.eval(mu)
+        result = procedure_5_1(family.algorithm(mu), space)
+        assert answer is not None, "size inside the range must be certified"
+        assert answer.found == result.found
+        if result.found:
+            assert answer.pi == tuple(result.schedule.pi)
+            assert answer.total_time == result.total_time
+
+    @given(st.sampled_from(sorted(EXAMPLES)), st.integers(2, MU_HI))
+    @settings(max_examples=15, deadline=None)
+    def test_winner_heads_the_tie_order(self, example, mu):
+        """The symbolic winner is the *first* co-optimal schedule in the
+        search's documented sort order — tie-break preserved, not just
+        some optimum."""
+        family, space, solution = compiled_schedule(example)
+        ties = find_all_optima(family.algorithm(mu), space)
+        assert ties, "both examples have optima at every size >= 2"
+        assert solution.eval(mu).pi == tuple(ties[0].schedule.pi)
+        # ... and it really is optimal: no tie has a smaller time.
+        assert all(
+            t.total_time == solution.eval(mu).total_time for t in ties
+        )
+
+    @given(st.integers(MU_LO, MU_HI))
+    @settings(max_examples=10, deadline=None)
+    def test_interval_membership_is_consistent(self, mu):
+        _, _, solution = compiled_schedule("example-5.1")
+        interval = solution.interval_for(mu)
+        assert interval is not None and interval.contains(mu)
+        assert solution.eval(mu).interval == (interval.lo, interval.hi)
+
+
+class TestJointEquivalence:
+    @given(st.sampled_from(sorted(EXAMPLES)), st.integers(2, 8))
+    @settings(max_examples=10, deadline=None)
+    def test_eval_matches_solve_joint_optimal(self, example, mu):
+        family, solution = compiled_joint(example)
+        answer = solution.eval(mu)
+        result = solve_joint_optimal(family.algorithm(mu))
+        assert answer is not None and answer.found and result.found
+        best = result.best
+        assert answer.pi == tuple(best.mapping.schedule)
+        assert answer.space == tuple(
+            tuple(int(x) for x in row) for row in best.mapping.space
+        )
+        cost = best.cost
+        assert answer.cost == {
+            "processors": cost.processors,
+            "wire_length": cost.wire_length,
+            "buffers": cost.buffers,
+            "total_time": cost.total_time,
+        }
+        assert answer.objective == joint_objective(cost)
+
+
+class TestCertificateHonesty:
+    @given(st.integers(1, 3))
+    @settings(max_examples=3, deadline=None)
+    def test_outside_the_range_refuses_to_answer(self, delta):
+        _, _, solution = compiled_schedule("example-5.1")
+        assert solution.eval(MU_HI + delta) is None
+        assert solution.eval(MU_LO - delta) is None
+
+    def test_every_interval_endpoint_was_verified(self):
+        for example in EXAMPLES:
+            _, _, solution = compiled_schedule(example)
+            for interval in solution.intervals:
+                assert interval.lo in interval.verified
+                assert interval.hi in interval.verified
+
+    def test_coverage_is_total(self):
+        for example in EXAMPLES:
+            _, _, solution = compiled_schedule(example)
+            assert solution.coverage == MU_HI - MU_LO + 1

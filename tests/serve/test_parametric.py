@@ -1,0 +1,123 @@
+"""Parametric jobs: the serve layer answering any size from one compile.
+
+A ``parametric`` job routes a schedule search through the
+:mod:`repro.symbolic` design compiler.  The compiled artifact is keyed
+by the compile parameters *without* the concrete size, so after the
+first job pays for the compile, any other size inside the certified
+range is answered from cache by O(1) polynomial evaluation — no search
+shards at all.  Sizes outside the certificate fall back to the ordinary
+journaled enumerative search.
+"""
+
+import sys
+
+import pytest
+
+from repro.core.optimize import procedure_5_1
+from repro.model import matrix_multiplication
+from repro.model.validate import SpecError
+from repro.serve.protocol import MAX_SYMBOLIC_MU, parse_job_spec
+
+from .conftest import ServerProc
+
+pytestmark = pytest.mark.skipif(
+    sys.platform == "win32", reason="POSIX signal handling required"
+)
+
+
+def parametric_spec(mu, mu_range=(1, 12)):
+    return {
+        "task": "parametric", "algorithm": "matmul", "mu": [mu],
+        "space": [[1, 1, -1]], "mu_range": list(mu_range),
+    }
+
+
+class TestParametricSpec:
+    def test_defaults_normalize(self):
+        spec = parse_job_spec({
+            "task": "parametric", "algorithm": "matmul", "mu": [6],
+            "space": [[1, 1, -1]],
+        })
+        assert spec.options["method"] == "auto"
+        assert spec.options["mu_range"] == (1, 16)
+
+    def test_digest_separates_sizes_but_not_strategy(self):
+        a = parse_job_spec(parametric_spec(6))
+        b = parse_job_spec(parametric_spec(9))
+        c = parse_job_spec({**parametric_spec(6), "jobs": 4})
+        assert a.digest != b.digest          # different answered size
+        assert a.digest == c.digest          # execution strategy invisible
+
+    def test_compile_identity_is_shared_across_sizes(self):
+        a = parse_job_spec(parametric_spec(6))
+        b = parse_job_spec(parametric_spec(9))
+        pa = a.run_params(a.build_algorithm())
+        pb = b.run_params(b.build_algorithm())
+        assert pa.pop("eval_mu") == 6
+        assert pb.pop("eval_mu") == 9
+        assert pa == pb                      # same compiled artifact
+
+    def test_round_trips_the_job_record(self):
+        spec = parse_job_spec(parametric_spec(6))
+        rebuilt = type(spec).from_dict(spec.to_dict())
+        assert rebuilt.options == spec.options
+        assert rebuilt.digest == spec.digest
+
+    @pytest.mark.parametrize("mu_range", [
+        [0, 5], [7, 3], [1], "1:5", [1, MAX_SYMBOLIC_MU + 1], [1, True],
+    ])
+    def test_bad_ranges_are_rejected(self, mu_range):
+        with pytest.raises(SpecError):
+            parse_job_spec({**parametric_spec(6), "mu_range": mu_range})
+
+    def test_non_uniform_size_is_rejected(self):
+        with pytest.raises(SpecError) as excinfo:
+            parse_job_spec({
+                "task": "parametric", "algorithm": "convolution",
+                "mu": [2, 5], "space": [[1, 1]],
+            })
+        assert "uniform" in str(excinfo.value)
+
+
+class TestParametricService:
+    def test_unseen_size_is_answered_from_cache_with_no_shards(self, tmp_path):
+        proc = ServerProc(tmp_path / "state", cache_dir=tmp_path / "cache")
+        try:
+            client = proc.client()
+            first = client.submit(parametric_spec(6))
+            done = client.wait(first["id"])
+            assert done["state"] == "done"
+            assert done["result"]["mode"] == "symbolic"
+            assert done["telemetry"]["compiled"] is True
+
+            # A size never seen before: answered purely from the
+            # compiled artifact — no compile, no search shards.
+            second = client.submit(parametric_spec(9))
+            assert second["id"] != first["id"]
+            done2 = client.wait(second["id"])
+            assert done2["result"]["mode"] == "symbolic"
+            assert done2["telemetry"]["compiled"] is False
+            assert done2["telemetry"]["shards_dispatched"] == 0
+            events = list(client.events(second["id"]))
+            assert not any(e["event"] == "shard_done" for e in events)
+
+            # Bit-identical to the enumerative engine.
+            direct = procedure_5_1(matrix_multiplication(9), [[1, 1, -1]])
+            assert tuple(done2["result"]["pi"]) == tuple(direct.schedule.pi)
+            assert done2["result"]["total_time"] == direct.total_time
+        finally:
+            proc.stop()
+
+    def test_size_outside_the_certificate_falls_back(self, tmp_path):
+        proc = ServerProc(tmp_path / "state", cache_dir=tmp_path / "cache")
+        try:
+            client = proc.client()
+            record = client.submit(parametric_spec(9, mu_range=(1, 6)))
+            done = client.wait(record["id"])
+            assert done["state"] == "done"
+            assert done["result"]["mode"] == "enumerative-fallback"
+            direct = procedure_5_1(matrix_multiplication(9), [[1, 1, -1]])
+            assert tuple(done["result"]["pi"]) == tuple(direct.schedule.pi)
+            assert done["result"]["total_time"] == direct.total_time
+        finally:
+            proc.stop()

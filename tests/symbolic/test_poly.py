@@ -1,0 +1,84 @@
+"""Unit tests for the exact rational polynomial layer."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.symbolic import RationalPoly, fit_polynomial, poly_from_samples
+
+
+class TestRationalPoly:
+    def test_trailing_zeros_are_trimmed(self):
+        p = RationalPoly.from_coeffs([1, 2, 0, 0])
+        assert p.coeffs == (Fraction(1), Fraction(2))
+        assert p.degree == 1
+
+    def test_zero_polynomial(self):
+        p = RationalPoly.from_coeffs([0, 0])
+        assert p.coeffs == ()
+        assert p.degree == -1
+        assert p(17) == 0
+        assert str(p) == "0"
+
+    def test_constant(self):
+        p = RationalPoly.constant(5)
+        assert p.is_constant and p(99) == 5
+
+    def test_horner_evaluation_is_exact(self):
+        # mu^2 + 2 mu + 1 at mu = 10**6 — far past float precision.
+        p = RationalPoly.from_coeffs([1, 2, 1])
+        m = 10**6
+        assert p(m) == m * m + 2 * m + 1
+
+    def test_eval_int_demands_integrality(self):
+        half = RationalPoly.from_coeffs([Fraction(1, 2)])
+        with pytest.raises(ValueError):
+            half.eval_int(3)
+        assert RationalPoly.from_coeffs([Fraction(1, 2), Fraction(1, 2)]).eval_int(3) == 2
+
+    def test_serialization_round_trip(self):
+        p = RationalPoly.from_coeffs([Fraction(3, 2), -1, Fraction(0), 4])
+        assert RationalPoly.from_list(p.to_list()) == p
+
+    def test_hashable_and_comparable(self):
+        a = RationalPoly.from_coeffs([1, 2])
+        b = RationalPoly.from_coeffs([1, 2])
+        assert a == b and hash(a) == hash(b)
+
+    def test_str_rendering(self):
+        p = RationalPoly.from_coeffs([-2, 0, 1])
+        assert str(p) == "mu^2 - 2"
+        assert str(RationalPoly.from_coeffs([0, -1])) == "-mu"
+        assert str(RationalPoly.from_coeffs([Fraction(1, 2), 1])) == "mu + 1/2"
+
+
+class TestFitPolynomial:
+    def test_exact_fit(self):
+        points = [(m, m * m + 2 * m + 1) for m in range(1, 7)]
+        p = fit_polynomial(points, 2)
+        assert p == RationalPoly.from_coeffs([1, 2, 1])
+
+    def test_mismatch_returns_none(self):
+        points = [(1, 1), (2, 4), (3, 9), (4, 17)]  # last point off by one
+        assert fit_polynomial(points, 2) is None
+
+    def test_underdetermined_window_uses_lower_degree(self):
+        assert fit_polynomial([(3, 7)], 2) == RationalPoly.constant(7)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            fit_polynomial([], 2)
+        with pytest.raises(ValueError):
+            fit_polynomial([(1, 1)], -1)
+        with pytest.raises(ValueError):
+            fit_polynomial([(1, 1), (1, 2)], 1)  # duplicate mu
+
+
+class TestPolyFromSamples:
+    def test_recovers_a_quadratic(self):
+        p = poly_from_samples(lambda m: 3 * m * m - m + 2, 2)
+        assert p == RationalPoly.from_coeffs([2, -1, 3])
+
+    def test_rejects_non_polynomial(self):
+        with pytest.raises(ValueError):
+            poly_from_samples(lambda m: 2**m, 2)
