@@ -46,6 +46,11 @@ JOINT_CASES = [
 JOB_COUNTS = [2, 4]
 BATCH_SPEEDUP_BAR = 3.0
 BATCH_SPEEDUP_CASE = "example-5.1-matmul-mu6"
+# Combinatorial bar for the symmetry + LP-ring-bound pruning layer:
+# with both prunes on, the matmul mu=6 search must compute at least 2x
+# fewer exact conflict screens than the unpruned seed scan — while
+# returning a bit-identical result.
+PRUNING_REDUCTION_BAR = 2.0
 
 
 def usable_cores() -> int:
@@ -139,6 +144,47 @@ def bench_joint_case(name, make_algo, cores) -> dict:
     return record
 
 
+def bench_pruning_reduction() -> dict:
+    """Candidates-examined reduction from symmetry + ring-bound pruning.
+
+    The work measure is ``stats.conflict_screens`` — exact conflict
+    decisions actually computed, the funnel's expensive stage — because
+    it is execution-strategy-independent and directly counts what the
+    pruning layer exists to avoid.  The pruned search must stay
+    bit-identical to the seed scan (result *and* deterministic
+    counters) while clearing the ``PRUNING_REDUCTION_BAR``.
+    """
+    algo = matrix_multiplication(6)
+    space = [[1, 1, -1]]
+
+    seed_t, seed = _timed(
+        lambda: procedure_5_1(algo, space, symmetry=False, ring_bound=False)
+    )
+    pruned_t, pruned = _timed(lambda: procedure_5_1(algo, space))
+    assert pruned == seed, "pruning-reduction: pruned result diverged"
+    assert pruned.stats.counter_dict() == seed.stats.counter_dict(), (
+        "pruning-reduction: deterministic counters diverged"
+    )
+    assert pruned.stats.orbits_collapsed > 0, (
+        "pruning-reduction: symmetry collapsing never fired"
+    )
+    reduction = seed.stats.conflict_screens / max(
+        pruned.stats.conflict_screens, 1
+    )
+    return {
+        "case": "pruning-reduction-matmul-mu6",
+        "seed_s": seed_t,
+        "pruned_s": pruned_t,
+        "seed_conflict_screens": seed.stats.conflict_screens,
+        "pruned_conflict_screens": pruned.stats.conflict_screens,
+        "orbits_collapsed": pruned.stats.orbits_collapsed,
+        "candidates_skipped": pruned.stats.candidates_skipped,
+        "rings_bounded_out": pruned.stats.rings_bounded_out,
+        "reduction": reduction,
+        "bar": PRUNING_REDUCTION_BAR,
+    }
+
+
 def bench_trace_overhead() -> dict:
     """The observability tax, measured both ways.
 
@@ -230,6 +276,7 @@ def main() -> int:
     records += [bench_joint_case(*case, cores) for case in JOINT_CASES]
     overhead = bench_trace_overhead()
     ckpt_overhead = bench_checkpoint_overhead()
+    pruning = bench_pruning_reduction()
 
     payload = {
         "benchmark": "dse-parallel-cache",
@@ -238,6 +285,7 @@ def main() -> int:
         "records": records,
         "trace_overhead": overhead,
         "checkpoint_overhead": ckpt_overhead,
+        "pruning_reduction": pruning,
     }
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
 
@@ -305,6 +353,20 @@ def main() -> int:
     )
     if ckpt_overhead["overhead_ratio"] > 0.03:
         print("FAIL: checkpoint journaling costs more than 3%", file=sys.stderr)
+        ok = False
+    print(
+        f"pruning reduction: {pruning['reduction']:.2f}x fewer conflict "
+        f"screens ({pruning['seed_conflict_screens']} -> "
+        f"{pruning['pruned_conflict_screens']}; "
+        f"{pruning['orbits_collapsed']} orbit member(s) rehydrated, "
+        f"{pruning['rings_bounded_out']} ring(s) bounded out)"
+    )
+    if pruning["reduction"] < PRUNING_REDUCTION_BAR:
+        print(
+            f"FAIL: pruning reduction {pruning['reduction']:.2f}x under the "
+            f"{PRUNING_REDUCTION_BAR:.0f}x bar",
+            file=sys.stderr,
+        )
         ok = False
     print(f"\nwrote {OUTPUT}")
     if not ok:

@@ -39,6 +39,7 @@ from .conditions import ConditionVerdict, check_conflict_free
 from .conflict import batch_distinct_image_counts
 from .mapping import MappingMatrix
 from .schedule import LinearSchedule
+from .symmetry import SymmetryGroup, symmetry_group_for
 
 __all__ = [
     "BatchCandidateScanner",
@@ -278,6 +279,20 @@ class BatchCandidateScanner:
 
     Only valid where :func:`batch_supported` holds; the screen *is* the
     exact conflict decider there.
+
+    Two optional pruners ride on top without changing any stage code:
+
+    * ``symmetry`` — a :class:`repro.core.symmetry.SymmetryGroup`; each
+      chunk is canonicalized to orbit representatives, only fresh
+      representatives run the funnel, and every member's stage is
+      rehydrated from the representative's memoized result (valid
+      because the group construction certifies stage invariance).
+    * ``min_feasible_f`` — an LP-relaxation lower bound on the budget of
+      any conflict-free candidate
+      (:func:`repro.core.ilp_formulation.schedule_lower_bound`);
+      dependence/rank survivors below it are assigned
+      :data:`STAGE_CONFLICT` directly, which is exactly the verdict the
+      skipped screen would have computed.
     """
 
     def __init__(
@@ -287,6 +302,8 @@ class BatchCandidateScanner:
         *,
         method: str = "auto",
         batch_size: int | None = None,
+        symmetry: SymmetryGroup | None = None,
+        min_feasible_f: int | None = None,
     ) -> None:
         self.algorithm = algorithm
         self.space_rows = tuple(as_intvec(row) for row in space)
@@ -297,6 +314,15 @@ class BatchCandidateScanner:
         self.batch_size = size
         self.batches_evaluated = 0
         self.fastpath_promotions = 0
+        self.orbits_collapsed = 0
+        self.candidates_skipped = 0
+        self.conflict_screens = 0
+        self.symmetry = (
+            symmetry if symmetry is not None and symmetry.order > 1 else None
+        )
+        self.min_feasible_f = min_feasible_f
+        self._orbit_memo: dict[tuple[int, ...], str] = {}
+        self._mu_arr = np.array([int(m) for m in algorithm.mu], dtype=np.int64)
         self.n = algorithm.n
         self.k = len(self.space_rows) + 1
         points = 1
@@ -359,6 +385,28 @@ class BatchCandidateScanner:
 
     def _stages_for_chunk(self, chunk: np.ndarray) -> list[str]:
         self.batches_evaluated += 1
+        if self.symmetry is None:
+            return self._evaluate_rows(chunk)
+        # Orbit collapse: evaluate each fresh representative once, then
+        # rehydrate every member's stage from the memo.  Representatives
+        # share the member's budget f (mu-compatibility), so memo entries
+        # are only ever hit within their own ring.
+        keys = [tuple(row) for row in self.symmetry.canonicalize_rows(chunk).tolist()]
+        memo = self._orbit_memo
+        fresh: list[tuple[int, ...]] = []
+        fresh_seen: set[tuple[int, ...]] = set()
+        for key in keys:
+            if key not in memo and key not in fresh_seen:
+                fresh_seen.add(key)
+                fresh.append(key)
+        if fresh:
+            stages = self._evaluate_rows(np.array(fresh, dtype=np.int64))
+            for key, stage in zip(fresh, stages):
+                memo[key] = stage
+        self.orbits_collapsed += len(keys) - len(fresh)
+        return [memo[key] for key in keys]
+
+    def _evaluate_rows(self, chunk: np.ndarray) -> list[str]:
         m = len(chunk)
         stages = [STAGE_DEPS] * m
         if self._dep_mat is None:
@@ -386,6 +434,19 @@ class BatchCandidateScanner:
             for i in survivors:
                 stages[i] = STAGE_OK
             return stages
+        if self.min_feasible_f is not None:
+            # Budgets below the LP bound cannot be conflict-free; assign
+            # the screen's inevitable verdict without running it.
+            f_vals = np.abs(chunk[survivors]) @ self._mu_arr
+            below = f_vals < self.min_feasible_f
+            if below.any():
+                for i in survivors[below]:
+                    stages[i] = STAGE_CONFLICT
+                self.candidates_skipped += int(below.sum())
+                survivors = survivors[~below]
+                if survivors.size == 0:
+                    return stages
+        self.conflict_screens += int(survivors.size)
         if not self._conflict_ready:
             self._prepare_conflict()
         assert self._pts is not None and self._fixed is not None
@@ -457,6 +518,8 @@ def procedure_5_1(
     extra_constraint: Callable[[MappingMatrix], bool] | None = None,
     batch: bool = True,
     batch_size: int | None = None,
+    symmetry: bool = True,
+    ring_bound: bool = True,
 ) -> SearchResult:
     """Find the time-optimal conflict-free schedule for a fixed ``S``.
 
@@ -495,6 +558,20 @@ def procedure_5_1(
     batch_size:
         Candidates per vectorized batch (default
         :data:`DEFAULT_BATCH_SIZE`, memory-capped per chunk).
+    symmetry:
+        Collapse candidates related by the funnel's signed-permutation
+        symmetry group (:mod:`repro.core.symmetry`) onto one orbit
+        representative each (the default).  Only applied for the exact
+        conflict deciders (``method="auto"``/``"exact"``); the result —
+        winner, verdict, tie set and every deterministic counter — is
+        bit-identical either way, only the work changes.
+    ring_bound:
+        Skip conflict screens for candidates whose budget sits below
+        the LP-relaxation lower bound of the co-rank-1 disjunctive
+        programs (:func:`repro.core.ilp_formulation.schedule_lower_bound`),
+        the default.  LP failures degrade to "no bound, scan normally"
+        and are recorded as a ``ring_bound_failed`` trace event; results
+        are bit-identical with the flag on or off.
 
     Notes
     -----
@@ -513,9 +590,27 @@ def procedure_5_1(
     )
     disabled_reason = batch_disabled_reason(method, max_bound) if batch else None
     use_batch = batch and disabled_reason is None
+    group: SymmetryGroup | None = None
+    if symmetry and method in ("auto", "exact"):
+        candidate_group = symmetry_group_for(algorithm, space_rows)
+        if candidate_group.order > 1:
+            group = candidate_group
+    min_f: int | None = None
+    bound_reason: str | None = None
+    if ring_bound:
+        # Lazy import: repro.core.ilp_formulation pulls in repro.ilp
+        # (scipy) which plain enumerative searches don't need.
+        from .ilp_formulation import schedule_lower_bound
+
+        min_f, bound_reason = schedule_lower_bound(algorithm, space_rows)
     scanner = (
         BatchCandidateScanner(
-            algorithm, space_rows, method=method, batch_size=batch_size
+            algorithm,
+            space_rows,
+            method=method,
+            batch_size=batch_size,
+            symmetry=group,
+            min_feasible_f=min_f,
         )
         if use_batch
         else None
@@ -541,15 +636,25 @@ def procedure_5_1(
         initial_bound=initial_bound,
         max_bound=max_bound,
         batch=use_batch,
+        symmetry_order=group.order if group is not None else 1,
+        ring_bound=min_f,
     )
     if disabled_reason is not None:
         root.set(batch_disabled_reason=disabled_reason)
+    scalar_memo: dict[tuple[int, ...], str] = {}
     with root:
         while x_prev < max_bound and result is None:
+            f_hi = min(x, max_bound)
             ring_span = tracer.span(
-                "core.ring", ring=rings, f_min=x_prev + 1, f_max=min(x, max_bound)
+                "core.ring", ring=rings, f_min=x_prev + 1, f_max=f_hi
             )
             with ring_span:
+                if rings == 0 and bound_reason is not None:
+                    tracer.event("ring_bound_failed", reason=bound_reason)
+                    ring_span.set(ring_bound_failed=bound_reason)
+                if min_f is not None and f_hi < min_f:
+                    stats.rings_bounded_out += 1
+                    ring_span.set(bounded_out=True)
                 if scanner is not None:
                     winner = _scan_ring_batched(
                         scanner,
@@ -559,7 +664,7 @@ def procedure_5_1(
                         method,
                         extra_constraint,
                         f_min=x_prev + 1,
-                        f_max=min(x, max_bound),
+                        f_max=f_hi,
                         stats=stats,
                         examined=examined,
                     )
@@ -572,9 +677,12 @@ def procedure_5_1(
                         method,
                         extra_constraint,
                         f_min=x_prev + 1,
-                        f_max=min(x, max_bound),
+                        f_max=f_hi,
                         stats=stats,
                         examined=examined,
+                        symmetry=group,
+                        min_f=min_f,
+                        memo=scalar_memo,
                     )
                 examined, ring_size, found = winner
                 ring_span.set(candidates=ring_size)
@@ -608,6 +716,9 @@ def procedure_5_1(
     if scanner is not None:
         stats.batches_evaluated = scanner.batches_evaluated
         stats.fastpath_promotions = scanner.fastpath_promotions
+        stats.orbits_collapsed += scanner.orbits_collapsed
+        stats.candidates_skipped += scanner.candidates_skipped
+        stats.conflict_screens += scanner.conflict_screens
     # stats is shared with the result; the frozen dataclass holds the
     # reference, so deriving wall_time from the span after construction
     # is visible to callers.
@@ -631,15 +742,75 @@ def _scan_ring_scalar(
     f_max: int,
     stats: SearchStats,
     examined: int,
+    symmetry: SymmetryGroup | None = None,
+    min_f: int | None = None,
+    memo: dict[tuple[int, ...], str] | None = None,
 ) -> tuple[int, int, _RingWinner | None]:
-    """One-ring scalar scan; returns (examined, ring size, winner)."""
+    """One-ring scalar scan; returns (examined, ring size, winner).
+
+    With ``symmetry`` each orbit representative is judged once and the
+    outcome replayed for every member; with ``min_f`` the conflict
+    screen is skipped (verdict "conflict" pre-assigned) below the LP
+    bound.  Both replicate the unpruned loop's counters exactly.
+    """
     ring: list[LinearSchedule] = [
         LinearSchedule(pi=pi, index_set=algorithm.index_set)
         for pi in enumerate_schedule_vectors(mu, f_max, f_min=f_min)
     ]
     stats.candidates_enumerated += len(ring)
     ring.sort(key=LinearSchedule.sort_key)
+    use_sym = symmetry is not None and symmetry.order > 1
+    if memo is None:
+        memo = {}
+
+    def judge(pi: tuple[int, ...]) -> str:
+        sched = LinearSchedule(pi=pi, index_set=algorithm.index_set)
+        if not sched.respects(algorithm):
+            return STAGE_DEPS
+        t_rep = MappingMatrix(space=space_rows, schedule=pi)
+        if t_rep.rank() != k:
+            return STAGE_RANK
+        if min_f is not None and sched.f < min_f:
+            stats.candidates_skipped += 1
+            return STAGE_CONFLICT
+        stats.conflict_screens += 1
+        holds = check_conflict_free(t_rep, mu, method=method).holds
+        return STAGE_OK if holds else STAGE_CONFLICT
+
     for cand in ring:
+        if use_sym:
+            assert symmetry is not None
+            rep = symmetry.canonicalize(cand.pi)
+            outcome = memo.get(rep)
+            if outcome is None:
+                outcome = judge(rep)
+                memo[rep] = outcome
+            else:
+                stats.orbits_collapsed += 1
+            if outcome == STAGE_DEPS:
+                stats.candidates_pruned += 1
+                continue
+            examined += 1
+            if outcome == STAGE_RANK:
+                stats.candidates_pruned += 1
+                continue
+            stats.candidates_checked += 1
+            if outcome == STAGE_CONFLICT:
+                stats.conflicts_rejected += 1
+                continue
+            # The orbit representative is conflict-free, hence (by the
+            # group's stage invariance) so is this member; its own
+            # verdict object is still computed so the returned result is
+            # the very one the unpruned loop produces.
+            t = MappingMatrix(space=space_rows, schedule=cand.pi)
+            stats.conflict_screens += 1
+            verdict = check_conflict_free(t, mu, method=method)
+            if not verdict.holds:  # pragma: no cover - orbit invariance
+                stats.conflicts_rejected += 1
+                continue
+            if extra_constraint is not None and not extra_constraint(t):
+                continue
+            return examined, len(ring), (cand, t, verdict)
         if not cand.respects(algorithm):
             stats.candidates_pruned += 1
             continue
@@ -649,6 +820,13 @@ def _scan_ring_scalar(
             stats.candidates_pruned += 1
             continue
         stats.candidates_checked += 1
+        if min_f is not None and cand.f < min_f:
+            # The LP bound proves the screen would reject; record the
+            # rejection it would have produced.
+            stats.candidates_skipped += 1
+            stats.conflicts_rejected += 1
+            continue
+        stats.conflict_screens += 1
         verdict = check_conflict_free(t, mu, method=method)
         if not verdict.holds:
             stats.conflicts_rejected += 1
@@ -728,6 +906,12 @@ def find_all_optima(
     Each returned result carries its *own* :class:`SearchStats` copy
     (same counter values — one search was performed); mutating one
     result's telemetry never leaks into its siblings.
+
+    The tie sweep honors the same ``symmetry`` keyword as
+    :func:`procedure_5_1`: orbits whose representative fails the
+    conflict screen are dismissed wholesale, while every *surviving*
+    member still gets its own verdict object — the returned tie list is
+    bit-identical to the unpruned sweep, in the same sort-key order.
     """
     first = procedure_5_1(algorithm, space, method=method, **kwargs)
     if not first.found:
@@ -735,6 +919,12 @@ def find_all_optima(
     mu = algorithm.mu
     space_rows = tuple(as_intvec(row) for row in space)
     k = len(space_rows) + 1
+    group: SymmetryGroup | None = None
+    if kwargs.get("symmetry", True) and method in ("auto", "exact"):
+        candidate_group = symmetry_group_for(algorithm, space_rows)
+        if candidate_group.order > 1:
+            group = candidate_group
+    rep_holds: dict[tuple[int, ...], bool] = {}
     best_f = first.schedule.f
     ties = [
         LinearSchedule(pi=pi, index_set=algorithm.index_set)
@@ -748,8 +938,19 @@ def find_all_optima(
         t = MappingMatrix(space=space_rows, schedule=cand.pi)
         if t.rank() != k:
             continue
+        if group is not None:
+            rep = group.canonicalize(cand.pi)
+            holds = rep_holds.get(rep)
+            if holds is None:
+                rep_t = MappingMatrix(space=space_rows, schedule=rep)
+                holds = check_conflict_free(rep_t, mu, method=method).holds
+                rep_holds[rep] = holds
+            if not holds:
+                continue
         verdict = check_conflict_free(t, mu, method=method)
         if not verdict.holds:
+            # Unreachable when group pre-screened the orbit (invariance);
+            # the ordinary rejection path otherwise.
             continue
         results.append(
             SearchResult(

@@ -299,6 +299,12 @@ def evaluate_joint_candidate(
     Status is ``"conflict"`` when no conflict-free schedule exists in
     the search bound, ``"routing"`` when the winner is unroutable, else
     ``"ok"``.  Shared by :func:`solve_joint_optimal` and the engine.
+
+    ``schedule_kwargs`` reaches the inner Procedure 5.1 verbatim, so
+    the pruning switches (``symmetry``/``ring_bound``) apply here too —
+    by default every per-candidate schedule search runs with orbit
+    collapsing and the LP ring bound on, which is safe because both are
+    result-preserving (the judged status and design never change).
     """
     kwargs = schedule_kwargs or {}
     search = procedure_5_1(algorithm, space, **kwargs)

@@ -41,11 +41,18 @@ __all__ = ["ResultCache", "canonical_key", "default_cache_dir"]
 # key components are rendered as IntMat digests instead of nested lists.
 # v3: entries carry a content checksum (``"crc"``) so silent on-disk
 # corruption that still parses as JSON is detected and quarantined.
-CACHE_SCHEMA_VERSION = 3
+# v4: schedule run params grew the pruning switches ("symmetry",
+# "ring_bound"), so every schedule key changed — a run with pruning on
+# and one with pruning off are distinct queries and must never answer
+# each other from cache.
+CACHE_SCHEMA_VERSION = 4
 
-# v2 entries differ from v3 only by the absence of the checksum, so they
-# stay readable (no checksum to verify) instead of forcing a cold cache.
-_READABLE_SCHEMAS = (2, CACHE_SCHEMA_VERSION)
+# v2 entries differ from v3+ only by the absence of the checksum, so
+# they stay readable (no checksum to verify) instead of forcing a cold
+# cache; v3 entries differ from v4 only by which keys can reach them
+# (pre-pruning canonical keys), so any v3 entry a v4 key *does* reach
+# is byte-compatible and stays readable too.
+_READABLE_SCHEMAS = (2, 3, CACHE_SCHEMA_VERSION)
 
 
 def default_cache_dir() -> Path:

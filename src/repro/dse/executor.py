@@ -61,6 +61,7 @@ from ..core.optimize import (
     search_bounds,
 )
 from ..core.schedule import LinearSchedule
+from ..core.symmetry import SymmetryGroup, symmetry_group_for
 from ..intlin import as_intvec
 from ..core.space_optimize import (
     SpaceDesign,
@@ -221,12 +222,20 @@ def schedule_run_params(
     alpha: int | None = None,
     initial_bound: int | None = None,
     max_bound: int | None = None,
+    symmetry: bool = True,
+    ring_bound: bool = True,
 ) -> dict:
     """Canonical run parameters of a Problem 2.2 (schedule) search.
 
     Defaults resolve exactly as :func:`explore_schedule` resolves them
     (one shared :func:`~repro.core.optimize.search_bounds`), so a
     digest computed at submission time equals the engine's.
+
+    The pruning switches (``symmetry``, ``ring_bound``) are part of the
+    run's identity even though pruning is proven result-preserving: a
+    cache or journal entry produced under one pruning configuration
+    must never answer a query made under another, so a suspect entry
+    can always be invalidated by rerunning with pruning off.
     """
     space_rows = tuple(as_intvec(row) for row in space)
     alpha, initial_bound, max_bound = search_bounds(
@@ -241,6 +250,8 @@ def schedule_run_params(
         "alpha": alpha,
         "initial_bound": initial_bound,
         "max_bound": max_bound,
+        "symmetry": bool(symmetry),
+        "ring_bound": bool(ring_bound),
     }
 
 
@@ -324,6 +335,20 @@ def _candidate_keys(
     ]
 
 
+def _shard_symmetry(payload: dict, algo: UniformDependenceAlgorithm):
+    """Rebuild the funnel symmetry group inside a worker, if enabled.
+
+    The group itself never travels in the payload (numpy matrices are
+    picklable but re-deriving is cheaper and keeps payloads JSON-ish);
+    :func:`~repro.core.symmetry.symmetry_group` is ``lru_cache``'d, so
+    each worker process pays the enumeration once per ``(mu, D, S)``.
+    """
+    if not payload.get("symmetry"):
+        return None
+    group = symmetry_group_for(algo, payload["space"])
+    return group if group.order > 1 else None
+
+
 def _scan_schedule_shard(payload: dict) -> dict:
     """Judge one shard of a schedule ring; returns per-candidate records.
 
@@ -335,6 +360,13 @@ def _scan_schedule_shard(payload: dict) -> dict:
     outcome)`` with ``sort_key = (total_time, pi)`` — the same total
     order the serial scan sorts by — so the parent can merge shards
     back into the exact serial visit sequence.
+
+    Pruning (``payload["symmetry"]`` / ``payload["min_f"]``) changes
+    only *how* a stage code is computed, never which code a candidate
+    gets — orbit members rehydrate their representative's stage, and
+    candidates whose budget sits below the LP lower bound take the
+    ``conflict`` verdict the screen would have produced — so the merged
+    record stream is identical to the unpruned one.
     """
     maybe_slow()
     algo = _algorithm_from_spec(payload["algorithm"])
@@ -345,12 +377,16 @@ def _scan_schedule_shard(payload: dict) -> dict:
     chunk = ring_candidate_array(algo.mu, f_max, f_min=f_min)[start:stop]
     records: list[tuple[tuple[int, tuple[int, ...]], str]] = []
     batches = promotions = 0
+    orbits = skipped = screens = 0
+    group = _shard_symmetry(payload, algo)
+    min_f = payload.get("min_f")
     span = _shard_span(payload, "schedule", len(chunk))
     with span:
         if payload.get("batch"):
             scanner = BatchCandidateScanner(
                 algo, space, method=method,
                 batch_size=payload.get("batch_size"),
+                symmetry=group, min_feasible_f=min_f,
             )
             keys = _candidate_keys(chunk, algo.mu)
             for offset, stages in scanner.iter_stages(chunk):
@@ -358,26 +394,54 @@ def _scan_schedule_shard(payload: dict) -> dict:
                     records.append((keys[offset + i], stage))
             batches = scanner.batches_evaluated
             promotions = scanner.fastpath_promotions
+            orbits = scanner.orbits_collapsed
+            skipped = scanner.candidates_skipped
+            screens = scanner.conflict_screens
         else:
             k = len(space) + 1
+            memo: dict[tuple[int, ...], str] = {}
             for row in chunk:
                 pi = tuple(int(v) for v in row)
                 cand = LinearSchedule(pi=pi, index_set=algo.index_set)
                 key = cand.sort_key()
+                rep = None
+                if group is not None:
+                    rep = group.canonicalize(pi)
+                    hit = memo.get(rep)
+                    if hit is not None:
+                        orbits += 1
+                        records.append((key, hit))
+                        continue
                 if not cand.respects(algo):
-                    records.append((key, _DEPS))
-                    continue
-                t = MappingMatrix(space=space, schedule=pi)
-                if t.rank() != k:
-                    records.append((key, _RANK))
-                    continue
-                if not check_conflict_free(t, algo.mu, method=method).holds:
-                    records.append((key, _CONFLICT))
-                    continue
-                records.append((key, _OK))
+                    stage = _DEPS
+                else:
+                    t = MappingMatrix(space=space, schedule=pi)
+                    if t.rank() != k:
+                        stage = _RANK
+                    elif min_f is not None and key[0] - 1 < min_f:
+                        # Below the LP lower bound no candidate can be
+                        # conflict-free: the screen's verdict, without
+                        # running the screen.
+                        skipped += 1
+                        stage = _CONFLICT
+                    else:
+                        screens += 1
+                        stage = (
+                            _OK
+                            if check_conflict_free(
+                                t, algo.mu, method=method
+                            ).holds
+                            else _CONFLICT
+                        )
+                if rep is not None:
+                    memo[rep] = stage
+                records.append((key, stage))
     out = _shard_output(span, payload, "records", records)
     out["batches"] = batches
     out["promotions"] = promotions
+    out["orbits"] = orbits
+    out["skipped"] = skipped
+    out["screens"] = screens
     return out
 
 
@@ -474,10 +538,15 @@ def _encode_schedule_out(out: dict) -> dict:
         "wall_time": out["wall_time"],
         "batches": out.get("batches", 0),
         "promotions": out.get("promotions", 0),
+        "orbits": out.get("orbits", 0),
+        "skipped": out.get("skipped", 0),
+        "screens": out.get("screens", 0),
     }
 
 
 def _decode_schedule_out(data: dict) -> dict:
+    # ``.get(..., 0)`` on the pruning telemetry keeps journals written
+    # before the pruning release replayable (they carry no such keys).
     return {
         "records": [
             ((int(key[0]), tuple(int(x) for x in key[1])), str(stage))
@@ -486,6 +555,9 @@ def _decode_schedule_out(data: dict) -> dict:
         "wall_time": data["wall_time"],
         "batches": int(data.get("batches", 0)),
         "promotions": int(data.get("promotions", 0)),
+        "orbits": int(data.get("orbits", 0)),
+        "skipped": int(data.get("skipped", 0)),
+        "screens": int(data.get("screens", 0)),
     }
 
 
@@ -624,6 +696,8 @@ def explore_schedule(
     batch: bool = True,
     batch_size: int | None = None,
     adaptive: bool = True,
+    symmetry: bool = True,
+    ring_bound: bool = True,
     cache: ResultCache | None = None,
     resilience: ResiliencePolicy | None = None,
     checkpoint: str | os.PathLike | None = None,
@@ -662,6 +736,13 @@ def explore_schedule(
         ``effective_shards`` policy (every ring cut ``jobs`` ways).
         Decisions are deterministic given the journal, so resumes
         re-derive identical shard ranges.
+    symmetry, ring_bound:
+        Result-preserving pruning, mirroring
+        :func:`repro.core.optimize.procedure_5_1`: orbit collapsing
+        under the funnel symmetry group of ``(mu, D, S)`` and the
+        LP-relaxation ring lower bound.  Unlike ``batch``, these *are*
+        part of the run's cache/journal identity (see
+        :func:`schedule_run_params`).
     cache:
         Optional persistent :class:`~repro.dse.cache.ResultCache`; hits
         skip the search and re-derive the verdict exactly.
@@ -729,7 +810,8 @@ def explore_schedule(
             algorithm, space_rows, jobs=jobs, method=method, alpha=alpha,
             initial_bound=initial_bound, max_bound=max_bound,
             extra_constraint=extra_constraint, batch=batch,
-            batch_size=batch_size, adaptive=adaptive, cache=cache,
+            batch_size=batch_size, adaptive=adaptive,
+            symmetry=symmetry, ring_bound=ring_bound, cache=cache,
             resilience=resilience, tracer=tracer,
             checkpoint=checkpoint, resume=resume, budget=budget,
             stop=stop, on_progress=on_progress,
@@ -752,6 +834,8 @@ def _explore_schedule_traced(
     batch: bool,
     batch_size: int | None,
     adaptive: bool,
+    symmetry: bool,
+    ring_bound: bool,
     cache: ResultCache | None,
     resilience: ResiliencePolicy | None,
     tracer,
@@ -764,6 +848,7 @@ def _explore_schedule_traced(
     run_params = schedule_run_params(
         algorithm, space_rows, method=method, alpha=alpha,
         initial_bound=initial_bound, max_bound=max_bound,
+        symmetry=symmetry, ring_bound=ring_bound,
     )
     cache_key = None
     if cache is not None and extra_constraint is None:
@@ -806,7 +891,8 @@ def _explore_schedule_traced(
                 jobs=jobs, method=method, alpha=alpha,
                 initial_bound=initial_bound, max_bound=max_bound,
                 extra_constraint=extra_constraint, batch=batch,
-                batch_size=batch_size, adaptive=adaptive, tracer=tracer,
+                batch_size=batch_size, adaptive=adaptive,
+                symmetry=symmetry, ring_bound=ring_bound, tracer=tracer,
             )
         if control is not None:
             stats.shards_resumed = control.shards_resumed
@@ -866,6 +952,8 @@ def _scan_rings(
     batch: bool,
     batch_size: int | None,
     adaptive: bool,
+    symmetry: bool,
+    ring_bound: bool,
     tracer,
 ) -> SearchResult:
     """The ring loop of Procedure 5.1, sharded; fills ``stats`` in place."""
@@ -880,6 +968,21 @@ def _scan_rings(
         reason = batch_disabled_reason(method, max_bound)
         stats.batch_disabled_reason = reason
         _warn_batch_disabled(reason)
+    # Pruning setup mirrors the serial procedure_5_1 exactly: orbit
+    # collapsing only under the exact conflict deciders (the paper's
+    # sufficient conditions are not syntactically symmetric), and the
+    # LP ring bound degrading to "no bound" on any solver failure.
+    group: SymmetryGroup | None = None
+    if symmetry and method in ("auto", "exact"):
+        group = symmetry_group_for(algorithm, space_rows)
+        if group.order <= 1:
+            group = None
+    min_f: int | None = None
+    bound_reason: str | None = None
+    if ring_bound:
+        from ..core.ilp_formulation import schedule_lower_bound
+
+        min_f, bound_reason = schedule_lower_bound(algorithm, space_rows)
     tuner = (
         ShardAutotuner(jobs=jobs, calibration=_calibration_seconds(control))
         if adaptive
@@ -890,10 +993,26 @@ def _scan_rings(
             control.check_ring(f_max)
         ring_span = tracer.span("dse.ring", ring=rings, f_min=f_min, f_max=f_max)
         with ring_span:
-            total = len(ring_candidate_array(mu, f_max, f_min=f_min))
+            if rings == 0 and bound_reason is not None:
+                tracer.event("ring_bound_failed", reason=bound_reason)
+                ring_span.set(ring_bound_failed=bound_reason)
+            if min_f is not None and f_max < min_f:
+                stats.rings_bounded_out += 1
+                ring_span.set(bounded_out=True)
+            ring_arr = ring_candidate_array(mu, f_max, f_min=f_min)
+            total = len(ring_arr)
             stats.candidates_enumerated += total
+            # The autotuner's work measure is orbit *representatives*
+            # when symmetry collapsing is on: shard ranges still cover
+            # every enumerated candidate (the merge needs every record),
+            # but the cost of a ring is what actually gets evaluated.
+            reps = total
+            if group is not None and total:
+                reps = len(
+                    np.unique(group.canonicalize_rows(ring_arr), axis=0)
+                )
             if tuner is not None:
-                shards = tuner.shards_for(total)
+                shards = tuner.shards_for(total, representatives=reps)
             else:
                 shards = effective_shards(total, jobs)
             max_shards = max(max_shards, shards)
@@ -907,6 +1026,8 @@ def _scan_rings(
                     "span": (start, stop),
                     "batch": use_batch,
                     "batch_size": batch_size,
+                    "symmetry": group is not None,
+                    "min_f": min_f,
                     "trace": trace,
                 }
                 for start, stop in ring_ranges(total, shards)
@@ -930,10 +1051,19 @@ def _scan_rings(
             ring_promotions = sum(out.get("promotions", 0) for out in outs)
             stats.batches_evaluated += ring_batches
             stats.fastpath_promotions += ring_promotions
+            stats.orbits_collapsed += sum(out.get("orbits", 0) for out in outs)
+            stats.candidates_skipped += sum(
+                out.get("skipped", 0) for out in outs
+            )
+            stats.conflict_screens += sum(
+                out.get("screens", 0) for out in outs
+            )
             if tuner is not None:
                 # Feed only journal-exact signals (shard wall times) so a
-                # resumed run re-derives identical shard ranges.
-                tuner.observe(total, sum(out["wall_time"] for out in outs))
+                # resumed run re-derives identical shard ranges.  The work
+                # measure matches shards_for: representatives, since those
+                # are what the shard wall time was spent on.
+                tuner.observe(reps, sum(out["wall_time"] for out in outs))
             for shard_idx, out in enumerate(outs):
                 tracer.absorb(out.get("spans"), shard=shard_idx, ring=rings)
 

@@ -228,15 +228,28 @@ class ShardAutotuner:
         self.observed_candidates += candidates
         self.observed_seconds += seconds
 
-    def shards_for(self, num_candidates: int) -> int:
-        """Shard count for the next ring of ``num_candidates``."""
+    def shards_for(
+        self, num_candidates: int, representatives: int | None = None
+    ) -> int:
+        """Shard count for the next ring of ``num_candidates``.
+
+        With symmetry collapsing, the engine deals shard *ranges* over
+        all ``num_candidates`` enumerated rows (the merge step needs a
+        record for every candidate) but only orbit representatives cost
+        evaluation work — so the cost prediction uses
+        ``representatives`` when given, while the shard-count cap stays
+        at ``num_candidates``.  The caller must then feed the same
+        measure to :meth:`observe`, keeping the rate's numerator and
+        denominator in the same unit.
+        """
+        work = num_candidates if representatives is None else representatives
         baseline = effective_shards(num_candidates, self.jobs)
         if self.observed_candidates <= 0:
             # No cost data yet: scan the first ring serially as a probe.
             decision = 1
         else:
             rate = self.observed_seconds / self.observed_candidates
-            predicted = num_candidates * rate
+            predicted = work * rate
             if predicted < self.min_fanout_seconds:
                 decision = 1
             else:

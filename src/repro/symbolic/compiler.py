@@ -426,7 +426,15 @@ def compile_schedule(
     max_degree: int = DEFAULT_MAX_DEGREE,
     interior_samples: int = DEFAULT_INTERIOR_SAMPLES,
 ) -> SymbolicSolution:
-    """Certify Procedure 5.1's optimum over ``mu in mu_range``."""
+    """Certify Procedure 5.1's optimum over ``mu in mu_range``.
+
+    Each sample runs Procedure 5.1 with its default pruning (orbit
+    collapsing + the LP ring bound) enabled: both are proven
+    result-preserving, so the sampled optima — and therefore the
+    compiled polynomial pieces and their certificates — are identical
+    to what an unpruned sampling pass would produce, just cheaper.
+    The compile-params digest is unaffected for the same reason.
+    """
     t0 = time.perf_counter()
     lo, hi = _check_range(mu_range)
     dep = _family_dependence(family, lo, hi)

@@ -36,6 +36,35 @@ class TestExploreSchedule:
         assert rc == 0
         assert len(list(tmp_path.glob("*.json"))) == 0
 
+    def test_pruning_on_by_default_and_reported(self, capsys, tmp_path):
+        rc = main([
+            "explore", "-a", "matmul", "--mu", "6", "-s", "1,1,-1",
+            "--jobs", "1", "--cache-dir", str(tmp_path),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "pruning        :" in out
+        assert "orbit member(s) rehydrated" in out
+
+    def test_no_symmetry_no_ring_bound_same_answer(self, capsys, tmp_path):
+        base_args = [
+            "explore", "-a", "matmul", "--mu", "6", "-s", "1,1,-1",
+            "--jobs", "1", "--no-cache", "--cache-dir", str(tmp_path),
+        ]
+        assert main(base_args) == 0
+        pruned_out = capsys.readouterr().out
+        assert main(base_args + ["--no-symmetry", "--no-ring-bound"]) == 0
+        plain_out = capsys.readouterr().out
+        assert "pruning        :" not in plain_out
+
+        def answer(text):
+            return [
+                line for line in text.splitlines()
+                if line.startswith(("optimal Pi", "total time"))
+            ]
+
+        assert answer(pruned_out) == answer(plain_out)
+
 
 class TestExploreSpaceAndJoint:
     def test_space_mode(self, capsys, tmp_path):

@@ -1,0 +1,130 @@
+"""Correctness sweep of the cache/stats seams the pruning layer exposes.
+
+Two seams matter.  First, the result cache and checkpoint journal key a
+search by its canonical run parameters — those must now include the
+pruning switches, so an entry produced under one pruning configuration
+can never answer a query made under another.  Second, the adaptive
+autotuner serial-probes the first ring and then feeds representative
+counts into its cost model — none of which may perturb the
+deterministic counters or double-count the probed span.
+"""
+
+import json
+
+from repro import matrix_multiplication
+from repro.core.optimize import procedure_5_1
+from repro.dse.cache import CACHE_SCHEMA_VERSION, ResultCache, canonical_key
+from repro.dse.executor import explore_schedule, schedule_run_params
+
+ALGO = matrix_multiplication(4)
+SPACE = ((1, 1, -1),)
+
+
+class TestCacheKeysEncodePruning:
+    def test_run_params_carry_the_switches(self):
+        params = schedule_run_params(ALGO, SPACE)
+        assert params["symmetry"] is True
+        assert params["ring_bound"] is True
+
+    def test_every_pruning_configuration_keys_differently(self):
+        keys = {
+            canonical_key(
+                schedule_run_params(
+                    ALGO, SPACE, symmetry=sym, ring_bound=bound
+                )
+            )
+            for sym in (True, False)
+            for bound in (True, False)
+        }
+        assert len(keys) == 4
+
+    def test_pruned_entry_never_answers_unpruned_query(self, tmp_path):
+        """The cross-contamination regression: same algorithm, same
+        space, different pruning — four cold searches, zero hits."""
+        cache = ResultCache(tmp_path)
+        pruned = explore_schedule(ALGO, SPACE, jobs=1, cache=cache)
+        assert cache.hits == 0 and cache.misses == 1
+        unpruned = explore_schedule(
+            ALGO, SPACE, jobs=1, cache=cache, symmetry=False, ring_bound=False
+        )
+        assert cache.hits == 0 and cache.misses == 2
+        assert len(cache) == 2  # two distinct entries on disk
+        assert pruned == unpruned
+
+    def test_same_configuration_still_hits(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = explore_schedule(ALGO, SPACE, jobs=1, cache=cache)
+        warm = explore_schedule(ALGO, SPACE, jobs=1, cache=cache)
+        assert cache.hits == 1
+        assert warm == cold
+
+    def test_v3_schema_entry_still_readable(self, tmp_path):
+        """Read-compat: a pre-bump entry reachable under a v4 key (same
+        value layout, older schema stamp) must serve, not miss."""
+        cache = ResultCache(tmp_path)
+        key = canonical_key(schedule_run_params(ALGO, SPACE))
+        cold = explore_schedule(ALGO, SPACE, jobs=1, cache=cache)
+        path = tmp_path / f"{key}.json"
+        entry = json.loads(path.read_text())
+        assert entry["schema"] == CACHE_SCHEMA_VERSION == 4
+        entry["schema"] = 3
+        path.write_text(json.dumps(entry))
+        warm = explore_schedule(ALGO, SPACE, jobs=1, cache=cache)
+        assert cache.hits == 1
+        assert warm == cold
+
+    def test_journal_keys_encode_pruning(self, tmp_path):
+        """A checkpoint written with pruning on cannot be resumed by a
+        run with pruning off: the run keys differ."""
+        import pytest
+
+        from repro.dse.checkpoint import CheckpointError
+
+        journal = tmp_path / "run.jsonl"
+        explore_schedule(ALGO, SPACE, jobs=1, checkpoint=journal)
+        with pytest.raises(CheckpointError):
+            explore_schedule(
+                ALGO, SPACE, jobs=1, checkpoint=journal, resume=True,
+                symmetry=False, ring_bound=False,
+            )
+
+
+class TestAutotunerAccounting:
+    """The serial-probe ring must be counted exactly once."""
+
+    def test_adaptive_counts_equal_serial(self):
+        serial = procedure_5_1(ALGO, SPACE, symmetry=False, ring_bound=False)
+        for jobs in (1, 2):
+            adaptive = explore_schedule(ALGO, SPACE, jobs=jobs, adaptive=True)
+            assert adaptive == serial
+            assert (
+                adaptive.stats.counter_dict() == serial.stats.counter_dict()
+            )
+            assert (
+                adaptive.stats.candidates_enumerated
+                == serial.stats.candidates_enumerated
+            )
+
+    def test_probed_ring_wall_time_counted_once(self):
+        """One wall-time sample per dispatched shard — the probe ring
+        contributes exactly one, never a probe + re-deal pair."""
+        result = explore_schedule(ALGO, SPACE, jobs=2, adaptive=True)
+        # Each expanded ring (plus the winning one) dispatched >= 1
+        # shard; with the first ring probed serially the total sample
+        # count is bounded by shards-per-ring sums, and the first ring
+        # contributes exactly one sample.
+        rings_scanned = result.stats.rings_expanded + 1
+        assert len(result.stats.shard_wall_times) >= rings_scanned
+        assert (
+            len(result.stats.shard_wall_times)
+            <= rings_scanned * result.stats.shards
+        )
+
+    def test_adaptive_with_pruning_off_also_matches(self):
+        serial = procedure_5_1(ALGO, SPACE, symmetry=False, ring_bound=False)
+        adaptive = explore_schedule(
+            ALGO, SPACE, jobs=2, adaptive=True,
+            symmetry=False, ring_bound=False,
+        )
+        assert adaptive == serial
+        assert adaptive.stats.counter_dict() == serial.stats.counter_dict()

@@ -1,0 +1,247 @@
+"""Property tests: symmetry/ring-bound pruning is bit-identical.
+
+The pruning layer's whole contract is *invisibility*: for any
+algorithm/space pair, ``procedure_5_1`` with orbit collapsing and/or
+the LP-relaxation ring bound enabled must return the same winner, the
+same total time, the same verdict, the same deterministic counters and
+the same ``find_all_optima`` tie list (in sort-key order) as the
+unpruned scan — on the paper's Examples 5.1/5.2, on randomized uniform
+dependence algorithms, and through the parallel engine.  Pruning may
+only change the telemetry that says how much work was avoided.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.ilp_formulation as ilp_formulation
+from repro import matrix_multiplication, transitive_closure
+from repro.core.optimize import find_all_optima, procedure_5_1
+from repro.core.symmetry import symmetry_group_for
+from repro.dse.executor import explore_schedule
+from repro.model import ConstantBoundedIndexSet, UniformDependenceAlgorithm
+from repro.obs import trace_session
+
+# Every pruning configuration that differs from the baseline (off, off).
+PRUNED_CONFIGS = [
+    {"symmetry": True, "ring_bound": True},
+    {"symmetry": True, "ring_bound": False},
+    {"symmetry": False, "ring_bound": True},
+]
+BASELINE = {"symmetry": False, "ring_bound": False}
+
+
+@st.composite
+def algorithm_and_space(draw):
+    """A random 2-D/3-D algorithm plus a random space mapping row set."""
+    n = draw(st.integers(2, 3))
+    mu = tuple(draw(st.integers(1, 3)) for _ in range(n))
+    cols = [tuple(1 if i == j else 0 for i in range(n)) for j in range(n)]
+    extra = tuple(draw(st.integers(-2, 2)) for _ in range(n))
+    if extra != (0,) * n and extra not in cols:
+        cols.append(extra)
+    algo = UniformDependenceAlgorithm(
+        index_set=ConstantBoundedIndexSet(mu),
+        dependence_matrix=[list(row) for row in zip(*cols)],
+        name=f"prop({mu})",
+    )
+    rows = draw(st.integers(1, n - 1))
+    space = []
+    for _ in range(rows):
+        row = tuple(draw(st.integers(-2, 2)) for _ in range(n))
+        space.append(row if any(row) else (1,) + (0,) * (n - 1))
+    return algo, space
+
+
+def assert_equivalent(algo, space, **kwargs):
+    """Pruned == unpruned, full dataclass + deterministic counters."""
+    base = procedure_5_1(algo, space, **BASELINE, **kwargs)
+    for config in PRUNED_CONFIGS:
+        pruned = procedure_5_1(algo, space, **config, **kwargs)
+        # Dataclass equality covers winner, verdict, examined counts and
+        # every deterministic SearchStats counter.
+        assert pruned == base, config
+        assert pruned.stats.counter_dict() == base.stats.counter_dict(), config
+    return base
+
+
+class TestPaperExamples:
+    """Examples 5.1 (matmul) and 5.2 (transitive closure)."""
+
+    CASES = [
+        (matrix_multiplication(4), ((1, 1, -1),)),
+        (matrix_multiplication(6), ((1, 1, -1),)),
+        (transitive_closure(4), ((0, 0, 1),)),
+        (transitive_closure(5), ((0, 0, 1),)),
+    ]
+
+    @pytest.mark.parametrize("algo,space", CASES, ids=lambda c: getattr(c, "name", None))
+    def test_procedure_5_1_equivalence(self, algo, space):
+        base = assert_equivalent(algo, space)
+        assert base.found
+
+    @pytest.mark.parametrize("algo,space", CASES, ids=lambda c: getattr(c, "name", None))
+    def test_scalar_path_equivalence(self, algo, space):
+        assert_equivalent(algo, space, batch=False)
+
+    @pytest.mark.parametrize("algo,space", CASES, ids=lambda c: getattr(c, "name", None))
+    def test_tie_set_identical_in_sort_key_order(self, algo, space):
+        base = find_all_optima(algo, space, symmetry=False, ring_bound=False)
+        pruned = find_all_optima(algo, space, symmetry=True, ring_bound=True)
+        assert [r.schedule.pi for r in pruned] == [
+            r.schedule.pi for r in base
+        ]
+
+    def test_matmul_orbits_actually_collapse(self):
+        """The telemetry proves the pruning ran, not just that it was on."""
+        algo = matrix_multiplication(6)
+        space = ((1, 1, -1),)
+        group = symmetry_group_for(algo, space)
+        assert group.order > 1  # swapping the first two indices fixes (mu, D, S)
+        res = procedure_5_1(algo, space)
+        assert res.stats.orbits_collapsed > 0
+        assert res.stats.rings_bounded_out > 0
+        seed = procedure_5_1(algo, space, **BASELINE)
+        assert seed.stats.orbits_collapsed == 0
+        assert seed.stats.candidates_skipped == 0
+        # The acceptance bar: >= 2x fewer conflict screens with pruning on.
+        assert seed.stats.conflict_screens >= 2 * res.stats.conflict_screens
+
+    def test_tie_list_rehydrates_whole_orbits(self):
+        """Ties include orbit members the pruned scan never evaluated."""
+        algo = matrix_multiplication(6)
+        space = ((1, 1, -1),)
+        group = symmetry_group_for(algo, space)
+        ties = [
+            r.schedule.pi
+            for r in find_all_optima(algo, space, symmetry=True)
+        ]
+        tie_set = set(ties)
+        assert len(ties) == len(tie_set)
+        for pi in ties:
+            for mat in group.mats:
+                image = tuple(
+                    int(v)
+                    for v in (
+                        sum(pi[i] * int(mat[i][j]) for i in range(len(pi)))
+                        for j in range(len(pi))
+                    )
+                )
+                assert image in tie_set, (pi, image)
+        # The orbit structure is non-trivial: at least one tie is the
+        # image of another, so rehydration is actually exercised.
+        assert any(
+            group.canonicalize(a) == group.canonicalize(b)
+            for i, a in enumerate(ties)
+            for b in ties[i + 1:]
+        )
+
+
+class TestRandomizedEquivalence:
+    @given(algorithm_and_space())
+    @settings(max_examples=30, deadline=None)
+    def test_procedure_5_1_pruned_equals_unpruned(self, case):
+        algo, space = case
+        assert_equivalent(algo, space)
+
+    @given(algorithm_and_space())
+    @settings(max_examples=15, deadline=None)
+    def test_scalar_path_pruned_equals_unpruned(self, case):
+        algo, space = case
+        assert_equivalent(algo, space, batch=False)
+
+    @given(algorithm_and_space())
+    @settings(max_examples=10, deadline=None)
+    def test_tie_order_pruned_equals_unpruned(self, case):
+        algo, space = case
+        base = find_all_optima(algo, space, symmetry=False, ring_bound=False)
+        pruned = find_all_optima(algo, space)
+        assert [r.schedule.pi for r in pruned] == [
+            r.schedule.pi for r in base
+        ]
+
+    @given(algorithm_and_space())
+    @settings(max_examples=8, deadline=None)
+    def test_engine_pruned_equals_serial_unpruned(self, case):
+        algo, space = case
+        base = procedure_5_1(algo, space, **BASELINE)
+        engine = explore_schedule(algo, space, jobs=1)
+        assert engine == base
+        assert engine.stats.counter_dict() == base.stats.counter_dict()
+
+
+class TestPaperMethodUnaffected:
+    """``method="paper"`` must never receive orbit collapsing (the
+    sufficient conditions are not syntactically symmetric), but the
+    ring bound — which only ever skips screens on candidates that
+    cannot be conflict-free — still applies."""
+
+    def test_paper_method_equivalence(self):
+        algo = matrix_multiplication(4)
+        space = ((1, 1, -1),)
+        base = procedure_5_1(algo, space, method="paper", **BASELINE)
+        pruned = procedure_5_1(algo, space, method="paper")
+        assert pruned == base
+        assert pruned.stats.orbits_collapsed == 0
+
+
+class TestRingBoundDegradation:
+    """Satellite: LP failures degrade to "no bound", never raise."""
+
+    def setup_method(self):
+        ilp_formulation._lower_bound_cache.clear()
+
+    def teardown_method(self):
+        ilp_formulation._lower_bound_cache.clear()
+
+    def test_lp_raise_degrades_and_records_event(self, monkeypatch):
+        import repro.ilp.branch_bound as branch_bound
+
+        def boom(prog):
+            raise RuntimeError("synthetic LP failure")
+
+        monkeypatch.setattr(branch_bound, "solve_lp_relaxation", boom)
+        algo = matrix_multiplication(4)
+        space = ((1, 1, -1),)
+        base = procedure_5_1(algo, space, **BASELINE)
+        with trace_session(None) as tracer:
+            res = procedure_5_1(algo, space)
+        assert res == base
+        assert res.stats.candidates_skipped == 0
+        assert res.stats.rings_bounded_out == 0
+        events = [
+            r for r in tracer.records()
+            if r.get("name") == "ring_bound_failed"
+        ]
+        assert events
+        assert "RuntimeError" in events[0]["attrs"]["reason"]
+
+    def test_lp_bad_status_degrades(self, monkeypatch):
+        import repro.ilp.branch_bound as branch_bound
+
+        from repro.ilp.problem import LPSolution
+
+        def unbounded(prog):
+            return LPSolution(status="unbounded", x=None, objective=None)
+
+        monkeypatch.setattr(branch_bound, "solve_lp_relaxation", unbounded)
+        algo = transitive_closure(4)
+        space = ((0, 0, 1),)
+        base = procedure_5_1(algo, space, **BASELINE)
+        res = procedure_5_1(algo, space)
+        assert res == base
+        assert res.stats.rings_bounded_out == 0
+
+    def test_engine_degrades_too(self, monkeypatch):
+        import repro.ilp.branch_bound as branch_bound
+
+        def boom(prog):
+            raise RuntimeError("synthetic LP failure")
+
+        monkeypatch.setattr(branch_bound, "solve_lp_relaxation", boom)
+        algo = matrix_multiplication(4)
+        space = ((1, 1, -1),)
+        base = procedure_5_1(algo, space, **BASELINE)
+        res = explore_schedule(algo, space, jobs=1)
+        assert res == base
+        assert res.stats.rings_bounded_out == 0
