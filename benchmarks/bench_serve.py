@@ -14,7 +14,11 @@ and measures, on the paper's Example 5.1 (matmul, mu=6, S=[1,1,-1]):
 * **N-client throughput** — 8 threads submitting distinct specs;
 * **restart recovery** — SIGTERM mid-search, restart, time until the
   resumed job completes (with the result asserted equal to an
-  uninterrupted serial run).
+  uninterrupted serial run);
+* **hardening overhead** — the 8-client throughput shape scaled to 48
+  distinct jobs, ``--no-hardening`` vs the fully armed defaults (queue
+  bound, breaker, watchdog deadline), interleaved best-of-4 each; the
+  containment layer must cost < 3%.
 
 Writes the numbers to ``BENCH_serve.json``.
 """
@@ -51,7 +55,8 @@ class Server:
     """One ``repro serve`` subprocess on an ephemeral port."""
 
     def __init__(self, state_dir: Path, cache_dir: Path | None = None,
-                 *, env: dict | None = None, workers: int = 2) -> None:
+                 *, env: dict | None = None, workers: int = 2,
+                 extra_args: tuple = ()) -> None:
         self.port_file = state_dir / "port"
         if self.port_file.exists():
             self.port_file.unlink()
@@ -65,6 +70,7 @@ class Server:
         ]
         args += (["--cache-dir", str(cache_dir)] if cache_dir
                  else ["--no-cache"])
+        args += list(extra_args)
         self.proc = subprocess.Popen(args, env=run_env,
                                      stderr=subprocess.DEVNULL)
         deadline = time.monotonic() + 20
@@ -139,16 +145,20 @@ def bench_latency(root: Path, serial_encoded: dict) -> dict:
     }
 
 
-def bench_throughput(root: Path, clients: int = 8) -> dict:
-    state = root / "thr-state"
+def _throughput_run(root: Path, name: str, clients: int,
+                    extra_args: tuple = (),
+                    specs: list | None = None) -> float:
+    """Wall time for `clients` threads driving distinct specs to done."""
+    state = root / name
     state.mkdir()
-    server = Server(state, None, workers=4)
+    server = Server(state, None, workers=4, extra_args=extra_args)
     try:
-        specs = [
-            {"task": "schedule", "algorithm": "matmul", "mu": [mu],
-             "space": [[1, 1, -1]]}
-            for mu in range(3, 3 + clients)
-        ]
+        if specs is None:
+            specs = [
+                {"task": "schedule", "algorithm": "matmul", "mu": [mu],
+                 "space": [[1, 1, -1]]}
+                for mu in range(3, 3 + clients)
+            ]
 
         def one(spec):
             client = server.client()
@@ -160,14 +170,58 @@ def bench_throughput(root: Path, clients: int = 8) -> dict:
         t0 = time.perf_counter()
         with ThreadPoolExecutor(max_workers=clients) as pool:
             list(pool.map(one, specs))
-        wall = time.perf_counter() - t0
+        return time.perf_counter() - t0
     finally:
         server.stop()
+
+
+def bench_throughput(root: Path, clients: int = 8) -> dict:
+    wall = _throughput_run(root, "thr-state", clients)
     return {
         "case": f"{clients}-clients-distinct-specs",
         "jobs": clients,
         "wall_s": wall,
         "jobs_per_s": clients / wall,
+    }
+
+
+def bench_hardening_overhead(root: Path, clients: int = 8) -> dict:
+    """The containment layer on the hot path: the 8-client throughput
+    shape scaled to 48 distinct jobs (8 sizes x 6 space vectors, so
+    per-run wall is a couple of seconds and a 3% difference rises above
+    subprocess scheduling noise), ``--no-hardening`` vs the armed
+    defaults, interleaved best-of-4 each so a noisy neighbor cannot
+    charge its wall time to one configuration."""
+    spaces = [[1, 1, -1], [1, -1, 1], [-1, 1, 1],
+              [1, -1, -1], [-1, 1, -1], [-1, -1, 1]]
+    specs = [
+        {"task": "schedule", "algorithm": "matmul", "mu": [mu],
+         "space": [space]}
+        for mu in range(3, 3 + clients) for space in spaces
+    ]
+    hardened_args = ("--max-queue", "64", "--job-deadline", "300",
+                     "--breaker-threshold", "3")
+    baseline_args = ("--no-hardening",)
+    hardened, baseline = [], []
+    for i in range(4):
+        hardened.append(_throughput_run(
+            root, f"ovh-hard-{i}", clients, hardened_args, specs=specs))
+        baseline.append(_throughput_run(
+            root, f"ovh-base-{i}", clients, baseline_args, specs=specs))
+        print(f"  overhead rep {i}: armed {hardened[-1]:.2f}s "
+              f"vs bare {baseline[-1]:.2f}s", file=sys.stderr)
+    best_hardened, best_baseline = min(hardened), min(baseline)
+    overhead_pct = (best_hardened - best_baseline) / best_baseline * 100.0
+    assert overhead_pct < 3.0, (
+        f"hardening costs {overhead_pct:.2f}% on the {clients}-client "
+        f"throughput case (budget: 3%)"
+    )
+    return {
+        "case": f"{clients}-clients-hardening-overhead",
+        "jobs": len(specs),
+        "baseline_s": best_baseline,
+        "hardened_s": best_hardened,
+        "overhead_pct": overhead_pct,
     }
 
 
@@ -219,6 +273,7 @@ def main() -> None:
         latency = bench_latency(root, serial_encoded)
         throughput = bench_throughput(root)
         recovery = bench_restart_recovery(root, serial_encoded)
+        overhead = bench_hardening_overhead(root)
 
     payload = {
         "benchmark": "serve-job-server",
@@ -226,6 +281,7 @@ def main() -> None:
         "latency": latency,
         "throughput": throughput,
         "restart_recovery": recovery,
+        "hardening_overhead": overhead,
     }
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
 
@@ -238,6 +294,9 @@ def main() -> None:
           f"({throughput['jobs']} clients)")
     print(f"restart recovery    : {recovery['recovery_s']*1000:8.1f} ms "
           f"({recovery['shards_resumed']} shard(s) replayed)")
+    print(f"hardening overhead  : {overhead['overhead_pct']:+8.2f} % "
+          f"(armed {overhead['hardened_s']:.2f}s vs "
+          f"bare {overhead['baseline_s']:.2f}s)")
     print(f"wrote {OUTPUT.name}")
 
 

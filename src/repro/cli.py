@@ -374,8 +374,43 @@ def build_parser() -> argparse.ArgumentParser:
                          help="default per-job ring-bound bit cap")
     p_serve.add_argument("--tenants-file", default=None, metavar="PATH",
                          help="JSON {tenant: {max_active, max_seconds, "
-                              "max_shards, max_bits}} overriding the "
-                              "default policy per tenant")
+                              "max_shards, max_bits, rate, burst}} "
+                              "overriding the default policy per tenant")
+    p_serve.add_argument("--max-queue", type=int, default=256,
+                         help="server-wide bound on queued jobs; submits "
+                              "past it are shed with 503 + Retry-After "
+                              "(default: 256)")
+    p_serve.add_argument("--job-deadline", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-job wall-clock deadline enforced by "
+                              "the watchdog: the search is stopped "
+                              "(resumable) and, if it ignores the stop, "
+                              "abandoned so the worker slot is reclaimed "
+                              "(default: none)")
+    p_serve.add_argument("--breaker-threshold", type=int, default=3,
+                         help="failures before containment trips: a "
+                              "digest failing this many times is "
+                              "quarantined (never re-executed), a tenant "
+                              "with this many consecutive failures has "
+                              "its breaker opened (default: 3)")
+    p_serve.add_argument("--breaker-cooldown", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="seconds an open breaker waits before "
+                              "admitting one half-open probe "
+                              "(default: 30)")
+    p_serve.add_argument("--rate-limit", type=float, default=None,
+                         metavar="PER_SECOND",
+                         help="default per-tenant submit rate "
+                              "(token bucket, tokens/second); over it "
+                              "submits get 429 + Retry-After "
+                              "(default: unlimited)")
+    p_serve.add_argument("--rate-burst", type=int, default=None,
+                         help="token-bucket depth for --rate-limit "
+                              "(default: max(1, rate))")
+    p_serve.add_argument("--no-hardening", action="store_true",
+                         help="disable the failure-containment layer "
+                              "entirely (queue bound, watchdog, breaker, "
+                              "quarantine) — benchmark baselines only")
     add_obs_args(p_serve)
 
     p_report = sub.add_parser(
@@ -720,22 +755,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import json as _json
 
     from .dse import ResiliencePolicy
-    from .serve import ServerConfig, TenantPolicy, run_server
+    from .serve import HardeningPolicy, ServerConfig, TenantPolicy, run_server
 
     if args.workers < 1:
         raise SystemExit(f"--workers must be >= 1, got {args.workers}")
     if args.search_jobs is not None and args.search_jobs < 1:
         raise SystemExit(f"--search-jobs must be >= 1, got {args.search_jobs}")
     try:
+        if args.no_hardening:
+            hardening = HardeningPolicy.disabled()
+        else:
+            hardening = HardeningPolicy(
+                max_queue=args.max_queue,
+                job_deadline=args.job_deadline,
+                breaker_threshold=args.breaker_threshold,
+                breaker_cooldown=args.breaker_cooldown,
+            )
         default_policy = TenantPolicy(
             max_active=args.max_active,
             max_seconds=args.max_seconds,
             max_shards=args.max_shards,
             max_bits=args.max_bits,
+            rate=args.rate_limit,
+            burst=args.rate_burst,
         )
-        # Mint a budget once to surface bad ceilings at startup, not
-        # at first job admission.
+        # Mint a budget (and a token bucket) once to surface bad
+        # ceilings at startup, not at first job admission.
         default_policy.budget()
+        if default_policy.rate is not None:
+            from .serve import TokenBucket
+
+            TokenBucket(default_policy.rate, default_policy.burst)
         tenants = {"default": default_policy}
         if args.tenants_file:
             with open(args.tenants_file, encoding="utf-8") as fh:
@@ -745,6 +795,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             for tenant, policy in overrides.items():
                 tenants[tenant] = TenantPolicy.from_dict(policy)
                 tenants[tenant].budget()
+                if tenants[tenant].rate is not None:
+                    from .serve import TokenBucket
+
+                    TokenBucket(tenants[tenant].rate, tenants[tenant].burst)
         resilience = ResiliencePolicy(
             shard_timeout=args.shard_timeout,
             max_retries=args.max_retries,
@@ -763,6 +817,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         no_cache=args.no_cache,
         tenants=tenants,
         resilience=resilience,
+        hardening=hardening,
     )
     return run_server(config)
 

@@ -10,6 +10,9 @@ exploration entry points into a long-running service:
   journals and append-only event logs.
 * :mod:`~repro.serve.queue` — admission (per-tenant caps and budgets),
   digest-based deduplication, the run queue.
+* :mod:`~repro.serve.hardening` — failure containment: load shedding
+  (bounded queue, token buckets), per-tenant circuit breakers,
+  poison-job quarantine, the watchdog policy, chaos fault injection.
 * :mod:`~repro.serve.bridge` — the worker-thread call into
   ``explore_*`` (always journaled, always resumable).
 * :mod:`~repro.serve.server` — the HTTP front end and worker pool;
@@ -31,6 +34,15 @@ __all__ = [
     "JobManager",
     "TenantPolicy",
     "TenantBusy",
+    "HardeningPolicy",
+    "TokenBucket",
+    "CircuitBreaker",
+    "QuarantineRegistry",
+    "Rejected",
+    "QueueFull",
+    "RateLimited",
+    "BreakerOpen",
+    "error_body",
     "execute_job",
     "ServerConfig",
     "MappingServer",
@@ -48,6 +60,15 @@ _LAZY = {
     "JobManager": "queue",
     "TenantPolicy": "queue",
     "TenantBusy": "queue",
+    "HardeningPolicy": "hardening",
+    "TokenBucket": "hardening",
+    "CircuitBreaker": "hardening",
+    "QuarantineRegistry": "hardening",
+    "Rejected": "hardening",
+    "QueueFull": "hardening",
+    "RateLimited": "hardening",
+    "BreakerOpen": "hardening",
+    "error_body": "protocol",
     "execute_job": "bridge",
     "ServerConfig": "server",
     "MappingServer": "server",

@@ -20,7 +20,9 @@ uninterrupted run.
 from __future__ import annotations
 
 import logging
+import os
 import threading
+import time
 from dataclasses import dataclass
 from typing import Callable
 
@@ -28,6 +30,7 @@ from ..dse.cache import ResultCache
 from ..dse.checkpoint import BudgetExceeded, RunBudget, RunInterrupted
 from ..dse.executor import explore_joint, explore_schedule, explore_space
 from ..dse.resilience import ResiliencePolicy
+from .hardening import FAULT_HANG_ENV_VAR, take_fault
 from .protocol import JobSpec, encode_result
 
 logger = logging.getLogger("repro.serve.bridge")
@@ -63,7 +66,23 @@ def execute_job(
     Blocking — call from a worker thread.  Never raises: every outcome
     (including engine bugs) is folded into a :class:`JobOutcome` so the
     event loop's job bookkeeping cannot be skipped by an exception.
+
+    Chaos hooks (``$REPRO_SERVE_FAULT``, see
+    :mod:`repro.serve.hardening`): ``crash`` makes this execution fail
+    the way an engine bug would; ``hang`` wedges it in an
+    uninterruptible sleep that ignores the stop event — exactly the
+    failure the watchdog exists for.
     """
+    if take_fault("crash"):
+        logger.error("injected fault: crash (REPRO_SERVE_FAULT)")
+        return JobOutcome(state="failed",
+                          error="InjectedFault: crash (REPRO_SERVE_FAULT)")
+    if take_fault("hang"):
+        naptime = float(os.environ.get(FAULT_HANG_ENV_VAR, "30"))
+        logger.error("injected fault: hang %.1fs (REPRO_SERVE_FAULT)", naptime)
+        time.sleep(naptime)  # deliberately deaf to `stop`
+        return JobOutcome(state="interrupted",
+                          error="InjectedFault: hang (REPRO_SERVE_FAULT)")
     algorithm = spec.build_algorithm()
     opts = spec.options
     common = dict(

@@ -4,38 +4,86 @@ Stdlib :mod:`http.client` only — mirrors the server's one-request-per-
 connection discipline, so every call opens a fresh connection.  Used by
 the test suite, the benchmark harness and the CI smoke script; small
 enough to be the reference for writing clients in any language.
+
+Two client-side containment behaviors (mirroring the server's
+hardening layer):
+
+* every request carries a **connect/read timeout** (``timeout=``,
+  default 30 s) so a dead or wedged server raises instead of hanging
+  the caller forever;
+* a request that dies on a **connection reset** (server restarting,
+  listener draining) is retried once (``retries=``).  This is safe for
+  every route: ``POST /jobs`` is idempotent by content digest — a
+  replay deduplicates onto the job the first attempt may have created
+  — and everything else is a read or an idempotent cancel.
+
+Shed responses (429/503) raise :class:`ServeError` with the parsed
+``retry_after`` hint so callers can back off properly.
 """
 
 from __future__ import annotations
 
 import json
 import time
-from http.client import HTTPConnection
+from http.client import HTTPConnection, HTTPException
 from typing import Iterator
 
 from .protocol import TERMINAL_STATES
 
 __all__ = ["ServeClient", "ServeError"]
 
+#: Exceptions that mean "the connection died under us" — worth one
+#: retry against a server that is restarting or shedding connections.
+_RETRYABLE = (ConnectionResetError, ConnectionAbortedError,
+              BrokenPipeError, ConnectionRefusedError, HTTPException)
+
 
 class ServeError(Exception):
-    """Non-2xx response; carries the HTTP status and server diagnosis."""
+    """Non-2xx response; carries the HTTP status, server diagnosis,
+    machine-readable ``code``, the ``retry_after`` hint (seconds,
+    ``None`` when the server sent none) and the decoded response
+    ``body`` for routes whose error payload says more than
+    ``{"error": ...}``."""
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(self, status: int, message: str, *,
+                 code: str | None = None,
+                 retry_after: float | None = None,
+                 body: dict | None = None) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
+        self.code = code
+        self.retry_after = retry_after
+        self.body = body if body is not None else {}
 
 
 class ServeClient:
     def __init__(self, host: str = "127.0.0.1", port: int = 8642,
-                 *, timeout: float = 30.0) -> None:
+                 *, timeout: float = 30.0, retries: int = 1) -> None:
+        if timeout <= 0:
+            raise ValueError(f"timeout must be > 0 seconds, got {timeout}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
 
     # -- plumbing --------------------------------------------------------
 
     def _request(self, method: str, path: str, payload: dict | None = None):
+        last: Exception | None = None
+        for attempt in range(self.retries + 1):
+            try:
+                return self._request_once(method, path, payload)
+            except _RETRYABLE as exc:
+                last = exc
+                if attempt >= self.retries:
+                    break
+                time.sleep(min(0.1 * (attempt + 1), 1.0))
+        raise last  # type: ignore[misc]
+
+    def _request_once(self, method: str, path: str,
+                      payload: dict | None = None):
         conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             body = (json.dumps(payload).encode()
@@ -49,8 +97,15 @@ class ServeClient:
             except json.JSONDecodeError:
                 decoded = {"error": data.decode("utf-8", "replace")}
             if response.status >= 400:
+                retry_after = decoded.get("retry_after")
+                if retry_after is None:
+                    header = response.getheader("Retry-After")
+                    retry_after = float(header) if header else None
                 raise ServeError(response.status,
-                                 decoded.get("error", "unknown error"))
+                                 decoded.get("error", "unknown error"),
+                                 code=decoded.get("code"),
+                                 retry_after=retry_after,
+                                 body=decoded)
             return response.status, decoded
         finally:
             conn.close()
@@ -77,6 +132,19 @@ class ServeClient:
 
     def health(self) -> dict:
         _status, body = self._request("GET", "/healthz")
+        return body
+
+    def ready(self) -> dict:
+        """The ``/readyz`` body — ``{"ready": bool, "reasons": [...]}``.
+        Not-ready is a normal poll answer, not a failure: the server's
+        503 is returned as the body rather than raised, so callers can
+        loop on ``ready()["ready"]``."""
+        try:
+            _status, body = self._request("GET", "/readyz")
+        except ServeError as exc:
+            if exc.status != 503 or "ready" not in exc.body:
+                raise
+            body = exc.body
         return body
 
     def cache_stats(self) -> dict:

@@ -70,7 +70,26 @@ __all__ = [
     "JobSpec",
     "parse_job_spec",
     "encode_result",
+    "error_body",
 ]
+
+
+def error_body(message: str, *, code: str | None = None,
+               retry_after: float | None = None) -> dict:
+    """The one shape every error response uses.
+
+    ``{"error": <human diagnosis>}`` always; ``code`` adds a stable
+    machine-readable discriminator (``queue_full``, ``rate_limited``,
+    ``breaker_open``, ``tenant_busy``, ...) and ``retry_after`` mirrors
+    the ``Retry-After`` header in seconds so clients that only parse
+    bodies still get the hint.
+    """
+    body: dict = {"error": message}
+    if code is not None:
+        body["code"] = code
+    if retry_after is not None:
+        body["retry_after"] = retry_after
+    return body
 
 TASKS = ("schedule", "space", "joint", "parametric")
 

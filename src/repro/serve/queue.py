@@ -11,8 +11,20 @@ it already finished) instead of enqueueing duplicate work.  A failed or
 cancelled job is re-armed by a new identical request — resubmitting is
 the retry button.
 
-Admission is per tenant: a :class:`TenantPolicy` caps how many jobs a
-tenant may have in flight and hands each of its jobs a fresh
+Admission is layered (:mod:`repro.serve.hardening` supplies the
+machinery), cheapest check first, and *new work only* — requests that
+deduplicate onto an existing job are always admitted, they add nothing:
+
+1. **quarantine** — a poison digest is answered from its recorded
+   failure, never executed again;
+2. **circuit breaker** — a tenant with ``breaker_threshold``
+   consecutive failures is shed (503) until a cooldown passes, then
+   one half-open probe decides;
+3. **rate limit** — the tenant's token bucket (429 when empty);
+4. **queue bound** — the server-wide cap on queued jobs (503);
+5. **tenant cap** — ``max_active`` queued+running jobs (429).
+
+Each of :class:`TenantPolicy`'s jobs also gets a fresh
 :class:`~repro.dse.checkpoint.RunBudget` (budgets are stateful timers,
 so they are minted per run, never shared).
 """
@@ -24,6 +36,16 @@ import logging
 from dataclasses import dataclass
 
 from ..dse.checkpoint import RunBudget
+from .hardening import (
+    BreakerOpen,
+    CircuitBreaker,
+    HardeningPolicy,
+    QuarantineRegistry,
+    QueueFull,
+    RateLimited,
+    Rejected,
+    TokenBucket,
+)
 from .protocol import RESUMABLE_STATES, TERMINAL_STATES, JobSpec
 from .store import ID_LENGTH, JobRecord, JobStore
 
@@ -32,22 +54,29 @@ logger = logging.getLogger("repro.serve.queue")
 __all__ = ["TenantPolicy", "TenantBusy", "JobManager"]
 
 
-class TenantBusy(Exception):
+class TenantBusy(Rejected):
     """Tenant is at its in-flight job cap (HTTP 429)."""
+
+    status = 429
+    code = "tenant_busy"
 
 
 @dataclass(frozen=True)
 class TenantPolicy:
-    """Per-tenant admission cap and resource ceilings.
+    """Per-tenant admission caps and resource ceilings.
 
-    ``max_active`` bounds queued+running jobs; the rest mint the
-    :class:`RunBudget` each of the tenant's jobs runs under.
+    ``max_active`` bounds queued+running jobs; ``rate``/``burst``
+    configure the tenant's submit token bucket (tokens per second and
+    bucket depth); the rest mint the :class:`RunBudget` each of the
+    tenant's jobs runs under.
     """
 
     max_active: int | None = None
     max_seconds: float | None = None
     max_shards: int | None = None
     max_bits: int | None = None
+    rate: float | None = None
+    burst: int | None = None
 
     def budget(self) -> RunBudget | None:
         """A fresh budget for one run (``None`` if unlimited).
@@ -65,7 +94,8 @@ class TenantPolicy:
 
     @classmethod
     def from_dict(cls, data: dict) -> TenantPolicy:
-        known = {"max_active", "max_seconds", "max_shards", "max_bits"}
+        known = {"max_active", "max_seconds", "max_shards", "max_bits",
+                 "rate", "burst"}
         unknown = sorted(set(data) - known)
         if unknown:
             raise ValueError(
@@ -83,11 +113,23 @@ class JobManager:
     """
 
     def __init__(self, store: JobStore, *,
-                 tenants: dict[str, TenantPolicy] | None = None) -> None:
+                 tenants: dict[str, TenantPolicy] | None = None,
+                 hardening: HardeningPolicy | None = None) -> None:
         self.store = store
         self.tenants = dict(tenants or {})
+        self.hardening = hardening or HardeningPolicy()
         self.jobs: dict[str, JobRecord] = {}
         self.queue: asyncio.Queue[str] = asyncio.Queue()
+        if self.hardening.breaker_threshold is not None:
+            self.quarantine: QuarantineRegistry | None = QuarantineRegistry(
+                store.root / "quarantine", self.hardening.breaker_threshold
+            )
+        else:
+            self.quarantine = None
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._buckets: dict[str, TokenBucket] = {}
+        #: Lifetime shed counts by rejection code, for /healthz.
+        self.shed_counts: dict[str, int] = {}
         #: Per-job wakeup for event-stream followers; broadcast via
         #: replacing the event so every waiter sees each edge.
         self._event_waiters: dict[str, asyncio.Event] = {}
@@ -100,6 +142,37 @@ class JobManager:
         return self.tenants.get(tenant) or self.tenants.get("default") \
             or TenantPolicy()
 
+    def breaker_for(self, tenant: str) -> CircuitBreaker | None:
+        if self.hardening.breaker_threshold is None:
+            return None
+        breaker = self._breakers.get(tenant)
+        if breaker is None:
+            breaker = CircuitBreaker(self.hardening.breaker_threshold,
+                                     self.hardening.breaker_cooldown)
+            self._breakers[tenant] = breaker
+        return breaker
+
+    def _bucket_for(self, tenant: str) -> TokenBucket | None:
+        policy = self.policy_for(tenant)
+        if policy.rate is None:
+            return None
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(policy.rate, policy.burst)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    # -- health ----------------------------------------------------------
+
+    def queued_depth(self) -> int:
+        return sum(1 for r in self.jobs.values() if r.state == "queued")
+
+    def breaker_states(self) -> dict:
+        return {
+            tenant: {"state": b.state, "opened_total": b.opened_total}
+            for tenant, b in sorted(self._breakers.items())
+        }
+
     # -- startup ---------------------------------------------------------
 
     def recover(self) -> int:
@@ -108,11 +181,25 @@ class JobManager:
         A job found ``running`` was in flight when the previous server
         died — its journal holds the completed shards, so it goes back
         on the queue with ``resume`` semantics, same as ``interrupted``
-        and ``queued`` ones.  Returns how many jobs were re-enqueued.
+        and ``queued`` ones.  Quarantined digests are the exception:
+        their recorded failure is the answer, so they are *not* re-run
+        even across a restart.  Returns how many jobs were re-enqueued.
         """
         requeued = 0
         for record in self.store.load_all():
             self.jobs[record.id] = record
+            if (self.quarantine is not None
+                    and self.quarantine.get(record.digest) is not None):
+                if record.state in RESUMABLE_STATES or not record.quarantined:
+                    entry = self.quarantine.get(record.digest)
+                    record.state = "failed"
+                    record.quarantined = True
+                    if record.error is None and entry["errors"]:
+                        record.error = entry["errors"][-1]
+                    self.store.save(record)
+                    logger.info("job %s stays quarantined across restart",
+                                record.id)
+                continue
             if record.state in RESUMABLE_STATES:
                 if record.state != "queued":
                     record.state = "queued"
@@ -132,17 +219,47 @@ class JobManager:
             if r.tenant == tenant and r.state in ("queued", "running")
         )
 
+    def _shed(self, exc: Rejected) -> Rejected:
+        self.shed_counts[exc.code] = self.shed_counts.get(exc.code, 0) + 1
+        logger.info("shed submit (%s): %s", exc.code, exc)
+        return exc
+
     def submit(self, spec: JobSpec) -> tuple[JobRecord, bool]:
         """Admit a validated spec; returns ``(record, created)``.
 
         ``created`` is False when the request deduplicated onto an
-        existing queued/running/done job.  Raises :class:`TenantBusy`
-        when the tenant is at its cap (dedup hits are exempt — they
-        add no work).
+        existing queued/running/done job, or when the digest is
+        quarantined (the returned record carries the recorded failure).
+        Raises a :class:`~repro.serve.hardening.Rejected` subclass when
+        the submit is shed (dedup hits are exempt — they add no work).
         """
         digest = spec.digest
         job_id = digest[:ID_LENGTH]
         record = self.jobs.get(job_id)
+
+        if self.quarantine is not None:
+            entry = self.quarantine.get(digest)
+            if entry is not None:
+                # Poison: answer from the recorded failure, never
+                # re-execute.  Synthesize a record if the jobs dir was
+                # lost but the registry survived.
+                if record is None:
+                    record = JobRecord(
+                        id=job_id, digest=digest, spec=spec.to_dict(),
+                        task=spec.task, tenant=spec.tenant,
+                        state="failed", error=entry["errors"][-1]
+                        if entry["errors"] else "quarantined",
+                        quarantined=True,
+                    )
+                    self.jobs[job_id] = record
+                    self.store.save(record)
+                elif not record.quarantined:
+                    record.quarantined = True
+                    self.store.save(record)
+                logger.info("answered quarantined digest %s from its "
+                            "failure record", job_id)
+                return record, False
+
         if record is not None and record.state not in ("failed", "cancelled"):
             if record.state not in TERMINAL_STATES:
                 record.deduped += 1
@@ -151,13 +268,37 @@ class JobManager:
                             job_id, record.deduped)
             return record, False
 
+        # New work from here on: the shedding ladder applies.
+        breaker = self.breaker_for(spec.tenant)
+        if breaker is not None:
+            wait = breaker.allow()
+            if wait > 0:
+                raise self._shed(BreakerOpen(
+                    f"tenant {spec.tenant!r} breaker is open after "
+                    f"repeated failures", retry_after=wait))
+
+        bucket = self._bucket_for(spec.tenant)
+        if bucket is not None:
+            wait = bucket.try_acquire()
+            if wait > 0:
+                raise self._shed(RateLimited(
+                    f"tenant {spec.tenant!r} is over its submit rate",
+                    retry_after=max(wait, 0.001)))
+
+        if (self.hardening.max_queue is not None
+                and self.queued_depth() >= self.hardening.max_queue):
+            raise self._shed(QueueFull(
+                f"pending queue is full ({self.hardening.max_queue} "
+                f"job(s)); retry later",
+                retry_after=self.hardening.retry_after))
+
         policy = self.policy_for(spec.tenant)
         if (policy.max_active is not None
                 and self._active_for(spec.tenant) >= policy.max_active):
-            raise TenantBusy(
+            raise self._shed(TenantBusy(
                 f"tenant {spec.tenant!r} already has "
-                f"{policy.max_active} job(s) in flight"
-            )
+                f"{policy.max_active} job(s) in flight",
+                retry_after=self.hardening.retry_after))
 
         if record is None:
             record = JobRecord(
@@ -175,6 +316,33 @@ class JobManager:
         self.store.save(record)
         self.queue.put_nowait(job_id)
         return record, created
+
+    # -- failure containment feedback ------------------------------------
+
+    def note_success(self, job_id: str) -> None:
+        """A job finished ``done``: close the loop on breaker and
+        quarantine strikes."""
+        record = self.jobs[job_id]
+        breaker = self.breaker_for(record.tenant)
+        if breaker is not None:
+            breaker.record_success()
+        if self.quarantine is not None:
+            self.quarantine.clear(record.digest)
+
+    def note_failure(self, job_id: str, error: str) -> bool:
+        """A job failed (or hung past its watchdog deadline): count the
+        strike.  Returns True when the digest is now quarantined — the
+        caller should surface the job as terminally failed."""
+        record = self.jobs[job_id]
+        breaker = self.breaker_for(record.tenant)
+        if breaker is not None:
+            breaker.record_failure()
+        if self.quarantine is None:
+            return False
+        quarantined = self.quarantine.record_failure(record.digest, error)
+        if quarantined:
+            record.quarantined = True
+        return quarantined
 
     # -- state transitions (event-loop thread) ---------------------------
 

@@ -9,7 +9,10 @@ HTTP/1.1 (one request per connection, ``Connection: close``).  Routes::
     GET  /jobs/{id}/events   progress events as JSONL; ?follow=1 streams
     POST /jobs/{id}/cancel   stop a queued or running job
     GET  /cache              result-cache counters (ResultCache.stats)
-    GET  /healthz            liveness + job-state census
+    GET  /healthz            liveness: queue depth, workers, breakers,
+                             store health, watchdog counters
+    GET  /readyz             readiness: 200 while accepting new work,
+                             503 (with reasons) while stopping or full
 
 Design rules:
 
@@ -26,6 +29,12 @@ Design rules:
   running search gets its stop event, workers drain (a stopping search
   raises ``RunInterrupted`` at the next shard boundary, which marks the
   job ``interrupted`` — i.e. *resumable*), then the process exits 0.
+* Failure containment (:mod:`repro.serve.hardening`) wraps the whole
+  pipeline: over-capacity submits are shed with 503 + ``Retry-After``
+  rather than buffered, poison digests answer from their recorded
+  failure rather than re-executing, a per-job watchdog deadline
+  reclaims hung worker slots, and disk faults degrade the store to
+  memory instead of crashing.  All of it is visible on ``/healthz``.
 """
 
 from __future__ import annotations
@@ -33,6 +42,7 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
+import math
 import signal
 import threading
 import time
@@ -44,8 +54,9 @@ from ..dse.cache import ResultCache
 from ..dse.resilience import ResiliencePolicy
 from ..model import SpecError
 from .bridge import execute_job
-from .protocol import TERMINAL_STATES, parse_job_spec
-from .queue import JobManager, TenantBusy, TenantPolicy
+from .hardening import HardeningPolicy, Rejected
+from .protocol import TERMINAL_STATES, error_body, parse_job_spec
+from .queue import JobManager, TenantPolicy
 from .store import JobStore
 
 logger = logging.getLogger("repro.serve.server")
@@ -73,6 +84,10 @@ class ServerConfig:
     no_cache: bool = False
     tenants: dict[str, TenantPolicy] = field(default_factory=dict)
     resilience: ResiliencePolicy | None = None
+    #: The failure-containment layer: queue bound, watchdog deadline,
+    #: breaker/quarantine thresholds.  ``HardeningPolicy.disabled()``
+    #: turns the whole layer off (benchmark baselines).
+    hardening: HardeningPolicy = field(default_factory=HardeningPolicy)
     #: Written once the listener is bound — how tests and scripts learn
     #: an ephemeral (``--port 0``) port.
     port_file: str | None = None
@@ -88,7 +103,8 @@ class MappingServer:
     def __init__(self, config: ServerConfig) -> None:
         self.config = config
         self.store = JobStore(config.state_dir)
-        self.manager = JobManager(self.store, tenants=config.tenants)
+        self.manager = JobManager(self.store, tenants=config.tenants,
+                                  hardening=config.hardening)
         self.cache = ResultCache(config.cache_dir,
                                  enabled=not config.no_cache)
         self._stops: dict[str, threading.Event] = {}
@@ -96,6 +112,15 @@ class MappingServer:
         self._stopping = asyncio.Event()
         self._server: asyncio.base_events.Server | None = None
         self._workers: list[asyncio.Task] = []
+        #: Worker index -> job id currently held (None = idle); the
+        #: worker-liveness block of /healthz.
+        self._busy: dict[int, str | None] = {}
+        self._started_at = time.time()
+        #: Watchdog counters: deadlines that fired, executions the
+        #: watchdog had to abandon outright (slot reclaimed, thread
+        #: orphaned until it winds down on its own).
+        self.watchdog_fired = 0
+        self.watchdog_abandoned = 0
 
     # -- lifecycle -------------------------------------------------------
 
@@ -111,6 +136,7 @@ class MappingServer:
         port = self._server.sockets[0].getsockname()[1]
         if self.config.port_file:
             Path(self.config.port_file).write_text(str(port))
+        self._busy = {i: None for i in range(self.config.workers)}
         self._workers = [
             asyncio.create_task(self._worker(i), name=f"serve-worker-{i}")
             for i in range(self.config.workers)
@@ -161,7 +187,11 @@ class MappingServer:
             record = self.manager.jobs.get(job_id)
             if record is None or record.state != "queued":
                 continue  # cancelled or re-armed elsewhere while queued
-            await self._run_job(job_id)
+            self._busy[index] = job_id
+            try:
+                await self._run_job(job_id)
+            finally:
+                self._busy[index] = None
 
     async def _run_job(self, job_id: str) -> None:
         record = self.manager.jobs[job_id]
@@ -170,6 +200,7 @@ class MappingServer:
         self._stops[job_id] = stop
         if self._stopping.is_set():
             stop.set()
+        abandoned = False
         try:
             from .protocol import JobSpec
 
@@ -178,7 +209,7 @@ class MappingServer:
             search_jobs = spec.jobs or self.config.search_jobs
             if search_jobs and self.config.search_jobs:
                 search_jobs = min(search_jobs, self.config.search_jobs)
-            outcome = await asyncio.to_thread(
+            task = asyncio.ensure_future(asyncio.to_thread(
                 execute_job, spec,
                 journal_path=self.store.journal_path(job_id),
                 cache=self.cache,
@@ -188,15 +219,23 @@ class MappingServer:
                 on_progress=lambda event, _id=job_id:
                     self.manager.post_event_threadsafe(_id, event),
                 jobs=search_jobs,
-            )
+            ))
+            outcome = await self._watch(job_id, task, stop)
+            if outcome is None:
+                abandoned = True  # watchdog reclaimed the slot
+                return
         except Exception as exc:  # spec reload / budget minting failed
             logger.exception("job %s could not start", job_id)
+            quarantined = self.manager.note_failure(
+                job_id, f"{type(exc).__name__}: {exc}")
             self.manager.transition(job_id, "failed",
                                     error=f"{type(exc).__name__}: {exc}",
+                                    quarantined=quarantined,
                                     finished=time.time())
             return
         finally:
-            self._stops.pop(job_id, None)
+            if not abandoned:
+                self._stops.pop(job_id, None)
 
         state = outcome.state
         if state == "interrupted" and job_id in self._cancelled:
@@ -209,6 +248,11 @@ class MappingServer:
             fields["cache_hit"] = outcome.cache_hit
         if outcome.error is not None and state != "interrupted":
             fields["error"] = outcome.error
+        if state == "done":
+            self.manager.note_success(job_id)
+        elif state == "failed":
+            if self.manager.note_failure(job_id, outcome.error or "failed"):
+                fields["quarantined"] = True
         if state == "interrupted":
             # Not terminal: stays resumable.  Don't record a finish
             # time or an error — the job is merely paused in its
@@ -216,6 +260,73 @@ class MappingServer:
             fields = {}
         self.manager.transition(job_id, state, **fields)
         logger.info("job %s -> %s", job_id, state)
+
+    async def _watch(self, job_id: str, task: asyncio.Future,
+                     stop: threading.Event):
+        """Await the execution under the watchdog deadline.
+
+        Returns the :class:`JobOutcome`, or ``None`` when the execution
+        had to be *abandoned*: it ignored its stop event past the grace
+        period, so the job was marked (resumable) ``interrupted`` — or
+        ``failed`` once its hang strikes quarantine the digest — and
+        the worker slot goes back to the pool.  The orphaned thread
+        finishes on its own eventually; its late outcome is discarded.
+        """
+        deadline = self.config.hardening.job_deadline
+        if deadline is None:
+            return await task
+        done, pending = await asyncio.wait({task}, timeout=deadline)
+        if not pending:
+            return task.result()
+
+        # Deadline passed: ask nicely first (the engine parks at the
+        # next shard boundary), then abandon.
+        self.watchdog_fired += 1
+        grace = self.config.hardening.watchdog_grace
+        logger.warning("watchdog: job %s passed its %.1fs deadline; "
+                       "stopping (grace %.1fs)", job_id, deadline, grace)
+        self.manager.post_event(job_id, {
+            "event": "watchdog", "action": "deadline",
+            "deadline": deadline,
+        })
+        stop.set()
+        quarantined = self.manager.note_failure(
+            job_id, f"watchdog: exceeded {deadline:.1f}s deadline")
+        done, pending = await asyncio.wait({task}, timeout=grace)
+        if not pending:
+            # Cooperative stop: the engine journaled and parked.  The
+            # outcome is RunInterrupted -> "interrupted" (resumable)
+            # unless the strikes just quarantined the digest.
+            outcome = task.result()
+            if quarantined and outcome.state == "interrupted":
+                self.manager.transition(
+                    job_id, "failed",
+                    error=f"quarantined: hung past the {deadline:.1f}s "
+                          f"deadline {self.manager.hardening.breaker_threshold} time(s)",
+                    quarantined=True, finished=time.time())
+                self._stops.pop(job_id, None)
+                return None
+            return outcome
+
+        # Truly hung: reclaim the slot, orphan the thread.
+        self.watchdog_abandoned += 1
+        task.add_done_callback(_discard_result)
+        self._stops.pop(job_id, None)
+        self.manager.post_event(job_id, {
+            "event": "watchdog", "action": "abandoned",
+        })
+        if quarantined:
+            self.manager.transition(
+                job_id, "failed",
+                error=f"quarantined: hung past the {deadline:.1f}s "
+                      f"deadline repeatedly",
+                quarantined=True, finished=time.time())
+        else:
+            # Resumable: the journal holds every completed shard; the
+            # next server start (or resubmit after failure) retries.
+            self.manager.transition(job_id, "interrupted")
+        logger.error("watchdog: job %s abandoned (slot reclaimed)", job_id)
+        return None
 
     # -- HTTP ------------------------------------------------------------
 
@@ -225,7 +336,7 @@ class MappingServer:
             try:
                 method, path, query, body = await self._read_request(reader)
             except _BadRequest as exc:
-                await self._respond(writer, 400, {"error": str(exc)})
+                await self._respond(writer, 400, error_body(str(exc)))
                 return
             except (asyncio.IncompleteReadError, ConnectionError):
                 return
@@ -236,7 +347,7 @@ class MappingServer:
             logger.exception("request handling failed")
             try:
                 await self._respond(writer, 500,
-                                    {"error": "internal server error"})
+                                    error_body("internal server error"))
             except Exception:
                 pass
         finally:
@@ -281,11 +392,14 @@ class MappingServer:
     async def _route(self, writer, method: str, path: str,
                      query: dict, body: bytes) -> None:
         if path == "/healthz" and method == "GET":
-            census: dict[str, int] = {}
-            for r in self.manager.jobs.values():
-                census[r.state] = census.get(r.state, 0) + 1
-            await self._respond(writer, 200,
-                                {"status": "ok", "jobs": census})
+            await self._respond(writer, 200, self._health())
+            return
+        if path == "/readyz" and method == "GET":
+            ready, reasons = self._readiness()
+            payload = {"ready": ready}
+            if reasons:
+                payload["reasons"] = reasons
+            await self._respond(writer, 200 if ready else 503, payload)
             return
         if path == "/cache" and method == "GET":
             await self._respond(writer, 200, self.cache.stats())
@@ -308,7 +422,7 @@ class MappingServer:
             record = self.manager.jobs.get(job_id)
             if record is None:
                 await self._respond(writer, 404,
-                                    {"error": f"no job {job_id!r}"})
+                                    error_body(f"no job {job_id!r}"))
                 return
             if not action and method == "GET":
                 await self._respond(writer, 200, record.public())
@@ -319,24 +433,80 @@ class MappingServer:
             if action == "cancel" and method == "POST":
                 await self._cancel(writer, job_id)
                 return
-        await self._respond(writer, 404, {"error": f"no route {method} {path}"})
+        await self._respond(writer, 404,
+                            error_body(f"no route {method} {path}"))
+
+    def _health(self) -> dict:
+        """Liveness + the whole failure-containment picture.  Always
+        200 while the loop answers — degradation is reported, not
+        conflated with being down."""
+        census: dict[str, int] = {}
+        for r in self.manager.jobs.values():
+            census[r.state] = census.get(r.state, 0) + 1
+        busy = sum(1 for j in self._busy.values() if j is not None)
+        alive = sum(1 for t in self._workers if not t.done())
+        quarantine = self.manager.quarantine
+        return {
+            "status": "ok",
+            "uptime_s": time.time() - self._started_at,
+            "jobs": census,
+            "queue": {
+                "depth": self.manager.queued_depth(),
+                "max": self.manager.hardening.max_queue,
+            },
+            "workers": {
+                "total": self.config.workers,
+                "busy": busy,
+                "alive": alive,
+            },
+            "watchdog": {
+                "fired": self.watchdog_fired,
+                "abandoned": self.watchdog_abandoned,
+            },
+            "breakers": self.manager.breaker_states(),
+            "shed": dict(self.manager.shed_counts),
+            "quarantined": len(quarantine) if quarantine is not None else 0,
+            "store": self.store.health(),
+        }
+
+    def _readiness(self) -> tuple[bool, list[str]]:
+        """Ready = willing to take on new work right now.  A degraded
+        store does NOT flip readiness — serving from memory is the
+        degradation working, not a reason to pull the server out of
+        rotation."""
+        reasons = []
+        if self._stopping.is_set():
+            reasons.append("stopping")
+        max_queue = self.manager.hardening.max_queue
+        if (max_queue is not None
+                and self.manager.queued_depth() >= max_queue):
+            reasons.append("queue_full")
+        if self._workers and all(t.done() for t in self._workers):
+            reasons.append("no_live_workers")
+        return (not reasons, reasons)
 
     async def _submit(self, writer, body: bytes) -> None:
         try:
             payload = json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             await self._respond(writer, 400,
-                                {"error": f"body is not JSON: {exc}"})
+                                error_body(f"body is not JSON: {exc}"))
             return
         try:
             spec = parse_job_spec(payload)
             record, created = self.manager.submit(spec)
         except SpecError as exc:
-            await self._respond(writer, 400,
-                                {"error": f"invalid specification: {exc}"})
+            await self._respond(
+                writer, 400,
+                error_body(f"invalid specification: {exc}"))
             return
-        except TenantBusy as exc:
-            await self._respond(writer, 429, {"error": str(exc)})
+        except Rejected as exc:
+            retry_after = max(1, math.ceil(exc.retry_after))
+            await self._respond(
+                writer, exc.status,
+                error_body(str(exc), code=exc.code,
+                           retry_after=exc.retry_after),
+                headers={"Retry-After": str(retry_after)})
             return
         response = record.public()
         response["created"] = created
@@ -389,21 +559,34 @@ class MappingServer:
                 break
 
     async def _respond(self, writer, status: int, payload,
-                       *, content_type: str = "application/json") -> None:
+                       *, content_type: str = "application/json",
+                       headers: dict | None = None) -> None:
         reason = {200: "OK", 201: "Created", 400: "Bad Request",
                   404: "Not Found", 429: "Too Many Requests",
-                  500: "Internal Server Error"}.get(status, "OK")
+                  500: "Internal Server Error",
+                  503: "Service Unavailable"}.get(status, "OK")
         if isinstance(payload, (dict, list)):
             body = json.dumps(payload, separators=(",", ":")).encode()
         else:
             body = str(payload).encode()
+        extra = "".join(f"{k}: {v}\r\n" for k, v in (headers or {}).items())
         writer.write(
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"Connection: close\r\n\r\n".encode() + body
         )
         await writer.drain()
+
+
+def _discard_result(task: asyncio.Future) -> None:
+    """Swallow the late outcome of an abandoned execution so it never
+    surfaces as an un-retrieved exception warning."""
+    try:
+        task.exception()
+    except asyncio.CancelledError:  # pragma: no cover
+        pass
 
 
 def run_server(config: ServerConfig) -> int:

@@ -6,6 +6,7 @@ Layout under the server's state directory::
       jobs/<id>.json        one record per job, atomic tmp + os.replace
       journals/<id>.ckpt    the job's CheckpointJournal (engine-owned)
       events/<id>.jsonl     append-only progress events, torn-tail tolerant
+      quarantine/<digest>.json   poison-job registry (hardening-owned)
 
 The job id **is** a prefix of the job's content digest, which in turn
 is the engine's cache/journal key — one identity from HTTP request to
@@ -16,6 +17,16 @@ the repo: records go through a temp file and :func:`os.replace` so a
 crash never leaves a torn record, and a record that fails to parse on
 startup is quarantined aside (``*.json.corrupt``) rather than taking
 the whole server down.
+
+Disk faults degrade, never crash.  A write that fails with ENOSPC/EIO
+(or any other ``OSError``) parks the record or event in an in-memory
+overlay, flags the record ``degraded``, and the server keeps answering
+from memory; the overlay drains back to disk as soon as a later write
+of the same record succeeds.  An ``fsync`` failure is treated as worse
+than a plain write failure: the bytes may or may not be durable, so the
+on-disk record is *quarantined* aside (``*.json.fsyncfail``) and the
+in-memory copy becomes the only trusted one.  :meth:`JobStore.health`
+reports all of it for ``GET /healthz``.
 """
 
 from __future__ import annotations
@@ -28,6 +39,7 @@ import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
+from .hardening import take_fault
 from .protocol import JOB_STATES
 
 logger = logging.getLogger("repro.serve.store")
@@ -67,6 +79,12 @@ class JobRecord:
     #: How many identical requests were coalesced onto this job.
     deduped: int = 0
     cache_hit: bool = False
+    #: The digest is poison (failed ``breaker_threshold`` times); the
+    #: record answers resubmissions, the search never runs again.
+    quarantined: bool = False
+    #: The record could not be durably persisted (disk fault); it lives
+    #: in the store's in-memory overlay until disk recovers.
+    degraded: bool = False
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -93,6 +111,8 @@ class JobRecord:
             "resumes": self.resumes,
             "deduped": self.deduped,
             "cache_hit": self.cache_hit,
+            "quarantined": self.quarantined,
+            "degraded": self.degraded,
             "spec": self.spec,
         }
         if self.result is not None:
@@ -114,6 +134,41 @@ class JobStore:
         self.events_dir = self.root / "events"
         for d in (self.jobs_dir, self.journals_dir, self.events_dir):
             d.mkdir(parents=True, exist_ok=True)
+        #: Records that could not be persisted; memory is authoritative
+        #: for these until a later save of the same id succeeds.
+        self._memory_records: dict[str, JobRecord] = {}
+        #: Per-job event tails that could not be appended to disk.
+        #: Sticky per job: once a job's events degrade, its later
+        #: events stay in memory too, so the disk + memory concatenation
+        #: keeps its order.
+        self._memory_events: dict[str, list[dict]] = {}
+        self.write_errors = 0
+        self.degraded_since: float | None = None
+
+    # -- health ----------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self._memory_records or self._memory_events)
+
+    def health(self) -> dict:
+        """The store block of ``GET /healthz``."""
+        return {
+            "ok": not self.degraded,
+            "degraded": self.degraded,
+            "write_errors": self.write_errors,
+            "memory_records": len(self._memory_records),
+            "memory_event_jobs": len(self._memory_events),
+            "degraded_since": self.degraded_since,
+        }
+
+    def _note_write_failure(self, what: str, exc: OSError) -> None:
+        self.write_errors += 1
+        if self.degraded_since is None:
+            self.degraded_since = time.time()
+        errname = getattr(exc, "strerror", None) or str(exc)
+        logger.warning("store degraded: %s write failed (%s); "
+                       "continuing from memory", what, errname)
 
     # -- job records -----------------------------------------------------
 
@@ -121,31 +176,90 @@ class JobStore:
         return self.jobs_dir / f"{job_id}.json"
 
     def save(self, record: JobRecord) -> None:
-        """Persist ``record`` atomically and durably.
+        """Persist ``record`` atomically and durably — or degrade.
 
         fsync before the rename: a job that claims ``done`` after a
-        power cut must actually hold its result.
+        power cut must actually hold its result.  Any ``OSError`` on
+        the way (ENOSPC, EIO, ...) never propagates: the record is
+        parked in the in-memory overlay with ``degraded=True`` and the
+        server keeps running.  A *failed fsync* is special — the bytes
+        already written have unknown durability, so the current on-disk
+        record is quarantined aside (``*.json.fsyncfail``) rather than
+        trusted.
         """
+        if take_fault("disk_full"):
+            self._degrade_record(record, "save",
+                                 OSError(28, "injected disk_full"))
+            return
         path = self._record_path(record.id)
-        fd, tmp = tempfile.mkstemp(dir=self.jobs_dir, prefix=".tmp-",
-                                   suffix=".json")
+        payload = json.dumps(record.to_dict(), separators=(",", ":"))
+        if take_fault("corrupt_store"):
+            payload = payload[: max(1, len(payload) // 2)]  # torn JSON
+        synced = False
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(record.to_dict(), fh, separators=(",", ":"))
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp, path)
+            fd, tmp = tempfile.mkstemp(dir=self.jobs_dir, prefix=".tmp-",
+                                       suffix=".json")
+        except OSError as exc:
+            self._degrade_record(record, "save", exc)
+            return
+        try:
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    fh.write(payload)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                    synced = True
+                os.replace(tmp, path)
+            except OSError as exc:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                if not synced:
+                    # fsync (or an earlier write) failed: the on-disk
+                    # record's lineage is broken — quarantine it.
+                    self._quarantine_unsynced(path)
+                self._degrade_record(record, "save", exc)
+                return
         except BaseException:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
             raise
+        # Disk took the write: this record is durable again.
+        if record.degraded or record.id in self._memory_records:
+            self._memory_records.pop(record.id, None)
+            if record.degraded:
+                record.degraded = False
+                self.save(record)  # rewrite with the flag cleared
+                return
+        if not self.degraded:
+            self.degraded_since = None
+
+    def _quarantine_unsynced(self, path: Path) -> None:
+        """Move a record whose replacement failed mid-durability aside."""
+        try:
+            if path.exists():
+                path.replace(path.with_name(path.name + ".fsyncfail"))
+                logger.warning("quarantined possibly-stale record %s", path)
+        except OSError:
+            pass
+
+    def _degrade_record(self, record: JobRecord, what: str,
+                        exc: OSError) -> None:
+        record.degraded = True
+        self._memory_records[record.id] = record
+        self._note_write_failure(what, exc)
 
     def load(self, job_id: str) -> JobRecord | None:
         """The stored record, or ``None``; damaged records are moved
         aside (``*.json.corrupt``) so they can be inspected but never
-        wedge the server."""
+        wedge the server.  The in-memory overlay wins — it is newer
+        than anything on disk by construction."""
+        overlay = self._memory_records.get(job_id)
+        if overlay is not None:
+            return overlay
         path = self._record_path(job_id)
         try:
             with open(path, encoding="utf-8") as fh:
@@ -164,11 +278,16 @@ class JobStore:
     def load_all(self) -> list[JobRecord]:
         """Every readable job record, oldest first."""
         records = []
+        seen = set()
         for path in sorted(self.jobs_dir.glob("*.json")):
             if path.name.startswith("."):
                 continue
             record = self.load(path.stem)
             if record is not None:
+                records.append(record)
+                seen.add(record.id)
+        for job_id, record in self._memory_records.items():
+            if job_id not in seen:
                 records.append(record)
         records.sort(key=lambda r: r.created)
         return records
@@ -188,15 +307,29 @@ class JobStore:
     def append_event(self, job_id: str, event: dict) -> None:
         """Append one progress event.  Flushed but not fsynced — events
         are a telemetry stream, not the source of truth; losing the
-        tail on a crash is acceptable where losing a result is not."""
+        tail on a crash is acceptable where losing a result is not.
+        A write failure degrades the job's event tail to memory (and
+        keeps it there, preserving order) instead of crashing."""
         stamped = {"ts": time.time(), **event}
-        with open(self.events_path(job_id), "a", encoding="utf-8") as fh:
-            fh.write(json.dumps(stamped, separators=(",", ":")) + "\n")
+        if job_id not in self._memory_events and not take_fault("disk_full"):
+            try:
+                with open(self.events_path(job_id), "a",
+                          encoding="utf-8") as fh:
+                    fh.write(json.dumps(stamped, separators=(",", ":")) + "\n")
+                return
+            except OSError as exc:
+                self._note_write_failure("event", exc)
+        else:
+            if job_id not in self._memory_events:
+                self._note_write_failure(
+                    "event", OSError(28, "injected disk_full"))
+        self._memory_events.setdefault(job_id, []).append(stamped)
 
     def read_events(self, job_id: str, start: int = 0) -> list[dict]:
         """Events from index ``start`` on.  A torn final line (writer
         died mid-append) is silently dropped, mirroring the journal's
-        torn-tail tolerance."""
+        torn-tail tolerance.  Degraded in-memory tails are concatenated
+        after the on-disk prefix."""
         path = self.events_path(job_id)
         events: list[dict] = []
         try:
@@ -210,4 +343,7 @@ class JobStore:
                         break
         except FileNotFoundError:
             pass
+        except OSError:
+            pass  # reads degrade too: serve what memory holds
+        events.extend(self._memory_events.get(job_id, ()))
         return events[start:]
